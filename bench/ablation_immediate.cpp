@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablation: deferred batched assertion checks vs QVM-style
+ * immediate heap probes (paper section 4.1). Both answer the same N
+ * "is this object dead now?" questions over identical heaps; the
+ * immediate version triggers a collection per probe, the deferred
+ * version batches everything into the regularly scheduled GCs.
+ */
+
+#include <cstdio>
+
+#include "detectors/probes.h"
+#include "support/logging.h"
+#include "support/stopwatch.h"
+#include "support/strutil.h"
+#include "workloads/registry.h"
+
+using namespace gcassert;
+
+namespace {
+
+/** Build a fresh runtime with a linked-node type; returns time. */
+struct Setup {
+    std::unique_ptr<Runtime> runtime;
+    TypeId nodeType;
+};
+
+Setup
+makeRuntime()
+{
+    Setup setup;
+    RuntimeConfig config;
+    config.heap.budgetBytes = 16ull * 1024 * 1024;
+    setup.runtime = std::make_unique<Runtime>(config);
+    setup.nodeType = setup.runtime->types()
+                         .define("Node")
+                         .refCount(2)
+                         .scalars(8)
+                         .build();
+    return setup;
+}
+
+/** Allocate a live population plus one garbage object per probe. */
+double
+runDeferred(uint32_t probes, uint32_t population)
+{
+    Setup setup = makeRuntime();
+    Runtime &rt = *setup.runtime;
+    Handle keep(rt, rt.allocArrayRaw(
+                        rt.types().define("Keep[]").array().build(),
+                        population),
+                "population");
+    for (uint32_t i = 0; i < population; ++i)
+        keep->setRef(i, rt.allocRaw(setup.nodeType));
+
+    Stopwatch watch;
+    watch.start();
+    for (uint32_t i = 0; i < probes; ++i) {
+        Object *garbage = rt.allocRaw(setup.nodeType);
+        rt.assertDead(garbage); // deferred to the next GC
+    }
+    rt.collect(); // one batched check
+    watch.stop();
+    return watch.elapsedSeconds();
+}
+
+double
+runImmediate(uint32_t probes, uint32_t population)
+{
+    Setup setup = makeRuntime();
+    Runtime &rt = *setup.runtime;
+    Handle keep(rt, rt.allocArrayRaw(
+                        rt.types().define("Keep[]").array().build(),
+                        population),
+                "population");
+    for (uint32_t i = 0; i < population; ++i)
+        keep->setRef(i, rt.allocRaw(setup.nodeType));
+    ImmediateProbes detector(rt);
+
+    Stopwatch watch;
+    watch.start();
+    for (uint32_t i = 0; i < probes; ++i) {
+        Object *garbage = rt.allocRaw(setup.nodeType);
+        detector.probeDead(garbage); // one GC per probe
+    }
+    watch.stop();
+    return watch.elapsedSeconds();
+}
+
+} // namespace
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    std::printf("Ablation: deferred GC assertions vs QVM-style immediate "
+                "probes\n");
+    std::printf("(paper section 4.1: QVM \"triggers a garbage collection "
+                "for each heap probe..., incurring a hefty overhead\"; "
+                "GC assertions batch\n checks onto scheduled "
+                "collections)\n\n");
+
+    constexpr uint32_t kPopulation = 50000;
+    std::printf("%10s %16s %16s %10s\n", "probes", "deferred (ms)",
+                "immediate (ms)", "speedup");
+    for (uint32_t probes : {16u, 64u, 256u, 1024u}) {
+        double deferred = runDeferred(probes, kPopulation);
+        double immediate = runImmediate(probes, kPopulation);
+        std::printf("%10u %16.2f %16.2f %9.1fx\n", probes,
+                    deferred * 1e3, immediate * 1e3,
+                    deferred > 0 ? immediate / deferred : 0.0);
+    }
+    std::printf("\nExpected shape: immediate cost grows linearly with the "
+                "number of probes\n(one full-heap collection each); the "
+                "deferred batch stays near one GC.\n");
+    return 0;
+}

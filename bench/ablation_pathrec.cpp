@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: cost of the tagged-worklist path recording (paper
+ * section 2.7). The paper states the system "can maintain full path
+ * information with no measurable overhead"; this bench measures GC
+ * time with path recording on vs off (infrastructure on in both).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "support/logging.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+/** Like runWorkload, but with explicit recordPaths control. */
+RunSummary
+runWithPaths(const std::string &name, bool record_paths,
+             const DriverOptions &options)
+{
+    RunSummary summary;
+    summary.workload = name;
+    for (uint32_t repeat = 0; repeat < options.repeats; ++repeat) {
+        auto workload = WorkloadRegistry::instance().create(name);
+        RuntimeConfig config =
+            RuntimeConfig::infra(2 * workload->minHeapBytes());
+        config.recordPaths = record_paths;
+        Runtime runtime(config);
+        workload->setup(runtime);
+        for (uint32_t i = 0; i < options.warmupIterations; ++i)
+            workload->iterate(runtime);
+        uint64_t gc0 = runtime.gcStats().totalGc.elapsedNanos();
+        uint64_t t0 = nowNanos();
+        for (uint32_t i = 0; i < options.measuredIterations; ++i)
+            workload->iterate(runtime);
+        uint64_t t1 = nowNanos();
+        uint64_t gc1 = runtime.gcStats().totalGc.elapsedNanos();
+        summary.totalSeconds.add(static_cast<double>(t1 - t0) / 1e9);
+        summary.gcSeconds.add(static_cast<double>(gc1 - gc0) / 1e9);
+        workload->teardown(runtime);
+    }
+    return summary;
+}
+
+} // namespace
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    printHeader("Ablation: path recording",
+                "GC time with tagged-worklist path maintenance on vs off",
+                "\"no measurable overhead\" (section 2.7)");
+
+    DriverOptions options = figureOptions();
+    std::vector<OverheadRow> rows;
+    for (const std::string &name : figureSuite()) {
+        RunSummary off = runWithPaths(name, false, options);
+        RunSummary on = runWithPaths(name, true, options);
+        if (off.gcSeconds.mean() <= 0.0)
+            continue;
+        rows.push_back(makeRow(name, off.gcSeconds, on.gcSeconds));
+        std::fprintf(stderr, "  [pathrec] %s done\n", name.c_str());
+    }
+    printOverheadTable("GC time: paths-off vs paths-on", "GC time",
+                       "paths-off", "paths-on", rows);
+    return 0;
+}

@@ -1,0 +1,145 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/stats.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+namespace bench {
+
+std::vector<std::string>
+figureSuite()
+{
+    return {"binarytrees", "graphchurn", "stringstorm", "treewalk",
+            "mapstress",   "arraybloat", "minidb",      "jbbemu",
+            "lusearch",    "swapleak"};
+}
+
+DriverOptions
+figureOptions()
+{
+    DriverOptions options;
+    options.warmupIterations = 2;
+    options.measuredIterations = 8;
+    options.repeats = 6;
+    if (const char *env = std::getenv("GCASSERT_BENCH_REPEATS"))
+        options.repeats = static_cast<uint32_t>(std::atoi(env));
+    if (const char *env = std::getenv("GCASSERT_BENCH_MEASURED"))
+        options.measuredIterations =
+            static_cast<uint32_t>(std::atoi(env));
+    if (options.repeats == 0)
+        options.repeats = 1;
+    if (options.measuredIterations == 0)
+        options.measuredIterations = 1;
+    return options;
+}
+
+OverheadRow
+makeRow(const std::string &workload, const SampleSet &baseline,
+        const SampleSet &treatment)
+{
+    OverheadRow row;
+    row.workload = workload;
+    row.baselineSeconds = baseline.median();
+    row.treatmentSeconds = treatment.median();
+
+    if (baseline.count() == treatment.count() && baseline.count() > 1) {
+        // Paired protocol: per-repeat ratios.
+        SampleSet ratios;
+        for (size_t i = 0; i < baseline.count(); ++i) {
+            double b = baseline.samples()[i];
+            if (b > 0)
+                ratios.add(treatment.samples()[i] / b);
+        }
+        if (!ratios.empty()) {
+            row.normalized = ratios.median();
+            row.ci = (ratios.percentile(75.0) - ratios.percentile(25.0)) /
+                2.0;
+            return row;
+        }
+    }
+
+    row.normalized = row.baselineSeconds > 0
+        ? row.treatmentSeconds / row.baselineSeconds
+        : 0.0;
+    double rel_b = row.baselineSeconds > 0
+        ? baseline.ciHalfWidth(0.90) / row.baselineSeconds
+        : 0.0;
+    double rel_t = row.treatmentSeconds > 0
+        ? treatment.ciHalfWidth(0.90) / row.treatmentSeconds
+        : 0.0;
+    row.ci =
+        row.normalized * std::sqrt(rel_b * rel_b + rel_t * rel_t);
+    return row;
+}
+
+PairedRuns
+runInterleaved(const std::string &workload, BenchConfig baseline,
+               BenchConfig treatment, const DriverOptions &options)
+{
+    PairedRuns runs;
+    DriverOptions one = options;
+    one.repeats = 1;
+    for (uint32_t repeat = 0; repeat < options.repeats; ++repeat) {
+        RunSummary b = runWorkload(workload, baseline, one);
+        RunSummary t = runWorkload(workload, treatment, one);
+        runs.baselineTotal.add(b.totalSeconds.samples()[0]);
+        runs.treatmentTotal.add(t.totalSeconds.samples()[0]);
+        runs.baselineGc.add(b.gcSeconds.samples()[0]);
+        runs.treatmentGc.add(t.gcSeconds.samples()[0]);
+        runs.baselineMutator.add(b.mutatorSeconds.samples()[0]);
+        runs.treatmentMutator.add(t.mutatorSeconds.samples()[0]);
+        if (repeat == options.repeats - 1)
+            runs.treatmentLast = t;
+    }
+    return runs;
+}
+
+void
+printOverheadTable(const std::string &title, const std::string &metric,
+                   const std::string &baseline_name,
+                   const std::string &treatment_name,
+                   const std::vector<OverheadRow> &rows)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("(normalized %s: %s = 100; median of paired repeats, "
+                "+- interquartile half-range)\n\n",
+                metric.c_str(), baseline_name.c_str());
+    std::printf("%-14s %12s %14s %12s %12s\n", "benchmark",
+                baseline_name.c_str(), treatment_name.c_str(),
+                "overhead", "+- spread");
+
+    std::vector<double> normalized;
+    for (const auto &row : rows) {
+        normalized.push_back(row.normalized);
+        std::printf("%-14s %10.1f ms %12.1f ms %12s %11.1f%%\n",
+                    row.workload.c_str(), row.baselineSeconds * 1e3,
+                    row.treatmentSeconds * 1e3,
+                    percentDelta(row.normalized).c_str(),
+                    row.ci * 100.0);
+    }
+    double gm = geomean(normalized);
+    std::printf("%-14s %12s %14s %12s\n", "geomean", "", "",
+                percentDelta(gm).c_str());
+}
+
+void
+printHeader(const std::string &figure, const std::string &what,
+            const std::string &paper_result)
+{
+    std::printf("==========================================================="
+                "=====\n");
+    std::printf("%s: %s\n", figure.c_str(), what.c_str());
+    std::printf("Paper result: %s\n", paper_result.c_str());
+    std::printf("(absolute times differ: this substrate is a from-scratch "
+                "C++ runtime,\n not Jikes RVM on a Pentium-M; the *shape* "
+                "is the reproduction target)\n");
+    std::printf("==========================================================="
+                "=====\n");
+}
+
+} // namespace bench
+} // namespace gcassert

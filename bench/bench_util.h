@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries:
+ * standard driver options, normalized-overhead tables in the style
+ * of the paper's Figures 2-5, and environment-variable knobs so a
+ * quick run can be requested (GCASSERT_BENCH_REPEATS etc.).
+ */
+
+#ifndef GCASSERT_BENCH_BENCH_UTIL_H
+#define GCASSERT_BENCH_BENCH_UTIL_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/driver.h"
+
+namespace gcassert {
+namespace bench {
+
+/** The Figure 2/3 benchmark suite (stand-ins documented in
+ *  DESIGN.md). */
+std::vector<std::string> figureSuite();
+
+/**
+ * Driver options for the figure benches: 2 warmup iterations, a
+ * 4-iteration measured window, repeats from GCASSERT_BENCH_REPEATS
+ * (default 8).
+ */
+DriverOptions figureOptions();
+
+/** One row of a normalized comparison table. */
+struct OverheadRow {
+    std::string workload;
+    /** Normalized value (treatment / baseline). */
+    double normalized;
+    /** Uncertainty half-width of the normalized value. */
+    double ci;
+    /** Raw baseline and treatment medians (seconds). */
+    double baselineSeconds;
+    double treatmentSeconds;
+};
+
+/**
+ * Compute a normalized row from two sample sets.
+ *
+ * When the sets have equal sizes (the interleaved-pair protocol),
+ * the estimate is the median of per-repeat ratios and the
+ * uncertainty is the ratios' interquartile half-range — robust
+ * against the scheduling jitter of shared hosts. Otherwise it falls
+ * back to the ratio of means with first-order CI propagation.
+ */
+OverheadRow makeRow(const std::string &workload, const SampleSet &baseline,
+                    const SampleSet &treatment);
+
+/** Both configurations' aggregated samples from interleaved runs. */
+struct PairedRuns {
+    SampleSet baselineTotal, treatmentTotal;
+    SampleSet baselineGc, treatmentGc;
+    SampleSet baselineMutator, treatmentMutator;
+    /** Full summary of the final treatment repeat (for counters). */
+    RunSummary treatmentLast;
+};
+
+/**
+ * Run @p repeats interleaved baseline/treatment pairs (B T B T ...)
+ * so slow drift in host load cancels out of the paired ratios.
+ */
+PairedRuns runInterleaved(const std::string &workload,
+                          BenchConfig baseline, BenchConfig treatment,
+                          const DriverOptions &options);
+
+/**
+ * Print a Figures 2-5 style table: one row per benchmark with the
+ * normalized value (baseline = 100) and CI, then the geometric
+ * mean.
+ *
+ * @param title Table heading.
+ * @param metric "execution time" or "GC time".
+ * @param baseline_name e.g. "Base".
+ * @param treatment_name e.g. "Infrastructure".
+ */
+void printOverheadTable(const std::string &title,
+                        const std::string &metric,
+                        const std::string &baseline_name,
+                        const std::string &treatment_name,
+                        const std::vector<OverheadRow> &rows);
+
+/** Banner with the binary's purpose and the paper reference. */
+void printHeader(const std::string &figure, const std::string &what,
+                 const std::string &paper_result);
+
+} // namespace bench
+} // namespace gcassert
+
+#endif // GCASSERT_BENCH_BENCH_UTIL_H

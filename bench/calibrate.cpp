@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Calibration tool: runs every workload at 2x its declared minimum
+ * heap and reports live size, allocation churn, GCs per iteration
+ * and iteration latency, so the workload constants can be tuned to
+ * the paper's methodology (regular collections at 2x min heap).
+ */
+
+#include <cstdio>
+
+#include "support/logging.h"
+#include "support/stopwatch.h"
+#include "support/strutil.h"
+#include "workloads/registry.h"
+
+using namespace gcassert;
+
+int
+main()
+{
+    CaptureLogSink quiet; // swallow violation warnings
+
+    std::printf("%-12s %10s %10s %10s %8s %10s %8s\n", "workload",
+                "minheap", "live", "churn/it", "gcs/it", "it-ms",
+                "gc-ms/it");
+    for (const std::string &name : WorkloadRegistry::instance().names()) {
+        auto workload = WorkloadRegistry::instance().create(name);
+        Runtime runtime(
+            RuntimeConfig::infra(2 * workload->minHeapBytes()));
+        workload->setup(runtime);
+        workload->iterate(runtime); // warmup
+
+        uint64_t alloc_before = runtime.heap().totalAllocatedBytes();
+        uint64_t gcs_before = runtime.collections();
+        uint64_t gcns_before =
+            runtime.gcStats().totalGc.elapsedNanos();
+        constexpr int kIters = 4;
+        uint64_t t0 = nowNanos();
+        for (int i = 0; i < kIters; ++i)
+            workload->iterate(runtime);
+        uint64_t t1 = nowNanos();
+
+        double churn = static_cast<double>(
+                           runtime.heap().totalAllocatedBytes() -
+                           alloc_before) / kIters;
+        double gcs = static_cast<double>(runtime.collections() -
+                                         gcs_before) / kIters;
+        double it_ms = static_cast<double>(t1 - t0) / 1e6 / kIters;
+        double gc_ms = static_cast<double>(
+                           runtime.gcStats().totalGc.elapsedNanos() -
+                           gcns_before) / 1e6 / kIters;
+
+        std::printf("%-12s %10s %10s %10s %8.2f %10.2f %8.2f\n",
+                    name.c_str(),
+                    humanBytes(workload->minHeapBytes()).c_str(),
+                    humanBytes(runtime.heap().usedBytes()).c_str(),
+                    humanBytes(static_cast<uint64_t>(churn)).c_str(),
+                    gcs, it_ms, gc_ms);
+        workload->teardown(runtime);
+    }
+    return 0;
+}

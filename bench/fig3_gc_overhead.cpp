@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 3 reproduction: GC-time overhead of the GC-assertion
+ * infrastructure. Same runs as Figure 2, but the metric is time
+ * spent inside collections.
+ *
+ * Paper: GC time increases by 13.36% (geomean), worst case 30%
+ * (bloat, the most pointer-dense benchmark; our analog is
+ * graphchurn).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "support/logging.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    printHeader("Figure 3",
+                "GC-time overhead of the assertion infrastructure "
+                "(Base vs Infrastructure)",
+                "GC time +13.36% geomean, worst case +30% (bloat)");
+
+    DriverOptions options = figureOptions();
+    std::vector<OverheadRow> rows;
+
+    for (const std::string &name : figureSuite()) {
+        PairedRuns runs = runInterleaved(name, BenchConfig::Base,
+                                         BenchConfig::Infrastructure,
+                                         options);
+        if (runs.baselineGc.mean() <= 0.0) {
+            std::fprintf(stderr,
+                         "  [fig3] %s skipped: no GC in measured window\n",
+                         name.c_str());
+            continue;
+        }
+        rows.push_back(makeRow(name, runs.baselineGc, runs.treatmentGc));
+        std::fprintf(stderr, "  [fig3] %s done\n", name.c_str());
+    }
+
+    printOverheadTable("Figure 3: GC time", "GC time", "Base",
+                       "Infrastructure", rows);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 4 reproduction: run-time overhead with real GC assertions
+ * added. The two instrumented benchmarks of the paper — _209_db
+ * (minidb) and pseudojbb (jbbemu) — run under Base, Infrastructure
+ * and WithAssertions, and the table reports normalized total
+ * execution time plus the section 3.1.2 assertion activity counts.
+ *
+ * Paper: _209_db +1.02% vs Base (+0.47% vs Infrastructure) with
+ * 695 assert-dead and 15,553 assert-ownedby calls (~15,274 ownees
+ * checked per GC); pseudojbb +1.84% vs Base (+2.47% vs
+ * Infrastructure) with 1 assert-instances and 31,038
+ * assert-ownedby calls (~420 ownees per GC).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "support/logging.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    printHeader("Figure 4",
+                "run-time overhead with GC assertions added "
+                "(Base vs Infrastructure vs WithAssertions)",
+                "_209_db +1.02%, pseudojbb +1.84% vs Base");
+
+    DriverOptions options = figureOptions();
+    std::vector<OverheadRow> vs_base;
+    std::vector<OverheadRow> vs_infra;
+
+    for (const std::string &name : {std::string("minidb"),
+                                    std::string("jbbemu")}) {
+        PairedRuns vb = runInterleaved(name, BenchConfig::Base,
+                                       BenchConfig::WithAssertions,
+                                       options);
+        PairedRuns vi = runInterleaved(name, BenchConfig::Infrastructure,
+                                       BenchConfig::WithAssertions,
+                                       options);
+        RunSummary with = vb.treatmentLast;
+
+        vs_base.push_back(
+            makeRow(name, vb.baselineTotal, vb.treatmentTotal));
+        vs_infra.push_back(
+            makeRow(name, vi.baselineTotal, vi.treatmentTotal));
+
+        std::printf("\n%s assertion activity (whole run, last repeat):\n",
+                    name.c_str());
+        std::printf("  assert-dead calls:      %llu\n",
+                    static_cast<unsigned long long>(
+                        with.assertStats.assertDeadCalls));
+        std::printf("  assert-ownedby calls:   %llu\n",
+                    static_cast<unsigned long long>(
+                        with.assertStats.assertOwnedByCalls));
+        std::printf("  assert-instances calls: %llu\n",
+                    static_cast<unsigned long long>(
+                        with.assertStats.assertInstancesCalls));
+        std::printf("  ownees checked per GC:  %.0f\n",
+                    with.owneeChecksPerGc);
+        std::printf("  violations reported:    %llu\n",
+                    static_cast<unsigned long long>(with.violations));
+        std::fprintf(stderr, "  [fig4] %s done\n", name.c_str());
+    }
+
+    printOverheadTable("Figure 4a: total time, WithAssertions vs Base",
+                       "execution time", "Base", "WithAssertions",
+                       vs_base);
+    printOverheadTable(
+        "Figure 4b: total time, WithAssertions vs Infrastructure",
+        "execution time", "Infrastructure", "WithAssertions", vs_infra);
+    return 0;
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the individual mechanisms
+ * whose costs the paper reasons about:
+ *
+ *  - allocation, with and without the per-allocation region check
+ *    (section 2.3.2);
+ *  - the GC trace loop per live object, Base vs Infrastructure
+ *    (header-bit checks + instance tallying, sections 2.3-2.4);
+ *  - the ownee sorted-array binary search (section 2.5.2);
+ *  - assertion registration calls (header-bit writes);
+ *  - handle (root) registration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "assertions/ownership.h"
+#include "support/logging.h"
+#include "runtime/runtime.h"
+
+namespace gcassert {
+namespace {
+
+/** A runtime + node type bundle for the micro benches. */
+struct Env {
+    explicit Env(bool infrastructure, uint64_t heap_bytes = 512ull << 20)
+    {
+        RuntimeConfig config;
+        config.heap.budgetBytes = heap_bytes;
+        config.infrastructure = infrastructure;
+        config.recordPaths = infrastructure;
+        runtime = std::make_unique<Runtime>(config);
+        nodeType = runtime->types()
+                       .define("Node")
+                       .refCount(2)
+                       .scalars(8)
+                       .build();
+        arrayType = runtime->types().define("Array").array().build();
+    }
+
+    std::unique_ptr<Runtime> runtime;
+    TypeId nodeType = kInvalidTypeId;
+    TypeId arrayType = kInvalidTypeId;
+};
+
+void
+BM_Allocation(benchmark::State &state)
+{
+    Env env(state.range(0) != 0);
+    Runtime &rt = *env.runtime;
+    uint64_t n = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rt.allocRaw(env.nodeType));
+        if (++n % 100000 == 0) {
+            state.PauseTiming();
+            rt.collect(); // keep the heap from growing unboundedly
+            state.ResumeTiming();
+        }
+    }
+}
+BENCHMARK(BM_Allocation)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("infra");
+
+void
+BM_AllocationInRegion(benchmark::State &state)
+{
+    Env env(true);
+    Runtime &rt = *env.runtime;
+    rt.startRegion();
+    uint64_t n = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rt.allocRaw(env.nodeType));
+        if (++n % 100000 == 0) {
+            state.PauseTiming();
+            rt.assertAllDead();
+            rt.collect();
+            rt.startRegion();
+            state.ResumeTiming();
+        }
+    }
+    rt.assertAllDead();
+}
+BENCHMARK(BM_AllocationInRegion);
+
+/** Trace cost per live object: a rooted linked list of N nodes. */
+void
+BM_TracePerObject(benchmark::State &state)
+{
+    Env env(state.range(1) != 0);
+    Runtime &rt = *env.runtime;
+    int64_t population = state.range(0);
+    Handle head(rt, rt.allocRaw(env.nodeType), "head");
+    Object *tail = head.get();
+    for (int64_t i = 1; i < population; ++i) {
+        Object *next = rt.allocRaw(env.nodeType);
+        tail->setRef(0, next);
+        tail = next;
+    }
+    for (auto _ : state)
+        rt.collect();
+    state.SetItemsProcessed(state.iterations() * population);
+}
+BENCHMARK(BM_TracePerObject)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->ArgNames({"live", "infra"});
+
+/** Ownership-phase cost on top of the trace. */
+void
+BM_TraceWithOwnership(benchmark::State &state)
+{
+    Env env(true);
+    Runtime &rt = *env.runtime;
+    int64_t ownees = state.range(0);
+    Handle owner(rt, rt.allocArrayRaw(env.arrayType,
+                                      static_cast<uint32_t>(ownees)),
+                 "owner");
+    for (int64_t i = 0; i < ownees; ++i) {
+        Object *e = rt.allocRaw(env.nodeType);
+        owner->setRef(static_cast<uint32_t>(i), e);
+        rt.assertOwnedBy(owner.get(), e);
+    }
+    for (auto _ : state)
+        rt.collect();
+    state.SetItemsProcessed(state.iterations() * ownees);
+}
+BENCHMARK(BM_TraceWithOwnership)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->ArgName("ownees");
+
+void
+BM_OwneeBinarySearch(benchmark::State &state)
+{
+    Env env(true);
+    Runtime &rt = *env.runtime;
+    int64_t ownees = state.range(0);
+    OwnershipTable table;
+    Object *owner = rt.allocRaw(env.nodeType);
+    std::vector<Object *> members;
+    for (int64_t i = 0; i < ownees; ++i) {
+        Object *e = rt.allocRaw(env.nodeType);
+        table.addPair(owner, e);
+        members.push_back(e);
+    }
+    size_t cursor = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            table.isOwneeOf(owner, members[cursor]));
+        cursor = (cursor + 1) % members.size();
+    }
+}
+BENCHMARK(BM_OwneeBinarySearch)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->ArgName("ownees");
+
+void
+BM_AssertDeadCall(benchmark::State &state)
+{
+    Env env(true);
+    Runtime &rt = *env.runtime;
+    Object *obj = rt.allocRaw(env.nodeType);
+    Handle root(rt, obj, "pin");
+    for (auto _ : state) {
+        rt.assertDead(obj);
+        obj->clearFlag(kDeadBit);
+    }
+}
+BENCHMARK(BM_AssertDeadCall);
+
+void
+BM_HandleRegistration(benchmark::State &state)
+{
+    Env env(true);
+    Runtime &rt = *env.runtime;
+    Object *obj = rt.allocRaw(env.nodeType);
+    Handle pin(rt, obj, "pin");
+    for (auto _ : state) {
+        Handle h(rt, obj, "bench");
+        benchmark::DoNotOptimize(h.get());
+    }
+}
+BENCHMARK(BM_HandleRegistration);
+
+} // namespace
+} // namespace gcassert
+
+int
+main(int argc, char **argv)
+{
+    // Violations and GC chatter would pollute the bench output.
+    gcassert::CaptureLogSink quiet;
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Section 3.2.2 reproduction: lusearch opens one IndexSearcher per
+ * thread against the Lucene performance recommendation;
+ * assert-instances(IndexSearcher, 1) reports 32 live instances.
+ */
+
+#include <cstdio>
+
+#include "support/logging.h"
+#include "workloads/registry.h"
+
+using namespace gcassert;
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    std::printf("Qualitative reproduction of section 3.2.2: lusearch "
+                "IndexSearcher instances\n\n");
+
+    auto workload = WorkloadRegistry::instance().create("lusearch");
+    Runtime runtime(RuntimeConfig::infra(2 * workload->minHeapBytes()));
+    workload->setup(runtime);
+    workload->enableAssertions(runtime);
+    for (int i = 0; i < 3; ++i)
+        workload->iterate(runtime);
+    workload->teardown(runtime);
+
+    std::printf("assert-instances(IndexSearcher, 1) reports across %llu "
+                "collections:\n",
+                static_cast<unsigned long long>(runtime.collections()));
+    size_t reports = 0;
+    size_t at32 = 0;
+    for (const Violation &v : runtime.violations()) {
+        if (v.kind != AssertionKind::Instances)
+            continue;
+        ++reports;
+        if (v.message.find("32 instances") != std::string::npos)
+            ++at32;
+        if (reports <= 5)
+            std::printf("  GC #%llu: %s\n",
+                        static_cast<unsigned long long>(v.gcNumber),
+                        v.message.c_str());
+    }
+    std::printf("  ... %zu reports total, %zu of them at the full 32 "
+                "instances\n",
+                reports, at32);
+    std::printf("\nPaper: \"for most of the benchmark's execution, 32 "
+                "instances of IndexSearcher are live, one for each "
+                "thread performing searches.\"\n");
+    return reports > 0 ? 0 : 1;
+}

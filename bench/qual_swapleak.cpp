@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Section 3.2.3 reproduction: the SwapLeak program from the Sun
+ * Developer Network post. assert-dead on the swapped-out SObjects
+ * produces reports whose path exposes the hidden inner-class
+ * reference:
+ *
+ *   SArray -> SObject -> SObject$Rep -> SObject
+ */
+
+#include <cstdio>
+
+#include "support/logging.h"
+#include "workloads/registry.h"
+
+using namespace gcassert;
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    std::printf("Qualitative reproduction of section 3.2.3: SwapLeak\n\n");
+
+    auto workload = WorkloadRegistry::instance().create("swapleak");
+    Runtime runtime(RuntimeConfig::infra(2 * workload->minHeapBytes()));
+    workload->setup(runtime);
+    workload->enableAssertions(runtime);
+    for (int i = 0; i < 2; ++i)
+        workload->iterate(runtime);
+    runtime.collect();
+
+    size_t matching = 0;
+    bool printed = false;
+    for (const Violation &v : runtime.violations()) {
+        if (v.kind != AssertionKind::Dead || v.path.size() < 4)
+            continue;
+        size_t n = v.path.size();
+        bool hidden_ref_shape = v.path[n - 4].typeName == "SArray" &&
+            v.path[n - 3].typeName == "SObject" &&
+            v.path[n - 2].typeName == "SObject$Rep" &&
+            v.path[n - 1].typeName == "SObject";
+        if (!hidden_ref_shape)
+            continue;
+        ++matching;
+        if (!printed) {
+            std::printf("%s\n", v.toString().c_str());
+            printed = true;
+        }
+    }
+    std::printf("reports with the hidden-reference path shape: %zu of "
+                "%zu violations\n",
+                matching, runtime.violations().size());
+    std::printf("\nPaper: \"This warning explains the problem... the Rep "
+                "instance maintains a pointer to a different SObject, "
+                "one that we expected to be unreachable.\"\n");
+    workload->teardown(runtime);
+    return matching > 0 ? 0 : 1;
+}

@@ -1,0 +1,188 @@
+#include "assertions/engine.h"
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+AssertionEngine::AssertionEngine(TypeRegistry &types,
+                                 MutatorRegistry &mutators,
+                                 EngineOptions options)
+    : types_(types), mutators_(mutators), options_(options)
+{
+}
+
+void
+AssertionEngine::assertDead(Object *obj)
+{
+    if (!obj)
+        fatal("assert-dead called on null");
+    obj->setFlag(kDeadBit);
+    ++stats_.assertDeadCalls;
+}
+
+void
+AssertionEngine::startRegion(MutatorContext &mutator)
+{
+    if (mutator.inRegion())
+        fatal(format("start-region: mutator '%s' is already in a region",
+                     mutator.name().c_str()));
+    mutator.setInRegion(true);
+    ++stats_.startRegionCalls;
+}
+
+void
+AssertionEngine::assertAllDead(MutatorContext &mutator)
+{
+    if (!mutator.inRegion())
+        fatal(format("assert-alldead: mutator '%s' has no active region",
+                     mutator.name().c_str()));
+    mutator.setInRegion(false);
+    std::vector<Object *> queue = mutator.takeRegionQueue();
+    // Flushing the queue reuses assert-dead's mechanism: one header
+    // bit per object, no extra metadata survives the flush. The
+    // kRegionBit is retained so a violation is attributed to
+    // assert-alldead rather than assert-dead.
+    for (Object *obj : queue)
+        obj->setFlag(kDeadBit);
+    stats_.regionObjectsFlushed += queue.size();
+    ++stats_.assertAllDeadCalls;
+}
+
+void
+AssertionEngine::assertInstances(TypeId type, uint64_t limit)
+{
+    types_.trackInstances(type, limit);
+    ++stats_.assertInstancesCalls;
+}
+
+void
+AssertionEngine::assertVolume(TypeId type, uint64_t bytes)
+{
+    types_.trackVolume(type, bytes);
+    ++stats_.assertVolumeCalls;
+}
+
+void
+AssertionEngine::assertUnshared(Object *obj)
+{
+    if (!obj)
+        fatal("assert-unshared called on null");
+    obj->setFlag(kUnsharedBit);
+    ++stats_.assertUnsharedCalls;
+}
+
+void
+AssertionEngine::assertOwnedBy(Object *owner, Object *ownee)
+{
+    ownership_.addPair(owner, ownee);
+    ++stats_.assertOwnedByCalls;
+}
+
+void
+AssertionEngine::onGcStart(uint64_t gc_number)
+{
+    gcNumber_ = gc_number;
+    reportedThisGc_.clear();
+    types_.resetInstanceCounts();
+    // Clear per-GC ownership scan state.
+    ownership_.forEachOwner(
+        [](Object *owner, const std::vector<Object *> &ownees) {
+            owner->clearFlag(kOwnerScanBit);
+            for (Object *ownee : ownees)
+                ownee->clearFlag(kOwnedBit);
+        });
+}
+
+void
+AssertionEngine::onTraceDone()
+{
+    // Instance- and volume-limit checks (paper: "at the end of GC,
+    // we iterate through our list of tracked types").
+    for (TypeId id : types_.trackedTypes()) {
+        const TypeDescriptor &desc = types_.get(id);
+        if (desc.instanceCount() > desc.instanceLimit()) {
+            Violation v;
+            v.kind = AssertionKind::Instances;
+            v.offendingType = desc.name();
+            v.gcNumber = gcNumber_;
+            v.message = format(
+                "%llu instances of %s are live; the limit is %llu.",
+                static_cast<unsigned long long>(desc.instanceCount()),
+                desc.name().c_str(),
+                static_cast<unsigned long long>(desc.instanceLimit()));
+            report(std::move(v));
+        }
+        if (desc.volumeBytes() > desc.volumeLimit()) {
+            Violation v;
+            v.kind = AssertionKind::Volume;
+            v.offendingType = desc.name();
+            v.gcNumber = gcNumber_;
+            v.message = format(
+                "live %s instances total %llu bytes; the budget is "
+                "%llu bytes.",
+                desc.name().c_str(),
+                static_cast<unsigned long long>(desc.volumeBytes()),
+                static_cast<unsigned long long>(desc.volumeLimit()));
+            report(std::move(v));
+        }
+    }
+
+    // Region queues: drop entries that died in this collection so
+    // the queues never hold dangling pointers.
+    mutators_.forEach(
+        [](MutatorContext &mutator) { mutator.pruneRegionQueue(); });
+
+    // Ownership table: drop satisfied pairs; convert ownees that
+    // survived a reclaimed owner into orphan dead-assertions. They
+    // may be live only because the ownership phase itself traced
+    // them, so the verdict is deferred: if the *next* collection
+    // still finds them reachable (now necessarily from real roots),
+    // the dead check reports them as assert-ownedby violations with
+    // a full path; if they die, the assertion was satisfied.
+    OwnershipTable::PruneResult pruned = ownership_.prune();
+    stats_.owneeAssertsSatisfied += pruned.deadOwnees;
+    if (options_.orphanedOwneeIsViolation) {
+        for (Object *ownee : pruned.orphanedOwnees) {
+            ownee->setFlag(kDeadBit);
+            ownee->setFlag(kOrphanBit);
+        }
+    }
+}
+
+void
+AssertionEngine::onObjectFreed(Object *obj)
+{
+    if (obj->testFlag(kOrphanBit))
+        ++stats_.owneeAssertsSatisfied;
+    else if (obj->testFlag(kDeadBit))
+        ++stats_.deadAssertsSatisfied;
+}
+
+void
+AssertionEngine::report(Violation violation)
+{
+    ++stats_.violationsReported;
+    Reaction reaction = reactions_.forKind(violation.kind);
+    violations_.push_back(violation);
+    warn(violation.toString());
+    reactions_.notify(violations_.back());
+    if (reaction == Reaction::LogHalt)
+        fatal(std::string("halting on ") +
+              assertionKindName(violation.kind) + " violation: " +
+              violation.message);
+}
+
+bool
+AssertionEngine::alreadyReported(const Object *obj)
+{
+    return !reportedThisGc_.insert(obj).second;
+}
+
+std::string
+AssertionEngine::typeNameOf(const Object *obj) const
+{
+    return types_.get(obj->typeId()).name();
+}
+
+} // namespace gcassert

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The GC-assertion engine: the programmer-facing assertion calls and
+ * the collector-facing check/report hooks.
+ *
+ * Executing an assertion merely records intent (header bits, region
+ * queues, instance limits, owner/ownee pairs); all checking happens
+ * during the next collection, piggybacked on tracing — the paper's
+ * central idea.
+ */
+
+#ifndef GCASSERT_ASSERTIONS_ENGINE_H
+#define GCASSERT_ASSERTIONS_ENGINE_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "assertions/assertion_table.h"
+#include "assertions/ownership.h"
+#include "assertions/reaction.h"
+#include "assertions/violation.h"
+#include "gc/mutator.h"
+#include "types/type_registry.h"
+
+namespace gcassert {
+
+/** Behavioural switches for the engine. */
+struct EngineOptions {
+    /**
+     * Keep the dead bit set after a violation is reported so the
+     * object is re-checked at every subsequent GC. Off by default:
+     * one report per assert-dead call.
+     */
+    bool stickyDeadAssertions = false;
+
+    /**
+     * When an owner is reclaimed, convert its surviving ownees into
+     * orphan dead-assertions: if the *next* collection still finds
+     * one reachable, an assert-ownedby violation ("ownee outlived
+     * its owner") is reported with a full path. The deferral avoids
+     * false positives on ownees that were live only because the
+     * ownership phase itself traced them. This is an extension: the
+     * paper leaves the owner-death case unspecified. When off, such
+     * pairs are dropped silently.
+     */
+    bool orphanedOwneeIsViolation = true;
+};
+
+/**
+ * Records assertions, reports violations, and owns the assertion
+ * metadata the collector consults while tracing.
+ */
+class AssertionEngine {
+  public:
+    AssertionEngine(TypeRegistry &types, MutatorRegistry &mutators,
+                    EngineOptions options = {});
+
+    AssertionEngine(const AssertionEngine &) = delete;
+    AssertionEngine &operator=(const AssertionEngine &) = delete;
+
+    /** @name Programmer API (invoked through the Runtime facade)
+     *  @{ */
+
+    /** assert-dead(p): @p obj must be unreachable at the next GC. */
+    void assertDead(Object *obj);
+
+    /** start-region(): begin tracking allocations on @p mutator. */
+    void startRegion(MutatorContext &mutator);
+
+    /**
+     * assert-alldead(): every object allocated in @p mutator's
+     * active region must be unreachable at the next GC.
+     */
+    void assertAllDead(MutatorContext &mutator);
+
+    /** assert-instances(T, I): at most @p limit live instances. */
+    void assertInstances(TypeId type, uint64_t limit);
+
+    /** assert-volume(T, B): live T objects total at most @p bytes. */
+    void assertVolume(TypeId type, uint64_t bytes);
+
+    /** assert-unshared(p): at most one incoming pointer. */
+    void assertUnshared(Object *obj);
+
+    /** assert-ownedby(p, q): @p ownee must not outlive @p owner. */
+    void assertOwnedBy(Object *owner, Object *ownee);
+
+    /** @} */
+
+    /** @name Collector integration
+     *  @{ */
+
+    /** Reset per-GC state; remember the collection number. */
+    void onGcStart(uint64_t gc_number);
+
+    /**
+     * Post-trace finish work (run while mark bits are valid, before
+     * sweep): instance-limit checks, region-queue pruning, ownership
+     * table pruning with orphaned-ownee reporting.
+     */
+    void onTraceDone();
+
+    /** Sweep hook: account for satisfied lifetime assertions. */
+    void onObjectFreed(Object *obj);
+
+    /**
+     * Report a violation. Applies the reaction policy: logs via
+     * warn(), notifies handlers, and raises FatalError under
+     * LogHalt. Returns after recording under LogContinue/ForceTrue.
+     */
+    void report(Violation violation);
+
+    /**
+     * One-report-per-object-per-GC filter.
+     * @return true if @p obj has already been reported this GC
+     *         (and records it otherwise).
+     */
+    bool alreadyReported(const Object *obj);
+
+    /** @} */
+
+    /** All violations reported so far (across collections). */
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Drop recorded violations (report counters are unaffected). */
+    void clearViolations() { violations_.clear(); }
+
+    ReactionPolicy &reactions() { return reactions_; }
+    const ReactionPolicy &reactions() const { return reactions_; }
+
+    OwnershipTable &ownership() { return ownership_; }
+    const OwnershipTable &ownership() const { return ownership_; }
+
+    AssertionStats &stats() { return stats_; }
+    const AssertionStats &stats() const { return stats_; }
+
+    const EngineOptions &options() const { return options_; }
+
+    /** Type name helper for reports. */
+    std::string typeNameOf(const Object *obj) const;
+
+    /** Current collection number (0 before the first GC). */
+    uint64_t gcNumber() const { return gcNumber_; }
+
+  private:
+    TypeRegistry &types_;
+    MutatorRegistry &mutators_;
+    EngineOptions options_;
+
+    ReactionPolicy reactions_;
+    OwnershipTable ownership_;
+    AssertionStats stats_;
+
+    std::vector<Violation> violations_;
+    std::unordered_set<const Object *> reportedThisGc_;
+    uint64_t gcNumber_ = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_ASSERTIONS_ENGINE_H

@@ -1,0 +1,60 @@
+#include "assertions/reaction.h"
+
+#include "support/logging.h"
+
+namespace gcassert {
+
+ReactionPolicy::ReactionPolicy()
+{
+    setAll(Reaction::LogContinue);
+}
+
+Reaction
+ReactionPolicy::forKind(AssertionKind kind) const
+{
+    return reactions_[static_cast<size_t>(kind)];
+}
+
+void
+ReactionPolicy::set(AssertionKind kind, Reaction reaction)
+{
+    if (reaction == Reaction::ForceTrue && !forcible(kind))
+        fatal(std::string("ForceTrue is not supported for ") +
+              assertionKindName(kind));
+    reactions_[static_cast<size_t>(kind)] = reaction;
+}
+
+void
+ReactionPolicy::setAll(Reaction reaction)
+{
+    for (size_t i = 0; i < kNumKinds; ++i) {
+        auto kind = static_cast<AssertionKind>(i);
+        if (reaction == Reaction::ForceTrue && !forcible(kind))
+            reactions_[i] = Reaction::LogContinue;
+        else
+            reactions_[i] = reaction;
+    }
+}
+
+void
+ReactionPolicy::addHandler(ViolationHandler handler)
+{
+    handlers_.push_back(std::move(handler));
+}
+
+void
+ReactionPolicy::notify(const Violation &violation) const
+{
+    for (const auto &handler : handlers_)
+        handler(violation);
+}
+
+bool
+ReactionPolicy::forcible(AssertionKind kind)
+{
+    // Only lifetime assertions can be forced by nulling incoming
+    // references (paper section 2.6).
+    return kind == AssertionKind::Dead || kind == AssertionKind::AllDead;
+}
+
+} // namespace gcassert

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reaction policies for triggered assertions (paper section 2.6).
+ *
+ * The paper's system logs and continues; it names two other options
+ * as future work — log-and-halt and *forcing the assertion true*
+ * (nulling the references that keep a dead-asserted object alive).
+ * This module implements all three, plus the programmatic
+ * violation-handler interface also suggested in section 2.6.
+ */
+
+#ifndef GCASSERT_ASSERTIONS_REACTION_H
+#define GCASSERT_ASSERTIONS_REACTION_H
+
+#include <functional>
+#include <vector>
+
+#include "assertions/violation.h"
+
+namespace gcassert {
+
+/** What the runtime does when an assertion triggers. */
+enum class Reaction {
+    /** Log the violation and keep running (paper default). */
+    LogContinue,
+    /** Log and raise FatalError (non-recoverable violations). */
+    LogHalt,
+    /**
+     * Make the assertion true: for lifetime assertions, null every
+     * incoming reference so the object is reclaimed in this very
+     * collection. Ignored (treated as LogContinue) for assertion
+     * kinds that cannot be forced.
+     */
+    ForceTrue,
+};
+
+/** Callback invoked on every reported violation. */
+using ViolationHandler = std::function<void(const Violation &)>;
+
+/**
+ * Per-kind reaction configuration plus user handlers.
+ */
+class ReactionPolicy {
+  public:
+    ReactionPolicy();
+
+    /** Reaction for @p kind. */
+    Reaction forKind(AssertionKind kind) const;
+
+    /** Set the reaction for one kind. */
+    void set(AssertionKind kind, Reaction reaction);
+
+    /** Set the same reaction for every kind. */
+    void setAll(Reaction reaction);
+
+    /** Register a handler; handlers run on every violation. */
+    void addHandler(ViolationHandler handler);
+
+    /** Invoke all registered handlers. */
+    void notify(const Violation &violation) const;
+
+    /** @return true if ForceTrue is meaningful for @p kind. */
+    static bool forcible(AssertionKind kind);
+
+  private:
+    static constexpr size_t kNumKinds = 7;
+    Reaction reactions_[kNumKinds];
+    std::vector<ViolationHandler> handlers_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_ASSERTIONS_REACTION_H

@@ -1,0 +1,41 @@
+#include "assertions/violation.h"
+
+#include "support/strutil.h"
+
+namespace gcassert {
+
+const char *
+assertionKindName(AssertionKind kind)
+{
+    switch (kind) {
+      case AssertionKind::Dead: return "assert-dead";
+      case AssertionKind::AllDead: return "assert-alldead";
+      case AssertionKind::Instances: return "assert-instances";
+      case AssertionKind::Volume: return "assert-volume";
+      case AssertionKind::Unshared: return "assert-unshared";
+      case AssertionKind::OwnedBy: return "assert-ownedby";
+      case AssertionKind::OwnershipMisuse: return "ownership-misuse";
+    }
+    return "?";
+}
+
+std::string
+Violation::toString() const
+{
+    std::string out = "Warning: " + message + "\n";
+    if (!offendingType.empty())
+        out += "Type: " + offendingType + "\n";
+    if (!path.empty()) {
+        out += "Path to object:\n";
+        if (!rootName.empty())
+            out += "(root) " + rootName + " ->\n";
+        std::vector<std::string> hops;
+        hops.reserve(path.size());
+        for (const auto &entry : path)
+            hops.push_back(entry.typeName);
+        out += join(hops, " ->\n") + "\n";
+    }
+    return out;
+}
+
+} // namespace gcassert

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Assertion-violation records.
+ *
+ * When the collector detects a violated assertion it produces a
+ * Violation carrying the assertion kind, a message, and — for
+ * violations detected during tracing — the complete path through the
+ * heap from a root to the offending object, exactly as in the
+ * paper's Figure 1.
+ */
+
+#ifndef GCASSERT_ASSERTIONS_VIOLATION_H
+#define GCASSERT_ASSERTIONS_VIOLATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/** The assertion kinds the system supports. */
+enum class AssertionKind {
+    /** assert-dead: object should have been reclaimed. */
+    Dead,
+    /** assert-alldead: region allocation should have been reclaimed. */
+    AllDead,
+    /** assert-instances: too many live instances of a type. */
+    Instances,
+    /** assert-volume: live instances of a type exceed a byte budget. */
+    Volume,
+    /** assert-unshared: more than one incoming pointer. */
+    Unshared,
+    /** assert-ownedby: ownee not reachable through its owner. */
+    OwnedBy,
+    /**
+     * Improper use of assert-ownedby detected at check time (owner
+     * regions overlap), reported as a warning per section 2.5.2.
+     */
+    OwnershipMisuse,
+};
+
+/** Short name for an assertion kind ("assert-dead" etc.). */
+const char *assertionKindName(AssertionKind kind);
+
+/** One hop of a heap path in a report. */
+struct PathEntry {
+    /** Type name of the object at this hop. */
+    std::string typeName;
+    /** Object address (stable: the heap is non-moving). */
+    const void *address = nullptr;
+};
+
+/**
+ * A reported assertion violation.
+ */
+struct Violation {
+    AssertionKind kind = AssertionKind::Dead;
+
+    /** Human-readable description of what went wrong. */
+    std::string message;
+
+    /** Type name of the offending object ("" when not applicable). */
+    std::string offendingType;
+
+    /** Root or owner the path starts from ("" when no path). */
+    std::string rootName;
+
+    /** Root-to-object path; empty when unavailable (e.g. instances). */
+    std::vector<PathEntry> path;
+
+    /** Collection number (1-based) in which this was detected. */
+    uint64_t gcNumber = 0;
+
+    /**
+     * Render in the style of the paper's Figure 1:
+     *
+     *   Warning: an object that was asserted dead is reachable.
+     *   Type: Order
+     *   Path to object:
+     *   Company -> Object[] -> ... -> Order
+     */
+    std::string toString() const;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_ASSERTIONS_VIOLATION_H

@@ -1,0 +1,63 @@
+#include "detectors/cork.h"
+
+#include "runtime/runtime.h"
+
+namespace gcassert {
+
+CorkDetector::CorkDetector(Runtime &runtime, size_t window,
+                           double growth_fraction)
+    : runtime_(runtime), window_(window), growthFraction_(growth_fraction)
+{
+}
+
+void
+CorkDetector::sample()
+{
+    Census census;
+    runtime_.heap().forEachObject([&](Object *obj) {
+        census[obj->typeId()] += obj->sizeBytes();
+    });
+    history_.push_back(std::move(census));
+    if (history_.size() > window_)
+        history_.pop_front();
+    ++samplesTaken_;
+}
+
+std::vector<GrowthReport>
+CorkDetector::findGrowing() const
+{
+    std::vector<GrowthReport> reports;
+    if (history_.size() < 2)
+        return reports;
+
+    // Collect the union of types seen in the window.
+    std::unordered_map<TypeId, bool> types;
+    for (const auto &census : history_)
+        for (const auto &[type, bytes] : census)
+            types[type] = true;
+
+    size_t deltas = history_.size() - 1;
+    for (const auto &[type, unused] : types) {
+        (void)unused;
+        size_t grew = 0;
+        auto at = [&](size_t i) {
+            auto it = history_[i].find(type);
+            return it == history_[i].end() ? uint64_t{0} : it->second;
+        };
+        for (size_t i = 1; i < history_.size(); ++i)
+            if (at(i) > at(i - 1))
+                ++grew;
+        uint64_t first = at(0);
+        uint64_t last = at(history_.size() - 1);
+        if (last > first &&
+            static_cast<double>(grew) >=
+                growthFraction_ * static_cast<double>(deltas)) {
+            reports.push_back(GrowthReport{
+                type, runtime_.types().get(type).name(), first, last,
+                grew, deltas});
+        }
+    }
+    return reports;
+}
+
+} // namespace gcassert

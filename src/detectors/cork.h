@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cork-style heap-growth leak detection — a heuristic comparator.
+ *
+ * Cork (Jump & McKinley, POPL 2007) finds leaks by differencing
+ * type-level heap summaries across collections and reporting types
+ * whose live volume grows persistently. This baseline samples a
+ * per-type census after each collection and reports types whose
+ * volume rose in at least a configurable fraction of recent
+ * samples. It reports *types*, not instances or paths — the
+ * precision gap versus GC assertions that the paper highlights
+ * ("our path consists of object instances, not just types").
+ */
+
+#ifndef GCASSERT_DETECTORS_CORK_H
+#define GCASSERT_DETECTORS_CORK_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heap/object.h"
+
+namespace gcassert {
+
+class Runtime;
+
+/** A type flagged as persistently growing. */
+struct GrowthReport {
+    TypeId type;
+    std::string typeName;
+    /** Live bytes at the oldest and newest sample in the window. */
+    uint64_t bytesFirst;
+    uint64_t bytesLast;
+    /** Samples (out of window) in which volume grew. */
+    size_t growthSamples;
+    size_t windowSamples;
+};
+
+/**
+ * Type-census differencing over a sliding window.
+ */
+class CorkDetector {
+  public:
+    /**
+     * @param window Number of censuses kept.
+     * @param growth_fraction Fraction of deltas in the window that
+     *        must be positive for a type to be reported.
+     */
+    explicit CorkDetector(Runtime &runtime, size_t window = 4,
+                          double growth_fraction = 0.75);
+
+    /**
+     * Take a census of live bytes per type. Call immediately after
+     * a collection, when every allocated object is live.
+     */
+    void sample();
+
+    /** Types flagged as growing across the current window. */
+    std::vector<GrowthReport> findGrowing() const;
+
+    size_t samplesTaken() const { return samplesTaken_; }
+
+  private:
+    using Census = std::unordered_map<TypeId, uint64_t>;
+
+    Runtime &runtime_;
+    size_t window_;
+    double growthFraction_;
+    std::deque<Census> history_;
+    size_t samplesTaken_ = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_DETECTORS_CORK_H

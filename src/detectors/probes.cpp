@@ -1,0 +1,42 @@
+#include "detectors/probes.h"
+
+#include "runtime/runtime.h"
+
+namespace gcassert {
+
+ImmediateProbes::ImmediateProbes(Runtime &runtime) : runtime_(runtime)
+{
+    // One permanent hook; probeDead arms it with the object to
+    // watch. The detector must therefore outlive all collections
+    // (see class comment).
+    runtime_.addFreeHook([this](Object *freed) {
+        if (watch_ && freed == watch_)
+            reclaimed_ = true;
+    });
+}
+
+bool
+ImmediateProbes::probeDead(const Object *obj)
+{
+    watch_ = obj;
+    reclaimed_ = false;
+    runtime_.collect();
+    ++probeCollections_;
+    watch_ = nullptr;
+    return reclaimed_;
+}
+
+uint64_t
+ImmediateProbes::probeInstances(TypeId type)
+{
+    runtime_.collect();
+    ++probeCollections_;
+    uint64_t count = 0;
+    runtime_.heap().forEachObject([&](Object *obj) {
+        if (obj->typeId() == type)
+            ++count;
+    });
+    return count;
+}
+
+} // namespace gcassert

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * QVM-style immediate heap probes — an overhead comparator.
+ *
+ * QVM (Arnold, Vechev & Yahav, OOPSLA 2008) answers heap questions
+ * *immediately at the probe point* by triggering a collection per
+ * probe. The paper argues that deferring and batching checks onto
+ * regularly scheduled collections is far cheaper; this module
+ * implements the immediate semantics so the ablation bench can
+ * measure the difference on identical questions.
+ */
+
+#ifndef GCASSERT_DETECTORS_PROBES_H
+#define GCASSERT_DETECTORS_PROBES_H
+
+#include <cstdint>
+
+#include "heap/object.h"
+
+namespace gcassert {
+
+class Runtime;
+
+/**
+ * Immediate heap probes. Each probe call runs a full collection.
+ *
+ * Lifetime: the detector registers a sweep hook with the runtime at
+ * construction, so it must not be destroyed while the runtime can
+ * still collect (construct it alongside the runtime).
+ */
+class ImmediateProbes {
+  public:
+    explicit ImmediateProbes(Runtime &runtime);
+
+    /**
+     * Is @p obj unreachable right now? Triggers a collection and
+     * reports whether the object was reclaimed by it.
+     *
+     * @warning If the probe returns false the object is still live;
+     * if it returns true the pointer is dangling afterwards, exactly
+     * like the underlying question demands.
+     */
+    bool probeDead(const Object *obj);
+
+    /**
+     * Number of live instances of @p type right now. Triggers a
+     * collection, then takes a census of the live heap.
+     */
+    uint64_t probeInstances(TypeId type);
+
+    /** Collections triggered by probes so far. */
+    uint64_t probeCollections() const { return probeCollections_; }
+
+  private:
+    Runtime &runtime_;
+    uint64_t probeCollections_ = 0;
+    const Object *watch_ = nullptr;
+    bool reclaimed_ = false;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_DETECTORS_PROBES_H

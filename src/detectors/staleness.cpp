@@ -1,0 +1,40 @@
+#include "detectors/staleness.h"
+
+#include "runtime/runtime.h"
+
+namespace gcassert {
+
+StalenessDetector::StalenessDetector(Runtime &runtime,
+                                     uint64_t threshold_gcs)
+    : runtime_(runtime), thresholdGcs_(threshold_gcs)
+{
+    runtime_.addAllocHook([this](Object *obj) {
+        lastTouch_[obj] = runtime_.collections();
+    });
+    runtime_.addFreeHook([this](Object *obj) { lastTouch_.erase(obj); });
+}
+
+void
+StalenessDetector::touch(const Object *obj)
+{
+    auto it = lastTouch_.find(obj);
+    if (it != lastTouch_.end())
+        it->second = runtime_.collections();
+}
+
+std::vector<StaleReport>
+StalenessDetector::findStale() const
+{
+    std::vector<StaleReport> reports;
+    uint64_t now = runtime_.collections();
+    for (const auto &[obj, last] : lastTouch_) {
+        uint64_t age = now >= last ? now - last : 0;
+        if (age >= thresholdGcs_) {
+            reports.push_back(StaleReport{
+                obj, runtime_.types().get(obj->typeId()).name(), age});
+        }
+    }
+    return reports;
+}
+
+} // namespace gcassert

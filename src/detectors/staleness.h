@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Staleness-based leak detection — a heuristic comparator.
+ *
+ * The paper contrasts GC assertions with staleness-based leak
+ * detectors (Chilimbi & Hauswirth; Bond & McKinley's Bell): objects
+ * that have not been *accessed* for a long time are flagged as
+ * probable leaks. This baseline implements the idea on our runtime
+ * so the precision/latency comparison in the ablation bench is
+ * measured rather than asserted: the workload calls touch() on
+ * every access, and objects whose last touch is more than a
+ * threshold of GC epochs old are reported as stale.
+ *
+ * Unlike GC assertions this produces *suggestions*: stale-but-needed
+ * objects are false positives, and real leaks are only flagged after
+ * the staleness threshold elapses.
+ */
+
+#ifndef GCASSERT_DETECTORS_STALENESS_H
+#define GCASSERT_DETECTORS_STALENESS_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heap/object.h"
+
+namespace gcassert {
+
+class Runtime;
+
+/** One stale-object report. */
+struct StaleReport {
+    const Object *object;
+    std::string typeName;
+    /** GC epochs since the last touch. */
+    uint64_t staleForGcs;
+};
+
+/**
+ * Tracks last-access epochs in a side table.
+ *
+ * Lifetime: registers allocation and sweep hooks with the runtime at
+ * construction, so it must not be destroyed while the runtime can
+ * still allocate or collect (construct it alongside the runtime).
+ */
+class StalenessDetector {
+  public:
+    /**
+     * Attach to @p runtime.
+     *
+     * @param threshold_gcs Epochs without a touch after which an
+     *                      object is considered stale.
+     */
+    StalenessDetector(Runtime &runtime, uint64_t threshold_gcs = 3);
+
+    /** Record an access to @p obj at the current epoch. */
+    void touch(const Object *obj);
+
+    /**
+     * Scan the tracked table and report objects stale beyond the
+     * threshold. Objects freed since tracking are purged via the
+     * runtime's free hook, so every report refers to a live object
+     * (call right after a collection for an exact live set).
+     */
+    std::vector<StaleReport> findStale() const;
+
+    /** Objects currently tracked. */
+    size_t trackedCount() const { return lastTouch_.size(); }
+
+    uint64_t thresholdGcs() const { return thresholdGcs_; }
+
+  private:
+    Runtime &runtime_;
+    uint64_t thresholdGcs_;
+    std::unordered_map<const Object *, uint64_t> lastTouch_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_DETECTORS_STALENESS_H

@@ -1,0 +1,513 @@
+#include "gc/collector.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+Collector::Collector(Heap &heap, TypeRegistry &types, RootRegistry &roots,
+                     MutatorRegistry &mutators, AssertionEngine &engine,
+                     CollectorConfig config)
+    : heap_(heap),
+      types_(types),
+      roots_(roots),
+      mutators_(mutators),
+      engine_(engine),
+      config_(config)
+{
+}
+
+void
+Collector::addFreeHook(std::function<void(Object *)> hook)
+{
+    freeHooks_.push_back(std::move(hook));
+}
+
+void
+Collector::registerFinalizer(Object *obj,
+                             std::function<void(Object *)> finalizer)
+{
+    if (!obj)
+        fatal("registerFinalizer called on null");
+    if (finalizer)
+        finalizables_[obj] = std::move(finalizer);
+    else
+        finalizables_.erase(obj);
+}
+
+std::vector<std::pair<Object *, std::function<void(Object *)>>>
+Collector::takePendingFinalizers()
+{
+    std::vector<std::pair<Object *, std::function<void(Object *)>>> out;
+    out.swap(pendingFinalizers_);
+    return out;
+}
+
+template <bool kInfra, bool kPath>
+void
+Collector::resurrectFinalizables()
+{
+    if (finalizables_.empty())
+        return;
+    // Unreachable finalizable objects are revived: marked and traced
+    // so their whole subtree survives this collection, then moved to
+    // the pending queue (each finalizer runs exactly once). Weak
+    // edges to them were already cleared — the Java ordering.
+    std::vector<Object *> dying;
+    for (auto &[obj, finalizer] : finalizables_)
+        if (!obj->marked())
+            dying.push_back(obj);
+    for (Object *obj : dying) {
+        markObject<kInfra>(obj);
+        worklist_.push(obj);
+        p2Drain<kInfra, kPath>();
+        auto it = finalizables_.find(obj);
+        pendingFinalizers_.emplace_back(obj, std::move(it->second));
+        finalizables_.erase(it);
+    }
+}
+
+CollectionResult
+Collector::collect()
+{
+    if (config_.infrastructure) {
+        if (config_.recordPaths)
+            return collectImpl<true, true>();
+        return collectImpl<true, false>();
+    }
+    return collectImpl<false, false>();
+}
+
+template <bool kInfra, bool kPath>
+CollectionResult
+Collector::collectImpl()
+{
+    ScopedTimer total(stats_.totalGc);
+    ++stats_.collections;
+    markedThisGc_ = 0;
+    stats_.owneeChecksLastGc = 0;
+    uint64_t violations_before = engine_.stats().violationsReported;
+
+    worklist_.clear();
+    hasWeak_ = types_.hasWeakTypes();
+    if (kInfra)
+        engine_.onGcStart(stats_.collections);
+    if (kPath)
+        paths_.reset();
+
+    // Phase 1: ownership scan (only with assertion infrastructure
+    // and registered owner/ownee pairs).
+    if (kInfra && !engine_.ownership().empty()) {
+        ScopedTimer t(stats_.ownershipPhase);
+        ownershipPhase<kPath>();
+    }
+
+    // Phase 2: root scan and full trace.
+    {
+        ScopedTimer t(stats_.tracePhase);
+        rootScanPhase<kInfra, kPath>();
+    }
+
+    // Weak-reference processing: clear weak edges whose referents
+    // were not marked, before the sweep recycles them.
+    if (hasWeak_) {
+        for (Object *weak : weakRefs_) {
+            Object *target = weak->ref(0);
+            if (target && !target->marked())
+                weak->setRef(0, nullptr);
+        }
+        weakRefs_.clear();
+    }
+
+    // Finalization: revive unreachable finalizable objects and queue
+    // their finalizers for the runtime to run after this collection.
+    resurrectFinalizables<kInfra, kPath>();
+
+    // Phase 3: end-of-trace assertion work.
+    if (kInfra) {
+        ScopedTimer t(stats_.finishPhase);
+        engine_.onTraceDone();
+    }
+
+    // Phase 4: sweep.
+    CollectionResult result;
+    {
+        ScopedTimer t(stats_.sweepPhase);
+        result.sweep = heap_.sweep([this](Object *obj) {
+            if (kInfra)
+                engine_.onObjectFreed(obj);
+            for (const auto &hook : freeHooks_)
+                hook(obj);
+        });
+    }
+
+    result.marked = markedThisGc_;
+    result.violations =
+        engine_.stats().violationsReported - violations_before;
+
+    stats_.objectsMarked += markedThisGc_;
+    stats_.objectsSwept += result.sweep.freedObjects;
+    stats_.bytesSwept += result.sweep.freedBytes;
+    stats_.lastLiveObjects = result.sweep.liveObjects;
+    stats_.lastLiveBytes = result.sweep.liveBytes;
+    stats_.violations += result.violations;
+    stats_.maxWorklistDepth =
+        std::max<uint64_t>(stats_.maxWorklistDepth, worklist_.highWater());
+    return result;
+}
+
+template <bool kInfra>
+void
+Collector::markObject(Object *obj)
+{
+    obj->setFlag(kMarkBit);
+    ++markedThisGc_;
+    if (kInfra) {
+        // The per-object RVMClass inspection of section 2.4.1: check
+        // whether the object's type is instance-tracked. The flag is
+        // a dense byte array so the untracked common case stays
+        // cheap in the trace loop.
+        TypeId type = obj->typeId();
+        if (types_.trackedFlags()[type])
+            types_.bumpInstanceCount(type, obj->sizeBytes());
+    }
+}
+
+template <bool kPath>
+void
+Collector::reportPathViolation(AssertionKind kind, Object *obj,
+                               const std::string &message)
+{
+    Violation v;
+    v.kind = kind;
+    v.offendingType = engine_.typeNameOf(obj);
+    v.gcNumber = stats_.collections;
+    v.message = message;
+    if (kPath) {
+        std::vector<const Object *> path = paths_.buildPath(worklist_, obj);
+        // Phase-1 scans attribute the path to the owner or ownee
+        // being scanned; the label is built lazily, only here, so
+        // the scan itself stays allocation-free.
+        if (inOwnershipScan_) {
+            v.rootName = std::string(scanKind_) + " " +
+                engine_.typeNameOf(scanAnchor_) + " (ownership scan)";
+        } else {
+            v.rootName = paths_.originOf(path.front());
+        }
+        v.path.reserve(path.size());
+        for (const Object *hop : path)
+            v.path.push_back(PathEntry{engine_.typeNameOf(hop), hop});
+    }
+    engine_.report(std::move(v));
+}
+
+template <bool kPath>
+bool
+Collector::deadCheck(Object **slot, Object *obj)
+{
+    if (!obj->testFlag(kDeadBit))
+        return false;
+
+    AssertionKind kind = AssertionKind::Dead;
+    std::string what = "an object that was asserted dead is reachable.";
+    if (obj->testFlag(kOrphanBit)) {
+        kind = AssertionKind::OwnedBy;
+        what = "an ownee outlived its owner (the owner was reclaimed in "
+               "an earlier collection) and is still reachable.";
+    } else if (obj->testFlag(kRegionBit)) {
+        kind = AssertionKind::AllDead;
+        what =
+            "an object allocated in an assert-alldead region is reachable.";
+    }
+    bool force = engine_.reactions().forKind(kind) == Reaction::ForceTrue;
+
+    if (!engine_.alreadyReported(obj)) {
+        if (force)
+            what += " Forcing reclamation by nulling the reference.";
+        reportPathViolation<kPath>(kind, obj, what);
+        if (!engine_.options().stickyDeadAssertions && !force) {
+            obj->clearFlag(kDeadBit);
+            obj->clearFlag(kRegionBit);
+            obj->clearFlag(kOrphanBit);
+        }
+    }
+
+    if (force) {
+        // ForceTrue: sever this incoming reference and never mark the
+        // object, so the sweep reclaims it in this very collection.
+        *slot = nullptr;
+        return true;
+    }
+    return false;
+}
+
+template <bool kPath>
+void
+Collector::unsharedCheck(Object *obj)
+{
+    if (obj->testFlag(kUnsharedBit) && !engine_.alreadyReported(obj)) {
+        reportPathViolation<kPath>(
+            AssertionKind::Unshared, obj,
+            "an object that was asserted unshared has more than one "
+            "incoming reference (second path shown).");
+    }
+}
+
+template <bool kPath>
+void
+Collector::owneeCheckPhase2(Object *obj)
+{
+    if (!obj->testFlag(kOwneeBit))
+        return;
+    ++stats_.owneeChecks;
+    ++stats_.owneeChecksLastGc;
+    if (!obj->testFlag(kOwnedBit) && !engine_.alreadyReported(obj)) {
+        Object *owner = engine_.ownership().ownerOf(obj);
+        std::string owner_name =
+            owner ? engine_.typeNameOf(owner) : std::string("<unknown>");
+        reportPathViolation<kPath>(
+            AssertionKind::OwnedBy, obj,
+            format("an object asserted to be owned by a %s is reachable "
+                   "without passing through its owner.",
+                   owner_name.c_str()));
+    }
+}
+
+template <bool kInfra, bool kPath>
+void
+Collector::p2Visit(Object **slot, Object *obj)
+{
+    // One header-word load covers every piggybacked check: the
+    // assertion bits share the flag word the mark test reads anyway,
+    // which is what makes the checks nearly free (paper section 2).
+    uint32_t flags = obj->rawFlags();
+    if (kInfra && (flags & (kOwneeBit | kDeadBit)) != 0) [[unlikely]] {
+        if (flags & kOwneeBit)
+            owneeCheckPhase2<kPath>(obj);
+        if ((flags & kDeadBit) && deadCheck<kPath>(slot, obj))
+            return;
+    }
+    if (flags & kMarkBit) {
+        if (kInfra && (flags & kUnsharedBit) != 0) [[unlikely]]
+            unsharedCheck<kPath>(obj);
+        return;
+    }
+    markObject<kInfra>(obj);
+    worklist_.push(obj);
+}
+
+template <bool kInfra, bool kPath>
+void
+Collector::p2Drain()
+{
+    while (!worklist_.empty()) {
+        uintptr_t word = worklist_.pop();
+        if (Worklist::isTagged(word))
+            continue;
+        Object *obj = Worklist::objectOf(word);
+        if (kPath)
+            worklist_.pushTagged(obj);
+        uint32_t n = obj->numRefs();
+        Object **slots = n ? obj->refSlotAddr(0) : nullptr;
+        uint32_t first = 0;
+        if (hasWeak_ && types_.weakFlags()[obj->typeId()]) [[unlikely]] {
+            // Slot 0 of a weak type is not traced through; remember
+            // the weak object so the edge can be cleared if its
+            // referent dies.
+            weakRefs_.push_back(obj);
+            first = 1;
+        }
+        for (uint32_t i = first; i < n; ++i) {
+            Object *child = slots[i];
+            if (child)
+                p2Visit<kInfra, kPath>(&slots[i], child);
+        }
+    }
+}
+
+template <bool kInfra, bool kPath>
+void
+Collector::rootScanPhase()
+{
+    roots_.forEach([this](RootNode &node) {
+        Object *obj = node.get();
+        if (!obj)
+            return;
+        if (kPath)
+            paths_.noteOrigin(obj, node.name());
+        p2Visit<kInfra, kPath>(node.slotAddr(), obj);
+        // Drain eagerly per root so path attribution stays exact:
+        // every tagged chain descends from the root just scanned.
+        p2Drain<kInfra, kPath>();
+    });
+}
+
+template <bool kPath>
+void
+Collector::ownershipPhase()
+{
+    // {ownee, owner} pairs whose subtrees are scanned after *all*
+    // owner regions (truncation queue of section 2.5.2). Completing
+    // every owner-region scan first makes ownedness independent of
+    // owner registration order.
+    std::vector<std::pair<Object *, Object *>> queue;
+
+    inOwnershipScan_ = true;
+    engine_.ownership().forEachOwner(
+        [&](Object *owner, const std::vector<Object *> &) {
+            scanKind_ = "owner";
+            scanAnchor_ = owner;
+            currentOwnerTag_ = engine_.ownership().ownerTagOf(owner);
+            // The owner itself is deliberately not marked: its own
+            // liveness is decided by the root scan.
+            ownerScan<kPath>(owner, owner, queue, false);
+        });
+
+    // Scan the subtrees under queued ownees; the queue may grow as
+    // nested ownees are found. Objects reached here are live, but
+    // reaching an ownee here does NOT confer ownedness: ownedness
+    // means "reachable through the owner's own structure", which
+    // was fully computed above. This is what detects the paper's
+    // JBB leak, where a removed Order is reachable only through
+    // another Order's Customer (section 3.2.1).
+    for (size_t i = 0; i < queue.size(); ++i) {
+        auto [ownee, owner] = queue[i];
+        scanKind_ = "ownee";
+        scanAnchor_ = ownee;
+        ownerScan<kPath>(ownee, owner, queue, true);
+    }
+    inOwnershipScan_ = false;
+}
+
+template <bool kPath>
+void
+Collector::ownerScan(Object *from, Object *owner,
+                     std::vector<std::pair<Object *, Object *>> &queue,
+                     bool from_queue)
+{
+    uint32_t n = from->numRefs();
+    Object **slots = n ? from->refSlotAddr(0) : nullptr;
+    uint32_t first = 0;
+    if (hasWeak_ && types_.weakFlags()[from->typeId()]) [[unlikely]] {
+        weakRefs_.push_back(from);
+        first = 1;
+    }
+    for (uint32_t i = first; i < n; ++i) {
+        Object *child = slots[i];
+        if (child)
+            p1Visit<kPath>(&slots[i], child, owner, queue, from_queue);
+    }
+    while (!worklist_.empty()) {
+        uintptr_t word = worklist_.pop();
+        if (Worklist::isTagged(word))
+            continue;
+        Object *obj = Worklist::objectOf(word);
+        if (kPath)
+            worklist_.pushTagged(obj);
+        uint32_t m = obj->numRefs();
+        Object **child_slots = m ? obj->refSlotAddr(0) : nullptr;
+        uint32_t begin = 0;
+        if (hasWeak_ && types_.weakFlags()[obj->typeId()]) [[unlikely]] {
+            weakRefs_.push_back(obj);
+            begin = 1;
+        }
+        for (uint32_t i = begin; i < m; ++i) {
+            Object *child = child_slots[i];
+            if (child)
+                p1Visit<kPath>(&child_slots[i], child, owner, queue,
+                               from_queue);
+        }
+    }
+}
+
+template <bool kPath>
+void
+Collector::p1Visit(Object **slot, Object *obj, Object *owner,
+                   std::vector<std::pair<Object *, Object *>> &queue,
+                   bool from_queue)
+{
+    // Lifetime checks apply to every encounter, including objects
+    // about to be handled by the ownee/owner truncation below.
+    if (deadCheck<kPath>(slot, obj))
+        return;
+
+    // Ownee: truncate the scan and queue its subtree for later.
+    if (obj->testFlag(kOwneeBit)) {
+        ++stats_.owneeChecks;
+        ++stats_.owneeChecksLastGc;
+        bool was_marked = obj->marked();
+        if (!from_queue && obj->ownerTag() == currentOwnerTag_) {
+            // Reached through its owner's own structure: owned.
+            obj->setFlag(kOwnedBit);
+            if (!was_marked) {
+                markObject<true>(obj);
+                queue.emplace_back(obj, owner);
+            }
+            return;
+        }
+        if (from_queue) {
+            // Reached inside an ownee subtree. An ownee that was not
+            // already owned by a direct owner scan is reachable only
+            // *around* its owner's structure: violation.
+            if (!obj->testFlag(kOwnedBit) &&
+                !engine_.alreadyReported(obj)) {
+                Object *actual = engine_.ownership().ownerOf(obj);
+                reportPathViolation<kPath>(
+                    AssertionKind::OwnedBy, obj,
+                    format("an object asserted to be owned by a %s is "
+                           "reachable without passing through its "
+                           "owner.",
+                           (actual ? engine_.typeNameOf(actual)
+                                   : std::string("<unknown>")).c_str()));
+            }
+        } else {
+            // Direct owner-region scan reached an ownee of a
+            // *different* owner: the owner regions overlap, which
+            // assert-ownedby requires to be disjoint (improper use,
+            // section 2.5.2).
+            if (!engine_.alreadyReported(obj)) {
+                Object *actual = engine_.ownership().ownerOf(obj);
+                reportPathViolation<kPath>(
+                    AssertionKind::OwnershipMisuse, obj,
+                    format("improper use of assert-ownedby: an ownee of "
+                           "a %s was reached while scanning from a %s "
+                           "(owner regions must be disjoint).",
+                           (actual ? engine_.typeNameOf(actual)
+                                   : std::string("<unknown>")).c_str(),
+                           engine_.typeNameOf(owner).c_str()));
+            }
+        }
+        if (!was_marked) {
+            markObject<true>(obj);
+            Object *actual = engine_.ownership().ownerOf(obj);
+            queue.emplace_back(obj, actual ? actual : owner);
+        }
+        return;
+    }
+
+    // Another owner: mark it (conservatively keeping it live this
+    // cycle) and stop — it is scanned independently.
+    if (obj->testFlag(kOwnerBit)) {
+        if (!obj->marked())
+            markObject<true>(obj);
+        return;
+    }
+
+    if (obj->marked()) {
+        unsharedCheck<kPath>(obj);
+        return;
+    }
+
+    markObject<true>(obj);
+    worklist_.push(obj);
+}
+
+// Explicit instantiations for the three configurations collect()
+// dispatches to.
+template CollectionResult Collector::collectImpl<true, true>();
+template CollectionResult Collector::collectImpl<true, false>();
+template CollectionResult Collector::collectImpl<false, false>();
+
+} // namespace gcassert

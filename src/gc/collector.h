@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The stop-the-world mark-sweep collector with piggybacked assertion
+ * checking.
+ *
+ * Collection proceeds in four phases, mirroring the paper:
+ *
+ *  1. *Ownership phase* (only when assert-ownedby pairs exist): trace
+ *     from each owner without marking the owner itself, truncating
+ *     at ownees (which are queued and scanned afterwards) and at
+ *     other owners (section 2.5.2).
+ *  2. *Root scan / trace*: standard DFS from the registered roots.
+ *     With the assertion infrastructure enabled, every visit also
+ *     checks the dead bit, the unshared bit (on re-encounter), the
+ *     ownee/owned bits, and tallies instance counts. With path
+ *     recording enabled, scanned objects are re-pushed onto the
+ *     worklist with their low-order bit set so the tagged entries
+ *     always spell the root-to-current path (section 2.7).
+ *  3. *Finish*: instance-limit checks, region-queue pruning and
+ *     ownership-table pruning (while mark bits are still valid).
+ *  4. *Sweep*: reclaim unmarked objects and clear mark bits.
+ *
+ * The Base benchmark configuration compiles the checks out entirely
+ * via the kInfra template parameter, so an unmodified-collector
+ * baseline is measured rather than simulated.
+ */
+
+#ifndef GCASSERT_GC_COLLECTOR_H
+#define GCASSERT_GC_COLLECTOR_H
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "assertions/engine.h"
+#include "gc/gc_stats.h"
+#include "gc/mutator.h"
+#include "gc/path_recorder.h"
+#include "gc/roots.h"
+#include "gc/worklist.h"
+#include "heap/heap.h"
+#include "types/type_registry.h"
+
+namespace gcassert {
+
+/** Collector feature switches. */
+struct CollectorConfig {
+    /**
+     * Compile assertion checks into the trace loop. Off = the
+     * paper's "Base" configuration (unmodified collector).
+     */
+    bool infrastructure = true;
+
+    /**
+     * Maintain the tagged-worklist path information used for
+     * full-path violation reports. Only meaningful when
+     * infrastructure is on.
+     */
+    bool recordPaths = true;
+};
+
+/** Outcome of one collection. */
+struct CollectionResult {
+    /** Objects marked live. */
+    uint64_t marked = 0;
+    /** Sweep summary. */
+    SweepStats sweep;
+    /** Violations reported during this collection. */
+    uint64_t violations = 0;
+};
+
+/**
+ * The mark-sweep collector.
+ */
+class Collector {
+  public:
+    Collector(Heap &heap, TypeRegistry &types, RootRegistry &roots,
+              MutatorRegistry &mutators, AssertionEngine &engine,
+              CollectorConfig config);
+
+    Collector(const Collector &) = delete;
+    Collector &operator=(const Collector &) = delete;
+
+    /** Run one full collection. */
+    CollectionResult collect();
+
+    GcStats &stats() { return stats_; }
+    const GcStats &stats() const { return stats_; }
+
+    const CollectorConfig &config() const { return config_; }
+
+    /** Reconfigure (between collections only). */
+    void setConfig(const CollectorConfig &config) { config_ = config; }
+
+    /**
+     * Register a hook invoked on every object freed by sweep (used
+     * by the leak-detector baselines to maintain side tables).
+     */
+    void addFreeHook(std::function<void(Object *)> hook);
+
+    /**
+     * Register (or, with an empty function, clear) a finalizer for
+     * @p obj. When a collection finds the object unreachable it is
+     * *resurrected* — marked and traced so it and everything it
+     * references survive — and queued; the runtime runs the
+     * finalizer after the collection, outside the GC timers. The
+     * object becomes collectible again at the next collection unless
+     * the finalizer re-rooted it. One finalizer per object;
+     * registering again replaces it.
+     */
+    void registerFinalizer(Object *obj,
+                           std::function<void(Object *)> finalizer);
+
+    /** Finalizers whose objects died; drained by the runtime. */
+    std::vector<std::pair<Object *, std::function<void(Object *)>>>
+    takePendingFinalizers();
+
+    /** Objects currently registered for finalization. */
+    size_t finalizableCount() const { return finalizables_.size(); }
+
+    /** True when a collection queued finalizers not yet drained. */
+    bool
+    hasPendingFinalizers() const
+    {
+        return !pendingFinalizers_.empty();
+    }
+
+  private:
+    template <bool kInfra, bool kPath>
+    CollectionResult collectImpl();
+
+    /** Phase 1: trace from owners. */
+    template <bool kPath>
+    void ownershipPhase();
+
+    /**
+     * Scan the subtree under @p from on behalf of @p owner.
+     *
+     * @param from_queue False for the direct owner-region scans
+     *        (which confer ownedness), true for the deferred ownee
+     *        subtree scans (which only mark liveness and report
+     *        unowned ownees).
+     */
+    template <bool kPath>
+    void ownerScan(Object *from, Object *owner,
+                   std::vector<std::pair<Object *, Object *>> &queue,
+                   bool from_queue);
+
+    /** Phase-1 edge visit (owner-region semantics). */
+    template <bool kPath>
+    void p1Visit(Object **slot, Object *obj, Object *owner,
+                 std::vector<std::pair<Object *, Object *>> &queue,
+                 bool from_queue);
+
+    /** Phase 2: root scan and full trace. */
+    template <bool kInfra, bool kPath>
+    void rootScanPhase();
+
+    /** Phase-2 edge visit (normal trace semantics). */
+    template <bool kInfra, bool kPath>
+    void p2Visit(Object **slot, Object *obj);
+
+    /** Drain the worklist with phase-2 semantics. */
+    template <bool kInfra, bool kPath>
+    void p2Drain();
+
+    /** Mark @p obj and tally instance counts when kInfra. */
+    template <bool kInfra>
+    void markObject(Object *obj);
+
+    /**
+     * Check the dead bit on an encounter.
+     * @return true when the visit must stop because the reference
+     *         was nulled by the ForceTrue reaction.
+     */
+    template <bool kPath>
+    bool deadCheck(Object **slot, Object *obj);
+
+    /** Check the unshared bit on a re-encounter. */
+    template <bool kPath>
+    void unsharedCheck(Object *obj);
+
+    /**
+     * Phase-2 ownee check.
+     */
+    template <bool kPath>
+    void owneeCheckPhase2(Object *obj);
+
+    /** Build and report a violation for @p obj with the live path. */
+    template <bool kPath>
+    void reportPathViolation(AssertionKind kind, Object *obj,
+                             const std::string &message);
+
+    Heap &heap_;
+    TypeRegistry &types_;
+    RootRegistry &roots_;
+    MutatorRegistry &mutators_;
+    AssertionEngine &engine_;
+    CollectorConfig config_;
+
+    Worklist worklist_;
+    PathRecorder paths_;
+    GcStats stats_;
+
+    uint64_t markedThisGc_ = 0;
+    /** Snapshot of TypeRegistry::hasWeakTypes() for this GC. */
+    bool hasWeak_ = false;
+    /** Marked weak-reference objects awaiting edge clearing. */
+    std::vector<Object *> weakRefs_;
+
+    /** Resurrect dead finalizable objects; returns resurrected count. */
+    template <bool kInfra, bool kPath>
+    void resurrectFinalizables();
+
+    /** Registered finalizers, by object. */
+    std::unordered_map<Object *, std::function<void(Object *)>>
+        finalizables_;
+    /** Finalizers queued to run after the current collection. */
+    std::vector<std::pair<Object *, std::function<void(Object *)>>>
+        pendingFinalizers_;
+    /** Header tag of the owner whose region is being scanned. */
+    uint32_t currentOwnerTag_ = 0;
+    /** @name Lazy phase-1 path attribution (see reportPathViolation)
+     *  @{ */
+    bool inOwnershipScan_ = false;
+    const char *scanKind_ = "";
+    Object *scanAnchor_ = nullptr;
+    /** @} */
+    std::vector<std::function<void(Object *)>> freeHooks_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_COLLECTOR_H

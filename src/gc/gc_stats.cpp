@@ -1,0 +1,43 @@
+#include "gc/gc_stats.h"
+
+#include "support/strutil.h"
+
+namespace gcassert {
+
+void
+GcStats::reset()
+{
+    *this = GcStats{};
+}
+
+std::string
+GcStats::toString() const
+{
+    std::string out;
+    out += format("collections:        %llu\n",
+                  static_cast<unsigned long long>(collections));
+    out += format("objects marked:     %llu\n",
+                  static_cast<unsigned long long>(objectsMarked));
+    out += format("objects swept:      %llu\n",
+                  static_cast<unsigned long long>(objectsSwept));
+    out += format("bytes swept:        %s\n",
+                  humanBytes(bytesSwept).c_str());
+    out += format("ownee checks:       %llu (last GC: %llu)\n",
+                  static_cast<unsigned long long>(owneeChecks),
+                  static_cast<unsigned long long>(owneeChecksLastGc));
+    out += format("violations:         %llu\n",
+                  static_cast<unsigned long long>(violations));
+    out += format("gc time:            %.3f ms\n",
+                  totalGc.elapsedSeconds() * 1e3);
+    out += format("  ownership phase:  %.3f ms\n",
+                  ownershipPhase.elapsedSeconds() * 1e3);
+    out += format("  trace phase:      %.3f ms\n",
+                  tracePhase.elapsedSeconds() * 1e3);
+    out += format("  sweep phase:      %.3f ms\n",
+                  sweepPhase.elapsedSeconds() * 1e3);
+    out += format("  finish phase:     %.3f ms\n",
+                  finishPhase.elapsedSeconds() * 1e3);
+    return out;
+}
+
+} // namespace gcassert

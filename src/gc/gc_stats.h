@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Collector statistics: phase timings and event counters used by
+ * the benchmark harness to reproduce the paper's GC-time figures.
+ */
+
+#ifndef GCASSERT_GC_GC_STATS_H
+#define GCASSERT_GC_GC_STATS_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/stopwatch.h"
+
+namespace gcassert {
+
+/**
+ * Cumulative GC statistics for one runtime instance.
+ */
+struct GcStats {
+    /** Number of collections performed. */
+    uint64_t collections = 0;
+
+    /** Objects marked live, cumulative over all collections. */
+    uint64_t objectsMarked = 0;
+
+    /** Objects reclaimed, cumulative. */
+    uint64_t objectsSwept = 0;
+
+    /** Bytes reclaimed, cumulative. */
+    uint64_t bytesSwept = 0;
+
+    /** Ownee membership checks performed during tracing. */
+    uint64_t owneeChecks = 0;
+
+    /** Ownee checks in the most recent collection only. */
+    uint64_t owneeChecksLastGc = 0;
+
+    /** Assertion violations reported, cumulative. */
+    uint64_t violations = 0;
+
+    /** @name Phase timers (cumulative wall-clock)
+     *  @{ */
+    Stopwatch totalGc;
+    Stopwatch ownershipPhase;
+    Stopwatch tracePhase;
+    Stopwatch sweepPhase;
+    Stopwatch finishPhase;
+    /** @} */
+
+    /** Live objects after the most recent collection. */
+    uint64_t lastLiveObjects = 0;
+
+    /** Live bytes after the most recent collection. */
+    uint64_t lastLiveBytes = 0;
+
+    /** Deepest tracing worklist observed. */
+    uint64_t maxWorklistDepth = 0;
+
+    /** Reset all counters and timers. */
+    void reset();
+
+    /** Multi-line human-readable dump. */
+    std::string toString() const;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_GC_STATS_H

@@ -1,0 +1,24 @@
+#include "gc/mutator.h"
+
+namespace gcassert {
+
+MutatorRegistry::MutatorRegistry()
+{
+    mutators_.push_back(std::make_unique<MutatorContext>("main"));
+}
+
+MutatorContext &
+MutatorRegistry::create(const std::string &name)
+{
+    mutators_.push_back(std::make_unique<MutatorContext>(name));
+    return *mutators_.back();
+}
+
+void
+MutatorRegistry::forEach(const std::function<void(MutatorContext &)> &visit)
+{
+    for (auto &m : mutators_)
+        visit(*m);
+}
+
+} // namespace gcassert

@@ -1,0 +1,25 @@
+#include "gc/path_recorder.h"
+
+namespace gcassert {
+
+const std::string &
+PathRecorder::originOf(const Object *obj) const
+{
+    static const std::string empty;
+    auto it = origin_.find(obj);
+    return it == origin_.end() ? empty : it->second;
+}
+
+std::vector<const Object *>
+PathRecorder::buildPath(const Worklist &worklist,
+                        const Object *current) const
+{
+    std::vector<const Object *> path;
+    for (uintptr_t word : worklist.entries())
+        if (Worklist::isTagged(word))
+            path.push_back(Worklist::objectOf(word));
+    path.push_back(current);
+    return path;
+}
+
+} // namespace gcassert

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Path reconstruction for violation reports.
+ *
+ * Combines the worklist's tagged entries (the root-to-current path,
+ * paper section 2.7) with a map from first-hop objects to the root
+ * or owner that pushed them, yielding the complete "Path to object"
+ * report of Figure 1.
+ */
+
+#ifndef GCASSERT_GC_PATH_RECORDER_H
+#define GCASSERT_GC_PATH_RECORDER_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gc/worklist.h"
+#include "heap/object.h"
+
+namespace gcassert {
+
+/**
+ * Records root attribution and rebuilds heap paths on demand.
+ */
+class PathRecorder {
+  public:
+    /** Forget all attribution (call at the start of each GC). */
+    void reset() { origin_.clear(); }
+
+    /**
+     * Record that @p obj was first pushed from the given origin (a
+     * root name or an "owner ..." pseudo-root). Only the first
+     * attribution is kept: the tagged chain through @p obj always
+     * descends from the edge that marked it.
+     */
+    void
+    noteOrigin(const Object *obj, const std::string &origin)
+    {
+        origin_.try_emplace(obj, origin);
+    }
+
+    /** Origin label for @p obj, or "" if unattributed. */
+    const std::string &originOf(const Object *obj) const;
+
+    /**
+     * Build the path to @p current: all tagged worklist entries,
+     * bottom to top, followed by @p current itself.
+     */
+    std::vector<const Object *>
+    buildPath(const Worklist &worklist, const Object *current) const;
+
+  private:
+    std::unordered_map<const Object *, std::string> origin_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_PATH_RECORDER_H

@@ -1,0 +1,64 @@
+#include "gc/roots.h"
+
+#include "support/logging.h"
+
+namespace gcassert {
+
+RootNode::~RootNode()
+{
+    if (registry_)
+        registry_->remove(*this);
+}
+
+RootRegistry::~RootRegistry()
+{
+    // Unlink any survivors so their destructors don't touch a dead
+    // registry. Surviving nodes indicate handles outliving the
+    // runtime, which is legal during teardown.
+    for (RootNode *n = head_.next_; n;) {
+        RootNode *next = n->next_;
+        n->prev_ = nullptr;
+        n->next_ = nullptr;
+        n->registry_ = nullptr;
+        n = next;
+    }
+}
+
+void
+RootRegistry::add(RootNode &node, Object *obj, const char *name)
+{
+    if (node.registry_)
+        panic("RootNode registered twice");
+    node.ptr_ = obj;
+    node.name_ = name ? name : "";
+    node.registry_ = this;
+    node.next_ = head_.next_;
+    node.prev_ = &head_;
+    if (head_.next_)
+        head_.next_->prev_ = &node;
+    head_.next_ = &node;
+    ++count_;
+}
+
+void
+RootRegistry::remove(RootNode &node)
+{
+    if (node.registry_ != this)
+        return;
+    node.prev_->next_ = node.next_;
+    if (node.next_)
+        node.next_->prev_ = node.prev_;
+    node.prev_ = nullptr;
+    node.next_ = nullptr;
+    node.registry_ = nullptr;
+    --count_;
+}
+
+void
+RootRegistry::forEach(const std::function<void(RootNode &)> &visit)
+{
+    for (RootNode *n = head_.next_; n; n = n->next_)
+        visit(*n);
+}
+
+} // namespace gcassert

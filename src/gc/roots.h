@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Root registry: the set of pointer slots the collector scans first.
+ *
+ * Roots model the local and global variables of a managed program.
+ * Registration is O(1) via an intrusive doubly-linked list so RAII
+ * handles can register and unregister on every scope entry/exit
+ * without allocation.
+ */
+
+#ifndef GCASSERT_GC_ROOTS_H
+#define GCASSERT_GC_ROOTS_H
+
+#include <cstddef>
+#include <functional>
+
+#include "heap/object.h"
+
+namespace gcassert {
+
+class RootRegistry;
+
+/**
+ * One registered root slot. Embedded in Handle; may also be used
+ * directly for global roots. The node owns the Object* slot the
+ * collector reads and may update (ForceTrue nulling).
+ */
+class RootNode {
+  public:
+    RootNode() = default;
+    ~RootNode();
+
+    RootNode(const RootNode &) = delete;
+    RootNode &operator=(const RootNode &) = delete;
+
+    /** The referenced object (may be nullptr). */
+    Object *get() const { return ptr_; }
+
+    /** Point the root at a different object. */
+    void set(Object *obj) { ptr_ = obj; }
+
+    /**
+     * Address of the slot, for the collector's scan loop (reads the
+     * referent and, under the ForceTrue reaction, nulls it).
+     */
+    Object **slotAddr() { return &ptr_; }
+
+    /** Debug name shown in violation reports. */
+    const char *name() const { return name_; }
+
+    /** @return true while registered with a registry. */
+    bool linked() const { return registry_ != nullptr; }
+
+  private:
+    friend class RootRegistry;
+
+    Object *ptr_ = nullptr;
+    const char *name_ = "";
+    RootNode *prev_ = nullptr;
+    RootNode *next_ = nullptr;
+    RootRegistry *registry_ = nullptr;
+};
+
+/**
+ * Intrusive list of live roots.
+ */
+class RootRegistry {
+  public:
+    RootRegistry() = default;
+    ~RootRegistry();
+
+    RootRegistry(const RootRegistry &) = delete;
+    RootRegistry &operator=(const RootRegistry &) = delete;
+
+    /**
+     * Register @p node pointing at @p obj.
+     *
+     * @param node Unlinked node to register.
+     * @param obj Initial referent (may be nullptr).
+     * @param name Static debug label for reports.
+     */
+    void add(RootNode &node, Object *obj, const char *name);
+
+    /** Unregister @p node. No-op if not linked here. */
+    void remove(RootNode &node);
+
+    /** Number of registered roots. */
+    size_t count() const { return count_; }
+
+    /**
+     * Visit each root slot. The callback receives the node so the
+     * collector can read and (for ForceTrue) null the slot.
+     */
+    void forEach(const std::function<void(RootNode &)> &visit);
+
+  private:
+    RootNode head_;
+    size_t count_ = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_ROOTS_H

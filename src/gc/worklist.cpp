@@ -1,0 +1,4 @@
+#include "gc/worklist.h"
+
+// Worklist is header-only; this translation unit anchors the target
+// and checks header self-containment.

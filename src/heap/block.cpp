@@ -1,0 +1,130 @@
+#include "heap/block.h"
+
+#include <cstring>
+#include <new>
+
+namespace gcassert {
+
+namespace {
+
+/** Free cells link through their first word. */
+struct FreeCell {
+    void *next;
+};
+
+} // namespace
+
+Block::Block(uint32_t cell_bytes)
+    // operator new[] guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__
+    // (16 on x86-64), which satisfies the word alignment the tagged
+    // worklist pointers rely on.
+    : memory_(new char[kBlockBytes]),
+      cellBytes_(cell_bytes),
+      numCells_(static_cast<uint32_t>(kBlockBytes / cell_bytes)),
+      liveCells_(0),
+      freeHead_(nullptr),
+      usedBits_((numCells_ + 63) / 64, 0)
+{
+    if (cell_bytes < sizeof(FreeCell) || cell_bytes % 8 != 0)
+        panic("Block cell size must be a word multiple >= 8");
+    // Thread all cells onto the free list in address order so early
+    // allocations are contiguous (friendlier to the cache and to
+    // deterministic tests).
+    for (uint32_t i = numCells_; i > 0; --i) {
+        char *cell = memory_.get() + size_t{i - 1} * cellBytes_;
+        reinterpret_cast<FreeCell *>(cell)->next = freeHead_;
+        freeHead_ = cell;
+    }
+}
+
+Block::~Block() = default;
+
+void *
+Block::allocateCell()
+{
+    if (!freeHead_)
+        return nullptr;
+    void *cell = freeHead_;
+    freeHead_ = reinterpret_cast<FreeCell *>(cell)->next;
+    ++liveCells_;
+    setUsedBit(cellIndexOf(cell));
+    return cell;
+}
+
+bool
+Block::contains(const void *p) const
+{
+    const char *c = static_cast<const char *>(p);
+    return c >= memory_.get() && c < memory_.get() + kBlockBytes;
+}
+
+uint32_t
+Block::cellIndexOf(const void *p) const
+{
+    size_t offset = static_cast<const char *>(p) - memory_.get();
+    return static_cast<uint32_t>(offset / cellBytes_);
+}
+
+bool
+Block::usedBit(uint32_t cell) const
+{
+    return (usedBits_[cell / 64] >> (cell % 64)) & 1;
+}
+
+void
+Block::setUsedBit(uint32_t cell)
+{
+    usedBits_[cell / 64] |= uint64_t{1} << (cell % 64);
+}
+
+void
+Block::clearUsedBit(uint32_t cell)
+{
+    usedBits_[cell / 64] &= ~(uint64_t{1} << (cell % 64));
+}
+
+uint64_t
+Block::sweep(const std::function<void(Object *)> &on_free)
+{
+    uint64_t freed = 0;
+    for (uint32_t word = 0; word < usedBits_.size(); ++word) {
+        uint64_t bits = usedBits_[word];
+        while (bits) {
+            uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            uint32_t cell = word * 64 + bit;
+            Object *obj = reinterpret_cast<Object *>(
+                memory_.get() + size_t{cell} * cellBytes_);
+            if (obj->marked()) {
+                obj->clearFlag(kMarkBit);
+            } else {
+                if (on_free)
+                    on_free(obj);
+                clearUsedBit(cell);
+                reinterpret_cast<FreeCell *>(obj)->next = freeHead_;
+                freeHead_ = obj;
+                --liveCells_;
+                freed += cellBytes_;
+            }
+        }
+    }
+    return freed;
+}
+
+void
+Block::forEachObject(const std::function<void(Object *)> &visit) const
+{
+    for (uint32_t word = 0; word < usedBits_.size(); ++word) {
+        uint64_t bits = usedBits_[word];
+        while (bits) {
+            uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            uint32_t cell = word * 64 + bit;
+            visit(reinterpret_cast<Object *>(
+                const_cast<char *>(memory_.get()) +
+                size_t{cell} * cellBytes_));
+        }
+    }
+}
+
+} // namespace gcassert

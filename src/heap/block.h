@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fixed-size allocation blocks for the small-object space.
+ *
+ * A Block is a 64 KiB aligned slab carved into equal cells of one
+ * size class. A free list threads through the first word of each
+ * free cell; a side bitmap records which cells are live so the sweep
+ * can iterate allocated objects without reading freed memory.
+ */
+
+#ifndef GCASSERT_HEAP_BLOCK_H
+#define GCASSERT_HEAP_BLOCK_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "heap/object.h"
+
+namespace gcassert {
+
+/**
+ * One slab of cells belonging to a single size class.
+ */
+class Block {
+  public:
+    /** Slab size; cells never span blocks. */
+    static constexpr size_t kBlockBytes = 64 * 1024;
+
+    /**
+     * Create an empty block whose cells are @p cell_bytes wide.
+     * All cells start on the free list.
+     */
+    explicit Block(uint32_t cell_bytes);
+
+    ~Block();
+
+    Block(const Block &) = delete;
+    Block &operator=(const Block &) = delete;
+
+    /** Cell width for this block. */
+    uint32_t cellBytes() const { return cellBytes_; }
+
+    /** Total cells in the block. */
+    uint32_t numCells() const { return numCells_; }
+
+    /** Currently allocated cells. */
+    uint32_t liveCells() const { return liveCells_; }
+
+    /** @return true when no cell is allocated. */
+    bool empty() const { return liveCells_ == 0; }
+
+    /** @return true when every cell is allocated. */
+    bool full() const { return liveCells_ == numCells_; }
+
+    /**
+     * Pop a free cell. The returned memory is uninitialized; the
+     * heap formats it as an Object.
+     *
+     * @return Cell address, or nullptr when the block is full.
+     */
+    void *allocateCell();
+
+    /** @return true if @p p points into this block's slab. */
+    bool contains(const void *p) const;
+
+    /**
+     * Sweep the block: for every allocated cell, clear the mark bit
+     * if set, otherwise release the cell back to the free list after
+     * invoking @p on_free.
+     *
+     * @param on_free Callback run on each dying object before its
+     *                cell is recycled (may be empty).
+     * @return Number of bytes freed.
+     */
+    uint64_t sweep(const std::function<void(Object *)> &on_free);
+
+    /**
+     * Visit every allocated object in the block (live or not-yet-
+     * swept). Used by detectors and debugging dumps.
+     */
+    void forEachObject(const std::function<void(Object *)> &visit) const;
+
+    /** Base address of the slab (for address-ordered diagnostics). */
+    const char *base() const { return memory_.get(); }
+
+  private:
+    /** Index of the cell containing @p p. @pre contains(p). */
+    uint32_t cellIndexOf(const void *p) const;
+
+    bool usedBit(uint32_t cell) const;
+    void setUsedBit(uint32_t cell);
+    void clearUsedBit(uint32_t cell);
+
+    std::unique_ptr<char[]> memory_;
+    uint32_t cellBytes_;
+    uint32_t numCells_;
+    uint32_t liveCells_;
+    void *freeHead_;
+    std::vector<uint64_t> usedBits_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_BLOCK_H

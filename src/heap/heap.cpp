@@ -1,0 +1,162 @@
+#include "heap/heap.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+Heap::Heap(const HeapConfig &config) : config_(config)
+{
+    for (size_t c = 0; c < kNumSizeClasses; ++c)
+        allocHint_[c] = -1;
+}
+
+Object *
+Heap::allocate(TypeId type_id, uint32_t num_refs, uint32_t scalar_bytes)
+{
+    uint32_t size = Object::sizeFor(num_refs, scalar_bytes);
+    size_t size_class = sizeClassFor(size);
+    uint32_t charged = size_class < kNumSizeClasses
+        ? kSizeClassBytes[size_class] : size;
+
+    if (usedBytes_ + charged > config_.budgetBytes)
+        return nullptr;
+
+    Object *obj = size_class < kNumSizeClasses
+        ? allocateSmall(size_class, type_id, num_refs, scalar_bytes, size)
+        : allocateLarge(type_id, num_refs, scalar_bytes, size);
+    if (obj) {
+        usedBytes_ += charged;
+        ++liveObjects_;
+        totalAllocatedBytes_ += charged;
+        ++totalAllocatedObjects_;
+    }
+    return obj;
+}
+
+Object *
+Heap::allocateSmall(size_t size_class, TypeId type_id, uint32_t num_refs,
+                    uint32_t scalar_bytes, uint32_t size)
+{
+    (void)size;
+    auto &list = blocks_[size_class];
+
+    // Fast path: the hinted block still has room.
+    ssize_t hint = allocHint_[size_class];
+    if (hint >= 0 && static_cast<size_t>(hint) < list.size()) {
+        if (void *cell = list[hint]->allocateCell()) {
+            auto *obj = static_cast<Object *>(cell);
+            obj->format(type_id, num_refs, scalar_bytes);
+            return obj;
+        }
+    }
+
+    // Slow path: find any block with room.
+    for (size_t i = 0; i < list.size(); ++i) {
+        if (!list[i]->full()) {
+            void *cell = list[i]->allocateCell();
+            allocHint_[size_class] = static_cast<ssize_t>(i);
+            auto *obj = static_cast<Object *>(cell);
+            obj->format(type_id, num_refs, scalar_bytes);
+            return obj;
+        }
+    }
+
+    // No room anywhere: mint a new block.
+    list.push_back(std::make_unique<Block>(kSizeClassBytes[size_class]));
+    allocHint_[size_class] = static_cast<ssize_t>(list.size() - 1);
+    auto *obj = static_cast<Object *>(list.back()->allocateCell());
+    obj->format(type_id, num_refs, scalar_bytes);
+    return obj;
+}
+
+Object *
+Heap::allocateLarge(TypeId type_id, uint32_t num_refs,
+                    uint32_t scalar_bytes, uint32_t size)
+{
+    LargeObject large;
+    large.memory.reset(new char[size]);
+    large.bytes = size;
+    auto *obj = reinterpret_cast<Object *>(large.memory.get());
+    obj->format(type_id, num_refs, scalar_bytes);
+    largeSet_.insert(obj);
+    large_.push_back(std::move(large));
+    return obj;
+}
+
+SweepStats
+Heap::sweep(const std::function<void(Object *)> &on_free)
+{
+    SweepStats stats;
+    auto counting_free = [&](Object *obj) {
+        ++stats.freedObjects;
+        if (on_free)
+            on_free(obj);
+    };
+
+    for (size_t c = 0; c < kNumSizeClasses; ++c) {
+        auto &list = blocks_[c];
+        for (auto &block : list)
+            stats.freedBytes += block->sweep(counting_free);
+        // Release empty blocks so long-running region workloads hand
+        // memory back; compact the list in place.
+        size_t kept = 0;
+        for (auto &block : list) {
+            if (!block->empty())
+                list[kept++] = std::move(block);
+            else
+                ++stats.releasedBlocks;
+        }
+        list.resize(kept);
+        allocHint_[c] = list.empty() ? -1 : 0;
+    }
+
+    // Large-object space.
+    size_t kept = 0;
+    for (auto &large : large_) {
+        auto *obj = reinterpret_cast<Object *>(large.memory.get());
+        if (obj->marked()) {
+            obj->clearFlag(kMarkBit);
+            large_[kept++] = std::move(large);
+        } else {
+            counting_free(obj);
+            stats.freedBytes += large.bytes;
+            largeSet_.erase(obj);
+        }
+    }
+    large_.resize(kept);
+
+    if (stats.freedBytes > usedBytes_)
+        panic("sweep freed more bytes than were allocated");
+    usedBytes_ -= stats.freedBytes;
+    liveObjects_ -= stats.freedObjects;
+    stats.liveBytes = usedBytes_;
+    stats.liveObjects = liveObjects_;
+    return stats;
+}
+
+void
+Heap::forEachObject(const std::function<void(Object *)> &visit) const
+{
+    for (size_t c = 0; c < kNumSizeClasses; ++c)
+        for (const auto &block : blocks_[c])
+            block->forEachObject(visit);
+    for (const auto &large : large_)
+        visit(reinterpret_cast<Object *>(large.memory.get()));
+}
+
+bool
+Heap::contains(const Object *p) const
+{
+    if (largeSet_.count(p))
+        return true;
+    for (size_t c = 0; c < kNumSizeClasses; ++c)
+        for (const auto &block : blocks_[c])
+            if (block->contains(p))
+                return true;
+    return false;
+}
+
+} // namespace gcassert

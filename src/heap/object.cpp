@@ -1,0 +1,13 @@
+#include "heap/object.h"
+
+#include "support/strutil.h"
+
+namespace gcassert {
+
+std::string
+Object::format_(const char *fmt, uint32_t a, uint32_t b)
+{
+    return gcassert::format(fmt, a, b);
+}
+
+} // namespace gcassert

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The managed object model.
+ *
+ * Every object in the gcassert heap carries a 16-byte header followed
+ * by its reference slots (word-sized, scanned by the collector) and
+ * then its scalar payload. The header mirrors the layout constraints
+ * the paper exploits in Jikes RVM:
+ *
+ *  - objects are word aligned, so the low-order bits of object
+ *    pointers are free for the tracing worklist's path-recording tag
+ *    (paper section 2.7);
+ *  - the header has spare bits, which hold the mark bit and the
+ *    per-object assertion state (dead / unshared / owned / ownee /
+ *    owner) at zero space overhead (paper sections 2.3, 2.5).
+ */
+
+#ifndef GCASSERT_HEAP_OBJECT_H
+#define GCASSERT_HEAP_OBJECT_H
+
+#include <cstdint>
+#include <cstring>
+
+#include "support/logging.h"
+
+namespace gcassert {
+
+/** Runtime type identifier; indexes the TypeRegistry. */
+using TypeId = uint32_t;
+
+/** Reserved id meaning "no type". */
+constexpr TypeId kInvalidTypeId = 0xffffffffu;
+
+class Object;
+
+/**
+ * Header flag bits. Stored in Object::flags_; all are spare bits in
+ * the sense of the paper: they occupy space the header has anyway.
+ */
+enum ObjectFlag : uint32_t {
+    /** Set during tracing; cleared by sweep. */
+    kMarkBit = 1u << 0,
+    /** assert-dead was called on this object. */
+    kDeadBit = 1u << 1,
+    /** assert-unshared was called on this object. */
+    kUnsharedBit = 1u << 2,
+    /** This object is registered as an ownee of some owner. */
+    kOwneeBit = 1u << 3,
+    /** This object is registered as an owner. */
+    kOwnerBit = 1u << 4,
+    /** Per-GC: reached from its owner during the ownership phase. */
+    kOwnedBit = 1u << 5,
+    /** Per-GC: already visited by the ownership phase scan. */
+    kOwnerScanBit = 1u << 6,
+    /**
+     * The object was allocated inside an active allocation region
+     * (assert-alldead bracketing) and sits on a region queue.
+     */
+    kRegionBit = 1u << 7,
+    /**
+     * The object is an ownee whose owner was reclaimed; it was
+     * converted to a dead assertion (it should not outlive its
+     * owner), and a violation about it reports as assert-ownedby.
+     */
+    kOrphanBit = 1u << 8,
+};
+
+/**
+ * Bits [kOwnerTagShift, 32) of the flag word hold the *owner tag*
+ * of a registered ownee: 1 + the owner's index in the ownership
+ * table, or 0 for none. Keeping the tag in spare header bits makes
+ * the ownership phase's belongs-to-this-owner test a single compare
+ * on the already-loaded flag word (the same spare-bits economy the
+ * paper applies to the mark/dead/unshared state).
+ */
+constexpr uint32_t kOwnerTagShift = 12;
+
+/** Maximum owners representable in the tag field. */
+constexpr uint32_t kMaxOwnerTag = (1u << (32 - kOwnerTagShift)) - 1;
+
+/**
+ * A managed heap object.
+ *
+ * Layout: [header 16B][refs: numRefs words][scalars: scalarBytes].
+ * Instances are created only by Heap::allocate; the class has no
+ * constructor because the heap formats raw cells in place.
+ */
+class Object {
+  public:
+    /** Header size in bytes; reference slots start at this offset. */
+    static constexpr uint32_t kHeaderBytes = 16;
+
+    /** Bytes per reference slot. */
+    static constexpr uint32_t kRefBytes = sizeof(Object *);
+
+    /**
+     * Total size of an object with the given shape, rounded up to
+     * word alignment.
+     */
+    static uint32_t
+    sizeFor(uint32_t num_refs, uint32_t scalar_bytes)
+    {
+        uint64_t raw = uint64_t{kHeaderBytes} +
+            uint64_t{num_refs} * kRefBytes + scalar_bytes;
+        return static_cast<uint32_t>((raw + 7) & ~uint64_t{7});
+    }
+
+    /** Format a raw cell as an object; called by the heap only. */
+    void
+    format(TypeId type_id, uint32_t num_refs, uint32_t scalar_bytes)
+    {
+        typeId_ = type_id;
+        flags_ = 0;
+        sizeBytes_ = sizeFor(num_refs, scalar_bytes);
+        numRefs_ = num_refs;
+        std::memset(reinterpret_cast<char *>(this) + kHeaderBytes, 0,
+                    sizeBytes_ - kHeaderBytes);
+    }
+
+    TypeId typeId() const { return typeId_; }
+
+    /** Total object footprint in bytes (header + refs + scalars). */
+    uint32_t sizeBytes() const { return sizeBytes_; }
+
+    /** Number of reference slots the collector scans. */
+    uint32_t numRefs() const { return numRefs_; }
+
+    /** @name Flag accessors
+     *  @{ */
+    bool testFlag(ObjectFlag f) const { return (flags_ & f) != 0; }
+    void setFlag(ObjectFlag f) { flags_ |= f; }
+    void clearFlag(ObjectFlag f) { flags_ &= ~static_cast<uint32_t>(f); }
+    uint32_t rawFlags() const { return flags_; }
+    /** @} */
+
+    /** Convenience: the GC mark bit. */
+    bool marked() const { return testFlag(kMarkBit); }
+
+    /** Ownee's owner tag (0 = not an ownee). */
+    uint32_t ownerTag() const { return flags_ >> kOwnerTagShift; }
+
+    /** Set the owner tag, preserving the low flag bits. */
+    void
+    setOwnerTag(uint32_t tag)
+    {
+        flags_ = (flags_ & ((1u << kOwnerTagShift) - 1)) |
+            (tag << kOwnerTagShift);
+    }
+
+    /** Read reference slot @p index. */
+    Object *
+    ref(uint32_t index) const
+    {
+        checkRefIndex(index);
+        return refSlots()[index];
+    }
+
+    /** Write reference slot @p index. */
+    void
+    setRef(uint32_t index, Object *target)
+    {
+        checkRefIndex(index);
+        refSlots()[index] = target;
+    }
+
+    /** Address of reference slot @p index (for root-style scanning). */
+    Object **
+    refSlotAddr(uint32_t index)
+    {
+        checkRefIndex(index);
+        return &refSlots()[index];
+    }
+
+    /** Size of the scalar payload in bytes. */
+    uint32_t
+    scalarBytes() const
+    {
+        return sizeBytes_ - kHeaderBytes - numRefs_ * kRefBytes;
+    }
+
+    /** Typed access into the scalar payload at byte offset @p off. */
+    template <typename T>
+    T
+    scalar(uint32_t off) const
+    {
+        checkScalarRange(off, sizeof(T));
+        T value;
+        std::memcpy(&value, scalarData() + off, sizeof(T));
+        return value;
+    }
+
+    /** Typed store into the scalar payload at byte offset @p off. */
+    template <typename T>
+    void
+    setScalar(uint32_t off, T value)
+    {
+        checkScalarRange(off, sizeof(T));
+        std::memcpy(scalarData() + off, &value, sizeof(T));
+    }
+
+    /** Raw pointer to the scalar payload. */
+    char *
+    scalarData()
+    {
+        return reinterpret_cast<char *>(this) + kHeaderBytes +
+            numRefs_ * kRefBytes;
+    }
+
+    const char *
+    scalarData() const
+    {
+        return reinterpret_cast<const char *>(this) + kHeaderBytes +
+            numRefs_ * kRefBytes;
+    }
+
+  private:
+    Object() = delete;
+
+    Object **
+    refSlots() const
+    {
+        return reinterpret_cast<Object **>(
+            const_cast<char *>(reinterpret_cast<const char *>(this)) +
+            kHeaderBytes);
+    }
+
+    void
+    checkRefIndex(uint32_t index) const
+    {
+        if (index >= numRefs_)
+            panic(format_("reference slot %u out of range (object has %u)",
+                          index, numRefs_));
+    }
+
+    void
+    checkScalarRange(uint32_t off, size_t bytes) const
+    {
+        if (uint64_t{off} + bytes > scalarBytes())
+            panic(format_("scalar access at offset %u overruns payload of "
+                          "%u bytes", off, scalarBytes()));
+    }
+
+    static std::string format_(const char *fmt, uint32_t a, uint32_t b);
+
+    TypeId typeId_;
+    uint32_t flags_;
+    uint32_t sizeBytes_;
+    uint32_t numRefs_;
+    // Reference slots and scalar payload follow in the same cell.
+};
+
+static_assert(sizeof(Object) == Object::kHeaderBytes,
+              "Object header must be exactly kHeaderBytes");
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_OBJECT_H

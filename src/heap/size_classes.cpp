@@ -1,0 +1,29 @@
+#include "heap/size_classes.h"
+
+namespace gcassert {
+
+const uint32_t kSizeClassBytes[kNumSizeClasses] = {
+    16,   24,   32,   48,   64,   96,   128,  192,
+    256,  384,  512,  768,  1024, 2048, 4096, 8192,
+};
+
+uint32_t
+maxSmallObjectBytes()
+{
+    return kSizeClassBytes[kNumSizeClasses - 1];
+}
+
+size_t
+sizeClassFor(uint32_t bytes)
+{
+    // Linear scan over 16 entries; dominated by the later memset of
+    // the object payload, and trivially branch-predictable because
+    // most workloads allocate from a few classes.
+    for (size_t i = 0; i < kNumSizeClasses; ++i) {
+        if (bytes <= kSizeClassBytes[i])
+            return i;
+    }
+    return kNumSizeClasses;
+}
+
+} // namespace gcassert

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Segregated-fit size classes for the mark-sweep heap.
+ *
+ * Small objects are rounded up to one of a fixed set of cell sizes
+ * and allocated from per-class block free lists; anything larger
+ * goes to the large-object space. The class boundaries follow the
+ * usual 25%-internal-fragmentation progression used by Jikes RVM's
+ * MarkSweep space.
+ */
+
+#ifndef GCASSERT_HEAP_SIZE_CLASSES_H
+#define GCASSERT_HEAP_SIZE_CLASSES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gcassert {
+
+/** Number of small-object size classes. */
+constexpr size_t kNumSizeClasses = 16;
+
+/** Cell sizes (bytes) per class; strictly increasing. */
+extern const uint32_t kSizeClassBytes[kNumSizeClasses];
+
+/** Largest size handled by the small-object path. */
+uint32_t maxSmallObjectBytes();
+
+/**
+ * Map an object size to its size class.
+ *
+ * @param bytes Requested object footprint (header included).
+ * @return Class index, or kNumSizeClasses if the request must go to
+ *         the large-object space.
+ */
+size_t sizeClassFor(uint32_t bytes);
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_SIZE_CLASSES_H

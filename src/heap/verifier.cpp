@@ -1,0 +1,90 @@
+#include "heap/verifier.h"
+
+#include <unordered_set>
+
+#include "runtime/runtime.h"
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+std::vector<VerifierIssue>
+HeapVerifier::verify() const
+{
+    std::vector<VerifierIssue> issues;
+    auto report = [&](const Object *obj, std::string what) {
+        issues.push_back(VerifierIssue{obj, std::move(what)});
+    };
+
+    // Snapshot the allocated set for O(1) membership checks.
+    std::unordered_set<const Object *> allocated;
+    runtime_.heap().forEachObject(
+        [&](Object *obj) { allocated.insert(obj); });
+
+    runtime_.heap().forEachObject([&](Object *obj) {
+        // Shape consistency for fixed-shape types.
+        const TypeDescriptor &desc = runtime_.types().get(obj->typeId());
+        if (!desc.isArray()) {
+            if (obj->numRefs() != desc.fixedRefs())
+                report(obj, format("fixed type '%s' instance has %u ref "
+                                   "slots, descriptor says %u",
+                                   desc.name().c_str(), obj->numRefs(),
+                                   desc.fixedRefs()));
+            if (obj->scalarBytes() < desc.scalarBytes())
+                report(obj, format("fixed type '%s' instance has %u "
+                                   "scalar bytes, descriptor says %u",
+                                   desc.name().c_str(),
+                                   obj->scalarBytes(),
+                                   desc.scalarBytes()));
+        }
+
+        // Reference sanity.
+        for (uint32_t i = 0; i < obj->numRefs(); ++i) {
+            const Object *child = obj->ref(i);
+            if (child && !allocated.count(child))
+                report(obj, format("ref slot %u points outside the "
+                                   "allocated set", i));
+        }
+
+        // No stale collector state between collections.
+        if (obj->marked())
+            report(obj, "stale mark bit outside a collection");
+        // The owned bit is per-GC state but is only reset at the
+        // *start* of each collection, so between collections it may
+        // legitimately linger on registered ownees — never on
+        // anything else.
+        if (obj->testFlag(kOwnedBit) && !obj->testFlag(kOwneeBit))
+            report(obj, "stale per-GC owned bit on a non-ownee");
+
+        // Assertion-state consistency.
+        if (obj->ownerTag() != 0 && !obj->testFlag(kOwneeBit))
+            report(obj, "owner tag set on a non-ownee");
+        if (obj->testFlag(kOrphanBit) && !obj->testFlag(kDeadBit))
+            report(obj, "orphan bit without dead bit");
+        if (obj->testFlag(kRegionBit) && !obj->testFlag(kDeadBit) &&
+            !runtime_.mainMutatorInRegionOrAny())
+            report(obj, "region bit outside any active region and "
+                        "not dead-asserted");
+    });
+
+    // Root sanity.
+    runtime_.roots().forEach([&](RootNode &node) {
+        const Object *obj = node.get();
+        if (obj && !allocated.count(obj))
+            report(obj, format("root '%s' points outside the allocated "
+                               "set", node.name()));
+    });
+
+    return issues;
+}
+
+void
+HeapVerifier::verifyOrPanic() const
+{
+    auto issues = verify();
+    if (!issues.empty())
+        panic(format("heap verification failed (%zu issues): %s",
+                     issues.size(), issues[0].what.c_str()));
+}
+
+} // namespace gcassert

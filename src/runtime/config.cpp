@@ -1,0 +1,25 @@
+#include "runtime/config.h"
+
+namespace gcassert {
+
+RuntimeConfig
+RuntimeConfig::base(uint64_t heap_bytes)
+{
+    RuntimeConfig config;
+    config.heap.budgetBytes = heap_bytes;
+    config.infrastructure = false;
+    config.recordPaths = false;
+    return config;
+}
+
+RuntimeConfig
+RuntimeConfig::infra(uint64_t heap_bytes)
+{
+    RuntimeConfig config;
+    config.heap.budgetBytes = heap_bytes;
+    config.infrastructure = true;
+    config.recordPaths = true;
+    return config;
+}
+
+} // namespace gcassert

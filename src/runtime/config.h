@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Top-level runtime configuration.
+ *
+ * The three benchmark configurations of the paper map onto this
+ * struct directly:
+ *
+ *  - "Base":           infrastructure = false
+ *  - "Infrastructure": infrastructure = true (no assertions added)
+ *  - "WithAssertions": infrastructure = true + workload assertions
+ */
+
+#ifndef GCASSERT_RUNTIME_CONFIG_H
+#define GCASSERT_RUNTIME_CONFIG_H
+
+#include <string>
+
+#include "assertions/engine.h"
+#include "heap/heap.h"
+
+namespace gcassert {
+
+/**
+ * Configuration for a Runtime instance.
+ */
+struct RuntimeConfig {
+    /** Heap budget and growth policy. */
+    HeapConfig heap;
+
+    /**
+     * Compile the assertion-checking infrastructure into the GC
+     * trace loop. When false the runtime behaves like an unmodified
+     * collector and assertion calls are ignored (with a one-time
+     * warning).
+     */
+    bool infrastructure = true;
+
+    /** Maintain tagged-worklist path recording for reports. */
+    bool recordPaths = true;
+
+    /** Engine behaviour switches. */
+    EngineOptions engine;
+
+    /** Log one line per collection. */
+    bool verboseGc = false;
+
+    /** @return a Base configuration with the given heap budget. */
+    static RuntimeConfig base(uint64_t heap_bytes);
+
+    /** @return an Infrastructure configuration (checks on). */
+    static RuntimeConfig infra(uint64_t heap_bytes);
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_RUNTIME_CONFIG_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Rooted object handles.
+ *
+ * A Handle models a local variable of a managed program: while the
+ * Handle is alive, the object it references is a GC root. Handles
+ * are cheap to create and destroy (intrusive-list registration, no
+ * allocation) so they can be used for ordinary locals in workloads.
+ */
+
+#ifndef GCASSERT_RUNTIME_HANDLE_H
+#define GCASSERT_RUNTIME_HANDLE_H
+
+#include "gc/roots.h"
+#include "heap/object.h"
+
+namespace gcassert {
+
+class Runtime;
+
+/**
+ * RAII GC root.
+ */
+class Handle {
+  public:
+    /** Null handle: roots nothing. */
+    Handle() = default;
+
+    /**
+     * Root @p obj (which may be nullptr) in @p runtime.
+     *
+     * @param name Static label shown as the path origin in
+     *             violation reports.
+     */
+    Handle(Runtime &runtime, Object *obj, const char *name = "handle");
+
+    Handle(const Handle &other);
+    Handle &operator=(const Handle &other);
+    Handle(Handle &&other) noexcept;
+    Handle &operator=(Handle &&other) noexcept;
+    ~Handle();
+
+    /** The referenced object (nullptr for a null handle). */
+    Object *get() const { return node_.get(); }
+
+    Object *operator->() const { return node_.get(); }
+    Object &operator*() const { return *node_.get(); }
+    explicit operator bool() const { return node_.get() != nullptr; }
+
+    /** Retarget the root at @p obj. @pre not a null handle. */
+    void set(Object *obj);
+
+    /** Drop the registration; becomes a null handle. */
+    void reset();
+
+    /** Owning runtime (nullptr for a null handle). */
+    Runtime *runtime() const { return runtime_; }
+
+  private:
+    /** Runtime::alloc fills a default handle under its own lock so
+     *  allocation and rooting are atomic for concurrent mutators. */
+    friend class Runtime;
+
+    Runtime *runtime_ = nullptr;
+    RootNode node_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_RUNTIME_HANDLE_H

@@ -1,0 +1,120 @@
+#include "runtime/heap_query.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "runtime/runtime.h"
+
+namespace gcassert {
+
+HeapQuery::Found
+HeapQuery::search(const Object *target) const
+{
+    Found found;
+    // Parent edges for path reconstruction; nullptr parent marks a
+    // root-referenced object.
+    std::unordered_map<const Object *, const Object *> parent;
+    std::unordered_map<const Object *, const char *> root_name;
+    std::queue<const Object *> frontier;
+
+    runtime_.roots().forEach([&](RootNode &node) {
+        const Object *obj = node.get();
+        if (!obj || parent.count(obj))
+            return;
+        parent.emplace(obj, nullptr);
+        root_name.emplace(obj, node.name());
+        frontier.push(obj);
+    });
+
+    const Object *hit = nullptr;
+    if (parent.count(target))
+        hit = target;
+    while (!hit && !frontier.empty()) {
+        const Object *current = frontier.front();
+        frontier.pop();
+        for (uint32_t i = 0; i < current->numRefs(); ++i) {
+            const Object *child = current->ref(i);
+            if (!child || parent.count(child))
+                continue;
+            parent.emplace(child, current);
+            frontier.push(child);
+            if (child == target) {
+                hit = child;
+                break;
+            }
+        }
+    }
+    if (!hit)
+        return found;
+
+    for (const Object *hop = hit; hop; hop = parent[hop])
+        found.path.push_back(hop);
+    std::reverse(found.path.begin(), found.path.end());
+    found.rootName = root_name[found.path.front()];
+    return found;
+}
+
+std::vector<PathEntry>
+HeapQuery::pathTo(const Object *obj) const
+{
+    Found found = search(obj);
+    std::vector<PathEntry> path;
+    path.reserve(found.path.size());
+    for (const Object *hop : found.path)
+        path.push_back(PathEntry{
+            runtime_.types().get(hop->typeId()).name(), hop});
+    return path;
+}
+
+std::string
+HeapQuery::rootNameFor(const Object *obj) const
+{
+    return search(obj).rootName;
+}
+
+bool
+HeapQuery::reachable(const Object *obj) const
+{
+    return !search(obj).path.empty();
+}
+
+std::vector<TypeCensusRow>
+HeapQuery::census() const
+{
+    std::unordered_map<TypeId, TypeCensusRow> rows;
+    runtime_.heap().forEachObject([&](Object *obj) {
+        auto [it, fresh] = rows.try_emplace(obj->typeId());
+        if (fresh) {
+            it->second.type = obj->typeId();
+            it->second.typeName =
+                runtime_.types().get(obj->typeId()).name();
+            it->second.instances = 0;
+            it->second.bytes = 0;
+        }
+        ++it->second.instances;
+        it->second.bytes += obj->sizeBytes();
+    });
+    std::vector<TypeCensusRow> out;
+    out.reserve(rows.size());
+    for (auto &[type, row] : rows)
+        out.push_back(std::move(row));
+    std::sort(out.begin(), out.end(),
+              [](const TypeCensusRow &a, const TypeCensusRow &b) {
+                  return a.bytes > b.bytes;
+              });
+    return out;
+}
+
+uint64_t
+HeapQuery::countInstances(TypeId type) const
+{
+    uint64_t count = 0;
+    runtime_.heap().forEachObject([&](Object *obj) {
+        if (obj->typeId() == type)
+            ++count;
+    });
+    return count;
+}
+
+} // namespace gcassert

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * On-demand heap introspection.
+ *
+ * GC assertions answer heap questions *at the next collection*;
+ * HeapQuery answers them immediately, outside any collection, by
+ * walking the live object graph directly. It complements the
+ * assertion interface during interactive debugging: once a deferred
+ * report names an object, pathTo() can re-derive a (shortest) root
+ * path at any later point, and census() gives the per-type live
+ * profile that heuristic tools like Cork work from.
+ *
+ * Queries do not allocate on the managed heap and do not disturb
+ * collector state (they never touch mark bits).
+ */
+
+#ifndef GCASSERT_RUNTIME_HEAP_QUERY_H
+#define GCASSERT_RUNTIME_HEAP_QUERY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assertions/violation.h"
+#include "heap/object.h"
+
+namespace gcassert {
+
+class Runtime;
+
+/** One row of a live-heap census. */
+struct TypeCensusRow {
+    TypeId type;
+    std::string typeName;
+    uint64_t instances;
+    uint64_t bytes;
+};
+
+/**
+ * Immediate queries over the live heap.
+ */
+class HeapQuery {
+  public:
+    explicit HeapQuery(Runtime &runtime) : runtime_(runtime) {}
+
+    /**
+     * Shortest path from a registered root to @p obj, as PathEntry
+     * hops (the same shape as violation reports). Empty when @p obj
+     * is not reachable (or not currently allocated).
+     *
+     * Breadth-first, so the path is minimal in hop count — unlike
+     * violation paths, which reflect the collector's depth-first
+     * traversal order.
+     */
+    std::vector<PathEntry> pathTo(const Object *obj) const;
+
+    /** Name of the root the pathTo() result starts from ("" if
+     *  unreachable). */
+    std::string rootNameFor(const Object *obj) const;
+
+    /**
+     * Per-type census of *allocated* objects, sorted by bytes
+     * descending. Run right after a collection for an exact live
+     * census (between collections it includes floating garbage).
+     */
+    std::vector<TypeCensusRow> census() const;
+
+    /** Allocated instances of @p type (same caveat as census()). */
+    uint64_t countInstances(TypeId type) const;
+
+    /** True if @p obj is reachable from the registered roots. */
+    bool reachable(const Object *obj) const;
+
+  private:
+    struct Found {
+        std::vector<const Object *> path;
+        std::string rootName;
+    };
+
+    /** BFS from the roots; stops early when @p target is found. */
+    Found search(const Object *target) const;
+
+    Runtime &runtime_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_RUNTIME_HEAP_QUERY_H

@@ -1,0 +1,339 @@
+#include "runtime/runtime.h"
+
+#include "runtime/handle.h"
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(std::move(config)),
+      heap_(config_.heap),
+      engine_(types_, mutators_, config_.engine),
+      collector_(heap_, types_, roots_, mutators_, engine_,
+                 CollectorConfig{config_.infrastructure,
+                                 config_.recordPaths})
+{
+}
+
+Runtime::~Runtime() = default;
+
+MutatorContext &
+Runtime::registerMutator(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return mutators_.create(name);
+}
+
+Object *
+Runtime::allocRaw(TypeId type, MutatorContext *mutator)
+{
+    Object *obj;
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        const TypeDescriptor &desc = types_.get(type);
+        if (desc.isArray())
+            fatal(format("allocRaw: type '%s' is an array type; use "
+                         "allocArrayRaw", desc.name().c_str()));
+        obj = allocLocked(type, desc.fixedRefs(), desc.scalarBytes(),
+                          mutator);
+    }
+    maybeRunFinalizers();
+    return obj;
+}
+
+Object *
+Runtime::allocArrayRaw(TypeId type, uint32_t length,
+                       MutatorContext *mutator)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    const TypeDescriptor &desc = types_.get(type);
+    if (!desc.isArray())
+        fatal(format("allocArrayRaw: type '%s' is not an array type",
+                     desc.name().c_str()));
+    return allocLocked(type, length, desc.scalarBytes(), mutator);
+}
+
+Object *
+Runtime::allocScalarRaw(TypeId type, uint32_t scalar_bytes,
+                        MutatorContext *mutator)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    const TypeDescriptor &desc = types_.get(type);
+    if (!desc.isArray())
+        fatal(format("allocScalarRaw: type '%s' is not an array type",
+                     desc.name().c_str()));
+    return allocLocked(type, 0, scalar_bytes, mutator);
+}
+
+Handle
+Runtime::alloc(TypeId type, MutatorContext *mutator)
+{
+    // Allocate and root under one lock acquisition: a concurrent
+    // mutator's collection can never observe the new object
+    // unrooted.
+    Handle handle;
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        const TypeDescriptor &desc = types_.get(type);
+        if (desc.isArray())
+            fatal(format("alloc: type '%s' is an array type; use "
+                         "allocArray", desc.name().c_str()));
+        Object *obj = allocLocked(type, desc.fixedRefs(),
+                                  desc.scalarBytes(), mutator);
+        handle.runtime_ = this;
+        roots_.add(handle.node_, obj, "local");
+    }
+    return handle;
+}
+
+Handle
+Runtime::allocArray(TypeId type, uint32_t length, MutatorContext *mutator)
+{
+    Handle handle;
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        const TypeDescriptor &desc = types_.get(type);
+        if (!desc.isArray())
+            fatal(format("allocArray: type '%s' is not an array type",
+                         desc.name().c_str()));
+        Object *obj = allocLocked(type, length, desc.scalarBytes(),
+                                  mutator);
+        handle.runtime_ = this;
+        roots_.add(handle.node_, obj, "local");
+    }
+    return handle;
+}
+
+Object *
+Runtime::allocLocked(TypeId type, uint32_t num_refs,
+                     uint32_t scalar_bytes, MutatorContext *mutator)
+{
+    Object *obj = heap_.allocate(type, num_refs, scalar_bytes);
+    if (!obj) {
+        // Budget exhausted: collect, then retry; grow as a last
+        // resort when the config allows it.
+        collectLocked();
+        obj = heap_.allocate(type, num_refs, scalar_bytes);
+        while (!obj && config_.heap.allowGrowth) {
+            uint64_t grown = static_cast<uint64_t>(
+                static_cast<double>(heap_.budgetBytes()) *
+                config_.heap.growthFactor);
+            if (grown <= heap_.budgetBytes())
+                grown = heap_.budgetBytes() + Block::kBlockBytes;
+            heap_.setBudgetBytes(grown);
+            obj = heap_.allocate(type, num_refs, scalar_bytes);
+        }
+        if (!obj)
+            fatal(format("out of memory: budget %s, live %s",
+                         humanBytes(heap_.budgetBytes()).c_str(),
+                         humanBytes(heap_.usedBytes()).c_str()));
+    }
+    if (config_.infrastructure) {
+        // The paper's per-allocation region check (section 2.3.2).
+        MutatorContext &ctx = mutator ? *mutator : mutators_.main();
+        ctx.noteAllocation(obj);
+    }
+    for (const auto &hook : allocHooks_)
+        hook(obj);
+    return obj;
+}
+
+void
+Runtime::addAllocHook(std::function<void(Object *)> hook)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    allocHooks_.push_back(std::move(hook));
+}
+
+void
+Runtime::addFreeHook(std::function<void(Object *)> hook)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    collector_.addFreeHook(std::move(hook));
+}
+
+bool
+Runtime::mainMutatorInRegionOrAny()
+{
+    bool any = false;
+    mutators_.forEach(
+        [&](MutatorContext &mutator) { any |= mutator.inRegion(); });
+    return any;
+}
+
+CollectionResult
+Runtime::collect()
+{
+    CollectionResult result;
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        result = collectLocked();
+    }
+    if (finalizersPending_.load(std::memory_order_relaxed))
+        runPendingFinalizers();
+    return result;
+}
+
+void
+Runtime::setFinalizer(Object *obj, std::function<void(Object *)> fn)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    collector_.registerFinalizer(obj, std::move(fn));
+}
+
+size_t
+Runtime::finalizableCount()
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return collector_.finalizableCount();
+}
+
+void
+Runtime::maybeRunFinalizers()
+{
+    if (finalizersPending_.load(std::memory_order_relaxed))
+        runPendingFinalizers();
+}
+
+void
+Runtime::runPendingFinalizers()
+{
+    // One runner at a time; re-entrant requests (a finalizer that
+    // allocates and triggers a collection) are deferred to the
+    // current drain loop.
+    bool expected = false;
+    if (!finalizersRunning_.compare_exchange_strong(expected, true))
+        return;
+    while (true) {
+        std::vector<std::pair<Object *, std::function<void(Object *)>>>
+            pending;
+        {
+            std::lock_guard<std::mutex> guard(lock_);
+            pending = collector_.takePendingFinalizers();
+            if (pending.empty())
+                finalizersPending_.store(false,
+                                         std::memory_order_relaxed);
+        }
+        if (pending.empty())
+            break;
+        // Run outside the lock: finalizers may allocate, root, or
+        // even re-register themselves.
+        for (auto &[obj, finalizer] : pending)
+            finalizer(obj);
+    }
+    finalizersRunning_.store(false);
+}
+
+CollectionResult
+Runtime::collectLocked()
+{
+    CollectionResult result = collector_.collect();
+    if (collector_.hasPendingFinalizers())
+        finalizersPending_.store(true, std::memory_order_relaxed);
+    if (config_.verboseGc) {
+        inform(format(
+            "GC #%llu: marked %llu, swept %llu (%s), live %s, "
+            "%llu violation(s)",
+            static_cast<unsigned long long>(
+                collector_.stats().collections),
+            static_cast<unsigned long long>(result.marked),
+            static_cast<unsigned long long>(result.sweep.freedObjects),
+            humanBytes(result.sweep.freedBytes).c_str(),
+            humanBytes(result.sweep.liveBytes).c_str(),
+            static_cast<unsigned long long>(result.violations)));
+    }
+    return result;
+}
+
+bool
+Runtime::checkInfraEnabled(const char *what)
+{
+    if (config_.infrastructure)
+        return true;
+    if (!warnedInfraOff_) {
+        warnedInfraOff_ = true;
+        warn(format("%s ignored: the assertion infrastructure is "
+                    "disabled in this configuration", what));
+    }
+    return false;
+}
+
+void
+Runtime::assertDead(Object *obj)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!checkInfraEnabled("assert-dead"))
+        return;
+    engine_.assertDead(obj);
+}
+
+void
+Runtime::startRegion(MutatorContext *mutator)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!checkInfraEnabled("start-region"))
+        return;
+    engine_.startRegion(mutator ? *mutator : mutators_.main());
+}
+
+void
+Runtime::assertAllDead(MutatorContext *mutator)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!checkInfraEnabled("assert-alldead"))
+        return;
+    engine_.assertAllDead(mutator ? *mutator : mutators_.main());
+}
+
+void
+Runtime::assertInstances(TypeId type, uint64_t limit)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!checkInfraEnabled("assert-instances"))
+        return;
+    engine_.assertInstances(type, limit);
+}
+
+void
+Runtime::assertVolume(TypeId type, uint64_t bytes)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!checkInfraEnabled("assert-volume"))
+        return;
+    engine_.assertVolume(type, bytes);
+}
+
+void
+Runtime::assertUnshared(Object *obj)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!checkInfraEnabled("assert-unshared"))
+        return;
+    engine_.assertUnshared(obj);
+}
+
+void
+Runtime::assertOwnedBy(Object *owner, Object *ownee)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!checkInfraEnabled("assert-ownedby"))
+        return;
+    engine_.assertOwnedBy(owner, ownee);
+}
+
+void
+Runtime::addRoot(RootNode &node, Object *obj, const char *name)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    roots_.add(node, obj, name);
+}
+
+void
+Runtime::removeRoot(RootNode &node)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    roots_.remove(node);
+}
+
+} // namespace gcassert

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The public facade of the gcassert runtime.
+ *
+ * A Runtime owns a managed heap, a type registry, roots, mutator
+ * contexts, the mark-sweep collector, and the GC-assertion engine.
+ * Programs define types, allocate objects, hold them via rooted
+ * Handles, and add GC assertions that are checked at the next
+ * collection.
+ *
+ * Thread safety: all public entry points serialize on an internal
+ * lock, modelling a stop-the-world runtime. Multithreaded workloads
+ * register one MutatorContext per thread for per-thread region
+ * state (assert-alldead).
+ */
+
+#ifndef GCASSERT_RUNTIME_RUNTIME_H
+#define GCASSERT_RUNTIME_RUNTIME_H
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "assertions/engine.h"
+#include "gc/collector.h"
+#include "gc/mutator.h"
+#include "gc/roots.h"
+#include "heap/heap.h"
+#include "runtime/config.h"
+#include "runtime/handle.h"
+#include "types/type_registry.h"
+
+namespace gcassert {
+
+/**
+ * A complete managed runtime instance.
+ */
+class Runtime {
+  public:
+    explicit Runtime(RuntimeConfig config = {});
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /** @name Component access
+     *  @{ */
+    TypeRegistry &types() { return types_; }
+    Heap &heap() { return heap_; }
+    Collector &collector() { return collector_; }
+    AssertionEngine &engine() { return engine_; }
+    RootRegistry &roots() { return roots_; }
+    MutatorRegistry &mutators() { return mutators_; }
+    const RuntimeConfig &config() const { return config_; }
+    /** @} */
+
+    /** The implicit main-thread mutator. */
+    MutatorContext &mainMutator() { return mutators_.main(); }
+
+    /** Register a mutator context for a worker thread. */
+    MutatorContext &registerMutator(const std::string &name);
+
+    /** @name Allocation
+     *
+     * Allocation may trigger a collection when the heap budget is
+     * exhausted; callers must therefore keep every live object
+     * reachable from a Handle or another live object *before*
+     * allocating again (the usual managed-runtime contract).
+     *  @{ */
+
+    /**
+     * Allocate a fixed-shape instance of @p type.
+     *
+     * @param type A non-array type id.
+     * @param mutator Allocating mutator (nullptr = main), consulted
+     *                for region tracking.
+     * @return The new object (never nullptr; fatal on OOM).
+     */
+    Object *allocRaw(TypeId type, MutatorContext *mutator = nullptr);
+
+    /**
+     * Allocate an instance of array type @p type with @p length
+     * reference slots.
+     */
+    Object *allocArrayRaw(TypeId type, uint32_t length,
+                          MutatorContext *mutator = nullptr);
+
+    /**
+     * Allocate an instance of scalar-array type @p type with
+     * @p scalar_bytes of payload and no reference slots (the analog
+     * of a Java char[]/byte[]).
+     */
+    Object *allocScalarRaw(TypeId type, uint32_t scalar_bytes,
+                           MutatorContext *mutator = nullptr);
+
+    /**
+     * Rooted allocation: allocate and register the handle's root
+     * under a single lock acquisition, so concurrent mutators can
+     * never collect the new object before it is rooted. This is the
+     * thread-safe allocation entry point; allocRaw returns an
+     * unrooted pointer the caller must protect before the next
+     * allocation.
+     */
+    Handle alloc(TypeId type, MutatorContext *mutator = nullptr);
+    Handle allocArray(TypeId type, uint32_t length,
+                      MutatorContext *mutator = nullptr);
+
+    /** @} */
+
+    /** Trigger a full collection now. */
+    CollectionResult collect();
+
+    /**
+     * Register (or clear, with an empty function) a finalizer for
+     * @p obj. Finalizers run after the collection that found the
+     * object unreachable, outside the GC-time accounting; the
+     * object (and its subtree) survives that collection and may be
+     * resurrected by the finalizer re-rooting it, otherwise it dies
+     * at the next one.
+     */
+    void setFinalizer(Object *obj, std::function<void(Object *)> fn);
+
+    /** Objects with a registered, not-yet-run finalizer. */
+    size_t finalizableCount();
+
+    /** @name GC assertions (paper section 2)
+     *  @{ */
+
+    /** assert-dead(p): @p obj must be unreachable at the next GC. */
+    void assertDead(Object *obj);
+
+    /** start-region() on @p mutator (nullptr = main). */
+    void startRegion(MutatorContext *mutator = nullptr);
+
+    /** assert-alldead() on @p mutator (nullptr = main). */
+    void assertAllDead(MutatorContext *mutator = nullptr);
+
+    /** assert-instances(T, I). */
+    void assertInstances(TypeId type, uint64_t limit);
+
+    /** assert-volume(T, B): live T bytes must stay within budget. */
+    void assertVolume(TypeId type, uint64_t bytes);
+
+    /** assert-unshared(p). */
+    void assertUnshared(Object *obj);
+
+    /** assert-ownedby(owner, ownee). */
+    void assertOwnedBy(Object *owner, Object *ownee);
+
+    /** @} */
+
+    /** Violations reported so far. */
+    const std::vector<Violation> &violations() const
+    {
+        return engine_.violations();
+    }
+
+    GcStats &gcStats() { return collector_.stats(); }
+    AssertionStats &assertionStats() { return engine_.stats(); }
+
+    /** Total collections run. */
+    uint64_t collections() const { return collector_.stats().collections; }
+
+    /**
+     * Register a hook invoked on every allocation (used by the
+     * leak-detector baselines). Adds per-allocation cost only while
+     * at least one hook is registered.
+     */
+    void addAllocHook(std::function<void(Object *)> hook);
+
+    /** Register a hook invoked on every swept object. */
+    void addFreeHook(std::function<void(Object *)> hook);
+
+    /** True if any mutator currently has an open region (used by the
+     *  heap verifier to validate region bits). */
+    bool mainMutatorInRegionOrAny();
+
+  private:
+    friend class Handle;
+
+    /** Allocation core; assumes the lock is held. */
+    Object *allocLocked(TypeId type, uint32_t num_refs,
+                        uint32_t scalar_bytes, MutatorContext *mutator);
+
+    /** Collection core; assumes the lock is held. */
+    CollectionResult collectLocked();
+
+    /** Warn once if an assertion is used with infrastructure off. */
+    bool checkInfraEnabled(const char *what);
+
+    /** Handle support (locks internally). */
+    void addRoot(RootNode &node, Object *obj, const char *name);
+    void removeRoot(RootNode &node);
+
+    RuntimeConfig config_;
+    TypeRegistry types_;
+    Heap heap_;
+    RootRegistry roots_;
+    MutatorRegistry mutators_;
+    AssertionEngine engine_;
+    Collector collector_;
+
+    /** Run finalizers queued by the most recent collection. */
+    void runPendingFinalizers();
+
+    /** Drain pending finalizers if any are queued (lock-free check). */
+    void maybeRunFinalizers();
+
+    std::mutex lock_;
+    bool warnedInfraOff_ = false;
+    std::vector<std::function<void(Object *)>> allocHooks_;
+    std::atomic<bool> finalizersPending_{false};
+    std::atomic<bool> finalizersRunning_{false};
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_RUNTIME_RUNTIME_H

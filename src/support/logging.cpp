@@ -1,0 +1,114 @@
+#include "support/logging.h"
+
+#include <cstdio>
+
+namespace gcassert {
+
+namespace {
+
+/** Default sink: prints to stderr with a level prefix. */
+class StderrSink : public LogSink {
+  public:
+    void
+    write(const LogRecord &record) override
+    {
+        std::fprintf(stderr, "[%s] %s\n", logLevelName(record.level),
+                     record.message.c_str());
+    }
+};
+
+StderrSink defaultSink;
+LogSink *currentSink = &defaultSink;
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+LogSink *
+setLogSink(LogSink *sink)
+{
+    LogSink *old = currentSink;
+    currentSink = sink ? sink : &defaultSink;
+    return old == &defaultSink ? nullptr : old;
+}
+
+void
+logEmit(LogLevel level, const std::string &message)
+{
+    currentSink->write(LogRecord{level, message});
+}
+
+void
+inform(const std::string &message)
+{
+    logEmit(LogLevel::Info, message);
+}
+
+void
+warn(const std::string &message)
+{
+    logEmit(LogLevel::Warn, message);
+}
+
+void
+fatal(const std::string &message)
+{
+    logEmit(LogLevel::Fatal, message);
+    throw FatalError(message);
+}
+
+void
+panic(const std::string &message)
+{
+    logEmit(LogLevel::Panic, message);
+    throw PanicError(message);
+}
+
+CaptureLogSink::CaptureLogSink()
+{
+    previous_ = setLogSink(this);
+}
+
+CaptureLogSink::~CaptureLogSink()
+{
+    setLogSink(previous_);
+}
+
+void
+CaptureLogSink::write(const LogRecord &record)
+{
+    records_.push_back(record);
+    if (forward_ && previous_)
+        previous_->write(record);
+}
+
+size_t
+CaptureLogSink::countAt(LogLevel level) const
+{
+    size_t n = 0;
+    for (const auto &r : records_)
+        if (r.level == level)
+            ++n;
+    return n;
+}
+
+bool
+CaptureLogSink::contains(const std::string &needle) const
+{
+    for (const auto &r : records_)
+        if (r.message.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace gcassert

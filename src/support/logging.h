@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the gcassert runtime.
+ *
+ * The idiom follows the gem5 convention: inform() for status messages,
+ * warn() for suspicious-but-recoverable conditions, fatal() for user
+ * errors (bad configuration, misuse of the API), and panic() for
+ * internal invariant failures that indicate a bug in the runtime
+ * itself.
+ *
+ * All output is routed through a LogSink so tests can capture and
+ * inspect messages (e.g. assertion-violation warnings) without
+ * scraping stderr.
+ */
+
+#ifndef GCASSERT_SUPPORT_LOGGING_H
+#define GCASSERT_SUPPORT_LOGGING_H
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/** Severity classes for log records. */
+enum class LogLevel {
+    Info,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/** @return a short human-readable name for a log level. */
+const char *logLevelName(LogLevel level);
+
+/**
+ * A single emitted log record. Tests register a sink to collect these.
+ */
+struct LogRecord {
+    LogLevel level;
+    std::string message;
+};
+
+/**
+ * Destination for log records. By default records go to stderr; a
+ * capturing sink may be installed (scoped) to intercept them.
+ */
+class LogSink {
+  public:
+    virtual ~LogSink() = default;
+
+    /** Consume one record. */
+    virtual void write(const LogRecord &record) = 0;
+};
+
+/**
+ * Install @p sink as the global log destination.
+ *
+ * @param sink New sink, or nullptr to restore the default
+ *             stderr-printing sink.
+ * @return The previously installed sink (nullptr if it was the
+ *         default).
+ */
+LogSink *setLogSink(LogSink *sink);
+
+/** Emit a record through the current sink. */
+void logEmit(LogLevel level, const std::string &message);
+
+/** Status message: something users should know but not worry about. */
+void inform(const std::string &message);
+
+/** Possible problem: execution continues. */
+void warn(const std::string &message);
+
+/**
+ * Unrecoverable *user* error (bad config, API misuse).
+ * Throws FatalError so callers and tests can observe it.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Unrecoverable *internal* error (runtime bug).
+ * Throws PanicError; never expected in a correct build.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+/** Exception thrown by fatal(). */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Exception thrown by panic(). */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/**
+ * RAII sink that records everything emitted while it is alive.
+ * Used heavily by the test suite to check warning text.
+ */
+class CaptureLogSink : public LogSink {
+  public:
+    CaptureLogSink();
+    ~CaptureLogSink() override;
+
+    void write(const LogRecord &record) override;
+
+    /** All records captured so far. */
+    const std::vector<LogRecord> &records() const { return records_; }
+
+    /** @return number of records at the given level. */
+    size_t countAt(LogLevel level) const;
+
+    /** @return true if any captured message contains @p needle. */
+    bool contains(const std::string &needle) const;
+
+    /** Drop all captured records. */
+    void clear() { records_.clear(); }
+
+    /** Also forward records to the previous sink (default: off). */
+    void setForward(bool forward) { forward_ = forward; }
+
+  private:
+    std::vector<LogRecord> records_;
+    LogSink *previous_;
+    bool forward_ = false;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_LOGGING_H

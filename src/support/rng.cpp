@@ -1,0 +1,4 @@
+#include "support/rng.h"
+
+// Rng is header-only; this translation unit exists to anchor the
+// library target and catch header self-containment regressions.

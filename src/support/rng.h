@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and
+ * property tests.
+ *
+ * Workloads must be reproducible run-to-run so that Base /
+ * Infrastructure / WithAssertions configurations execute identical
+ * allocation sequences; std::mt19937_64 seeded explicitly satisfies
+ * that, but we wrap it so the convenience helpers (ranges, picks,
+ * bernoulli draws) are uniform across the code base.
+ */
+
+#ifndef GCASSERT_SUPPORT_RNG_H
+#define GCASSERT_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace gcassert {
+
+/**
+ * Deterministic RNG with workload-friendly helpers.
+ */
+class Rng {
+  public:
+    /** Seed explicitly; identical seeds yield identical streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+    /** Uniform 64-bit value. */
+    uint64_t next() { return engine_(); }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        if (bound == 0)
+            panic("Rng::below called with bound 0");
+        return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        if (lo > hi)
+            panic("Rng::range called with lo > hi");
+        return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+    }
+
+    /** Uniform double in [0, 1). */
+    double real() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return real() < p; }
+
+    /** Uniformly pick an element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &items)
+    {
+        if (items.empty())
+            panic("Rng::pick called on empty vector");
+        return items[below(items.size())];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            size_t j = below(i);
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_RNG_H

@@ -1,0 +1,148 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace gcassert {
+
+void
+SampleSet::add(double value)
+{
+    samples_.push_back(value);
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        panic("SampleSet::mean on empty set");
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    double m = mean();
+    double acc = 0.0;
+    for (double s : samples_)
+        acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double
+SampleSet::min() const
+{
+    if (samples_.empty())
+        panic("SampleSet::min on empty set");
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSet::max() const
+{
+    if (samples_.empty())
+        panic("SampleSet::max on empty set");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSet::ciHalfWidth(double confidence) const
+{
+    size_t n = samples_.size();
+    if (n < 2)
+        return 0.0;
+    double t = tCritical(confidence, n - 1);
+    return t * stddev() / std::sqrt(static_cast<double>(n));
+}
+
+double
+SampleSet::median() const
+{
+    return percentile(50.0);
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    if (samples_.empty())
+        panic("SampleSet::percentile on empty set");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted[0];
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        panic("geomean of empty vector");
+    double logSum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geomean requires positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+tCritical(double confidence, size_t dof)
+{
+    // Two-sided critical values for common dof; the harness runs
+    // each benchmark a fixed number of times so a small table
+    // suffices. Index 0 corresponds to dof = 1.
+    static const double t90[] = {
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+        1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+        1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+        1.701, 1.699, 1.697,
+    };
+    static const double t95[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042,
+    };
+    const double *table = nullptr;
+    double asymptote = 0.0;
+    if (confidence == 0.90) {
+        table = t90;
+        asymptote = 1.645;
+    } else if (confidence == 0.95) {
+        table = t95;
+        asymptote = 1.960;
+    } else {
+        // Normal approximation for unusual confidence levels.
+        // Inverse error function via Winitzki's approximation.
+        double p = 1.0 - (1.0 - confidence) / 2.0;
+        double x = 2.0 * p - 1.0;
+        const double a = 0.147;
+        double ln = std::log(1.0 - x * x);
+        double term = 2.0 / (M_PI * a) + ln / 2.0;
+        double erfinv =
+            std::copysign(std::sqrt(std::sqrt(term * term - ln / a) - term),
+                          x);
+        return std::sqrt(2.0) * erfinv;
+    }
+    if (dof == 0)
+        return table[0];
+    if (dof <= 30)
+        return table[dof - 1];
+    return asymptote;
+}
+
+} // namespace gcassert

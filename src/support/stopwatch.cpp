@@ -1,0 +1,53 @@
+#include "support/stopwatch.h"
+
+namespace gcassert {
+
+uint64_t
+nowNanos()
+{
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+void
+Stopwatch::start()
+{
+    if (running_)
+        return;
+    startedAt_ = nowNanos();
+    running_ = true;
+}
+
+void
+Stopwatch::stop()
+{
+    if (!running_)
+        return;
+    accumulated_ += nowNanos() - startedAt_;
+    running_ = false;
+}
+
+void
+Stopwatch::reset()
+{
+    accumulated_ = 0;
+    running_ = false;
+}
+
+uint64_t
+Stopwatch::elapsedNanos() const
+{
+    uint64_t total = accumulated_;
+    if (running_)
+        total += nowNanos() - startedAt_;
+    return total;
+}
+
+double
+Stopwatch::elapsedSeconds() const
+{
+    return static_cast<double>(elapsedNanos()) / 1e9;
+}
+
+} // namespace gcassert

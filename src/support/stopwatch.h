@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Wall-clock timing utilities for the GC-phase and mutator-time
+ * accounting used throughout the collector and the bench harness.
+ */
+
+#ifndef GCASSERT_SUPPORT_STOPWATCH_H
+#define GCASSERT_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace gcassert {
+
+/** Monotonic nanosecond timestamp. */
+uint64_t nowNanos();
+
+/**
+ * Restartable stopwatch accumulating elapsed nanoseconds.
+ */
+class Stopwatch {
+  public:
+    /** Begin (or resume) timing. Idempotent while running. */
+    void start();
+
+    /** Stop timing and fold the elapsed span into the total. */
+    void stop();
+
+    /** Discard all accumulated time (also stops). */
+    void reset();
+
+    /** @return true while between start() and stop(). */
+    bool running() const { return running_; }
+
+    /** Accumulated time including a currently running span. */
+    uint64_t elapsedNanos() const;
+
+    /** Accumulated time in seconds. */
+    double elapsedSeconds() const;
+
+  private:
+    uint64_t accumulated_ = 0;
+    uint64_t startedAt_ = 0;
+    bool running_ = false;
+};
+
+/**
+ * RAII span: adds the scope's duration to a Stopwatch on exit.
+ */
+class ScopedTimer {
+  public:
+    explicit ScopedTimer(Stopwatch &watch) : watch_(watch)
+    {
+        watch_.start();
+    }
+
+    ~ScopedTimer() { watch_.stop(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Stopwatch &watch_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_STOPWATCH_H

@@ -1,0 +1,71 @@
+#include "support/strutil.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace gcassert {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.resize(static_cast<size_t>(needed));
+    }
+    va_end(args);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+humanBytes(uint64_t bytes)
+{
+    static const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < sizeof(units) / sizeof(units[0])) {
+        value /= 1024.0;
+        ++unit;
+    }
+    if (unit == 0)
+        return format("%llu B", static_cast<unsigned long long>(bytes));
+    return format("%.1f %s", value, units[unit]);
+}
+
+std::string
+percentDelta(double ratio)
+{
+    double pct = (ratio - 1.0) * 100.0;
+    return format("%+.2f%%", pct);
+}
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s.substr(0, width);
+    std::string out = s;
+    out.append(width - s.size(), ' ');
+    return out;
+}
+
+} // namespace gcassert

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small string-formatting helpers shared by the reporting code and
+ * the bench harness.
+ */
+
+#ifndef GCASSERT_SUPPORT_STRUTIL_H
+#define GCASSERT_SUPPORT_STRUTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Render a byte count as a human-readable string ("12.5 MiB"). */
+std::string humanBytes(uint64_t bytes);
+
+/** Render a fraction as a signed percentage string ("+13.4%"). */
+std::string percentDelta(double ratio);
+
+/** Left-pad/truncate @p s to exactly @p width columns. */
+std::string padRight(const std::string &s, size_t width);
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_STRUTIL_H

@@ -1,0 +1,39 @@
+#include "types/type_descriptor.h"
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+TypeDescriptor::TypeDescriptor(TypeId id, std::string name,
+                               uint32_t fixed_refs, uint32_t scalar_bytes,
+                               bool is_array,
+                               std::vector<std::string> ref_names,
+                               bool weak)
+    : id_(id),
+      name_(std::move(name)),
+      fixedRefs_(fixed_refs),
+      scalarBytes_(scalar_bytes),
+      isArray_(is_array),
+      weak_(weak),
+      refNames_(std::move(ref_names))
+{
+    if (!refNames_.empty() && refNames_.size() != fixedRefs_)
+        fatal(format("type '%s': %zu slot names given for %u slots",
+                     name_.c_str(), refNames_.size(), fixedRefs_));
+    if (weak_ && (fixedRefs_ == 0 || isArray_))
+        fatal(format("type '%s': weak types need a fixed slot 0 to "
+                     "hold the referent", name_.c_str()));
+}
+
+uint32_t
+TypeDescriptor::slotIndex(const std::string &ref_name) const
+{
+    for (size_t i = 0; i < refNames_.size(); ++i)
+        if (refNames_[i] == ref_name)
+            return static_cast<uint32_t>(i);
+    fatal(format("type '%s' has no reference slot named '%s'",
+                 name_.c_str(), ref_name.c_str()));
+}
+
+} // namespace gcassert

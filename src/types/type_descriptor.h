@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Runtime type descriptors — the analog of Jikes RVM's RVMClass.
+ *
+ * A TypeDescriptor records the shape of instances (reference-slot
+ * count and scalar payload size), optional slot names for readable
+ * error paths, and the two words of assert-instances metadata the
+ * paper adds per class: the instance limit and the per-GC instance
+ * count (section 2.4.1).
+ */
+
+#ifndef GCASSERT_TYPES_TYPE_DESCRIPTOR_H
+#define GCASSERT_TYPES_TYPE_DESCRIPTOR_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "heap/object.h"
+
+namespace gcassert {
+
+/** Sentinel meaning no assert-instances limit is set for the type. */
+constexpr uint64_t kNoInstanceLimit =
+    std::numeric_limits<uint64_t>::max();
+
+/** Sentinel meaning no assert-volume limit is set for the type. */
+constexpr uint64_t kNoVolumeLimit =
+    std::numeric_limits<uint64_t>::max();
+
+/**
+ * Describes one runtime type.
+ *
+ * Fixed-shape types have a constant number of reference slots and
+ * scalar bytes; array types have per-instance slot counts (the
+ * descriptor's fixedRefs/scalarBytes then give the element shape
+ * hint and are not used for allocation sizing).
+ */
+class TypeDescriptor {
+  public:
+    TypeDescriptor(TypeId id, std::string name, uint32_t fixed_refs,
+                   uint32_t scalar_bytes, bool is_array,
+                   std::vector<std::string> ref_names,
+                   bool weak = false);
+
+    TypeId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    /** Reference slots of a fixed-shape instance. */
+    uint32_t fixedRefs() const { return fixedRefs_; }
+
+    /** Scalar payload bytes of a fixed-shape instance. */
+    uint32_t scalarBytes() const { return scalarBytes_; }
+
+    /** True for variable-length (array) types. */
+    bool isArray() const { return isArray_; }
+
+    /**
+     * True for weak-reference types: reference slot 0 is a *weak*
+     * edge — the collector does not trace through it, and clears it
+     * when the referent is reclaimed. Remaining slots are strong.
+     */
+    bool isWeak() const { return weak_; }
+
+    /**
+     * Index of the named reference slot.
+     * Calls fatal() if the name is unknown — slot names are part of
+     * the type definition, so a miss is a caller bug surfaced early.
+     */
+    uint32_t slotIndex(const std::string &ref_name) const;
+
+    /** Names of reference slots (may be empty if unnamed). */
+    const std::vector<std::string> &refNames() const { return refNames_; }
+
+    /** @name assert-instances metadata (two words per class)
+     *  @{ */
+    bool tracked() const { return instanceLimit_ != kNoInstanceLimit; }
+    uint64_t instanceLimit() const { return instanceLimit_; }
+    void setInstanceLimit(uint64_t limit) { instanceLimit_ = limit; }
+    void clearInstanceLimit() { instanceLimit_ = kNoInstanceLimit; }
+
+    uint64_t instanceCount() const { return instanceCount_; }
+    void resetInstanceCount()
+    {
+        instanceCount_ = 0;
+        volumeBytes_ = 0;
+    }
+    void
+    bumpInstanceCount(uint64_t bytes = 0)
+    {
+        ++instanceCount_;
+        volumeBytes_ += bytes;
+    }
+    /** @} */
+
+    /** @name assert-volume metadata (section 2.4's "total volume")
+     *  @{ */
+    bool volumeTracked() const { return volumeLimit_ != kNoVolumeLimit; }
+    uint64_t volumeLimit() const { return volumeLimit_; }
+    void setVolumeLimit(uint64_t bytes) { volumeLimit_ = bytes; }
+    void clearVolumeLimit() { volumeLimit_ = kNoVolumeLimit; }
+    uint64_t volumeBytes() const { return volumeBytes_; }
+    /** @} */
+
+  private:
+    TypeId id_;
+    std::string name_;
+    uint32_t fixedRefs_;
+    uint32_t scalarBytes_;
+    bool isArray_;
+    bool weak_;
+    std::vector<std::string> refNames_;
+
+    uint64_t instanceLimit_ = kNoInstanceLimit;
+    uint64_t instanceCount_ = 0;
+    uint64_t volumeLimit_ = kNoVolumeLimit;
+    uint64_t volumeBytes_ = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_TYPES_TYPE_DESCRIPTOR_H

@@ -1,0 +1,168 @@
+#include "types/type_registry.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+TypeBuilder::TypeBuilder(TypeRegistry &registry, std::string name)
+    : registry_(registry), name_(std::move(name))
+{
+}
+
+TypeBuilder &
+TypeBuilder::refs(std::vector<std::string> names)
+{
+    refNames_ = std::move(names);
+    refCount_ = static_cast<uint32_t>(refNames_.size());
+    namedRefs_ = true;
+    return *this;
+}
+
+TypeBuilder &
+TypeBuilder::refCount(uint32_t count)
+{
+    refCount_ = count;
+    namedRefs_ = false;
+    refNames_.clear();
+    return *this;
+}
+
+TypeBuilder &
+TypeBuilder::scalars(uint32_t bytes)
+{
+    scalarBytes_ = bytes;
+    return *this;
+}
+
+TypeBuilder &
+TypeBuilder::array()
+{
+    isArray_ = true;
+    return *this;
+}
+
+TypeBuilder &
+TypeBuilder::weak()
+{
+    weak_ = true;
+    return *this;
+}
+
+TypeId
+TypeBuilder::build()
+{
+    return registry_.registerType(std::move(name_), refCount_,
+                                  scalarBytes_, isArray_,
+                                  std::move(refNames_), weak_);
+}
+
+TypeRegistry::TypeRegistry() = default;
+
+TypeBuilder
+TypeRegistry::define(const std::string &name)
+{
+    return TypeBuilder(*this, name);
+}
+
+TypeId
+TypeRegistry::registerType(std::string name, uint32_t fixed_refs,
+                           uint32_t scalar_bytes, bool is_array,
+                           std::vector<std::string> ref_names, bool weak)
+{
+    if (byName_.count(name))
+        fatal(format("type '%s' is already defined", name.c_str()));
+    TypeId id = static_cast<TypeId>(types_.size());
+    types_.push_back(std::make_unique<TypeDescriptor>(
+        id, name, fixed_refs, scalar_bytes, is_array,
+        std::move(ref_names), weak));
+    byName_.emplace(std::move(name), id);
+    trackedFlags_.push_back(0);
+    weakFlags_.push_back(weak ? 1 : 0);
+    hasWeakTypes_ |= weak;
+    return id;
+}
+
+TypeDescriptor &
+TypeRegistry::get(TypeId id)
+{
+    if (id >= types_.size())
+        panic(format("invalid TypeId %u (registry has %zu types)", id,
+                     types_.size()));
+    return *types_[id];
+}
+
+const TypeDescriptor &
+TypeRegistry::get(TypeId id) const
+{
+    if (id >= types_.size())
+        panic(format("invalid TypeId %u (registry has %zu types)", id,
+                     types_.size()));
+    return *types_[id];
+}
+
+TypeDescriptor *
+TypeRegistry::findByName(const std::string &name)
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : types_[it->second].get();
+}
+
+void
+TypeRegistry::trackInstances(TypeId id, uint64_t limit)
+{
+    TypeDescriptor &desc = get(id);
+    desc.setInstanceLimit(limit);
+    trackedFlags_[id] = 1;
+    if (std::find(trackedTypes_.begin(), trackedTypes_.end(), id) ==
+        trackedTypes_.end())
+        trackedTypes_.push_back(id);
+}
+
+void
+TypeRegistry::untrackInstances(TypeId id)
+{
+    TypeDescriptor &desc = get(id);
+    desc.clearInstanceLimit();
+    if (!desc.volumeTracked()) {
+        trackedFlags_[id] = 0;
+        trackedTypes_.erase(
+            std::remove(trackedTypes_.begin(), trackedTypes_.end(), id),
+            trackedTypes_.end());
+    }
+}
+
+void
+TypeRegistry::trackVolume(TypeId id, uint64_t bytes)
+{
+    TypeDescriptor &desc = get(id);
+    desc.setVolumeLimit(bytes);
+    trackedFlags_[id] = 1;
+    if (std::find(trackedTypes_.begin(), trackedTypes_.end(), id) ==
+        trackedTypes_.end())
+        trackedTypes_.push_back(id);
+}
+
+void
+TypeRegistry::untrackVolume(TypeId id)
+{
+    TypeDescriptor &desc = get(id);
+    desc.clearVolumeLimit();
+    if (!desc.tracked()) {
+        trackedFlags_[id] = 0;
+        trackedTypes_.erase(
+            std::remove(trackedTypes_.begin(), trackedTypes_.end(), id),
+            trackedTypes_.end());
+    }
+}
+
+void
+TypeRegistry::resetInstanceCounts()
+{
+    for (TypeId id : trackedTypes_)
+        get(id).resetInstanceCount();
+}
+
+} // namespace gcassert

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The type registry: defines and looks up runtime types, and keeps
+ * the list of instance-tracked types checked at the end of each GC
+ * (paper section 2.4.1).
+ */
+
+#ifndef GCASSERT_TYPES_TYPE_REGISTRY_H
+#define GCASSERT_TYPES_TYPE_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types/type_descriptor.h"
+
+namespace gcassert {
+
+class TypeRegistry;
+
+/**
+ * Fluent builder for type definitions:
+ *
+ * @code
+ * TypeId order = registry.define("Order")
+ *     .refs({"customer", "items"})
+ *     .scalars(32)
+ *     .build();
+ * @endcode
+ */
+class TypeBuilder {
+  public:
+    TypeBuilder(TypeRegistry &registry, std::string name);
+
+    /** Declare named reference slots. */
+    TypeBuilder &refs(std::vector<std::string> names);
+
+    /** Declare @p count anonymous reference slots. */
+    TypeBuilder &refCount(uint32_t count);
+
+    /** Declare @p bytes of scalar payload. */
+    TypeBuilder &scalars(uint32_t bytes);
+
+    /** Mark the type as a variable-length reference array. */
+    TypeBuilder &array();
+
+    /** Mark the type as a weak reference (slot 0 is the weak edge). */
+    TypeBuilder &weak();
+
+    /** Register the type and return its id. */
+    TypeId build();
+
+  private:
+    TypeRegistry &registry_;
+    std::string name_;
+    std::vector<std::string> refNames_;
+    uint32_t refCount_ = 0;
+    bool namedRefs_ = false;
+    uint32_t scalarBytes_ = 0;
+    bool isArray_ = false;
+    bool weak_ = false;
+};
+
+/**
+ * Registry of all runtime types. TypeIds are dense indices, so the
+ * collector's per-object descriptor lookup is a single array access.
+ */
+class TypeRegistry {
+  public:
+    TypeRegistry();
+
+    /** Begin defining a new type. Names must be unique. */
+    TypeBuilder define(const std::string &name);
+
+    /** Descriptor for @p id. Panics on an invalid id. */
+    TypeDescriptor &get(TypeId id);
+    const TypeDescriptor &get(TypeId id) const;
+
+    /** Descriptor by name, or nullptr if not defined. */
+    TypeDescriptor *findByName(const std::string &name);
+
+    /** Number of defined types. */
+    size_t size() const { return types_.size(); }
+
+    /**
+     * Set an assert-instances limit on @p id and remember the type
+     * in the tracked list.
+     */
+    void trackInstances(TypeId id, uint64_t limit);
+
+    /** Remove the instance limit for @p id. */
+    void untrackInstances(TypeId id);
+
+    /**
+     * Set an assert-volume limit (total live bytes) on @p id and
+     * remember the type in the tracked list.
+     */
+    void trackVolume(TypeId id, uint64_t bytes);
+
+    /** Remove the volume limit for @p id. */
+    void untrackVolume(TypeId id);
+
+    /** Types with an active instance limit. */
+    const std::vector<TypeId> &trackedTypes() const
+    {
+        return trackedTypes_;
+    }
+
+    /**
+     * Dense per-type "is a weak-reference type" flags, indexed by
+     * TypeId, plus a cheap any-weak-types-at-all test for the trace
+     * loop.
+     */
+    const std::vector<uint8_t> &weakFlags() const { return weakFlags_; }
+    bool hasWeakTypes() const { return hasWeakTypes_; }
+
+    /**
+     * Dense per-type "is instance-tracked" flags, indexed by TypeId.
+     * The collector's trace loop consults this instead of the full
+     * descriptor so the common untracked case is one byte load (the
+     * header-bit-cheap spirit of the paper's checks).
+     */
+    const std::vector<uint8_t> &trackedFlags() const
+    {
+        return trackedFlags_;
+    }
+
+    /** Bump the per-GC tallies of @p id (trace-loop fast path). */
+    void
+    bumpInstanceCount(TypeId id, uint64_t bytes)
+    {
+        types_[id]->bumpInstanceCount(bytes);
+    }
+
+    /** Zero the per-GC instance counts of tracked types. */
+    void resetInstanceCounts();
+
+  private:
+    friend class TypeBuilder;
+
+    TypeId registerType(std::string name, uint32_t fixed_refs,
+                        uint32_t scalar_bytes, bool is_array,
+                        std::vector<std::string> ref_names, bool weak);
+
+    std::vector<std::unique_ptr<TypeDescriptor>> types_;
+    std::unordered_map<std::string, TypeId> byName_;
+    std::vector<TypeId> trackedTypes_;
+    std::vector<uint8_t> trackedFlags_;
+    std::vector<uint8_t> weakFlags_;
+    bool hasWeakTypes_ = false;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_TYPES_TYPE_REGISTRY_H

@@ -1,0 +1,102 @@
+#include "workloads/driver.h"
+
+#include <memory>
+
+#include "support/logging.h"
+#include "support/stopwatch.h"
+
+namespace gcassert {
+
+const char *
+benchConfigName(BenchConfig config)
+{
+    switch (config) {
+      case BenchConfig::Base: return "Base";
+      case BenchConfig::Infrastructure: return "Infrastructure";
+      case BenchConfig::WithAssertions: return "WithAssertions";
+    }
+    return "?";
+}
+
+namespace {
+
+RuntimeConfig
+runtimeConfigFor(BenchConfig config, uint64_t heap_bytes)
+{
+    switch (config) {
+      case BenchConfig::Base:
+        return RuntimeConfig::base(heap_bytes);
+      case BenchConfig::Infrastructure:
+      case BenchConfig::WithAssertions:
+        return RuntimeConfig::infra(heap_bytes);
+    }
+    return RuntimeConfig::base(heap_bytes);
+}
+
+} // namespace
+
+RunSummary
+runWorkload(const std::string &workload_name, BenchConfig config,
+            const DriverOptions &options)
+{
+    RunSummary summary;
+    summary.workload = workload_name;
+    summary.config = config;
+
+    std::unique_ptr<CaptureLogSink> capture;
+    if (options.captureLog)
+        capture = std::make_unique<CaptureLogSink>();
+
+    for (uint32_t repeat = 0; repeat < options.repeats; ++repeat) {
+        std::unique_ptr<Workload> workload =
+            WorkloadRegistry::instance().create(workload_name);
+
+        uint64_t heap_bytes = options.heapBytesOverride
+            ? options.heapBytesOverride
+            : 2 * workload->minHeapBytes();
+        summary.heapBytes = heap_bytes;
+
+        Runtime runtime(runtimeConfigFor(config, heap_bytes));
+        workload->setup(runtime);
+        if (config == BenchConfig::WithAssertions)
+            workload->enableAssertions(runtime);
+
+        for (uint32_t i = 0; i < options.warmupIterations; ++i)
+            workload->iterate(runtime);
+
+        // Measured window.
+        uint64_t gc_nanos_before =
+            runtime.gcStats().totalGc.elapsedNanos();
+        uint64_t collections_before = runtime.collections();
+        uint64_t wall_before = nowNanos();
+        for (uint32_t i = 0; i < options.measuredIterations; ++i)
+            workload->iterate(runtime);
+        uint64_t wall_after = nowNanos();
+        uint64_t gc_nanos_after =
+            runtime.gcStats().totalGc.elapsedNanos();
+
+        double total = static_cast<double>(wall_after - wall_before) / 1e9;
+        double gc =
+            static_cast<double>(gc_nanos_after - gc_nanos_before) / 1e9;
+        summary.totalSeconds.add(total);
+        summary.gcSeconds.add(gc);
+        summary.mutatorSeconds.add(total - gc);
+        summary.collections = runtime.collections() - collections_before;
+
+        if (repeat == options.repeats - 1) {
+            summary.violations =
+                runtime.assertionStats().violationsReported;
+            summary.assertStats = runtime.assertionStats();
+            uint64_t gcs = runtime.collections();
+            summary.owneeChecksPerGc = gcs
+                ? static_cast<double>(runtime.gcStats().owneeChecks) /
+                    static_cast<double>(gcs)
+                : 0.0;
+        }
+
+        workload->teardown(runtime);
+    }
+    return summary;
+}
+
+} // namespace gcassert

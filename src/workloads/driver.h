@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The benchmark driver: runs workloads under the paper's three
+ * configurations and collects timing samples with the paper's
+ * methodology (heap fixed at 2x the workload minimum, warmup
+ * iterations before the measured one, repeated runs, 90% CIs).
+ */
+
+#ifndef GCASSERT_WORKLOADS_DRIVER_H
+#define GCASSERT_WORKLOADS_DRIVER_H
+
+#include <cstdint>
+#include <string>
+
+#include "assertions/assertion_table.h"
+#include "support/stats.h"
+#include "workloads/registry.h"
+
+namespace gcassert {
+
+/** The paper's benchmark configurations (Figures 2-5). */
+enum class BenchConfig {
+    /** Unmodified collector: no assertion infrastructure. */
+    Base,
+    /** Infrastructure compiled in, no assertions added. */
+    Infrastructure,
+    /** Infrastructure plus the workload's assertions. */
+    WithAssertions,
+};
+
+/** Display name ("Base", "Infrastructure", "WithAssertions"). */
+const char *benchConfigName(BenchConfig config);
+
+/** Driver knobs. */
+struct DriverOptions {
+    /** Iterations run before measurement (the paper uses 3). */
+    uint32_t warmupIterations = 3;
+    /** Iterations in the measured window. */
+    uint32_t measuredIterations = 1;
+    /** Independent repeats (fresh runtime each). */
+    uint32_t repeats = 10;
+    /** Swallow warnings during runs (violations still counted). */
+    bool captureLog = true;
+    /** Heap budget override in bytes; 0 = 2x workload minimum. */
+    uint64_t heapBytesOverride = 0;
+};
+
+/** Aggregated result of repeated runs of one (workload, config). */
+struct RunSummary {
+    std::string workload;
+    BenchConfig config = BenchConfig::Base;
+
+    /** Measured-window wall-clock seconds, one sample per repeat. */
+    SampleSet totalSeconds;
+    /** GC seconds within the measured window. */
+    SampleSet gcSeconds;
+    /** Mutator seconds (total - gc). */
+    SampleSet mutatorSeconds;
+
+    /** Collections during the last repeat's measured window. */
+    uint64_t collections = 0;
+    /** Violations reported during the last repeat (whole run). */
+    uint64_t violations = 0;
+    /** Assertion activity of the last repeat (whole run). */
+    AssertionStats assertStats;
+    /** Average ownee checks per GC in the last repeat. */
+    double owneeChecksPerGc = 0.0;
+    /** Heap budget used. */
+    uint64_t heapBytes = 0;
+};
+
+/**
+ * Run @p workload_name under @p config.
+ *
+ * Each repeat constructs a fresh runtime and workload, runs the
+ * warmup iterations, then times the measured iterations.
+ */
+RunSummary runWorkload(const std::string &workload_name,
+                       BenchConfig config,
+                       const DriverOptions &options = {});
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_DRIVER_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * jbbemu — the SPEC JBB2000 / pseudojbb analog.
+ *
+ * Emulates the three-tier order-processing benchmark: a Company of
+ * Warehouses, each with Districts whose orderTable is a managed
+ * B-tree (longBTree) keyed by order id; Customers place Orders that
+ * are inserted into the table and later processed and destroyed by
+ * delivery transactions. The main loop destroys and recreates the
+ * Company each iteration, exactly like pseudojbb.
+ *
+ * The three defects the paper found in SPEC JBB2000 are seeded and
+ * individually toggleable (section 3.2.1):
+ *
+ *  1. Customer.lastOrder keeps destroyed Orders reachable
+ *     (fixCustomerLastOrder repairs it).
+ *  2. The oldCompany local keeps the previous Company live through
+ *     the whole next iteration — memory drag
+ *     (fixOldCompanyDrag repairs it).
+ *  3. Orders are never removed from the orderTable during delivery —
+ *     the Jump & McKinley leak (removeFromOrderTable repairs it).
+ */
+
+#ifndef GCASSERT_WORKLOADS_JBBEMU_H
+#define GCASSERT_WORKLOADS_JBBEMU_H
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace gcassert {
+
+/** Leak toggles and scale knobs for jbbemu. */
+struct JbbOptions {
+    /** Clear Customer.lastOrder when its Order is destroyed. */
+    bool fixCustomerLastOrder = true;
+    /** Null the oldCompany reference after destroying it. */
+    bool fixOldCompanyDrag = true;
+    /** Remove delivered Orders from the orderTable. */
+    bool removeFromOrderTable = true;
+
+    /** assert-dead destroyed Orders (paper's first experiment). */
+    bool assertDeadOnDestroy = true;
+    /** assert-ownedby(orderTable, order) on insert (second). */
+    bool assertOwnership = true;
+    /** assert-instances(Company, 1) (third). */
+    bool assertCompanySingleton = true;
+    /** assert-dead the previous Company when it is destroyed. */
+    bool assertDeadOldCompany = true;
+
+    /**
+     * Destroy and recreate the Company every N iterate() calls. The
+     * real pseudojbb rebuilds once per (multi-minute) benchmark
+     * iteration; our iterations are milliseconds, so the perf
+     * default rebuilds less often to keep the company churn rate
+     * proportionate.
+     */
+    uint32_t iterationsPerCompany = 1;
+
+    uint32_t warehouses = 2;
+    uint32_t districtsPerWarehouse = 5;
+    uint32_t customers = 200;
+    uint32_t initialOrdersPerDistrict = 200;
+    uint32_t transactionsPerIteration = 20000;
+};
+
+/** Factory with explicit options (tests, qualitative benches). */
+std::unique_ptr<Workload> makeJbbEmuWithOptions(const JbbOptions &options);
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_JBBEMU_H

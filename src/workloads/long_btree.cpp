@@ -1,0 +1,459 @@
+#include "workloads/long_btree.h"
+
+#include "runtime/handle.h"
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+// Node scalar layout: [0] numKeys, [8] isLeaf, [16..] keys[kMaxKeys].
+// Tree scalar layout: [0] size.
+namespace {
+constexpr uint32_t kOffNumKeys = 0;
+constexpr uint32_t kOffIsLeaf = 8;
+constexpr uint32_t kOffKeys = 16;
+} // namespace
+
+LongBTreeOps::LongBTreeOps(Runtime &runtime, const std::string &prefix)
+    : runtime_(runtime)
+{
+    treeType_ = runtime_.types()
+                    .define(prefix + "longBTree")
+                    .refs({"root"})
+                    .scalars(8)
+                    .build();
+    nodeType_ = runtime_.types()
+                    .define(prefix + "longBTreeNode")
+                    .refs({"slots"})
+                    .scalars(kOffKeys + 8 * kMaxKeys)
+                    .build();
+    arrayType_ =
+        runtime_.types().define(prefix + "BTreeObject[]").array().build();
+}
+
+Object *
+LongBTreeOps::create() const
+{
+    Object *tree = runtime_.allocRaw(treeType_);
+    tree->setScalar<uint64_t>(0, 0);
+    return tree;
+}
+
+Object *
+LongBTreeOps::slots(const Object *node) const
+{
+    return node->ref(0);
+}
+
+uint64_t
+LongBTreeOps::numKeys(const Object *node) const
+{
+    return node->scalar<uint64_t>(kOffNumKeys);
+}
+
+void
+LongBTreeOps::setNumKeys(Object *node, uint64_t n) const
+{
+    node->setScalar<uint64_t>(kOffNumKeys, n);
+}
+
+bool
+LongBTreeOps::isLeaf(const Object *node) const
+{
+    return node->scalar<uint64_t>(kOffIsLeaf) != 0;
+}
+
+int64_t
+LongBTreeOps::key(const Object *node, uint32_t i) const
+{
+    return node->scalar<int64_t>(kOffKeys + 8 * i);
+}
+
+void
+LongBTreeOps::setKey(Object *node, uint32_t i, int64_t k) const
+{
+    node->setScalar<int64_t>(kOffKeys + 8 * i, k);
+}
+
+Object *
+LongBTreeOps::allocNode(bool leaf) const
+{
+    Object *node = runtime_.allocRaw(nodeType_);
+    Handle guard(runtime_, node, "btree.node");
+    Object *array = runtime_.allocArrayRaw(arrayType_, kMaxKeys + 1);
+    node->setRef(0, array);
+    node->setScalar<uint64_t>(kOffNumKeys, 0);
+    node->setScalar<uint64_t>(kOffIsLeaf, leaf ? 1 : 0);
+    return node;
+}
+
+uint64_t
+LongBTreeOps::size(const Object *tree) const
+{
+    return tree->scalar<uint64_t>(0);
+}
+
+Object *
+LongBTreeOps::lookup(const Object *tree, int64_t key_sought) const
+{
+    Object *node = tree->ref(0);
+    while (node) {
+        uint64_t n = numKeys(node);
+        if (isLeaf(node)) {
+            for (uint32_t i = 0; i < n; ++i)
+                if (key(node, i) == key_sought)
+                    return slots(node)->ref(i);
+            return nullptr;
+        }
+        uint32_t i = 0;
+        while (i < n && key_sought >= key(node, i))
+            ++i;
+        node = slots(node)->ref(i);
+    }
+    return nullptr;
+}
+
+void
+LongBTreeOps::insert(Object *tree, int64_t new_key, Object *value) const
+{
+    Handle guard_tree(runtime_, tree, "btree.tree");
+    Handle guard_value(runtime_, value, "btree.value");
+
+    Object *root = tree->ref(0);
+    if (!root) {
+        Object *leaf = allocNode(true);
+        slots(leaf)->setRef(0, value);
+        setKey(leaf, 0, new_key);
+        setNumKeys(leaf, 1);
+        tree->setRef(0, leaf);
+        tree->setScalar<uint64_t>(0, 1);
+        return;
+    }
+
+    // Replacement of an existing key does not change the size.
+    if (lookup(tree, new_key)) {
+        replaceExisting(tree, new_key, value);
+        return;
+    }
+
+    SplitResult r = insertRec(root, new_key, value);
+    if (r.split) {
+        Handle guard_right(runtime_, r.right, "btree.split");
+        Object *new_root = allocNode(false);
+        slots(new_root)->setRef(0, tree->ref(0));
+        slots(new_root)->setRef(1, r.right);
+        setKey(new_root, 0, r.midKey);
+        setNumKeys(new_root, 1);
+        tree->setRef(0, new_root);
+    }
+    tree->setScalar<uint64_t>(0, size(tree) + 1);
+}
+
+LongBTreeOps::SplitResult
+LongBTreeOps::insertRec(Object *node, int64_t new_key,
+                        Object *value) const
+{
+    uint64_t n = numKeys(node);
+
+    if (isLeaf(node)) {
+        if (n < kMaxKeys) {
+            // Room: shift and insert.
+            uint32_t pos = 0;
+            while (pos < n && key(node, pos) < new_key)
+                ++pos;
+            Object *array = slots(node);
+            for (uint32_t i = static_cast<uint32_t>(n); i > pos; --i) {
+                setKey(node, i, key(node, i - 1));
+                array->setRef(i, array->ref(i - 1));
+            }
+            setKey(node, pos, new_key);
+            array->setRef(pos, value);
+            setNumKeys(node, n + 1);
+            return SplitResult{};
+        }
+
+        // Full leaf: split, then insert into the proper half.
+        Object *right = allocNode(true);
+        Handle guard(runtime_, right, "btree.leafsplit");
+        uint32_t half = kMaxKeys / 2;
+        Object *left_array = slots(node);
+        Object *right_array = slots(right);
+        for (uint32_t i = half; i < kMaxKeys; ++i) {
+            setKey(right, i - half, key(node, i));
+            right_array->setRef(i - half, left_array->ref(i));
+            left_array->setRef(i, nullptr);
+        }
+        setNumKeys(node, half);
+        setNumKeys(right, kMaxKeys - half);
+
+        Object *target = new_key >= key(right, 0) ? right : node;
+        // Recurse exactly one level: the target has room now.
+        SplitResult inner = insertRec(target, new_key, value);
+        if (inner.split)
+            panic("longBTree: split target was full after split");
+        return SplitResult{true, key(right, 0), right};
+    }
+
+    // Internal node: descend.
+    uint32_t child_idx = 0;
+    while (child_idx < n && new_key >= key(node, child_idx))
+        ++child_idx;
+    Object *child = slots(node)->ref(child_idx);
+    SplitResult r = insertRec(child, new_key, value);
+    if (!r.split)
+        return SplitResult{};
+
+    Handle guard_right(runtime_, r.right, "btree.childsplit");
+
+    if (n < kMaxKeys) {
+        // Room for the new separator and child.
+        Object *array = slots(node);
+        for (uint32_t i = static_cast<uint32_t>(n); i > child_idx; --i) {
+            setKey(node, i, key(node, i - 1));
+            array->setRef(i + 1, array->ref(i));
+        }
+        setKey(node, child_idx, r.midKey);
+        array->setRef(child_idx + 1, r.right);
+        setNumKeys(node, n + 1);
+        return SplitResult{};
+    }
+
+    // Full internal node: build the combined entry list natively
+    // (raw pointers are safe here — no allocation happens until the
+    // new right node exists, and it is allocated first).
+    Object *right = allocNode(false);
+    Handle guard_new(runtime_, right, "btree.internalsplit");
+
+    int64_t all_keys[kMaxKeys + 1];
+    Object *all_children[kMaxKeys + 2];
+    Object *array = slots(node);
+    for (uint32_t i = 0; i < kMaxKeys; ++i)
+        all_keys[i] = key(node, i);
+    for (uint32_t i = 0; i <= kMaxKeys; ++i)
+        all_children[i] = array->ref(i);
+    // Splice in the new separator/child at child_idx.
+    for (uint32_t i = kMaxKeys; i > child_idx; --i)
+        all_keys[i] = all_keys[i - 1];
+    for (uint32_t i = kMaxKeys + 1; i > child_idx + 1; --i)
+        all_children[i] = all_children[i - 1];
+    all_keys[child_idx] = r.midKey;
+    all_children[child_idx + 1] = r.right;
+
+    // Distribute: left keeps [0, mid), right gets (mid, kMaxKeys];
+    // all_keys[mid] moves up as the separator.
+    uint32_t mid = (kMaxKeys + 1) / 2;
+    Object *right_array = slots(right);
+    for (uint32_t i = 0; i < mid; ++i) {
+        setKey(node, i, all_keys[i]);
+        array->setRef(i, all_children[i]);
+    }
+    array->setRef(mid, all_children[mid]);
+    for (uint32_t i = mid + 1; i <= kMaxKeys; ++i)
+        array->setRef(i, nullptr);
+    setNumKeys(node, mid);
+
+    uint32_t right_n = kMaxKeys - mid;
+    for (uint32_t i = 0; i < right_n; ++i) {
+        setKey(right, i, all_keys[mid + 1 + i]);
+        right_array->setRef(i, all_children[mid + 1 + i]);
+    }
+    right_array->setRef(right_n, all_children[kMaxKeys + 1]);
+    setNumKeys(right, right_n);
+
+    return SplitResult{true, all_keys[mid], right};
+}
+
+Object *
+LongBTreeOps::remove(Object *tree, int64_t key_sought) const
+{
+    Object *root = tree->ref(0);
+    if (!root)
+        return nullptr;
+    RemoveResult r = removeRec(root, key_sought);
+    if (!r.value)
+        return nullptr;
+    if (r.childEmptied) {
+        tree->setRef(0, nullptr);
+    } else if (!isLeaf(root) && numKeys(root) == 0) {
+        // Collapse a root with a single child to shrink the height.
+        tree->setRef(0, slots(root)->ref(0));
+    }
+    tree->setScalar<uint64_t>(0, size(tree) - 1);
+    return r.value;
+}
+
+LongBTreeOps::RemoveResult
+LongBTreeOps::removeRec(Object *node, int64_t key_sought) const
+{
+    uint64_t n = numKeys(node);
+    Object *array = slots(node);
+
+    if (isLeaf(node)) {
+        for (uint32_t i = 0; i < n; ++i) {
+            if (key(node, i) == key_sought) {
+                Object *value = array->ref(i);
+                for (uint32_t j = i + 1; j < n; ++j) {
+                    setKey(node, j - 1, key(node, j));
+                    array->setRef(j - 1, array->ref(j));
+                }
+                array->setRef(static_cast<uint32_t>(n - 1), nullptr);
+                setNumKeys(node, n - 1);
+                return RemoveResult{value, n - 1 == 0};
+            }
+        }
+        return RemoveResult{};
+    }
+
+    uint32_t child_idx = 0;
+    while (child_idx < n && key_sought >= key(node, child_idx))
+        ++child_idx;
+    Object *child = array->ref(child_idx);
+    RemoveResult r = removeRec(child, key_sought);
+    if (!r.value)
+        return RemoveResult{};
+    if (r.childEmptied) {
+        if (n == 0) {
+            // Zero-key internal node (lazy-deletion artifact) whose
+            // only child emptied: this node is now empty too.
+            array->setRef(0, nullptr);
+            return RemoveResult{r.value, true};
+        }
+        // Prune the emptied child and one adjoining separator. At
+        // least one child remains afterwards, so this node survives.
+        uint32_t key_idx = child_idx > 0 ? child_idx - 1 : 0;
+        for (uint32_t j = key_idx + 1; j < n; ++j)
+            setKey(node, j - 1, key(node, j));
+        for (uint32_t j = child_idx + 1; j <= n; ++j)
+            array->setRef(j - 1, array->ref(j));
+        array->setRef(static_cast<uint32_t>(n), nullptr);
+        setNumKeys(node, n - 1);
+        return RemoveResult{r.value, false};
+    }
+    return RemoveResult{r.value, false};
+}
+
+void
+LongBTreeOps::replaceExisting(Object *tree, int64_t key_sought,
+                              Object *value) const
+{
+    Object *node = tree->ref(0);
+    while (node && !isLeaf(node)) {
+        uint64_t n = numKeys(node);
+        uint32_t i = 0;
+        while (i < n && key_sought >= key(node, i))
+            ++i;
+        node = slots(node)->ref(i);
+    }
+    if (node) {
+        uint64_t n = numKeys(node);
+        for (uint32_t i = 0; i < n; ++i) {
+            if (key(node, i) == key_sought) {
+                slots(node)->setRef(i, value);
+                return;
+            }
+        }
+    }
+    panic("longBTree: replaceExisting did not find the key");
+}
+
+int64_t
+LongBTreeOps::minKey(const Object *tree, bool &found) const
+{
+    Object *node = tree->ref(0);
+    if (!node) {
+        found = false;
+        return 0;
+    }
+    while (!isLeaf(node))
+        node = slots(node)->ref(0);
+    if (numKeys(node) == 0) {
+        found = false;
+        return 0;
+    }
+    found = true;
+    return key(node, 0);
+}
+
+void
+LongBTreeOps::forEach(
+    const Object *tree,
+    const std::function<void(int64_t, Object *)> &visit) const
+{
+    // Iterative DFS to bound native stack use.
+    struct Frame {
+        const Object *node;
+        uint32_t next;
+    };
+    const Object *root = tree->ref(0);
+    if (!root)
+        return;
+    std::vector<Frame> stack;
+    stack.push_back(Frame{root, 0});
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        const Object *node = frame.node;
+        uint64_t n = numKeys(node);
+        if (isLeaf(node)) {
+            for (uint32_t i = 0; i < n; ++i)
+                visit(key(node, i), slots(node)->ref(i));
+            stack.pop_back();
+            continue;
+        }
+        if (frame.next > n) {
+            stack.pop_back();
+            continue;
+        }
+        Object *child = slots(node)->ref(frame.next);
+        ++frame.next;
+        if (child)
+            stack.push_back(Frame{child, 0});
+    }
+}
+
+uint64_t
+LongBTreeOps::checkInvariants(const Object *tree) const
+{
+    const Object *root = tree->ref(0);
+    uint64_t counted =
+        root ? checkNode(root, INT64_MIN, INT64_MAX, true) : 0;
+    if (counted != size(tree))
+        panic(format("longBTree: size field %llu != %llu entries found",
+                     static_cast<unsigned long long>(size(tree)),
+                     static_cast<unsigned long long>(counted)));
+    return counted;
+}
+
+uint64_t
+LongBTreeOps::checkNode(const Object *node, int64_t lo, int64_t hi,
+                        bool is_root) const
+{
+    uint64_t n = numKeys(node);
+    if (n > kMaxKeys)
+        panic("longBTree: node overfull");
+    // Leaves are pruned eagerly when emptied; internal nodes may
+    // transiently hold zero keys with a single child (lazy
+    // deletion), which is legal.
+    if (!is_root && n == 0 && isLeaf(node))
+        panic("longBTree: empty non-root leaf");
+    int64_t prev = lo;
+    for (uint32_t i = 0; i < n; ++i) {
+        int64_t k = key(node, i);
+        if (k < prev || k > hi)
+            panic("longBTree: key ordering violated");
+        prev = k;
+    }
+    if (isLeaf(node))
+        return n;
+    uint64_t total = 0;
+    for (uint32_t i = 0; i <= n; ++i) {
+        const Object *child = slots(node)->ref(i);
+        if (!child)
+            panic("longBTree: missing child");
+        int64_t child_lo = i == 0 ? lo : key(node, i - 1);
+        int64_t child_hi = i == n ? hi : key(node, i);
+        total += checkNode(child, child_lo, child_hi, false);
+    }
+    return total;
+}
+
+} // namespace gcassert

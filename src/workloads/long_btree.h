@@ -1,0 +1,124 @@
+/**
+ * @file
+ * longBTree — a managed B-tree keyed by int64, the analog of SPEC
+ * JBB2000's spec.jbb.infra.Collections.longBTree.
+ *
+ * The tree is built entirely from managed objects: a tree header
+ * holding the root, and nodes each holding one Object[] slots array
+ * (values in leaves, children in internal nodes) plus inline scalar
+ * keys. This reproduces the heap shape in the paper's Figure 1 path:
+ *
+ *   District -> longBTree -> longBTreeNode -> Object[] -> Order
+ *
+ * Deletion is by key with eager pruning of emptied nodes (no
+ * rebalancing), which keeps the structure compact under the
+ * insert-ascending / remove-oldest pattern the JBB workload
+ * produces.
+ */
+
+#ifndef GCASSERT_WORKLOADS_LONG_BTREE_H
+#define GCASSERT_WORKLOADS_LONG_BTREE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "runtime/runtime.h"
+
+namespace gcassert {
+
+/**
+ * Operations on managed longBTree objects. One instance defines the
+ * node/tree types in a runtime and operates on any number of trees.
+ */
+class LongBTreeOps {
+  public:
+    /** Maximum keys per node (fan-out is kMaxKeys + 1). */
+    static constexpr uint32_t kMaxKeys = 8;
+
+    /** Define the tree/node/array types with the given prefix. */
+    LongBTreeOps(Runtime &runtime, const std::string &prefix);
+
+    /** Allocate an empty tree. */
+    Object *create() const;
+
+    /**
+     * Insert (@p key -> @p value). Keys are unique: inserting an
+     * existing key replaces the value.
+     */
+    void insert(Object *tree, int64_t key, Object *value) const;
+
+    /**
+     * Remove @p key.
+     * @return The removed value, or nullptr if the key was absent.
+     */
+    Object *remove(Object *tree, int64_t key) const;
+
+    /** @return the value for @p key, or nullptr. */
+    Object *lookup(const Object *tree, int64_t key) const;
+
+    /** Number of entries. */
+    uint64_t size(const Object *tree) const;
+
+    /**
+     * Smallest key in the tree.
+     * @param[out] found False when the tree is empty.
+     */
+    int64_t minKey(const Object *tree, bool &found) const;
+
+    /** In-order traversal. */
+    void forEach(const Object *tree,
+                 const std::function<void(int64_t, Object *)> &visit) const;
+
+    /**
+     * Structural invariant check (for tests): key ordering, node
+     * occupancy, size consistency.
+     * @return The number of entries found.
+     */
+    uint64_t checkInvariants(const Object *tree) const;
+
+    TypeId treeType() const { return treeType_; }
+    TypeId nodeType() const { return nodeType_; }
+    TypeId arrayType() const { return arrayType_; }
+
+  private:
+    struct SplitResult {
+        bool split = false;
+        int64_t midKey = 0;
+        Object *right = nullptr;
+    };
+
+    struct RemoveResult {
+        Object *value = nullptr;
+        bool childEmptied = false;
+    };
+
+    /** @name Node field accessors
+     *  @{ */
+    Object *slots(const Object *node) const;
+    uint64_t numKeys(const Object *node) const;
+    void setNumKeys(Object *node, uint64_t n) const;
+    bool isLeaf(const Object *node) const;
+    int64_t key(const Object *node, uint32_t i) const;
+    void setKey(Object *node, uint32_t i, int64_t k) const;
+    /** @} */
+
+    Object *allocNode(bool leaf) const;
+
+    /** Replace the value of an existing key (size unchanged). */
+    void replaceExisting(Object *tree, int64_t key, Object *value) const;
+
+    SplitResult insertRec(Object *node, int64_t key, Object *value) const;
+    RemoveResult removeRec(Object *node, int64_t key) const;
+    uint64_t checkNode(const Object *node, int64_t lo, int64_t hi,
+                       bool is_root) const;
+
+    Runtime &runtime_;
+    TypeId treeType_ = kInvalidTypeId;
+    TypeId nodeType_ = kInvalidTypeId;
+    TypeId arrayType_ = kInvalidTypeId;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_LONG_BTREE_H

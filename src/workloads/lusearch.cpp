@@ -1,0 +1,290 @@
+/**
+ * @file
+ * lusearch — the DaCapo lusearch / Apache Lucene analog.
+ *
+ * A pre-built inverted index (terms -> posting lists) is searched by
+ * 32 worker threads. Following the defect the paper found in the
+ * benchmark (section 3.2.2), *each thread opens its own
+ * IndexSearcher* instead of sharing one, against the Lucene
+ * documentation's performance recommendation. An
+ * assert-instances(IndexSearcher, 1) therefore reports 32 live
+ * instances during execution.
+ *
+ * Concurrency model: the runtime is stop-the-world and serialized;
+ * each search runs under a workload mutex so no thread holds
+ * unrooted raw object pointers across another thread's collection
+ * (coarse-locked VM behaviour).
+ */
+
+#include <barrier>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/rng.h"
+#include "workloads/managed_util.h"
+#include "workloads/registry.h"
+#include "workloads/workload.h"
+
+namespace gcassert {
+
+namespace {
+
+class LusearchWorkload : public Workload {
+  public:
+    const char *name() const override { return "lusearch"; }
+
+    const char *
+    description() const override
+    {
+        return "multithreaded inverted-index text search with one "
+               "IndexSearcher per thread (DaCapo lusearch analog)";
+    }
+
+    uint64_t minHeapBytes() const override { return 3ull * 1024 * 1024; }
+
+    void setup(Runtime &runtime) override;
+    void iterate(Runtime &runtime) override;
+    void enableAssertions(Runtime &runtime) override;
+    void teardown(Runtime &runtime) override;
+
+  private:
+    static constexpr uint32_t kThreads = 32;
+    static constexpr uint32_t kTerms = 1500;
+    static constexpr uint32_t kDocs = 4000;
+    static constexpr uint32_t kSearchesPerThread = 400;
+
+    void searchOnce(Runtime &runtime, MutatorContext &mutator,
+                    Object *searcher, Rng &rng);
+
+    std::unique_ptr<ManagedVectorOps> vec_;
+    std::unique_ptr<ManagedStringOps> str_;
+
+    TypeId searcherType_ = kInvalidTypeId;
+    TypeId indexType_ = kInvalidTypeId;
+    TypeId postingType_ = kInvalidTypeId;
+    TypeId docType_ = kInvalidTypeId;
+    TypeId hitsType_ = kInvalidTypeId;
+
+    uint32_t indexTermsSlot_ = 0;
+    uint32_t indexPostingsSlot_ = 0;
+    uint32_t indexDocsSlot_ = 0;
+    uint32_t searcherIndexSlot_ = 0;
+    uint32_t docTitleSlot_ = 0;
+    uint32_t hitsDocsSlot_ = 0;
+
+    Handle index_;
+    std::vector<MutatorContext *> workers_;
+    std::mutex heapAccess_;
+    uint64_t iterationSeed_ = 0;
+};
+
+void
+LusearchWorkload::setup(Runtime &runtime)
+{
+    vec_ = std::make_unique<ManagedVectorOps>(runtime, "Lu");
+    str_ = std::make_unique<ManagedStringOps>(runtime, "LuString");
+
+    searcherType_ = runtime.types()
+                        .define("IndexSearcher")
+                        .refs({"index"})
+                        .scalars(8)
+                        .build();
+    indexType_ = runtime.types()
+                     .define("InvertedIndex")
+                     .refs({"terms", "postings", "docs"})
+                     .scalars(8)
+                     .build();
+    postingType_ =
+        runtime.types().define("PostingList").array().build();
+    docType_ = runtime.types()
+                   .define("Document")
+                   .refs({"title"})
+                   .scalars(8)
+                   .build();
+    hitsType_ = runtime.types()
+                    .define("Hits")
+                    .refs({"docs"})
+                    .scalars(8)
+                    .build();
+
+    auto &types = runtime.types();
+    indexTermsSlot_ = types.get(indexType_).slotIndex("terms");
+    indexPostingsSlot_ = types.get(indexType_).slotIndex("postings");
+    indexDocsSlot_ = types.get(indexType_).slotIndex("docs");
+    searcherIndexSlot_ = types.get(searcherType_).slotIndex("index");
+    docTitleSlot_ = types.get(docType_).slotIndex("title");
+    hitsDocsSlot_ = types.get(hitsType_).slotIndex("docs");
+
+    index_ = Handle(runtime, runtime.allocRaw(indexType_), "lu.index");
+    index_->setRef(indexTermsSlot_, vec_->create(kTerms));
+    index_->setRef(indexPostingsSlot_, vec_->create(kTerms));
+    index_->setRef(indexDocsSlot_, vec_->create(kDocs));
+
+    Rng rng(0x10cea2);
+
+    // Documents.
+    for (uint32_t d = 0; d < kDocs; ++d) {
+        Object *doc = runtime.allocRaw(docType_);
+        Handle guard(runtime, doc, "lu.doc");
+        doc->setScalar<uint64_t>(0, d);
+        doc->setRef(docTitleSlot_,
+                    str_->create("doc-" + std::to_string(d)));
+        vec_->push(index_->ref(indexDocsSlot_), doc);
+    }
+
+    // Terms and posting lists (scalar arrays of doc ids).
+    for (uint32_t t = 0; t < kTerms; ++t) {
+        Object *term = str_->create("term-" + std::to_string(t));
+        Handle guard(runtime, term, "lu.term");
+        vec_->push(index_->ref(indexTermsSlot_), term);
+
+        uint32_t df = 10 + static_cast<uint32_t>(rng.below(90));
+        Object *posting = runtime.allocScalarRaw(
+            postingType_, 8 + df * 4);
+        posting->setScalar<uint64_t>(0, df);
+        uint32_t doc = static_cast<uint32_t>(rng.below(kDocs / 4));
+        for (uint32_t i = 0; i < df; ++i) {
+            doc += static_cast<uint32_t>(rng.below(4 * kDocs / df)) + 1;
+            posting->setScalar<uint32_t>(8 + i * 4, doc % kDocs);
+        }
+        vec_->push(index_->ref(indexPostingsSlot_), posting);
+    }
+
+    // One mutator context per worker thread (registered once).
+    for (uint32_t i = 0; i < kThreads; ++i)
+        workers_.push_back(
+            &runtime.registerMutator("lusearch-" + std::to_string(i)));
+}
+
+void
+LusearchWorkload::searchOnce(Runtime &runtime, MutatorContext &mutator,
+                             Object *searcher, Rng &rng)
+{
+    std::lock_guard<std::mutex> guard(heapAccess_);
+
+    Object *index = searcher->ref(searcherIndexSlot_);
+    Object *postings = index->ref(indexPostingsSlot_);
+    Object *docs = index->ref(indexDocsSlot_);
+
+    // Disjunctive query over 2 terms: merge both posting lists into
+    // a Hits result (the common OR-query path of the engine).
+    uint32_t t1 = static_cast<uint32_t>(rng.below(kTerms));
+    uint32_t t2 = static_cast<uint32_t>(rng.below(kTerms));
+    Object *p1 = vec_->get(postings, t1);
+    Object *p2 = vec_->get(postings, t2);
+
+    Object *hits = runtime.allocRaw(hitsType_, &mutator);
+    Handle hguard(runtime, hits, "lu.hits");
+    hits->setRef(hitsDocsSlot_, vec_->create(16));
+
+    // Collect the top-k merged hits, like a real top-k collector.
+    constexpr uint64_t kTopK = 16;
+    uint64_t n1 = p1->scalar<uint64_t>(0);
+    uint64_t n2 = p2->scalar<uint64_t>(0);
+    uint64_t i = 0, j = 0;
+    while ((i < n1 || j < n2) &&
+           vec_->size(hits->ref(hitsDocsSlot_)) < kTopK) {
+        uint32_t a = i < n1
+            ? p1->scalar<uint32_t>(8 + static_cast<uint32_t>(i) * 4)
+            : UINT32_MAX;
+        uint32_t b = j < n2
+            ? p2->scalar<uint32_t>(8 + static_cast<uint32_t>(j) * 4)
+            : UINT32_MAX;
+        uint32_t doc;
+        if (a == b) {
+            doc = a;
+            ++i;
+            ++j;
+        } else if (a < b) {
+            doc = a;
+            ++i;
+        } else {
+            doc = b;
+            ++j;
+        }
+        vec_->push(hits->ref(hitsDocsSlot_), vec_->get(docs, doc));
+    }
+
+    // Render the top hits into transient result strings (the
+    // snippet generation of the real benchmark).
+    uint64_t shown = vec_->size(hits->ref(hitsDocsSlot_));
+    if (shown > 4)
+        shown = 4;
+    for (uint64_t h = 0; h < shown; ++h) {
+        Object *top = vec_->get(hits->ref(hitsDocsSlot_), h);
+        Object *summary = str_->create(
+            "hit:" + str_->read(top->ref(docTitleSlot_)) + ":" +
+            std::string(220, 'q'));
+        (void)summary;
+    }
+}
+
+void
+LusearchWorkload::iterate(Runtime &runtime)
+{
+    ++iterationSeed_;
+    // All workers open their searchers, rendezvous (the DaCapo
+    // harness starts the worker pool together), then search. The
+    // barrier guarantees the defect's signature heap state: all 32
+    // IndexSearchers live at once.
+    std::barrier rendezvous(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (uint32_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([this, &runtime, &rendezvous, t]() {
+            MutatorContext &mutator = *workers_[t];
+            Rng rng((iterationSeed_ << 8) ^ t);
+
+            // The lusearch defect: each thread opens its *own*
+            // IndexSearcher and keeps it for all of its searches.
+            Handle searcher = [&] {
+                std::lock_guard<std::mutex> guard(heapAccess_);
+                Object *s = runtime.allocRaw(searcherType_, &mutator);
+                Handle h(runtime, s, "lu.searcher");
+                s->setRef(searcherIndexSlot_, index_.get());
+                s->setScalar<uint64_t>(0, t);
+                return h;
+            }();
+            rendezvous.arrive_and_wait();
+
+            for (uint32_t q = 0; q < kSearchesPerThread; ++q)
+                searchOnce(runtime, mutator, searcher.get(), rng);
+
+            // Hold the searcher until every worker has finished its
+            // queries — the steady state a multicore run exhibits
+            // for almost the whole execution ("for most of the
+            // benchmark's execution, 32 instances are live").
+            rendezvous.arrive_and_wait();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+}
+
+void
+LusearchWorkload::enableAssertions(Runtime &runtime)
+{
+    Workload::enableAssertions(runtime);
+    // The Lucene documentation's recommendation as an assertion:
+    // only one IndexSearcher should ever be live.
+    runtime.assertInstances(searcherType_, 1);
+}
+
+void
+LusearchWorkload::teardown(Runtime &runtime)
+{
+    (void)runtime;
+    index_.reset();
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLusearch()
+{
+    return std::make_unique<LusearchWorkload>();
+}
+
+} // namespace gcassert

@@ -1,0 +1,163 @@
+#include "workloads/managed_util.h"
+
+#include <cstring>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+ManagedVectorOps::ManagedVectorOps(Runtime &runtime,
+                                   const std::string &prefix)
+    : runtime_(runtime)
+{
+    vectorType_ = runtime_.types()
+                      .define(prefix + "Vector")
+                      .refs({"storage"})
+                      .scalars(8)
+                      .build();
+    arrayType_ =
+        runtime_.types().define(prefix + "Object[]").array().build();
+    storageSlot_ = 0;
+}
+
+Object *
+ManagedVectorOps::create(uint32_t initial_capacity) const
+{
+    if (initial_capacity == 0)
+        initial_capacity = 1;
+    Object *vec = runtime_.allocRaw(vectorType_);
+    Handle root(runtime_, vec, "vector");
+    Object *array = runtime_.allocArrayRaw(arrayType_, initial_capacity);
+    vec->setRef(storageSlot_, array);
+    setSize(vec, 0);
+    return vec;
+}
+
+Object *
+ManagedVectorOps::storage(const Object *vec) const
+{
+    return vec->ref(storageSlot_);
+}
+
+uint64_t
+ManagedVectorOps::size(const Object *vec) const
+{
+    return vec->scalar<uint64_t>(0);
+}
+
+void
+ManagedVectorOps::setSize(Object *vec, uint64_t size) const
+{
+    vec->setScalar<uint64_t>(0, size);
+}
+
+Object *
+ManagedVectorOps::get(const Object *vec, uint64_t index) const
+{
+    if (index >= size(vec))
+        panic(format("ManagedVector::get index %llu out of range %llu",
+                     static_cast<unsigned long long>(index),
+                     static_cast<unsigned long long>(size(vec))));
+    return storage(vec)->ref(static_cast<uint32_t>(index));
+}
+
+void
+ManagedVectorOps::set(Object *vec, uint64_t index, Object *value) const
+{
+    if (index >= size(vec))
+        panic(format("ManagedVector::set index %llu out of range %llu",
+                     static_cast<unsigned long long>(index),
+                     static_cast<unsigned long long>(size(vec))));
+    storage(vec)->setRef(static_cast<uint32_t>(index), value);
+}
+
+void
+ManagedVectorOps::push(Object *vec, Object *value) const
+{
+    uint64_t n = size(vec);
+    Object *array = storage(vec);
+    if (n == array->numRefs()) {
+        // Grow: root the vector and the value across the allocation.
+        Handle root_vec(runtime_, vec, "vector");
+        Handle root_val(runtime_, value, "vector-push");
+        uint32_t new_cap = array->numRefs() * 2;
+        Object *grown = runtime_.allocArrayRaw(arrayType_, new_cap);
+        array = storage(vec); // re-read: still valid (non-moving heap)
+        for (uint32_t i = 0; i < n; ++i)
+            grown->setRef(i, array->ref(i));
+        vec->setRef(storageSlot_, grown);
+        array = grown;
+    }
+    array->setRef(static_cast<uint32_t>(n), value);
+    setSize(vec, n + 1);
+}
+
+void
+ManagedVectorOps::removeAt(Object *vec, uint64_t index) const
+{
+    uint64_t n = size(vec);
+    if (index >= n)
+        panic("ManagedVector::removeAt index out of range");
+    Object *array = storage(vec);
+    for (uint64_t i = index + 1; i < n; ++i)
+        array->setRef(static_cast<uint32_t>(i - 1),
+                      array->ref(static_cast<uint32_t>(i)));
+    array->setRef(static_cast<uint32_t>(n - 1), nullptr);
+    setSize(vec, n - 1);
+}
+
+void
+ManagedVectorOps::swapRemoveAt(Object *vec, uint64_t index) const
+{
+    uint64_t n = size(vec);
+    if (index >= n)
+        panic("ManagedVector::swapRemoveAt index out of range");
+    Object *array = storage(vec);
+    array->setRef(static_cast<uint32_t>(index),
+                  array->ref(static_cast<uint32_t>(n - 1)));
+    array->setRef(static_cast<uint32_t>(n - 1), nullptr);
+    setSize(vec, n - 1);
+}
+
+void
+ManagedVectorOps::clear(Object *vec) const
+{
+    uint64_t n = size(vec);
+    Object *array = storage(vec);
+    for (uint64_t i = 0; i < n; ++i)
+        array->setRef(static_cast<uint32_t>(i), nullptr);
+    setSize(vec, 0);
+}
+
+ManagedStringOps::ManagedStringOps(Runtime &runtime,
+                                   const std::string &type_name)
+    : runtime_(runtime)
+{
+    stringType_ = runtime_.types().define(type_name).array().build();
+}
+
+Object *
+ManagedStringOps::create(const std::string &text) const
+{
+    uint32_t payload = 8 + static_cast<uint32_t>(text.size());
+    Object *str = runtime_.allocScalarRaw(stringType_, payload);
+    str->setScalar<uint64_t>(0, text.size());
+    std::memcpy(str->scalarData() + 8, text.data(), text.size());
+    return str;
+}
+
+std::string
+ManagedStringOps::read(const Object *str) const
+{
+    uint64_t len = str->scalar<uint64_t>(0);
+    return std::string(str->scalarData() + 8, len);
+}
+
+uint64_t
+ManagedStringOps::length(const Object *str) const
+{
+    return str->scalar<uint64_t>(0);
+}
+
+} // namespace gcassert

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared managed-heap building blocks for workloads: a growable
+ * object vector and a string-like byte object, built from the public
+ * runtime API.
+ *
+ * These helpers encapsulate the GC-safety discipline (rooting every
+ * live object across allocations), so workload code can treat them
+ * like ordinary containers.
+ */
+
+#ifndef GCASSERT_WORKLOADS_MANAGED_UTIL_H
+#define GCASSERT_WORKLOADS_MANAGED_UTIL_H
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/handle.h"
+#include "runtime/runtime.h"
+
+namespace gcassert {
+
+/**
+ * Operations on a managed growable vector.
+ *
+ * Representation: a fixed-shape "Vector" object with one reference
+ * slot (the backing "Object[]" array) and an 8-byte size field, plus
+ * the array type itself. Matches the ArrayList-style containers the
+ * paper's Java benchmarks use (and shows in the Figure 1 path as
+ * "[Ljava/lang/Object;").
+ */
+class ManagedVectorOps {
+  public:
+    /**
+     * Define the supporting types in @p runtime's registry with the
+     * given name prefix (types must be unique per runtime).
+     */
+    ManagedVectorOps(Runtime &runtime, const std::string &prefix);
+
+    /** Allocate an empty vector with the given initial capacity. */
+    Object *create(uint32_t initial_capacity = 8) const;
+
+    /** Number of elements. */
+    uint64_t size(const Object *vec) const;
+
+    /** Element at @p index. @pre index < size. */
+    Object *get(const Object *vec, uint64_t index) const;
+
+    /** Replace element at @p index. @pre index < size. */
+    void set(Object *vec, uint64_t index, Object *value) const;
+
+    /** Append @p value, growing the backing array when full. */
+    void push(Object *vec, Object *value) const;
+
+    /** Remove the element at @p index by shifting the tail left. */
+    void removeAt(Object *vec, uint64_t index) const;
+
+    /**
+     * Remove the element at @p index by swapping in the last
+     * element (O(1), order not preserved).
+     */
+    void swapRemoveAt(Object *vec, uint64_t index) const;
+
+    /** Drop all elements (keeps the backing array). */
+    void clear(Object *vec) const;
+
+    /** Type id of the Vector wrapper. */
+    TypeId vectorType() const { return vectorType_; }
+
+    /** Type id of the backing Object[] array. */
+    TypeId arrayType() const { return arrayType_; }
+
+  private:
+    Object *storage(const Object *vec) const;
+    void setSize(Object *vec, uint64_t size) const;
+
+    Runtime &runtime_;
+    TypeId vectorType_;
+    TypeId arrayType_;
+    uint32_t storageSlot_;
+};
+
+/**
+ * Operations on managed byte-string objects (scalar payload only),
+ * the analog of java.lang.String instances in the Java benchmarks.
+ */
+class ManagedStringOps {
+  public:
+    ManagedStringOps(Runtime &runtime, const std::string &type_name);
+
+    /** Allocate a string object holding @p text. */
+    Object *create(const std::string &text) const;
+
+    /** Read the text back. */
+    std::string read(const Object *str) const;
+
+    /** Logical length of @p str. */
+    uint64_t length(const Object *str) const;
+
+    TypeId stringType() const { return stringType_; }
+
+  private:
+    Runtime &runtime_;
+    TypeId stringType_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_MANAGED_UTIL_H

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * minidb — the SPECjvm98 _209_db analog.
+ *
+ * An in-memory database owns a main container of Entry records; a
+ * separate name cache also references a subset of the entries. Each
+ * iteration performs a deterministic mix of adds, removes, lookups
+ * and scans, allocating short-lived query strings along the way.
+ *
+ * WithAssertions configuration (paper section 3.1.1): every Entry
+ * added to the database is asserted to be *owned by* the Database
+ * object, and removals of uncached entries assert-dead the removed
+ * entry — the same placement the paper used for _209_db (assert-dead
+ * where the original code nulls an instance variable).
+ */
+
+#include <cstdint>
+
+#include "support/rng.h"
+#include "workloads/managed_util.h"
+#include "workloads/registry.h"
+#include "workloads/workload.h"
+
+namespace gcassert {
+
+namespace {
+
+class MinidbWorkload : public Workload {
+  public:
+    const char *name() const override { return "minidb"; }
+
+    const char *
+    description() const override
+    {
+        return "in-memory database with an owned main container and a "
+               "separate cache (_209_db analog)";
+    }
+
+    uint64_t minHeapBytes() const override { return 5ull * 1024 * 1024; }
+
+    void setup(Runtime &runtime) override;
+    void iterate(Runtime &runtime) override;
+    void enableAssertions(Runtime &runtime) override;
+    void teardown(Runtime &runtime) override;
+
+  private:
+    /** Allocate an Entry with its name and payload strings. */
+    Object *makeEntry(Runtime &runtime, uint64_t id);
+
+    /** Remove an entry from the cache if present. */
+    void uncache(Object *entry);
+
+    static constexpr uint64_t kInitialEntries = 15000;
+    static constexpr uint64_t kOpsPerIteration = 40000;
+    static constexpr double kCacheChance = 0.25;
+    /** Throttle for assert-dead placement on removals. */
+    static constexpr uint64_t kAssertDeadStride = 64;
+
+    Rng rng_{0xdb5eed};
+    uint64_t nextId_ = 0;
+    uint64_t eligibleRemovals_ = 0;
+
+    std::unique_ptr<ManagedVectorOps> vec_;
+    std::unique_ptr<ManagedStringOps> str_;
+    TypeId databaseType_ = kInvalidTypeId;
+    TypeId entryType_ = kInvalidTypeId;
+    uint32_t entriesSlot_ = 0;
+    uint32_t nameSlot_ = 0;
+    uint32_t payloadSlot_ = 0;
+
+    Handle database_;
+    Handle cache_;
+};
+
+void
+MinidbWorkload::setup(Runtime &runtime)
+{
+    vec_ = std::make_unique<ManagedVectorOps>(runtime, "Db");
+    str_ = std::make_unique<ManagedStringOps>(runtime, "DbString");
+
+    databaseType_ = runtime.types()
+                        .define("Database")
+                        .refs({"entries"})
+                        .scalars(8)
+                        .build();
+    entryType_ = runtime.types()
+                     .define("Entry")
+                     .refs({"name", "payload"})
+                     .scalars(16)
+                     .build();
+    entriesSlot_ = runtime.types().get(databaseType_).slotIndex("entries");
+    nameSlot_ = runtime.types().get(entryType_).slotIndex("name");
+    payloadSlot_ = runtime.types().get(entryType_).slotIndex("payload");
+
+    database_ = Handle(runtime, runtime.allocRaw(databaseType_),
+                       "minidb.database");
+    database_->setRef(entriesSlot_, vec_->create(1024));
+
+    cache_ = Handle(runtime, vec_->create(1024), "minidb.cache");
+
+    for (uint64_t i = 0; i < kInitialEntries; ++i) {
+        Object *entry = makeEntry(runtime, nextId_++);
+        Handle root(runtime, entry, "minidb.tmp");
+        vec_->push(database_->ref(entriesSlot_), entry);
+        if (assertionsEnabled_)
+            runtime.assertOwnedBy(database_.get(), entry);
+        if (rng_.chance(kCacheChance)) {
+            entry->setScalar<uint64_t>(8, 1); // cached flag
+            vec_->push(cache_.get(), entry);
+        }
+    }
+}
+
+Object *
+MinidbWorkload::makeEntry(Runtime &runtime, uint64_t id)
+{
+    Object *entry = runtime.allocRaw(entryType_);
+    Handle root(runtime, entry, "minidb.newentry");
+    entry->setScalar<uint64_t>(0, id);
+    entry->setScalar<uint64_t>(8, 0); // cached flag
+    entry->setRef(nameSlot_,
+                  str_->create("entry-" + std::to_string(id)));
+    entry->setRef(payloadSlot_,
+                  str_->create("payload:" + std::to_string(id * 7919) +
+                               ":" + std::string(32, 'x')));
+    return entry;
+}
+
+void
+MinidbWorkload::uncache(Object *entry)
+{
+    if (entry->scalar<uint64_t>(8) == 0)
+        return;
+    uint64_t n = vec_->size(cache_.get());
+    for (uint64_t i = 0; i < n; ++i) {
+        if (vec_->get(cache_.get(), i) == entry) {
+            vec_->swapRemoveAt(cache_.get(), i);
+            entry->setScalar<uint64_t>(8, 0);
+            return;
+        }
+    }
+}
+
+void
+MinidbWorkload::iterate(Runtime &runtime)
+{
+    Object *entries = database_->ref(entriesSlot_);
+    for (uint64_t op = 0; op < kOpsPerIteration; ++op) {
+        double dice = rng_.real();
+        if (dice < 0.35) {
+            // Add a record.
+            Object *entry = makeEntry(runtime, nextId_++);
+            Handle root(runtime, entry, "minidb.tmp");
+            entries = database_->ref(entriesSlot_);
+            vec_->push(entries, entry);
+            if (assertionsEnabled_)
+                runtime.assertOwnedBy(database_.get(), entry);
+            if (rng_.chance(kCacheChance)) {
+                entry->setScalar<uint64_t>(8, 1);
+                vec_->push(cache_.get(), entry);
+            }
+        } else if (dice < 0.70) {
+            // Remove a record (from both structures, keeping the
+            // ownership assertion satisfied).
+            entries = database_->ref(entriesSlot_);
+            uint64_t n = vec_->size(entries);
+            if (n == 0)
+                continue;
+            uint64_t idx = rng_.below(n);
+            Object *victim = vec_->get(entries, idx);
+            bool cached = victim->scalar<uint64_t>(8) != 0;
+            vec_->swapRemoveAt(entries, idx);
+            uncache(victim);
+            if (assertionsEnabled_ && !cached &&
+                ++eligibleRemovals_ % kAssertDeadStride == 0) {
+                // The paper's assert-dead placement: the record was
+                // just unlinked, so it must be unreachable.
+                runtime.assertDead(victim);
+            }
+        } else if (dice < 0.95) {
+            // Lookup: read a few random records, allocating a
+            // short-lived query-result string.
+            entries = database_->ref(entriesSlot_);
+            uint64_t n = vec_->size(entries);
+            if (n == 0)
+                continue;
+            uint64_t sum = 0;
+            for (int probe = 0; probe < 4; ++probe) {
+                Object *entry = vec_->get(entries, rng_.below(n));
+                sum += entry->scalar<uint64_t>(0);
+            }
+            Object *result = str_->create(
+                "result:" + std::to_string(sum) + ":" +
+                std::string(160, 'r'));
+            (void)result; // dies immediately: pure allocation churn
+        } else {
+            // Scan: walk a slice of the container in order.
+            entries = database_->ref(entriesSlot_);
+            uint64_t n = vec_->size(entries);
+            uint64_t checksum = 0;
+            uint64_t limit = n < 256 ? n : 256;
+            uint64_t start = n ? rng_.below(n) : 0;
+            for (uint64_t i = 0; i < limit; ++i) {
+                Object *entry = vec_->get(entries, (start + i) % n);
+                checksum ^= entry->scalar<uint64_t>(0);
+            }
+            Object *report = str_->create(
+                "scan:" + std::to_string(checksum) + ":" +
+                std::string(96, 's'));
+            (void)report;
+            if (checksum == 0xdeadbeef)
+                panic("unreachable: checksum sentinel");
+        }
+    }
+}
+
+void
+MinidbWorkload::enableAssertions(Runtime &runtime)
+{
+    Workload::enableAssertions(runtime);
+    // Cover the records that were already inserted during setup.
+    Object *entries = database_->ref(entriesSlot_);
+    uint64_t n = vec_->size(entries);
+    for (uint64_t i = 0; i < n; ++i)
+        runtime.assertOwnedBy(database_.get(), vec_->get(entries, i));
+}
+
+void
+MinidbWorkload::teardown(Runtime &runtime)
+{
+    (void)runtime;
+    database_.reset();
+    cache_.reset();
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMinidb()
+{
+    return std::make_unique<MinidbWorkload>();
+}
+
+} // namespace gcassert

@@ -1,0 +1,65 @@
+#include "workloads/registry.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace gcassert {
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+WorkloadRegistry::WorkloadRegistry()
+{
+    add("minidb", makeMinidb);
+    add("jbbemu", makeJbbEmu);
+    add("lusearch", makeLusearch);
+    add("swapleak", makeSwapLeak);
+    add("binarytrees", makeBinaryTrees);
+    add("graphchurn", makeGraphChurn);
+    add("stringstorm", makeStringStorm);
+    add("treewalk", makeTreeWalk);
+    add("mapstress", makeMapStress);
+    add("arraybloat", makeArrayBloat);
+}
+
+void
+WorkloadRegistry::add(const std::string &name, WorkloadFactory factory)
+{
+    factories_.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<Workload>
+WorkloadRegistry::create(const std::string &name) const
+{
+    for (const auto &[n, factory] : factories_)
+        if (n == name)
+            return factory();
+    fatal("unknown workload: " + name);
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[n, factory] : factories_)
+        out.push_back(n);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+WorkloadRegistry::has(const std::string &name) const
+{
+    for (const auto &[n, factory] : factories_)
+        if (n == name)
+            return true;
+    return false;
+}
+
+} // namespace gcassert

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Name-to-factory registry for benchmark workloads.
+ */
+
+#ifndef GCASSERT_WORKLOADS_REGISTRY_H
+#define GCASSERT_WORKLOADS_REGISTRY_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace gcassert {
+
+/** Creates a fresh instance of a workload. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/**
+ * Global registry of benchmark workloads.
+ */
+class WorkloadRegistry {
+  public:
+    /** The process-wide registry, populated on first use. */
+    static WorkloadRegistry &instance();
+
+    /** Register a factory under @p name. */
+    void add(const std::string &name, WorkloadFactory factory);
+
+    /**
+     * Instantiate the workload registered as @p name.
+     * Calls fatal() for unknown names.
+     */
+    std::unique_ptr<Workload> create(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** @return true if @p name is registered. */
+    bool has(const std::string &name) const;
+
+  private:
+    WorkloadRegistry();
+
+    std::vector<std::pair<std::string, WorkloadFactory>> factories_;
+};
+
+/** @name Workload factories (one per workload translation unit)
+ *  @{ */
+std::unique_ptr<Workload> makeMinidb();
+std::unique_ptr<Workload> makeJbbEmu();
+std::unique_ptr<Workload> makeLusearch();
+std::unique_ptr<Workload> makeSwapLeak();
+std::unique_ptr<Workload> makeBinaryTrees();
+std::unique_ptr<Workload> makeGraphChurn();
+std::unique_ptr<Workload> makeStringStorm();
+std::unique_ptr<Workload> makeTreeWalk();
+std::unique_ptr<Workload> makeMapStress();
+std::unique_ptr<Workload> makeArrayBloat();
+/** @} */
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_REGISTRY_H

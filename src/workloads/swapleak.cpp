@@ -1,0 +1,155 @@
+/**
+ * @file
+ * swapleak — the Sun Developer Network "garbage collection dilemma"
+ * program (paper section 3.2.3).
+ *
+ * SObject has a non-static inner class Rep; every Rep therefore
+ * carries a hidden reference to the enclosing SObject instance that
+ * created it. The main loop fills an array with SObjects, then
+ * repeatedly allocates fresh SObjects and swap()s Rep fields with
+ * array elements. The user expects the fresh SObjects to die after
+ * the swap, but each one remains reachable through
+ *
+ *   SArray -> SObject -> SObject$Rep -> SObject
+ *
+ * because the swapped-in Rep's hidden enclosing-instance reference
+ * points at the fresh SObject.
+ */
+
+#include <cstdint>
+
+#include "support/rng.h"
+#include "workloads/registry.h"
+#include "workloads/workload.h"
+
+namespace gcassert {
+
+namespace {
+
+class SwapLeakWorkload : public Workload {
+  public:
+    const char *name() const override { return "swapleak"; }
+
+    const char *
+    description() const override
+    {
+        return "inner-class hidden-reference leak from the Sun forum "
+               "post (SwapLeak)";
+    }
+
+    uint64_t minHeapBytes() const override { return 1ull * 1024 * 1024; }
+
+    void setup(Runtime &runtime) override;
+    void iterate(Runtime &runtime) override;
+    void teardown(Runtime &runtime) override;
+
+    /** Swap count per iteration (exposed for tests). */
+    static constexpr uint32_t kObjects = 600;
+    static constexpr uint32_t kSwapsPerIteration = 2000;
+
+  private:
+    /** new SObject(): also allocates its Rep, whose hidden reference
+     *  points back at the new SObject (inner-class semantics). */
+    Object *makeSObject(Runtime &runtime);
+
+    /** SObject.swap(other): exchange rep fields. */
+    void swap(Object *a, Object *b);
+
+    TypeId sobjectType_ = kInvalidTypeId;
+    TypeId repType_ = kInvalidTypeId;
+    TypeId arrayType_ = kInvalidTypeId;
+    TypeId scratchType_ = kInvalidTypeId;
+
+    uint32_t sobjectRepSlot_ = 0;
+    uint32_t repEnclosingSlot_ = 0;
+
+    Rng rng_{0x5a4b};
+    Handle array_;
+};
+
+void
+SwapLeakWorkload::setup(Runtime &runtime)
+{
+    sobjectType_ = runtime.types()
+                       .define("SObject")
+                       .refs({"rep"})
+                       .scalars(8)
+                       .build();
+    // The "this$0" slot is the hidden enclosing-instance reference
+    // javac adds to every non-static inner class.
+    repType_ = runtime.types()
+                   .define("SObject$Rep")
+                   .refs({"this$0"})
+                   .scalars(8)
+                   .build();
+    arrayType_ = runtime.types().define("SArray").array().build();
+    scratchType_ =
+        runtime.types().define("SScratch").array().build();
+
+    sobjectRepSlot_ = runtime.types().get(sobjectType_).slotIndex("rep");
+    repEnclosingSlot_ =
+        runtime.types().get(repType_).slotIndex("this$0");
+
+    array_ = Handle(runtime, runtime.allocArrayRaw(arrayType_, kObjects),
+                    "swapleak.array");
+    for (uint32_t i = 0; i < kObjects; ++i)
+        array_->setRef(i, makeSObject(runtime));
+}
+
+Object *
+SwapLeakWorkload::makeSObject(Runtime &runtime)
+{
+    Object *sobject = runtime.allocRaw(sobjectType_);
+    Handle guard(runtime, sobject, "swapleak.new");
+    Object *rep = runtime.allocRaw(repType_);
+    rep->setRef(repEnclosingSlot_, sobject);
+    sobject->setRef(sobjectRepSlot_, rep);
+    return sobject;
+}
+
+void
+SwapLeakWorkload::swap(Object *a, Object *b)
+{
+    Object *tmp = a->ref(sobjectRepSlot_);
+    a->setRef(sobjectRepSlot_, b->ref(sobjectRepSlot_));
+    b->setRef(sobjectRepSlot_, tmp);
+}
+
+void
+SwapLeakWorkload::iterate(Runtime &runtime)
+{
+    for (uint32_t s = 0; s < kSwapsPerIteration; ++s) {
+        uint32_t slot = static_cast<uint32_t>(rng_.below(kObjects));
+        Object *fresh = makeSObject(runtime);
+        Handle guard(runtime, fresh, "swapleak.fresh");
+        swap(array_->ref(slot), fresh);
+        // The user believes `fresh` is garbage now...
+        if (assertionsEnabled_)
+            runtime.assertDead(fresh);
+        // ...but the Rep that was swapped into the array element
+        // still holds a hidden reference to it.
+
+        // The forum program also did real work per loop step; model
+        // that with a transient scratch buffer so the heap turns
+        // over and collections happen regularly.
+        Object *scratch = runtime.allocScalarRaw(scratchType_, 512);
+        scratch->setScalar<uint64_t>(0, s);
+    }
+}
+
+void
+SwapLeakWorkload::teardown(Runtime &runtime)
+{
+    (void)runtime;
+    array_.reset();
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSwapLeak()
+{
+    return std::make_unique<SwapLeakWorkload>();
+}
+
+} // namespace gcassert

@@ -1,0 +1,694 @@
+/**
+ * @file
+ * Synthetic heap-shape workloads standing in for the remaining
+ * DaCapo / SPECjvm98 suite members in the Figure 2/3 overhead
+ * experiments. Each stresses the trace loop differently:
+ *
+ *  - binarytrees: allocation-heavy, shallow retention (javac/antlr).
+ *  - graphchurn:  pointer-dense random graph, the trace-loop worst
+ *                 case (the paper's "bloat" shows the largest GC
+ *                 overhead).
+ *  - stringstorm: scalar-heavy churn, few references (compress).
+ *  - treewalk:    large live structure, read-mostly (fop/hsqldb).
+ *  - mapstress:   hash-table churn with rehash array spikes
+ *                 (pmd/xalan).
+ *  - arraybloat:  large-object-space traffic.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.h"
+#include "workloads/managed_util.h"
+#include "workloads/registry.h"
+#include "workloads/workload.h"
+
+namespace gcassert {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// binarytrees
+// ---------------------------------------------------------------------
+
+class BinaryTreesWorkload : public Workload {
+  public:
+    const char *name() const override { return "binarytrees"; }
+
+    const char *
+    description() const override
+    {
+        return "allocation-heavy short-lived binary trees";
+    }
+
+    uint64_t minHeapBytes() const override
+    {
+        return 3ull * 1024 * 1024 / 2;
+    }
+
+    void
+    setup(Runtime &runtime) override
+    {
+        nodeType_ = runtime.types()
+                        .define("BtNode")
+                        .refs({"left", "right"})
+                        .scalars(8)
+                        .build();
+        longLived_ = Handle(runtime, buildTree(runtime, kLongLivedDepth),
+                            "binarytrees.longlived");
+    }
+
+    void
+    iterate(Runtime &runtime) override
+    {
+        uint64_t checksum = 0;
+        for (uint32_t t = 0; t < kTreesPerIteration; ++t) {
+            Handle tree(runtime, buildTree(runtime, kTransientDepth),
+                        "binarytrees.tmp");
+            checksum += walk(tree.get());
+        }
+        checksum += walk(longLived_.get());
+        if (checksum == 0)
+            panic("binarytrees: impossible zero checksum");
+        // Refresh the long-lived tree occasionally so its nodes age.
+        if (++epoch_ % 4 == 0)
+            longLived_.set(buildTree(runtime, kLongLivedDepth));
+    }
+
+    void teardown(Runtime &runtime) override
+    {
+        (void)runtime;
+        longLived_.reset();
+    }
+
+  private:
+    static constexpr uint32_t kTransientDepth = 11;
+    static constexpr uint32_t kLongLivedDepth = 13;
+    static constexpr uint32_t kTreesPerIteration = 24;
+
+    Object *
+    buildTree(Runtime &runtime, uint32_t depth)
+    {
+        // Top-down construction: children are attached to their
+        // (reachable) parent before any further allocation.
+        Object *root = runtime.allocRaw(nodeType_);
+        Handle guard(runtime, root, "binarytrees.build");
+        root->setScalar<uint64_t>(0, 1);
+        std::vector<std::pair<Object *, uint32_t>> frontier;
+        frontier.emplace_back(root, depth);
+        while (!frontier.empty()) {
+            auto [node, d] = frontier.back();
+            frontier.pop_back();
+            if (d == 0)
+                continue;
+            Object *left = runtime.allocRaw(nodeType_);
+            node->setRef(0, left);
+            left->setScalar<uint64_t>(0, d);
+            Object *right = runtime.allocRaw(nodeType_);
+            node->setRef(1, right);
+            right->setScalar<uint64_t>(0, d + 1);
+            frontier.emplace_back(left, d - 1);
+            frontier.emplace_back(right, d - 1);
+        }
+        return root;
+    }
+
+    uint64_t
+    walk(const Object *node)
+    {
+        // Iterative in-order checksum.
+        uint64_t sum = 0;
+        std::vector<const Object *> stack{node};
+        while (!stack.empty()) {
+            const Object *n = stack.back();
+            stack.pop_back();
+            sum += n->scalar<uint64_t>(0);
+            if (Object *l = n->ref(0))
+                stack.push_back(l);
+            if (Object *r = n->ref(1))
+                stack.push_back(r);
+        }
+        return sum;
+    }
+
+    TypeId nodeType_ = kInvalidTypeId;
+    Handle longLived_;
+    uint64_t epoch_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// graphchurn
+// ---------------------------------------------------------------------
+
+class GraphChurnWorkload : public Workload {
+  public:
+    const char *name() const override { return "graphchurn"; }
+
+    const char *
+    description() const override
+    {
+        return "pointer-dense random graph with edge and node churn "
+               "(trace-loop worst case)";
+    }
+
+    uint64_t minHeapBytes() const override { return 4ull * 1024 * 1024; }
+
+    void
+    setup(Runtime &runtime) override
+    {
+        nodeType_ = runtime.types()
+                        .define("GraphNode")
+                        .refCount(kOutDegree)
+                        .scalars(8)
+                        .build();
+        arrayType_ =
+            runtime.types().define("GraphNode[]").array().build();
+
+        nodes_ = Handle(runtime, runtime.allocArrayRaw(arrayType_, kNodes),
+                        "graphchurn.nodes");
+        for (uint32_t i = 0; i < kNodes; ++i) {
+            Object *node = runtime.allocRaw(nodeType_);
+            node->setScalar<uint64_t>(0, i);
+            nodes_->setRef(i, node);
+        }
+        // Dense random wiring.
+        for (uint32_t i = 0; i < kNodes; ++i)
+            for (uint32_t e = 0; e < kOutDegree; ++e)
+                nodes_->ref(i)->setRef(
+                    e, nodes_->ref(static_cast<uint32_t>(
+                           rng_.below(kNodes))));
+    }
+
+    void
+    iterate(Runtime &runtime) override
+    {
+        uint64_t walk_checksum = 0;
+        for (uint32_t op = 0; op < kOpsPerIteration; ++op) {
+            uint32_t i = static_cast<uint32_t>(rng_.below(kNodes));
+            // Analysis work: a short random walk from the node (the
+            // compute a graph engine performs between mutations).
+            {
+                Object *cursor = nodes_->ref(i);
+                for (int step = 0; step < 8 && cursor; ++step) {
+                    walk_checksum += cursor->scalar<uint64_t>(0);
+                    cursor = cursor->ref(static_cast<uint32_t>(
+                        rng_.below(kOutDegree)));
+                }
+            }
+            if (rng_.chance(0.15)) {
+                // Replace the node: allocate a successor, copy its
+                // edges, and drop the original.
+                Object *fresh = runtime.allocRaw(nodeType_);
+                Object *old = nodes_->ref(i);
+                fresh->setScalar<uint64_t>(0,
+                                           old->scalar<uint64_t>(0) + kNodes);
+                for (uint32_t e = 0; e < kOutDegree; ++e)
+                    fresh->setRef(e, old->ref(e));
+                nodes_->setRef(i, fresh);
+            } else {
+                // Rewire one edge via a transient edge-event record,
+                // like a message-passing graph engine would allocate.
+                Object *event = runtime.allocRaw(nodeType_);
+                uint32_t e = static_cast<uint32_t>(rng_.below(kOutDegree));
+                uint32_t k = static_cast<uint32_t>(rng_.below(kNodes));
+                event->setRef(0, nodes_->ref(i));
+                event->setRef(1, nodes_->ref(k));
+                nodes_->ref(i)->setRef(e, nodes_->ref(k));
+            }
+        }
+        if (walk_checksum == 0xdeadbeef)
+            panic("unreachable: walk checksum sentinel");
+    }
+
+    void teardown(Runtime &runtime) override
+    {
+        (void)runtime;
+        nodes_.reset();
+    }
+
+  private:
+    static constexpr uint32_t kNodes = 24000;
+    static constexpr uint32_t kOutDegree = 4;
+    static constexpr uint32_t kOpsPerIteration = 80000;
+
+    Rng rng_{0x92a9};
+    TypeId nodeType_ = kInvalidTypeId;
+    TypeId arrayType_ = kInvalidTypeId;
+    Handle nodes_;
+};
+
+// ---------------------------------------------------------------------
+// stringstorm
+// ---------------------------------------------------------------------
+
+class StringStormWorkload : public Workload {
+  public:
+    const char *name() const override { return "stringstorm"; }
+
+    const char *
+    description() const override
+    {
+        return "scalar-heavy string churn with a live ring buffer";
+    }
+
+    uint64_t minHeapBytes() const override
+    {
+        return 3ull * 1024 * 1024 / 2;
+    }
+
+    void
+    setup(Runtime &runtime) override
+    {
+        str_ = std::make_unique<ManagedStringOps>(runtime, "SsString");
+        ringType_ = runtime.types().define("SsRing[]").array().build();
+        ring_ = Handle(runtime, runtime.allocArrayRaw(ringType_, kRing),
+                       "stringstorm.ring");
+        for (uint32_t i = 0; i < kRing; ++i)
+            ring_->setRef(i, str_->create(payload(i)));
+    }
+
+    void
+    iterate(Runtime &runtime) override
+    {
+        (void)runtime;
+        for (uint32_t op = 0; op < kOpsPerIteration; ++op) {
+            uint32_t slot = cursor_++ % kRing;
+            // Concatenate two ring entries into a fresh string and
+            // replace one of them (the old one dies).
+            std::string a = str_->read(ring_->ref(slot));
+            std::string b =
+                str_->read(ring_->ref((slot + 17) % kRing));
+            Object *merged =
+                str_->create(a.substr(0, 48) + "|" + b.substr(0, 48));
+            ring_->setRef(slot, merged);
+        }
+    }
+
+    void teardown(Runtime &runtime) override
+    {
+        (void)runtime;
+        ring_.reset();
+    }
+
+  private:
+    static constexpr uint32_t kRing = 4000;
+    static constexpr uint32_t kOpsPerIteration = 27000;
+
+    std::string
+    payload(uint32_t i)
+    {
+        return "string-" + std::to_string(i) + ":" +
+               std::string(100 + i % 64, 'a' + static_cast<char>(i % 26));
+    }
+
+    std::unique_ptr<ManagedStringOps> str_;
+    TypeId ringType_ = kInvalidTypeId;
+    Handle ring_;
+    uint32_t cursor_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// treewalk
+// ---------------------------------------------------------------------
+
+class TreeWalkWorkload : public Workload {
+  public:
+    const char *name() const override { return "treewalk"; }
+
+    const char *
+    description() const override
+    {
+        return "large live search tree, read-mostly with light "
+               "updates";
+    }
+
+    uint64_t minHeapBytes() const override { return 4ull * 1024 * 1024; }
+
+    void
+    setup(Runtime &runtime) override
+    {
+        str_ = std::make_unique<ManagedStringOps>(runtime, "TwString");
+        nodeType_ = runtime.types()
+                        .define("TwNode")
+                        .refs({"left", "right", "payload"})
+                        .scalars(8)
+                        .build();
+        root_ = Handle(runtime, nullptr, "treewalk.root");
+        // Insert keys in shuffled order for a balanced-ish BST.
+        std::vector<uint32_t> keys(kNodes);
+        for (uint32_t i = 0; i < kNodes; ++i)
+            keys[i] = i;
+        rng_.shuffle(keys);
+        for (uint32_t key : keys)
+            insert(runtime, key);
+    }
+
+    void
+    iterate(Runtime &runtime) override
+    {
+        (void)runtime; // allocations go through the captured helpers
+        uint64_t found = 0;
+        for (uint32_t q = 0; q < kQueriesPerIteration; ++q)
+            found += lookup(static_cast<uint32_t>(rng_.below(kNodes)))
+                ? 1 : 0;
+        if (found == 0)
+            panic("treewalk: lookups found nothing");
+        // Light update traffic: refresh some payload strings.
+        for (uint32_t u = 0; u < kUpdatesPerIteration; ++u) {
+            Object *node =
+                findNode(static_cast<uint32_t>(rng_.below(kNodes)));
+            if (node)
+                node->setRef(2, str_->create(
+                    "payload-" + std::to_string(rng_.next() % 100000) +
+                    ":" + std::string(48, 'p')));
+        }
+    }
+
+    void teardown(Runtime &runtime) override
+    {
+        (void)runtime;
+        root_.reset();
+    }
+
+  private:
+    static constexpr uint32_t kNodes = 40000;
+    static constexpr uint32_t kQueriesPerIteration = 30000;
+    static constexpr uint32_t kUpdatesPerIteration = 25000;
+
+    void
+    insert(Runtime &runtime, uint32_t key)
+    {
+        Object *fresh = runtime.allocRaw(nodeType_);
+        Handle guard(runtime, fresh, "treewalk.insert");
+        fresh->setScalar<uint64_t>(0, key);
+        fresh->setRef(2, str_->create("p" + std::to_string(key)));
+        if (!root_.get()) {
+            root_.set(fresh);
+            return;
+        }
+        Object *node = root_.get();
+        while (true) {
+            uint32_t slot = key < node->scalar<uint64_t>(0) ? 0 : 1;
+            Object *child = node->ref(slot);
+            if (!child) {
+                node->setRef(slot, fresh);
+                return;
+            }
+            node = child;
+        }
+    }
+
+    Object *
+    findNode(uint32_t key) const
+    {
+        Object *node = root_.get();
+        while (node) {
+            uint64_t k = node->scalar<uint64_t>(0);
+            if (k == key)
+                return node;
+            node = node->ref(key < k ? 0 : 1);
+        }
+        return nullptr;
+    }
+
+    bool lookup(uint32_t key) const { return findNode(key) != nullptr; }
+
+    Rng rng_{0x7aee};
+    std::unique_ptr<ManagedStringOps> str_;
+    TypeId nodeType_ = kInvalidTypeId;
+    Handle root_;
+};
+
+// ---------------------------------------------------------------------
+// mapstress
+// ---------------------------------------------------------------------
+
+class MapStressWorkload : public Workload {
+  public:
+    const char *name() const override { return "mapstress"; }
+
+    const char *
+    description() const override
+    {
+        return "open-addressing hash map churn with rehash spikes";
+    }
+
+    uint64_t minHeapBytes() const override
+    {
+        return 3ull * 1024 * 1024 / 2;
+    }
+
+    void
+    setup(Runtime &runtime) override
+    {
+        pairType_ = runtime.types()
+                        .define("MapPair")
+                        .refs({"value"})
+                        .scalars(8)
+                        .build();
+        slotsType_ = runtime.types().define("MapSlots[]").array().build();
+        valueType_ = runtime.types()
+                         .define("MapValue")
+                         .refCount(0)
+                         .scalars(40)
+                         .build();
+
+        capacity_ = 4096;
+        slots_ = Handle(runtime,
+                        runtime.allocArrayRaw(slotsType_, capacity_),
+                        "mapstress.slots");
+        size_ = 0;
+        for (uint32_t i = 0; i < kTargetSize; ++i)
+            put(runtime, rng_.next() % kKeySpace);
+    }
+
+    void
+    iterate(Runtime &runtime) override
+    {
+        for (uint32_t op = 0; op < kOpsPerIteration; ++op) {
+            uint64_t key = rng_.next() % kKeySpace;
+            if (rng_.chance(0.5))
+                put(runtime, key);
+            else
+                erase(key);
+        }
+    }
+
+    void teardown(Runtime &runtime) override
+    {
+        (void)runtime;
+        slots_.reset();
+    }
+
+  private:
+    static constexpr uint32_t kTargetSize = 9000;
+    static constexpr uint64_t kKeySpace = 30000;
+    static constexpr uint32_t kOpsPerIteration = 50000;
+
+    /** Tombstone-free linear probing with backward-shift deletion. */
+    uint32_t
+    probe(uint64_t key) const
+    {
+        return static_cast<uint32_t>((key * 0x9e3779b97f4a7c15ull) %
+                                     capacity_);
+    }
+
+    void
+    put(Runtime &runtime, uint64_t key)
+    {
+        if ((size_ + 1) * 10 > uint64_t{capacity_} * 7)
+            rehash(runtime);
+        // The value object is constructed before the table probe,
+        // as real map clients do; on a duplicate key it becomes
+        // garbage immediately.
+        Object *value = runtime.allocRaw(valueType_);
+        Handle vguard(runtime, value, "mapstress.value");
+        uint32_t i = probe(key);
+        while (Object *pair = slots_->ref(i)) {
+            if (pair->scalar<uint64_t>(0) == key) {
+                pair->setRef(0, value); // refresh the mapping
+                return;
+            }
+            i = (i + 1) % capacity_;
+        }
+        Object *pair = runtime.allocRaw(pairType_);
+        pair->setScalar<uint64_t>(0, key);
+        pair->setRef(0, value);
+        slots_->setRef(i, pair);
+        ++size_;
+    }
+
+    void
+    erase(uint64_t key)
+    {
+        uint32_t i = probe(key);
+        while (Object *pair = slots_->ref(i)) {
+            if (pair->scalar<uint64_t>(0) == key) {
+                // Backward-shift deletion keeps probe chains intact.
+                uint32_t hole = i;
+                uint32_t j = (i + 1) % capacity_;
+                while (Object *shift = slots_->ref(j)) {
+                    uint32_t home = probe(shift->scalar<uint64_t>(0));
+                    bool movable = (j >= home)
+                        ? (home <= hole && hole < j)
+                        : (home <= hole || hole < j);
+                    if (movable) {
+                        slots_->setRef(hole, shift);
+                        hole = j;
+                    }
+                    j = (j + 1) % capacity_;
+                }
+                slots_->setRef(hole, nullptr);
+                --size_;
+                return;
+            }
+            i = (i + 1) % capacity_;
+        }
+    }
+
+    void
+    rehash(Runtime &runtime)
+    {
+        uint32_t new_capacity = capacity_ * 2;
+        Handle fresh(runtime,
+                     runtime.allocArrayRaw(slotsType_, new_capacity),
+                     "mapstress.rehash");
+        uint32_t old_capacity = capacity_;
+        Object *old = slots_.get();
+        capacity_ = new_capacity;
+        for (uint32_t i = 0; i < old_capacity; ++i) {
+            Object *pair = old->ref(i);
+            if (!pair)
+                continue;
+            uint32_t j = probe(pair->scalar<uint64_t>(0));
+            while (fresh->ref(j))
+                j = (j + 1) % capacity_;
+            fresh->setRef(j, pair);
+        }
+        slots_.set(fresh.get());
+    }
+
+    Rng rng_{0x3a9f};
+    TypeId pairType_ = kInvalidTypeId;
+    TypeId slotsType_ = kInvalidTypeId;
+    TypeId valueType_ = kInvalidTypeId;
+    Handle slots_;
+    uint32_t capacity_ = 0;
+    uint64_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// arraybloat
+// ---------------------------------------------------------------------
+
+class ArrayBloatWorkload : public Workload {
+  public:
+    const char *name() const override { return "arraybloat"; }
+
+    const char *
+    description() const override
+    {
+        return "large-object-space traffic with a retained window";
+    }
+
+    uint64_t minHeapBytes() const override { return 6ull * 1024 * 1024; }
+
+    void
+    setup(Runtime &runtime) override
+    {
+        bufferType_ =
+            runtime.types().define("ByteBuffer").array().build();
+        windowType_ =
+            runtime.types().define("BufferWindow[]").array().build();
+        window_ = Handle(runtime,
+                         runtime.allocArrayRaw(windowType_, kWindow),
+                         "arraybloat.window");
+        for (uint32_t i = 0; i < kWindow; ++i)
+            window_->setRef(i, makeBuffer(runtime, i));
+    }
+
+    void
+    iterate(Runtime &runtime) override
+    {
+        for (uint32_t op = 0; op < kOpsPerIteration; ++op) {
+            // Allocate a large transient buffer, fold its contents
+            // into a window slot, and retain the new buffer there.
+            Object *buffer = makeBuffer(runtime, cursor_);
+            Handle guard(runtime, buffer, "arraybloat.tmp");
+            uint32_t slot = cursor_++ % kWindow;
+            Object *old = window_->ref(slot);
+            uint64_t fold = old->scalar<uint64_t>(0) ^
+                buffer->scalar<uint64_t>(0);
+            buffer->setScalar<uint64_t>(0, fold);
+            window_->setRef(slot, buffer);
+        }
+    }
+
+    void teardown(Runtime &runtime) override
+    {
+        (void)runtime;
+        window_.reset();
+    }
+
+  private:
+    static constexpr uint32_t kWindow = 24;
+    static constexpr uint32_t kOpsPerIteration = 400;
+
+    Object *
+    makeBuffer(Runtime &runtime, uint32_t tag)
+    {
+        uint32_t bytes = 16 * 1024 + (tag % 4) * 12 * 1024;
+        Object *buffer = runtime.allocScalarRaw(bufferType_, bytes);
+        buffer->setScalar<uint64_t>(0, 0x9e37 * (tag + 1));
+        // Touch the payload so the buffer is really materialized.
+        for (uint32_t off = 64; off + 8 <= bytes; off += 1024)
+            buffer->setScalar<uint64_t>(off, tag + off);
+        return buffer;
+    }
+
+    Rng rng_{0xab10a7};
+    TypeId bufferType_ = kInvalidTypeId;
+    TypeId windowType_ = kInvalidTypeId;
+    Handle window_;
+    uint32_t cursor_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBinaryTrees()
+{
+    return std::make_unique<BinaryTreesWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeGraphChurn()
+{
+    return std::make_unique<GraphChurnWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeStringStorm()
+{
+    return std::make_unique<StringStormWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeTreeWalk()
+{
+    return std::make_unique<TreeWalkWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeMapStress()
+{
+    return std::make_unique<MapStressWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeArrayBloat()
+{
+    return std::make_unique<ArrayBloatWorkload>();
+}
+
+} // namespace gcassert

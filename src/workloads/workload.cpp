@@ -1,0 +1,20 @@
+#include "workloads/workload.h"
+
+namespace gcassert {
+
+Workload::~Workload() = default;
+
+void
+Workload::enableAssertions(Runtime &runtime)
+{
+    (void)runtime;
+    assertionsEnabled_ = true;
+}
+
+void
+Workload::teardown(Runtime &runtime)
+{
+    (void)runtime;
+}
+
+} // namespace gcassert

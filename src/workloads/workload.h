@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The benchmark-workload interface.
+ *
+ * A workload is a deterministic managed program: it defines types,
+ * builds state in setup(), and performs one unit of work per
+ * iterate() call. The driver runs workloads under the paper's three
+ * configurations (Base / Infrastructure / WithAssertions); a
+ * workload adds its paper-style assertions only when the driver
+ * calls enableAssertions().
+ */
+
+#ifndef GCASSERT_WORKLOADS_WORKLOAD_H
+#define GCASSERT_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/runtime.h"
+
+namespace gcassert {
+
+/**
+ * Base class for all benchmark workloads.
+ */
+class Workload {
+  public:
+    virtual ~Workload();
+
+    /** Short identifier used on the bench command line and tables. */
+    virtual const char *name() const = 0;
+
+    /** One-line description for --list output. */
+    virtual const char *description() const = 0;
+
+    /**
+     * Calibrated minimum live-heap size. The driver sets the heap
+     * budget to twice this value, matching the paper's methodology.
+     */
+    virtual uint64_t minHeapBytes() const = 0;
+
+    /** Define types and build the initial heap state. */
+    virtual void setup(Runtime &runtime) = 0;
+
+    /** Perform one benchmark iteration. */
+    virtual void iterate(Runtime &runtime) = 0;
+
+    /**
+     * Turn on this workload's GC assertions (the WithAssertions
+     * configuration). Called once, after setup(). The default is a
+     * no-op: most workloads only participate in the infrastructure
+     * overhead measurements.
+     */
+    virtual void enableAssertions(Runtime &runtime);
+
+    /** Release handles so the runtime can be destroyed. */
+    virtual void teardown(Runtime &runtime);
+
+    /** True once enableAssertions() has been called. */
+    bool assertionsEnabled() const { return assertionsEnabled_; }
+
+  protected:
+    bool assertionsEnabled_ = false;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_WORKLOAD_H

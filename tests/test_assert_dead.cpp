@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for assert-dead and assert-alldead (lifetime assertions,
+ * paper sections 2.3.1-2.3.2) and the reaction policies including
+ * ForceTrue (section 2.6).
+ */
+
+#include "test_util.h"
+
+namespace gcassert {
+namespace {
+
+using testutil::RuntimeTest;
+
+class AssertDeadTest : public RuntimeTest {};
+
+TEST_F(AssertDeadTest, SatisfiedWhenObjectDies)
+{
+    Object *obj = node(1);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+    EXPECT_EQ(runtime_->assertionStats().deadAssertsSatisfied, 1u);
+    EXPECT_EQ(runtime_->assertionStats().assertDeadCalls, 1u);
+}
+
+TEST_F(AssertDeadTest, ViolatedWhenObjectReachable)
+{
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    const Violation &v = violations()[0];
+    EXPECT_EQ(v.kind, AssertionKind::Dead);
+    EXPECT_EQ(v.offendingType, "Node");
+    EXPECT_NE(v.message.find("asserted dead"), std::string::npos);
+    EXPECT_EQ(v.gcNumber, 1u);
+    EXPECT_TRUE(capture_.contains("asserted dead"));
+    // The object itself stays alive (LogContinue).
+    EXPECT_TRUE(alive(obj));
+}
+
+TEST_F(AssertDeadTest, RootReferencedObjectIsViolation)
+{
+    Handle root = rootedNode(5);
+    runtime_->assertDead(root.get());
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_EQ(violations()[0].path.size(), 1u);
+}
+
+TEST_F(AssertDeadTest, ReportedOncePerAssertionByDefault)
+{
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    runtime_->collect();
+    runtime_->collect();
+    // Non-sticky: the dead bit is cleared after the first report.
+    EXPECT_EQ(violations().size(), 1u);
+}
+
+TEST_F(AssertDeadTest, StickyAssertionsReportEveryGc)
+{
+    RuntimeConfig config = defaultConfig();
+    config.engine.stickyDeadAssertions = true;
+    Runtime sticky(config);
+    TypeId t = sticky.types().define("N").refCount(1).build();
+    Handle root(sticky, sticky.allocRaw(t), "root");
+    Object *obj = sticky.allocRaw(t);
+    root->setRef(0, obj);
+    sticky.assertDead(obj);
+    sticky.collect();
+    sticky.collect();
+    sticky.collect();
+    EXPECT_EQ(sticky.violations().size(), 3u);
+}
+
+TEST_F(AssertDeadTest, ReassertAfterReportTriggersAgain)
+{
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 1u);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 2u);
+}
+
+TEST_F(AssertDeadTest, MultipleAssertedObjectsEachReported)
+{
+    Handle root = rootedNode(0);
+    Object *a = node(1);
+    Object *b = node(2);
+    root->setRef(0, a);
+    root->setRef(1, b);
+    runtime_->assertDead(a);
+    runtime_->assertDead(b);
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 2u);
+}
+
+TEST_F(AssertDeadTest, MixOfDeadAndLiveAssertions)
+{
+    Handle root = rootedNode(0);
+    Object *live = node(1);
+    root->setRef(0, live);
+    Object *dead = node(2);
+    runtime_->assertDead(live);
+    runtime_->assertDead(dead);
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 1u);
+    EXPECT_EQ(runtime_->assertionStats().deadAssertsSatisfied, 1u);
+}
+
+TEST_F(AssertDeadTest, NullObjectIsFatal)
+{
+    EXPECT_THROW(runtime_->assertDead(nullptr), FatalError);
+}
+
+TEST_F(AssertDeadTest, IgnoredWithWarningWhenInfraOff)
+{
+    Runtime base(RuntimeConfig::base(testutil::kTestHeapBytes));
+    TypeId t = base.types().define("N").refCount(1).build();
+    Handle root(base, base.allocRaw(t), "root");
+    base.assertDead(root.get());
+    base.collect();
+    EXPECT_TRUE(base.violations().empty());
+    EXPECT_TRUE(capture_.contains("infrastructure is disabled"));
+    EXPECT_EQ(capture_.countAt(LogLevel::Warn), 1u);
+    base.assertDead(root.get()); // warned only once
+    EXPECT_EQ(capture_.countAt(LogLevel::Warn), 1u);
+}
+
+TEST_F(AssertDeadTest, ForceTrueReclaimsTheObject)
+{
+    runtime_->engine().reactions().set(AssertionKind::Dead,
+                                       Reaction::ForceTrue);
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_FALSE(alive(obj)) << "ForceTrue must reclaim in this GC";
+    EXPECT_EQ(root->ref(0), nullptr) << "incoming reference nulled";
+}
+
+TEST_F(AssertDeadTest, ForceTrueNullsAllIncomingReferences)
+{
+    runtime_->engine().reactions().set(AssertionKind::Dead,
+                                       Reaction::ForceTrue);
+    Handle r1 = rootedNode(1);
+    Handle r2 = rootedNode(2);
+    Object *obj = node(3);
+    r1->setRef(0, obj);
+    r2->setRef(0, obj);
+    r2->setRef(1, obj);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    EXPECT_FALSE(alive(obj));
+    EXPECT_EQ(r1->ref(0), nullptr);
+    EXPECT_EQ(r2->ref(0), nullptr);
+    EXPECT_EQ(r2->ref(1), nullptr);
+}
+
+TEST_F(AssertDeadTest, ForceTrueNullsRootSlots)
+{
+    runtime_->engine().reactions().set(AssertionKind::Dead,
+                                       Reaction::ForceTrue);
+    Handle root = rootedNode(1);
+    Object *obj = root.get();
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    EXPECT_FALSE(alive(obj));
+    EXPECT_EQ(root.get(), nullptr);
+}
+
+TEST_F(AssertDeadTest, ForceTrueKillsSubtreeOnlyReachableThroughObject)
+{
+    runtime_->engine().reactions().set(AssertionKind::Dead,
+                                       Reaction::ForceTrue);
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    Object *child = node(2);
+    root->setRef(0, obj);
+    obj->setRef(0, child);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    EXPECT_FALSE(alive(obj));
+    EXPECT_FALSE(alive(child)) << "subtree dies with the forced object";
+}
+
+TEST_F(AssertDeadTest, LogHaltThrows)
+{
+    runtime_->engine().reactions().set(AssertionKind::Dead,
+                                       Reaction::LogHalt);
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    EXPECT_THROW(runtime_->collect(), FatalError);
+    EXPECT_EQ(violations().size(), 1u);
+}
+
+TEST_F(AssertDeadTest, ViolationHandlersAreInvoked)
+{
+    std::vector<Violation> seen;
+    runtime_->engine().reactions().addHandler(
+        [&](const Violation &v) { seen.push_back(v); });
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].kind, AssertionKind::Dead);
+}
+
+TEST_F(AssertDeadTest, ForceTrueRejectedForUnforcibleKinds)
+{
+    EXPECT_THROW(runtime_->engine().reactions().set(
+                     AssertionKind::Unshared, Reaction::ForceTrue),
+                 FatalError);
+    EXPECT_THROW(runtime_->engine().reactions().set(
+                     AssertionKind::Instances, Reaction::ForceTrue),
+                 FatalError);
+}
+
+class RegionTest : public RuntimeTest {};
+
+TEST_F(RegionTest, AllRegionObjectsDeadIsSatisfied)
+{
+    runtime_->startRegion();
+    for (int i = 0; i < 50; ++i)
+        node(i); // garbage allocated inside the region
+    runtime_->assertAllDead();
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+    EXPECT_EQ(runtime_->assertionStats().regionObjectsFlushed, 50u);
+}
+
+TEST_F(RegionTest, EscapingRegionObjectIsViolation)
+{
+    Handle escape = rootedNode(99, "escape-root");
+    runtime_->startRegion();
+    Object *leaked = node(1);
+    node(2); // this one really dies
+    escape->setRef(0, leaked);
+    runtime_->assertAllDead();
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_EQ(violations()[0].kind, AssertionKind::AllDead);
+    EXPECT_NE(violations()[0].message.find("assert-alldead"),
+              std::string::npos);
+}
+
+TEST_F(RegionTest, AllocationsOutsideRegionAreNotTracked)
+{
+    Handle keeper = rootedNode(0, "keeper");
+    Object *before = node(1);
+    keeper->setRef(0, before);
+    runtime_->startRegion();
+    node(2);
+    runtime_->assertAllDead();
+    Object *after = node(3);
+    keeper->setRef(1, after);
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty())
+        << "objects allocated outside the region must not be flagged";
+}
+
+TEST_F(RegionTest, RegionSurvivesInterveningGc)
+{
+    Handle escape = rootedNode(0, "escape-root");
+    runtime_->startRegion();
+    Object *leaked = node(1);
+    escape->setRef(0, leaked);
+    for (int i = 0; i < 100; ++i)
+        node(100 + i);
+    // A GC in the middle of the region must prune dead queue entries
+    // but keep tracking the survivors.
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+    runtime_->assertAllDead();
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_EQ(violations()[0].kind, AssertionKind::AllDead);
+}
+
+TEST_F(RegionTest, PerMutatorIndependence)
+{
+    MutatorContext &worker = runtime_->registerMutator("worker");
+    Handle escape = rootedNode(0, "escape-root");
+
+    runtime_->startRegion(&worker);
+    // Main-thread allocation is not part of the worker's region.
+    Object *main_obj = node(1);
+    escape->setRef(0, main_obj);
+    // Worker allocation is.
+    Object *worker_obj = runtime_->allocRaw(nodeType_, &worker);
+    escape->setRef(1, worker_obj);
+    runtime_->assertAllDead(&worker);
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u)
+        << "only the worker's allocation is tracked";
+}
+
+TEST_F(RegionTest, NestedStartIsFatal)
+{
+    runtime_->startRegion();
+    EXPECT_THROW(runtime_->startRegion(), FatalError);
+}
+
+TEST_F(RegionTest, AllDeadWithoutRegionIsFatal)
+{
+    EXPECT_THROW(runtime_->assertAllDead(), FatalError);
+}
+
+TEST_F(RegionTest, RegionsAreRestartableAfterFlush)
+{
+    runtime_->startRegion();
+    node(1);
+    runtime_->assertAllDead();
+    runtime_->startRegion();
+    node(2);
+    runtime_->assertAllDead();
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+    EXPECT_EQ(runtime_->assertionStats().assertAllDeadCalls, 2u);
+}
+
+TEST_F(RegionTest, ServerConnectionPattern)
+{
+    // The paper's motivating example: bracket connection servicing
+    // and ensure it is memory-stable.
+    Handle connection_pool = rootedNode(0, "pool");
+    for (int request = 0; request < 20; ++request) {
+        runtime_->startRegion();
+        // Service the request with temporary structures.
+        Object *scratch = node(request);
+        Object *buffer = runtime_->allocArrayRaw(arrayType_, 32);
+        scratch->setRef(0, buffer);
+        for (int i = 0; i < 10; ++i)
+            buffer->setRef(i, node(1000 + i));
+        runtime_->assertAllDead();
+    }
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+}
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for assert-instances (volume assertions, paper section 2.4).
+ */
+
+#include "test_util.h"
+
+namespace gcassert {
+namespace {
+
+using testutil::RuntimeTest;
+
+class AssertInstancesTest : public RuntimeTest {};
+
+TEST_F(AssertInstancesTest, UnderLimitIsSatisfied)
+{
+    runtime_->assertInstances(nodeType_, 3);
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(AssertInstancesTest, AtLimitIsSatisfied)
+{
+    runtime_->assertInstances(nodeType_, 2);
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(AssertInstancesTest, OverLimitIsViolation)
+{
+    runtime_->assertInstances(nodeType_, 2);
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    Handle c = rootedNode(3);
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    const Violation &v = violations()[0];
+    EXPECT_EQ(v.kind, AssertionKind::Instances);
+    EXPECT_EQ(v.offendingType, "Node");
+    EXPECT_NE(v.message.find("3 instances"), std::string::npos);
+    EXPECT_NE(v.message.find("limit is 2"), std::string::npos);
+}
+
+TEST_F(AssertInstancesTest, OnlyLiveInstancesCount)
+{
+    runtime_->assertInstances(nodeType_, 2);
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    for (int i = 0; i < 50; ++i)
+        node(100 + i); // garbage: must not count
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(AssertInstancesTest, ZeroLimitChecksNoInstancesExist)
+{
+    runtime_->assertInstances(nodeType_, 0);
+    node(1); // garbage: dies at the GC, does not count
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+
+    Handle live = rootedNode(2);
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_NE(violations()[0].message.find("1 instances"),
+              std::string::npos);
+}
+
+TEST_F(AssertInstancesTest, SingletonPattern)
+{
+    TypeId singleton =
+        runtime_->types().define("Config").refCount(0).scalars(8).build();
+    runtime_->assertInstances(singleton, 1);
+    Handle only(*runtime_, runtime_->allocRaw(singleton), "the-config");
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+
+    Handle second(*runtime_, runtime_->allocRaw(singleton), "oops");
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_EQ(violations()[0].offendingType, "Config");
+}
+
+TEST_F(AssertInstancesTest, ReportedEveryGcWhileViolated)
+{
+    runtime_->assertInstances(nodeType_, 0);
+    Handle live = rootedNode(1);
+    runtime_->collect();
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 2u)
+        << "volume violations are recomputed per collection";
+}
+
+TEST_F(AssertInstancesTest, RecoveryStopsReports)
+{
+    runtime_->assertInstances(nodeType_, 1);
+    Handle a = rootedNode(1);
+    {
+        Handle b = rootedNode(2);
+        runtime_->collect();
+        EXPECT_EQ(violations().size(), 1u);
+    }
+    runtime_->collect(); // b died: back under the limit
+    EXPECT_EQ(violations().size(), 1u);
+}
+
+TEST_F(AssertInstancesTest, TighterLimitWins)
+{
+    runtime_->assertInstances(nodeType_, 10);
+    runtime_->assertInstances(nodeType_, 1);
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 1u);
+}
+
+TEST_F(AssertInstancesTest, MultipleTrackedTypes)
+{
+    TypeId other =
+        runtime_->types().define("Other").refCount(0).build();
+    runtime_->assertInstances(nodeType_, 1);
+    runtime_->assertInstances(other, 1);
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    Handle c(*runtime_, runtime_->allocRaw(other), "other-1");
+    Handle d(*runtime_, runtime_->allocRaw(other), "other-2");
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 2u);
+    EXPECT_EQ(violationsOf(AssertionKind::Instances).size(), 2u);
+}
+
+TEST_F(AssertInstancesTest, InstancesInsideStructuresAreCounted)
+{
+    runtime_->assertInstances(nodeType_, 2);
+    Handle arr(*runtime_, runtime_->allocArrayRaw(arrayType_, 8),
+               "array-root");
+    for (uint32_t i = 0; i < 3; ++i)
+        arr->setRef(i, node(i));
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 1u);
+}
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the managed longBTree, including a randomized
+ * property-style comparison against std::map and survival across
+ * collections.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/rng.h"
+#include "test_util.h"
+#include "workloads/long_btree.h"
+
+namespace gcassert {
+namespace {
+
+class BTreeTest : public testutil::RuntimeTest {
+  protected:
+    BTreeTest() : btree_(*runtime_, "Test") {}
+
+    Handle
+    newTree()
+    {
+        return Handle(*runtime_, btree_.create(), "btree");
+    }
+
+    /** A distinct value object tagged with @p tag. */
+    Object *
+    value(uint64_t tag)
+    {
+        return node(tag);
+    }
+
+    LongBTreeOps btree_;
+};
+
+TEST_F(BTreeTest, EmptyTree)
+{
+    Handle tree = newTree();
+    EXPECT_EQ(btree_.size(tree.get()), 0u);
+    EXPECT_EQ(btree_.lookup(tree.get(), 42), nullptr);
+    bool found = true;
+    btree_.minKey(tree.get(), found);
+    EXPECT_FALSE(found);
+    EXPECT_EQ(btree_.checkInvariants(tree.get()), 0u);
+}
+
+TEST_F(BTreeTest, SingleInsertLookup)
+{
+    Handle tree = newTree();
+    Object *v = value(7);
+    btree_.insert(tree.get(), 7, v);
+    EXPECT_EQ(btree_.size(tree.get()), 1u);
+    EXPECT_EQ(btree_.lookup(tree.get(), 7), v);
+    EXPECT_EQ(btree_.lookup(tree.get(), 8), nullptr);
+    btree_.checkInvariants(tree.get());
+}
+
+TEST_F(BTreeTest, AscendingInsertsSplitCorrectly)
+{
+    Handle tree = newTree();
+    for (int64_t k = 0; k < 500; ++k)
+        btree_.insert(tree.get(), k, value(static_cast<uint64_t>(k)));
+    EXPECT_EQ(btree_.size(tree.get()), 500u);
+    btree_.checkInvariants(tree.get());
+    for (int64_t k = 0; k < 500; ++k) {
+        Object *v = btree_.lookup(tree.get(), k);
+        ASSERT_NE(v, nullptr) << "key " << k;
+        EXPECT_EQ(v->scalar<uint64_t>(0), static_cast<uint64_t>(k));
+    }
+}
+
+TEST_F(BTreeTest, DescendingInserts)
+{
+    Handle tree = newTree();
+    for (int64_t k = 499; k >= 0; --k)
+        btree_.insert(tree.get(), k, value(static_cast<uint64_t>(k)));
+    EXPECT_EQ(btree_.size(tree.get()), 500u);
+    btree_.checkInvariants(tree.get());
+    bool found = false;
+    EXPECT_EQ(btree_.minKey(tree.get(), found), 0);
+    EXPECT_TRUE(found);
+}
+
+TEST_F(BTreeTest, DuplicateKeyReplacesValue)
+{
+    Handle tree = newTree();
+    Object *v1 = value(1);
+    Object *v2 = value(2);
+    btree_.insert(tree.get(), 5, v1);
+    btree_.insert(tree.get(), 5, v2);
+    EXPECT_EQ(btree_.size(tree.get()), 1u);
+    EXPECT_EQ(btree_.lookup(tree.get(), 5), v2);
+}
+
+TEST_F(BTreeTest, RemoveReturnsValueAndShrinks)
+{
+    Handle tree = newTree();
+    Object *v = value(3);
+    btree_.insert(tree.get(), 3, v);
+    btree_.insert(tree.get(), 4, value(4));
+    EXPECT_EQ(btree_.remove(tree.get(), 3), v);
+    EXPECT_EQ(btree_.size(tree.get()), 1u);
+    EXPECT_EQ(btree_.lookup(tree.get(), 3), nullptr);
+    EXPECT_EQ(btree_.remove(tree.get(), 3), nullptr) << "second remove";
+    btree_.checkInvariants(tree.get());
+}
+
+TEST_F(BTreeTest, RemoveEverythingEmptiesTree)
+{
+    Handle tree = newTree();
+    for (int64_t k = 0; k < 200; ++k)
+        btree_.insert(tree.get(), k, value(static_cast<uint64_t>(k)));
+    for (int64_t k = 0; k < 200; ++k)
+        ASSERT_NE(btree_.remove(tree.get(), k), nullptr) << k;
+    EXPECT_EQ(btree_.size(tree.get()), 0u);
+    btree_.checkInvariants(tree.get());
+    // And the tree is usable again.
+    btree_.insert(tree.get(), 42, value(42));
+    EXPECT_NE(btree_.lookup(tree.get(), 42), nullptr);
+}
+
+TEST_F(BTreeTest, RemoveOldestPattern)
+{
+    // The JBB delivery pattern: insert ascending, remove ascending
+    // from the low end, in overlapping waves.
+    Handle tree = newTree();
+    int64_t next_insert = 0, next_remove = 0;
+    for (int wave = 0; wave < 50; ++wave) {
+        for (int i = 0; i < 20; ++i)
+            btree_.insert(tree.get(), next_insert++,
+                          value(static_cast<uint64_t>(next_insert)));
+        for (int i = 0; i < 18; ++i)
+            ASSERT_NE(btree_.remove(tree.get(), next_remove++), nullptr);
+        btree_.checkInvariants(tree.get());
+    }
+    EXPECT_EQ(btree_.size(tree.get()),
+              static_cast<uint64_t>(next_insert - next_remove));
+    bool found = false;
+    EXPECT_EQ(btree_.minKey(tree.get(), found), next_remove);
+    EXPECT_TRUE(found);
+}
+
+TEST_F(BTreeTest, ForEachVisitsInOrder)
+{
+    Handle tree = newTree();
+    Rng rng(99);
+    std::vector<int64_t> keys;
+    for (int i = 0; i < 300; ++i)
+        keys.push_back(static_cast<int64_t>(rng.below(100000)));
+    for (int64_t k : keys)
+        btree_.insert(tree.get(), k, value(static_cast<uint64_t>(k)));
+
+    std::vector<int64_t> visited;
+    btree_.forEach(tree.get(), [&](int64_t k, Object *v) {
+        visited.push_back(k);
+        EXPECT_EQ(v->scalar<uint64_t>(0), static_cast<uint64_t>(k));
+    });
+    EXPECT_EQ(visited.size(), btree_.size(tree.get()));
+    for (size_t i = 1; i < visited.size(); ++i)
+        EXPECT_LT(visited[i - 1], visited[i]);
+}
+
+TEST_F(BTreeTest, SurvivesCollections)
+{
+    Handle tree = newTree();
+    for (int64_t k = 0; k < 1000; ++k) {
+        btree_.insert(tree.get(), k, value(static_cast<uint64_t>(k)));
+        if (k % 100 == 0)
+            runtime_->collect();
+    }
+    runtime_->collect();
+    btree_.checkInvariants(tree.get());
+    for (int64_t k = 0; k < 1000; ++k)
+        ASSERT_NE(btree_.lookup(tree.get(), k), nullptr) << k;
+}
+
+TEST_F(BTreeTest, RemovedValuesBecomeCollectable)
+{
+    Handle tree = newTree();
+    Object *v = value(1);
+    btree_.insert(tree.get(), 1, v);
+    btree_.insert(tree.get(), 2, value(2));
+    runtime_->collect();
+    EXPECT_TRUE(alive(v));
+    btree_.remove(tree.get(), 1);
+    runtime_->collect();
+    EXPECT_FALSE(alive(v));
+}
+
+TEST_F(BTreeTest, DroppingTreeFreesAllNodes)
+{
+    uint64_t before = liveCount();
+    {
+        Handle tree = newTree();
+        for (int64_t k = 0; k < 500; ++k)
+            btree_.insert(tree.get(), k, value(static_cast<uint64_t>(k)));
+        runtime_->collect();
+        EXPECT_GT(liveCount(), before);
+    }
+    runtime_->collect();
+    EXPECT_EQ(liveCount(), before);
+}
+
+TEST_F(BTreeTest, NegativeAndExtremeKeys)
+{
+    Handle tree = newTree();
+    std::vector<int64_t> keys{-1000000, -1, 0, 1, 1000000,
+                              INT64_MIN / 2, INT64_MAX / 2};
+    for (int64_t k : keys)
+        btree_.insert(tree.get(), k, value(1));
+    btree_.checkInvariants(tree.get());
+    for (int64_t k : keys)
+        EXPECT_NE(btree_.lookup(tree.get(), k), nullptr) << k;
+    bool found = false;
+    EXPECT_EQ(btree_.minKey(tree.get(), found), INT64_MIN / 2);
+}
+
+/** Property test: random operation sequences match std::map. */
+class BTreePropertyTest : public BTreeTest,
+                          public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(BTreePropertyTest, MatchesStdMapOracle)
+{
+    Rng rng(GetParam());
+    Handle tree = newTree();
+    std::map<int64_t, uint64_t> oracle;
+
+    for (int op = 0; op < 3000; ++op) {
+        int64_t key = static_cast<int64_t>(rng.below(800));
+        double dice = rng.real();
+        if (dice < 0.55) {
+            uint64_t tag = rng.next();
+            btree_.insert(tree.get(), key, value(tag));
+            oracle[key] = tag;
+        } else if (dice < 0.85) {
+            Object *removed = btree_.remove(tree.get(), key);
+            auto it = oracle.find(key);
+            if (it == oracle.end()) {
+                EXPECT_EQ(removed, nullptr);
+            } else {
+                ASSERT_NE(removed, nullptr);
+                EXPECT_EQ(removed->scalar<uint64_t>(0), it->second);
+                oracle.erase(it);
+            }
+        } else {
+            Object *found = btree_.lookup(tree.get(), key);
+            auto it = oracle.find(key);
+            if (it == oracle.end()) {
+                EXPECT_EQ(found, nullptr);
+            } else {
+                ASSERT_NE(found, nullptr);
+                EXPECT_EQ(found->scalar<uint64_t>(0), it->second);
+            }
+        }
+        if (op % 500 == 499) {
+            runtime_->collect();
+            btree_.checkInvariants(tree.get());
+            EXPECT_EQ(btree_.size(tree.get()), oracle.size());
+        }
+    }
+
+    // Final full comparison via in-order traversal.
+    std::vector<std::pair<int64_t, uint64_t>> contents;
+    btree_.forEach(tree.get(), [&](int64_t k, Object *v) {
+        contents.emplace_back(k, v->scalar<uint64_t>(0));
+    });
+    ASSERT_EQ(contents.size(), oracle.size());
+    size_t i = 0;
+    for (const auto &[k, tag] : oracle) {
+        EXPECT_EQ(contents[i].first, k);
+        EXPECT_EQ(contents[i].second, tag);
+        ++i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull));
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the heap substrate: object layout, size classes,
+ * blocks, allocation, sweep, budget accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "heap/block.h"
+#include "heap/heap.h"
+#include "heap/object.h"
+#include "heap/size_classes.h"
+#include "support/logging.h"
+
+namespace gcassert {
+namespace {
+
+TEST(ObjectLayout, SizeForRoundsToWords)
+{
+    EXPECT_EQ(Object::sizeFor(0, 0), 16u);
+    EXPECT_EQ(Object::sizeFor(1, 0), 24u);
+    EXPECT_EQ(Object::sizeFor(0, 1), 24u);
+    EXPECT_EQ(Object::sizeFor(0, 8), 24u);
+    EXPECT_EQ(Object::sizeFor(2, 12), 48u);
+}
+
+TEST(ObjectLayout, HeaderIsSixteenBytes)
+{
+    EXPECT_EQ(sizeof(Object), 16u);
+}
+
+TEST(SizeClasses, Monotone)
+{
+    for (size_t i = 1; i < kNumSizeClasses; ++i)
+        EXPECT_LT(kSizeClassBytes[i - 1], kSizeClassBytes[i]);
+}
+
+TEST(SizeClasses, MappingIsTightestFit)
+{
+    EXPECT_EQ(sizeClassFor(1), 0u);
+    EXPECT_EQ(sizeClassFor(16), 0u);
+    EXPECT_EQ(sizeClassFor(17), 1u);
+    EXPECT_EQ(sizeClassFor(24), 1u);
+    EXPECT_EQ(sizeClassFor(8192), kNumSizeClasses - 1);
+    EXPECT_EQ(sizeClassFor(8193), kNumSizeClasses);
+}
+
+TEST(BlockTest, CarvesCells)
+{
+    Block block(64);
+    EXPECT_EQ(block.cellBytes(), 64u);
+    EXPECT_EQ(block.numCells(), Block::kBlockBytes / 64);
+    EXPECT_TRUE(block.empty());
+    EXPECT_FALSE(block.full());
+}
+
+TEST(BlockTest, AllocatesDistinctAlignedCells)
+{
+    Block block(64);
+    std::set<void *> cells;
+    for (int i = 0; i < 100; ++i) {
+        void *cell = block.allocateCell();
+        ASSERT_NE(cell, nullptr);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(cell) % 8, 0u);
+        EXPECT_TRUE(block.contains(cell));
+        EXPECT_TRUE(cells.insert(cell).second);
+    }
+    EXPECT_EQ(block.liveCells(), 100u);
+}
+
+TEST(BlockTest, ExhaustsAndReportsFull)
+{
+    Block block(8192);
+    uint32_t n = block.numCells();
+    for (uint32_t i = 0; i < n; ++i)
+        ASSERT_NE(block.allocateCell(), nullptr);
+    EXPECT_TRUE(block.full());
+    EXPECT_EQ(block.allocateCell(), nullptr);
+}
+
+TEST(BlockTest, SweepFreesUnmarkedAndUnmarksSurvivors)
+{
+    Block block(64);
+    std::vector<Object *> objects;
+    for (int i = 0; i < 10; ++i) {
+        auto *obj = static_cast<Object *>(block.allocateCell());
+        obj->format(0, 2, 8);
+        objects.push_back(obj);
+    }
+    // Mark even-indexed objects.
+    for (size_t i = 0; i < objects.size(); i += 2)
+        objects[i]->setFlag(kMarkBit);
+
+    std::vector<Object *> freed;
+    uint64_t bytes = block.sweep([&](Object *obj) { freed.push_back(obj); });
+    EXPECT_EQ(freed.size(), 5u);
+    EXPECT_EQ(bytes, 5u * 64);
+    EXPECT_EQ(block.liveCells(), 5u);
+    for (size_t i = 0; i < objects.size(); i += 2)
+        EXPECT_FALSE(objects[i]->marked()) << "survivor keeps mark";
+}
+
+TEST(BlockTest, FreedCellsAreReused)
+{
+    Block block(64);
+    auto *first = static_cast<Object *>(block.allocateCell());
+    first->format(0, 0, 0);
+    block.sweep(nullptr); // unmarked: freed
+    EXPECT_TRUE(block.empty());
+    // The freed cell comes back.
+    std::set<void *> seen;
+    for (uint32_t i = 0; i < block.numCells(); ++i)
+        seen.insert(block.allocateCell());
+    EXPECT_TRUE(seen.count(first));
+}
+
+TEST(ObjectModel, RefSlotsAndScalars)
+{
+    Block block(128);
+    auto *obj = static_cast<Object *>(block.allocateCell());
+    obj->format(3, 2, 24);
+    EXPECT_EQ(obj->typeId(), 3u);
+    EXPECT_EQ(obj->numRefs(), 2u);
+    EXPECT_EQ(obj->scalarBytes(), 24u);
+    EXPECT_EQ(obj->ref(0), nullptr);
+    EXPECT_EQ(obj->ref(1), nullptr);
+
+    auto *other = static_cast<Object *>(block.allocateCell());
+    other->format(3, 2, 24);
+    obj->setRef(0, other);
+    EXPECT_EQ(obj->ref(0), other);
+
+    obj->setScalar<uint64_t>(0, 0x1122334455667788ull);
+    obj->setScalar<uint32_t>(8, 42);
+    EXPECT_EQ(obj->scalar<uint64_t>(0), 0x1122334455667788ull);
+    EXPECT_EQ(obj->scalar<uint32_t>(8), 42u);
+}
+
+TEST(ObjectModel, OutOfRangeAccessPanics)
+{
+    CaptureLogSink capture;
+    Block block(64);
+    auto *obj = static_cast<Object *>(block.allocateCell());
+    obj->format(0, 1, 8);
+    EXPECT_THROW(obj->ref(1), PanicError);
+    EXPECT_THROW(obj->setRef(2, nullptr), PanicError);
+    EXPECT_THROW(obj->scalar<uint64_t>(4), PanicError);
+}
+
+TEST(ObjectModel, FlagsAreIndependent)
+{
+    Block block(64);
+    auto *obj = static_cast<Object *>(block.allocateCell());
+    obj->format(0, 0, 0);
+    obj->setFlag(kDeadBit);
+    obj->setFlag(kUnsharedBit);
+    EXPECT_TRUE(obj->testFlag(kDeadBit));
+    EXPECT_TRUE(obj->testFlag(kUnsharedBit));
+    EXPECT_FALSE(obj->testFlag(kMarkBit));
+    obj->clearFlag(kDeadBit);
+    EXPECT_FALSE(obj->testFlag(kDeadBit));
+    EXPECT_TRUE(obj->testFlag(kUnsharedBit));
+}
+
+TEST(HeapTest, AllocatesAndTracksUsage)
+{
+    Heap heap(HeapConfig{1024 * 1024, false, 1.5});
+    Object *obj = heap.allocate(0, 2, 8);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_EQ(heap.liveObjects(), 1u);
+    // Charged at the size-class granularity (48 bytes here).
+    EXPECT_EQ(heap.usedBytes(), 48u);
+    EXPECT_TRUE(heap.contains(obj));
+}
+
+TEST(HeapTest, ReturnsNullWhenBudgetExhausted)
+{
+    Heap heap(HeapConfig{1024, false, 1.5});
+    std::vector<Object *> allocated;
+    Object *obj;
+    while ((obj = heap.allocate(0, 0, 0)) != nullptr)
+        allocated.push_back(obj);
+    EXPECT_EQ(heap.usedBytes(), 1024u);
+    EXPECT_EQ(allocated.size(), 1024u / 16);
+}
+
+TEST(HeapTest, LargeObjectsGoToLos)
+{
+    Heap heap(HeapConfig{4 * 1024 * 1024, false, 1.5});
+    Object *large = heap.allocate(0, 0, 100 * 1024);
+    ASSERT_NE(large, nullptr);
+    EXPECT_TRUE(heap.contains(large));
+    EXPECT_GT(large->sizeBytes(), maxSmallObjectBytes());
+    large->setScalar<uint64_t>(100 * 1024 - 8, 0xfeed);
+    EXPECT_EQ(large->scalar<uint64_t>(100 * 1024 - 8), 0xfeedu);
+}
+
+TEST(HeapTest, SweepReclaimsUnmarked)
+{
+    Heap heap(HeapConfig{1024 * 1024, false, 1.5});
+    Object *keep = heap.allocate(0, 1, 0);
+    Object *drop = heap.allocate(0, 1, 0);
+    Object *big_keep = heap.allocate(0, 0, 20000);
+    Object *big_drop = heap.allocate(0, 0, 20000);
+    keep->setFlag(kMarkBit);
+    big_keep->setFlag(kMarkBit);
+
+    std::unordered_set<Object *> freed;
+    SweepStats stats = heap.sweep([&](Object *obj) { freed.insert(obj); });
+    EXPECT_EQ(stats.freedObjects, 2u);
+    EXPECT_TRUE(freed.count(drop));
+    EXPECT_TRUE(freed.count(big_drop));
+    EXPECT_FALSE(freed.count(keep));
+    EXPECT_EQ(heap.liveObjects(), 2u);
+    EXPECT_FALSE(keep->marked()) << "sweep clears marks";
+    EXPECT_FALSE(big_keep->marked());
+    EXPECT_TRUE(heap.contains(keep));
+    EXPECT_FALSE(heap.contains(big_drop));
+}
+
+TEST(HeapTest, EmptyBlocksAreReleased)
+{
+    Heap heap(HeapConfig{8 * 1024 * 1024, false, 1.5});
+    // Fill several blocks of one class, then free everything.
+    for (int i = 0; i < 10000; ++i)
+        heap.allocate(0, 0, 0);
+    SweepStats stats = heap.sweep(nullptr);
+    EXPECT_EQ(stats.freedObjects, 10000u);
+    EXPECT_GT(stats.releasedBlocks, 0u);
+    EXPECT_EQ(heap.usedBytes(), 0u);
+}
+
+TEST(HeapTest, ForEachObjectVisitsEverything)
+{
+    Heap heap(HeapConfig{1024 * 1024, false, 1.5});
+    std::unordered_set<Object *> expected;
+    for (int i = 0; i < 100; ++i)
+        expected.insert(heap.allocate(0, 1, 8));
+    expected.insert(heap.allocate(0, 0, 30000));
+
+    std::unordered_set<Object *> seen;
+    heap.forEachObject([&](Object *obj) { seen.insert(obj); });
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(HeapTest, LifetimeTotalsAreMonotonic)
+{
+    Heap heap(HeapConfig{1024 * 1024, false, 1.5});
+    heap.allocate(0, 0, 0);
+    heap.allocate(0, 0, 0);
+    uint64_t bytes = heap.totalAllocatedBytes();
+    EXPECT_EQ(heap.totalAllocatedObjects(), 2u);
+    heap.sweep(nullptr);
+    heap.allocate(0, 0, 0);
+    EXPECT_EQ(heap.totalAllocatedObjects(), 3u);
+    EXPECT_GT(heap.totalAllocatedBytes(), 0u);
+    EXPECT_GE(heap.totalAllocatedBytes(), bytes);
+}
+
+TEST(HeapTest, MixedSizeClassesCoexist)
+{
+    Heap heap(HeapConfig{16 * 1024 * 1024, false, 1.5});
+    std::vector<Object *> objects;
+    for (uint32_t refs = 0; refs < 64; refs += 7)
+        for (uint32_t scalars = 0; scalars < 4000; scalars += 997)
+            objects.push_back(heap.allocate(1, refs, scalars));
+    for (Object *obj : objects) {
+        ASSERT_NE(obj, nullptr);
+        EXPECT_TRUE(heap.contains(obj));
+    }
+    EXPECT_EQ(heap.liveObjects(), objects.size());
+}
+
+} // namespace
+} // namespace gcassert

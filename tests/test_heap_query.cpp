@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for HeapQuery: immediate path finding, reachability, and
+ * live census.
+ */
+
+#include "runtime/heap_query.h"
+#include "test_util.h"
+
+namespace gcassert {
+namespace {
+
+class HeapQueryTest : public testutil::RuntimeTest {
+  protected:
+    HeapQueryTest() : query_(*runtime_) {}
+
+    HeapQuery query_;
+};
+
+TEST_F(HeapQueryTest, PathToRootObject)
+{
+    Handle root = rootedNode(1, "the-root");
+    auto path = query_.pathTo(root.get());
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0].address, root.get());
+    EXPECT_EQ(query_.rootNameFor(root.get()), "the-root");
+}
+
+TEST_F(HeapQueryTest, PathFollowsRealEdges)
+{
+    Handle root = rootedNode(0, "chain");
+    Object *a = node(1);
+    Object *b = node(2);
+    root->setRef(0, a);
+    a->setRef(1, b);
+    auto path = query_.pathTo(b);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0].address, root.get());
+    EXPECT_EQ(path[1].address, a);
+    EXPECT_EQ(path[2].address, b);
+}
+
+TEST_F(HeapQueryTest, BfsFindsShortestPath)
+{
+    // Two routes to the target: a 3-hop chain and a direct edge.
+    Handle root = rootedNode(0, "bfs");
+    Object *a = node(1);
+    Object *b = node(2);
+    Object *target = node(3);
+    root->setRef(0, a);
+    a->setRef(0, b);
+    b->setRef(0, target);
+    root->setRef(1, target); // the short way
+    auto path = query_.pathTo(target);
+    EXPECT_EQ(path.size(), 2u) << "BFS must prefer the direct edge";
+}
+
+TEST_F(HeapQueryTest, UnreachableObjectHasNoPath)
+{
+    Object *garbage = node(1);
+    EXPECT_TRUE(query_.pathTo(garbage).empty());
+    EXPECT_FALSE(query_.reachable(garbage));
+    EXPECT_EQ(query_.rootNameFor(garbage), "");
+}
+
+TEST_F(HeapQueryTest, ReachabilityThroughCycles)
+{
+    Handle root = rootedNode(0, "cycle");
+    Object *a = node(1);
+    Object *b = node(2);
+    root->setRef(0, a);
+    a->setRef(0, b);
+    b->setRef(0, a);
+    EXPECT_TRUE(query_.reachable(a));
+    EXPECT_TRUE(query_.reachable(b));
+    auto path = query_.pathTo(b);
+    EXPECT_EQ(path.size(), 3u);
+}
+
+TEST_F(HeapQueryTest, QueriesDoNotDisturbCollection)
+{
+    Handle root = rootedNode(0, "stable");
+    Object *child = node(1);
+    root->setRef(0, child);
+    Object *garbage = node(2);
+    query_.pathTo(child);
+    query_.census();
+    runtime_->collect();
+    EXPECT_TRUE(alive(child));
+    EXPECT_FALSE(alive(garbage));
+    // And queries still work after the collection.
+    EXPECT_TRUE(query_.reachable(child));
+}
+
+TEST_F(HeapQueryTest, CensusCountsAndSorts)
+{
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    Handle big(*runtime_, runtime_->allocArrayRaw(arrayType_, 512),
+               "big");
+    runtime_->collect(); // exact census: only live objects remain
+
+    auto census = query_.census();
+    ASSERT_EQ(census.size(), 2u);
+    EXPECT_EQ(census[0].typeName, "Array") << "sorted by bytes desc";
+    EXPECT_EQ(census[0].instances, 1u);
+    EXPECT_EQ(census[1].typeName, "Node");
+    EXPECT_EQ(census[1].instances, 2u);
+    EXPECT_EQ(census[1].bytes, 2u * 40);
+}
+
+TEST_F(HeapQueryTest, CountInstances)
+{
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    runtime_->collect();
+    EXPECT_EQ(query_.countInstances(nodeType_), 2u);
+    EXPECT_EQ(query_.countInstances(arrayType_), 0u);
+}
+
+TEST_F(HeapQueryTest, AgreesWithDeferredViolationReports)
+{
+    // The deferred report and the immediate query answer the same
+    // question about the same leak.
+    Handle root = rootedNode(0, "leak-root");
+    Object *leaked = node(1);
+    root->setRef(0, leaked);
+    runtime_->assertDead(leaked);
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+
+    auto immediate = query_.pathTo(leaked);
+    const auto &deferred = violations()[0].path;
+    ASSERT_FALSE(immediate.empty());
+    EXPECT_EQ(immediate.back().address, deferred.back().address);
+    EXPECT_EQ(immediate.front().address, deferred.front().address);
+}
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the managed vector and string helpers used by the
+ * workloads.
+ */
+
+#include "test_util.h"
+#include "workloads/managed_util.h"
+
+namespace gcassert {
+namespace {
+
+class ManagedVectorTest : public testutil::RuntimeTest {
+  protected:
+    ManagedVectorTest() : vec_(*runtime_, "Test") {}
+
+    ManagedVectorOps vec_;
+};
+
+TEST_F(ManagedVectorTest, StartsEmpty)
+{
+    Handle v(*runtime_, vec_.create(), "vec");
+    EXPECT_EQ(vec_.size(v.get()), 0u);
+}
+
+TEST_F(ManagedVectorTest, PushAndGet)
+{
+    Handle v(*runtime_, vec_.create(2), "vec");
+    Object *a = node(1);
+    Object *b = node(2);
+    vec_.push(v.get(), a);
+    vec_.push(v.get(), b);
+    EXPECT_EQ(vec_.size(v.get()), 2u);
+    EXPECT_EQ(vec_.get(v.get(), 0), a);
+    EXPECT_EQ(vec_.get(v.get(), 1), b);
+}
+
+TEST_F(ManagedVectorTest, GrowthPreservesContents)
+{
+    Handle v(*runtime_, vec_.create(1), "vec");
+    std::vector<Object *> elements;
+    for (uint64_t i = 0; i < 100; ++i) {
+        Object *e = node(i);
+        elements.push_back(e);
+        vec_.push(v.get(), e);
+    }
+    EXPECT_EQ(vec_.size(v.get()), 100u);
+    for (uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(vec_.get(v.get(), i), elements[i]);
+}
+
+TEST_F(ManagedVectorTest, GrowthIsGcSafe)
+{
+    // Force collections during growth by using a tight heap.
+    RuntimeConfig config;
+    config.heap.budgetBytes = 128 * 1024;
+    Runtime tight(config);
+    ManagedVectorOps ops(tight, "Tight");
+    TypeId t = tight.types().define("E").refCount(0).scalars(8).build();
+    Handle v(tight, ops.create(1), "vec");
+    for (uint64_t i = 0; i < 1000; ++i) {
+        Object *e = tight.allocRaw(t);
+        Handle guard(tight, e, "tmp");
+        e->setScalar<uint64_t>(0, i);
+        ops.push(v.get(), e);
+    }
+    ASSERT_EQ(ops.size(v.get()), 1000u);
+    for (uint64_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(ops.get(v.get(), i)->scalar<uint64_t>(0), i);
+}
+
+TEST_F(ManagedVectorTest, SetReplaces)
+{
+    Handle v(*runtime_, vec_.create(), "vec");
+    vec_.push(v.get(), node(1));
+    Object *replacement = node(2);
+    vec_.set(v.get(), 0, replacement);
+    EXPECT_EQ(vec_.get(v.get(), 0), replacement);
+}
+
+TEST_F(ManagedVectorTest, RemoveAtShifts)
+{
+    Handle v(*runtime_, vec_.create(), "vec");
+    std::vector<Object *> elements;
+    for (uint64_t i = 0; i < 5; ++i) {
+        elements.push_back(node(i));
+        vec_.push(v.get(), elements.back());
+    }
+    vec_.removeAt(v.get(), 1);
+    EXPECT_EQ(vec_.size(v.get()), 4u);
+    EXPECT_EQ(vec_.get(v.get(), 0), elements[0]);
+    EXPECT_EQ(vec_.get(v.get(), 1), elements[2]);
+    EXPECT_EQ(vec_.get(v.get(), 3), elements[4]);
+}
+
+TEST_F(ManagedVectorTest, SwapRemoveAt)
+{
+    Handle v(*runtime_, vec_.create(), "vec");
+    std::vector<Object *> elements;
+    for (uint64_t i = 0; i < 5; ++i) {
+        elements.push_back(node(i));
+        vec_.push(v.get(), elements.back());
+    }
+    vec_.swapRemoveAt(v.get(), 1);
+    EXPECT_EQ(vec_.size(v.get()), 4u);
+    EXPECT_EQ(vec_.get(v.get(), 1), elements[4]);
+}
+
+TEST_F(ManagedVectorTest, RemovedElementsAreCollectable)
+{
+    Handle v(*runtime_, vec_.create(), "vec");
+    Object *e = node(1);
+    vec_.push(v.get(), e);
+    runtime_->collect();
+    EXPECT_TRUE(alive(e));
+    vec_.swapRemoveAt(v.get(), 0);
+    runtime_->collect();
+    EXPECT_FALSE(alive(e)) << "removed slot must be nulled";
+}
+
+TEST_F(ManagedVectorTest, ClearDropsEverything)
+{
+    Handle v(*runtime_, vec_.create(), "vec");
+    Object *a = node(1);
+    Object *b = node(2);
+    vec_.push(v.get(), a);
+    vec_.push(v.get(), b);
+    vec_.clear(v.get());
+    EXPECT_EQ(vec_.size(v.get()), 0u);
+    runtime_->collect();
+    EXPECT_FALSE(alive(a));
+    EXPECT_FALSE(alive(b));
+}
+
+TEST_F(ManagedVectorTest, OutOfRangePanics)
+{
+    Handle v(*runtime_, vec_.create(), "vec");
+    vec_.push(v.get(), node(1));
+    EXPECT_THROW(vec_.get(v.get(), 1), PanicError);
+    EXPECT_THROW(vec_.set(v.get(), 1, nullptr), PanicError);
+    EXPECT_THROW(vec_.removeAt(v.get(), 1), PanicError);
+}
+
+class ManagedStringTest : public testutil::RuntimeTest {
+  protected:
+    ManagedStringTest() : str_(*runtime_, "TestString") {}
+
+    ManagedStringOps str_;
+};
+
+TEST_F(ManagedStringTest, RoundTrip)
+{
+    Object *s = str_.create("hello world");
+    EXPECT_EQ(str_.read(s), "hello world");
+    EXPECT_EQ(str_.length(s), 11u);
+}
+
+TEST_F(ManagedStringTest, EmptyString)
+{
+    Object *s = str_.create("");
+    EXPECT_EQ(str_.read(s), "");
+    EXPECT_EQ(str_.length(s), 0u);
+}
+
+TEST_F(ManagedStringTest, LargeStringGoesToLos)
+{
+    std::string big(100000, 'x');
+    Object *s = str_.create(big);
+    EXPECT_EQ(str_.read(s), big);
+    EXPECT_GT(s->sizeBytes(), 8192u);
+}
+
+TEST_F(ManagedStringTest, EmbeddedNulBytesSurvive)
+{
+    std::string text("a\0b\0c", 5);
+    Object *s = str_.create(text);
+    EXPECT_EQ(str_.read(s), text);
+    EXPECT_EQ(str_.length(s), 5u);
+}
+
+TEST_F(ManagedStringTest, StringsAreCollectable)
+{
+    Object *s = str_.create("transient");
+    runtime_->collect();
+    EXPECT_FALSE(alive(s));
+}
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for reaction policies (section 2.6): per-kind configuration,
+ * violation handlers, halting, forcing, and the interactions between
+ * reactions and the reporting pipeline.
+ */
+
+#include "test_util.h"
+
+namespace gcassert {
+namespace {
+
+using testutil::RuntimeTest;
+
+class ReactionTest : public RuntimeTest {};
+
+TEST_F(ReactionTest, DefaultIsLogContinueForEveryKind)
+{
+    const ReactionPolicy &policy = runtime_->engine().reactions();
+    for (auto kind :
+         {AssertionKind::Dead, AssertionKind::AllDead,
+          AssertionKind::Instances, AssertionKind::Volume,
+          AssertionKind::Unshared, AssertionKind::OwnedBy,
+          AssertionKind::OwnershipMisuse}) {
+        EXPECT_EQ(policy.forKind(kind), Reaction::LogContinue)
+            << assertionKindName(kind);
+    }
+}
+
+TEST_F(ReactionTest, PerKindConfigurationIsIndependent)
+{
+    ReactionPolicy &policy = runtime_->engine().reactions();
+    policy.set(AssertionKind::Instances, Reaction::LogHalt);
+    EXPECT_EQ(policy.forKind(AssertionKind::Instances),
+              Reaction::LogHalt);
+    EXPECT_EQ(policy.forKind(AssertionKind::Dead),
+              Reaction::LogContinue);
+}
+
+TEST_F(ReactionTest, SetAllSkipsUnforcibleKindsForForceTrue)
+{
+    ReactionPolicy &policy = runtime_->engine().reactions();
+    policy.setAll(Reaction::ForceTrue);
+    EXPECT_EQ(policy.forKind(AssertionKind::Dead), Reaction::ForceTrue);
+    EXPECT_EQ(policy.forKind(AssertionKind::AllDead),
+              Reaction::ForceTrue);
+    EXPECT_EQ(policy.forKind(AssertionKind::Unshared),
+              Reaction::LogContinue);
+    EXPECT_EQ(policy.forKind(AssertionKind::Instances),
+              Reaction::LogContinue);
+}
+
+TEST_F(ReactionTest, ForcibleMatrix)
+{
+    EXPECT_TRUE(ReactionPolicy::forcible(AssertionKind::Dead));
+    EXPECT_TRUE(ReactionPolicy::forcible(AssertionKind::AllDead));
+    EXPECT_FALSE(ReactionPolicy::forcible(AssertionKind::Instances));
+    EXPECT_FALSE(ReactionPolicy::forcible(AssertionKind::Volume));
+    EXPECT_FALSE(ReactionPolicy::forcible(AssertionKind::Unshared));
+    EXPECT_FALSE(ReactionPolicy::forcible(AssertionKind::OwnedBy));
+}
+
+TEST_F(ReactionTest, MultipleHandlersRunInRegistrationOrder)
+{
+    std::vector<int> order;
+    runtime_->engine().reactions().addHandler(
+        [&](const Violation &) { order.push_back(1); });
+    runtime_->engine().reactions().addHandler(
+        [&](const Violation &) { order.push_back(2); });
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(ReactionTest, HandlersSeeTheFullViolation)
+{
+    Violation seen;
+    runtime_->engine().reactions().addHandler(
+        [&](const Violation &v) { seen = v; });
+    Handle root = rootedNode(0, "handler-root");
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    EXPECT_EQ(seen.kind, AssertionKind::Dead);
+    EXPECT_EQ(seen.offendingType, "Node");
+    EXPECT_EQ(seen.rootName, "handler-root");
+    ASSERT_EQ(seen.path.size(), 2u);
+}
+
+TEST_F(ReactionTest, HandlersRunForEveryKind)
+{
+    std::vector<AssertionKind> kinds;
+    runtime_->engine().reactions().addHandler(
+        [&](const Violation &v) { kinds.push_back(v.kind); });
+
+    Handle root = rootedNode(0);
+    Object *dead = node(1);
+    Object *shared = node(2);
+    root->setRef(0, dead);
+    dead->setRef(0, shared);
+    dead->setRef(1, shared);
+    runtime_->assertDead(dead);
+    runtime_->assertUnshared(shared);
+    runtime_->assertInstances(nodeType_, 1);
+    runtime_->collect();
+
+    // Dead fires at dead's first encounter, Unshared at shared's
+    // second, Instances at end of trace (3 live nodes > 1).
+    ASSERT_EQ(kinds.size(), 3u);
+    EXPECT_EQ(kinds[0], AssertionKind::Dead);
+    EXPECT_EQ(kinds[1], AssertionKind::Unshared);
+    EXPECT_EQ(kinds[2], AssertionKind::Instances);
+}
+
+TEST_F(ReactionTest, OneReportPerObjectPerGcAcrossKinds)
+{
+    // The report filter is per object per collection, independent of
+    // kind: an object that is both dead-asserted and share-violating
+    // yields a single report (the first check in encounter order
+    // wins), keeping the log one-line-per-problem-object.
+    Handle root = rootedNode(0);
+    Object *both = node(1);
+    root->setRef(0, both);
+    root->setRef(1, both);
+    runtime_->assertDead(both);
+    runtime_->assertUnshared(both);
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_EQ(violations()[0].kind, AssertionKind::Dead);
+}
+
+TEST_F(ReactionTest, LogHaltStillRecordsTheViolation)
+{
+    runtime_->engine().reactions().set(AssertionKind::Instances,
+                                       Reaction::LogHalt);
+    runtime_->assertInstances(nodeType_, 0);
+    Handle live = rootedNode(1);
+    EXPECT_THROW(runtime_->collect(), FatalError);
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_EQ(violations()[0].kind, AssertionKind::Instances);
+}
+
+TEST_F(ReactionTest, HaltMessageNamesTheAssertionKind)
+{
+    runtime_->engine().reactions().set(AssertionKind::Dead,
+                                       Reaction::LogHalt);
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    try {
+        runtime_->collect();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("assert-dead"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ReactionTest, ForceTrueInRegions)
+{
+    runtime_->engine().reactions().set(AssertionKind::AllDead,
+                                       Reaction::ForceTrue);
+    Handle escape = rootedNode(0, "escape");
+    runtime_->startRegion();
+    Object *leak1 = node(1);
+    Object *leak2 = node(2);
+    escape->setRef(0, leak1);
+    escape->setRef(1, leak2);
+    runtime_->assertAllDead();
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 2u);
+    EXPECT_FALSE(alive(leak1));
+    EXPECT_FALSE(alive(leak2));
+    EXPECT_EQ(escape->ref(0), nullptr);
+    EXPECT_EQ(escape->ref(1), nullptr);
+}
+
+TEST_F(ReactionTest, ForceTrueSparesIndependentlyReachableSubtree)
+{
+    runtime_->engine().reactions().set(AssertionKind::Dead,
+                                       Reaction::ForceTrue);
+    Handle root = rootedNode(0);
+    Handle other = rootedNode(9, "other");
+    Object *victim = node(1);
+    Object *shared_child = node(2);
+    root->setRef(0, victim);
+    victim->setRef(0, shared_child);
+    other->setRef(0, shared_child); // second path to the child
+    runtime_->assertDead(victim);
+    runtime_->collect();
+    EXPECT_FALSE(alive(victim));
+    EXPECT_TRUE(alive(shared_child))
+        << "only the forced object dies; its independently reachable "
+           "child survives";
+}
+
+TEST_F(ReactionTest, ForceTrueInsideCycle)
+{
+    runtime_->engine().reactions().set(AssertionKind::Dead,
+                                       Reaction::ForceTrue);
+    Handle root = rootedNode(0);
+    Object *a = node(1);
+    Object *b = node(2);
+    root->setRef(0, a);
+    a->setRef(0, b);
+    b->setRef(0, a); // cycle
+    runtime_->assertDead(a);
+    runtime_->collect();
+    EXPECT_FALSE(alive(a));
+    EXPECT_FALSE(alive(b)) << "cycle through the forced object dies";
+    EXPECT_EQ(root->ref(0), nullptr);
+}
+
+TEST_F(ReactionTest, HandlerExceptionsPropagate)
+{
+    runtime_->engine().reactions().addHandler(
+        [](const Violation &) { throw std::runtime_error("handler"); });
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    EXPECT_THROW(runtime_->collect(), std::runtime_error);
+}
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the Runtime facade: allocation validation, configuration
+ * presets, growth policy, verbose logging, stats rendering, and
+ * multithreaded allocation safety.
+ */
+
+#include <atomic>
+#include <thread>
+
+#include "test_util.h"
+
+namespace gcassert {
+namespace {
+
+using testutil::RuntimeTest;
+
+class RuntimeApiTest : public RuntimeTest {};
+
+TEST_F(RuntimeApiTest, AllocRawRejectsArrayTypes)
+{
+    EXPECT_THROW(runtime_->allocRaw(arrayType_), FatalError);
+}
+
+TEST_F(RuntimeApiTest, AllocArrayRawRejectsFixedTypes)
+{
+    EXPECT_THROW(runtime_->allocArrayRaw(nodeType_, 4), FatalError);
+}
+
+TEST_F(RuntimeApiTest, AllocScalarRawRejectsFixedTypes)
+{
+    EXPECT_THROW(runtime_->allocScalarRaw(nodeType_, 64), FatalError);
+}
+
+TEST_F(RuntimeApiTest, RootedAllocationWrappers)
+{
+    Handle fixed = runtime_->alloc(nodeType_);
+    EXPECT_TRUE(fixed);
+    EXPECT_EQ(fixed->numRefs(), 2u);
+    Handle array = runtime_->allocArray(arrayType_, 16);
+    EXPECT_EQ(array->numRefs(), 16u);
+    runtime_->collect();
+    EXPECT_TRUE(alive(fixed.get()));
+    EXPECT_TRUE(alive(array.get()));
+}
+
+TEST_F(RuntimeApiTest, ZeroLengthArray)
+{
+    Object *empty = runtime_->allocArrayRaw(arrayType_, 0);
+    ASSERT_NE(empty, nullptr);
+    EXPECT_EQ(empty->numRefs(), 0u);
+    EXPECT_THROW(empty->ref(0), PanicError);
+}
+
+TEST_F(RuntimeApiTest, ConfigPresets)
+{
+    RuntimeConfig base = RuntimeConfig::base(1024);
+    EXPECT_FALSE(base.infrastructure);
+    EXPECT_FALSE(base.recordPaths);
+    EXPECT_EQ(base.heap.budgetBytes, 1024u);
+
+    RuntimeConfig infra = RuntimeConfig::infra(2048);
+    EXPECT_TRUE(infra.infrastructure);
+    EXPECT_TRUE(infra.recordPaths);
+    EXPECT_EQ(infra.heap.budgetBytes, 2048u);
+}
+
+TEST_F(RuntimeApiTest, VerboseGcLogsOnePerCollection)
+{
+    RuntimeConfig config = defaultConfig();
+    config.verboseGc = true;
+    Runtime chatty(config);
+    chatty.types().define("N").refCount(0).build();
+    chatty.collect();
+    chatty.collect();
+    EXPECT_EQ(capture_.countAt(LogLevel::Info), 2u);
+    EXPECT_TRUE(capture_.contains("GC #1"));
+    EXPECT_TRUE(capture_.contains("GC #2"));
+}
+
+TEST_F(RuntimeApiTest, GrowthFactorIsRespected)
+{
+    RuntimeConfig config;
+    config.heap.budgetBytes = 128 * 1024;
+    config.heap.allowGrowth = true;
+    config.heap.growthFactor = 2.0;
+    Runtime growing(config);
+    TypeId t = growing.types().define("N").refCount(0).scalars(48).build();
+    std::vector<Handle> keep;
+    while (growing.heap().budgetBytes() == 128 * 1024)
+        keep.push_back(growing.alloc(t));
+    EXPECT_EQ(growing.heap().budgetBytes(), 256u * 1024);
+}
+
+TEST_F(RuntimeApiTest, GcStatsToStringMentionsEveryPhase)
+{
+    runtime_->collect();
+    std::string dump = runtime_->gcStats().toString();
+    for (const char *needle :
+         {"collections", "ownership phase", "trace phase", "sweep phase",
+          "finish phase", "ownee checks", "violations"})
+        EXPECT_NE(dump.find(needle), std::string::npos) << needle;
+}
+
+TEST_F(RuntimeApiTest, AssertionStatsToStringMentionsEveryCounter)
+{
+    std::string dump = runtime_->assertionStats().toString();
+    for (const char *needle :
+         {"assert-dead", "assert-alldead", "assert-instances",
+          "assert-volume", "assert-unshared", "assert-ownedby",
+          "violations reported"})
+        EXPECT_NE(dump.find(needle), std::string::npos) << needle;
+}
+
+TEST_F(RuntimeApiTest, ViolationClearingKeepsCounters)
+{
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 1u);
+    runtime_->engine().clearViolations();
+    EXPECT_TRUE(violations().empty());
+    EXPECT_EQ(runtime_->assertionStats().violationsReported, 1u);
+}
+
+TEST_F(RuntimeApiTest, CollectionResultCountsViolations)
+{
+    Handle root = rootedNode(0);
+    Object *obj = node(1);
+    root->setRef(0, obj);
+    runtime_->assertDead(obj);
+    CollectionResult result = runtime_->collect();
+    EXPECT_EQ(result.violations, 1u);
+    result = runtime_->collect();
+    EXPECT_EQ(result.violations, 0u);
+}
+
+TEST_F(RuntimeApiTest, PerGcOwneeCounterResets)
+{
+    Handle owner = rootedNode(0, "owner");
+    Object *ownee = node(1);
+    owner->setRef(0, ownee);
+    runtime_->assertOwnedBy(owner.get(), ownee);
+    runtime_->collect();
+    uint64_t first = runtime_->gcStats().owneeChecksLastGc;
+    EXPECT_GT(first, 0u);
+    owner->setRef(0, nullptr); // ownee dies; table prunes
+    runtime_->collect();
+    runtime_->collect();
+    EXPECT_EQ(runtime_->gcStats().owneeChecksLastGc, 0u);
+    EXPECT_GE(runtime_->gcStats().owneeChecks, first);
+}
+
+TEST_F(RuntimeApiTest, ManyTypesManyRoots)
+{
+    std::vector<TypeId> types;
+    for (int i = 0; i < 200; ++i)
+        types.push_back(runtime_->types()
+                            .define("T" + std::to_string(i))
+                            .refCount(static_cast<uint32_t>(i % 5))
+                            .scalars(static_cast<uint32_t>(i % 64))
+                            .build());
+    std::vector<Handle> roots;
+    roots.reserve(2000);
+    for (int i = 0; i < 2000; ++i)
+        roots.emplace_back(*runtime_,
+                           runtime_->allocRaw(types[i % types.size()]),
+                           "many");
+    CollectionResult result = runtime_->collect();
+    EXPECT_EQ(result.marked, 2000u);
+    roots.clear();
+    result = runtime_->collect();
+    EXPECT_EQ(result.sweep.freedObjects, 2000u);
+}
+
+TEST_F(RuntimeApiTest, ConcurrentAllocationAndRooting)
+{
+    // Eight threads hammer allocation, rooting, and collection
+    // through the facade; the global lock must keep every structure
+    // consistent.
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 3000;
+    std::atomic<uint64_t> allocated{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            MutatorContext &mutator =
+                runtime_->registerMutator("hammer-" + std::to_string(t));
+            std::vector<Handle> mine;
+            for (int i = 0; i < kPerThread; ++i) {
+                if (i % 7 == 0) {
+                    // alloc() roots atomically: safe under
+                    // concurrent collections.
+                    mine.push_back(runtime_->alloc(nodeType_, &mutator));
+                } else {
+                    // Unrooted garbage: never dereferenced, so a
+                    // concurrent collection reclaiming it is fine.
+                    runtime_->allocRaw(nodeType_, &mutator);
+                }
+                allocated.fetch_add(1, std::memory_order_relaxed);
+                if (i % 1000 == 999)
+                    runtime_->collect();
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(allocated.load(), kThreads * kPerThread);
+    runtime_->collect();
+    EXPECT_EQ(liveCount(nodeType_), 0u) << "all handles released";
+}
+
+TEST_F(RuntimeApiTest, ViolationToStringWithoutPath)
+{
+    Violation v;
+    v.kind = AssertionKind::Instances;
+    v.message = "too many";
+    v.offendingType = "Widget";
+    std::string text = v.toString();
+    EXPECT_NE(text.find("Warning: too many"), std::string::npos);
+    EXPECT_NE(text.find("Type: Widget"), std::string::npos);
+    EXPECT_EQ(text.find("Path to object"), std::string::npos);
+}
+
+TEST_F(RuntimeApiTest, AssertionKindNamesAreStable)
+{
+    EXPECT_STREQ(assertionKindName(AssertionKind::Dead), "assert-dead");
+    EXPECT_STREQ(assertionKindName(AssertionKind::AllDead),
+                 "assert-alldead");
+    EXPECT_STREQ(assertionKindName(AssertionKind::Instances),
+                 "assert-instances");
+    EXPECT_STREQ(assertionKindName(AssertionKind::Volume),
+                 "assert-volume");
+    EXPECT_STREQ(assertionKindName(AssertionKind::Unshared),
+                 "assert-unshared");
+    EXPECT_STREQ(assertionKindName(AssertionKind::OwnedBy),
+                 "assert-ownedby");
+    EXPECT_STREQ(assertionKindName(AssertionKind::OwnershipMisuse),
+                 "ownership-misuse");
+}
+
+} // namespace
+} // namespace gcassert

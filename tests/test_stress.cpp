@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Stress and soak tests: long randomized runs mixing every assertion
+ * kind against native oracles, allocation patterns that churn every
+ * size class, handle-lifecycle churn, and structures that stress the
+ * tracer (deep lists, wide arrays, dense DAGs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace gcassert {
+namespace {
+
+using testutil::RuntimeTest;
+
+class StressTest : public RuntimeTest {};
+
+TEST_F(StressTest, SizeClassChurn)
+{
+    // Allocate and drop objects across every size class repeatedly;
+    // the heap must stay consistent and fully reclaim.
+    RuntimeConfig config;
+    config.heap.budgetBytes = 8ull * 1024 * 1024;
+    Runtime rt(config);
+    std::vector<TypeId> types;
+    for (uint32_t scalars : {0u, 8u, 40u, 100u, 300u, 1000u, 3000u,
+                             7000u, 20000u, 70000u})
+        types.push_back(rt.types()
+                            .define("S" + std::to_string(scalars))
+                            .refCount(1)
+                            .scalars(scalars)
+                            .build());
+    Rng rng(42);
+    std::vector<Handle> live;
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 500; ++i) {
+            TypeId t = types[rng.below(types.size())];
+            if (rng.chance(0.3))
+                live.push_back(rt.alloc(t));
+            else
+                rt.allocRaw(t);
+            if (live.size() > 300)
+                live.erase(live.begin() +
+                           static_cast<long>(rng.below(live.size())));
+        }
+    }
+    live.clear();
+    rt.collect();
+    EXPECT_EQ(rt.heap().liveObjects(), 0u);
+    EXPECT_EQ(rt.heap().usedBytes(), 0u);
+}
+
+TEST_F(StressTest, HandleLifecycleChurn)
+{
+    Rng rng(43);
+    std::vector<Handle> handles;
+    for (int i = 0; i < 20000; ++i) {
+        double dice = rng.real();
+        if (dice < 0.4 || handles.empty()) {
+            handles.push_back(rootedNode(static_cast<uint64_t>(i)));
+        } else if (dice < 0.6) {
+            // Copy a random handle.
+            handles.push_back(handles[rng.below(handles.size())]);
+        } else if (dice < 0.8) {
+            // Move one to the end.
+            size_t victim = rng.below(handles.size());
+            Handle moved = std::move(handles[victim]);
+            handles.erase(handles.begin() + static_cast<long>(victim));
+            handles.push_back(std::move(moved));
+        } else {
+            handles.erase(handles.begin() +
+                          static_cast<long>(rng.below(handles.size())));
+        }
+        if (i % 4096 == 0)
+            runtime_->collect();
+    }
+    // Every handle must still point at a live object.
+    runtime_->collect();
+    for (const Handle &h : handles)
+        if (h)
+            EXPECT_TRUE(alive(h.get()));
+    size_t rooted = 0;
+    for (const Handle &h : handles)
+        rooted += h ? 1 : 0;
+    EXPECT_EQ(runtime_->roots().count(), rooted);
+}
+
+TEST_F(StressTest, MixedAssertionSoak)
+{
+    // A long randomized session: every assertion kind in play, with
+    // a native mirror predicting exactly which dead-assertions are
+    // satisfied.
+    Rng rng(44);
+    std::vector<Handle> retained;
+    uint64_t expected_dead_violations = 0;
+    uint64_t expected_satisfied = 0;
+
+    for (int round = 0; round < 30; ++round) {
+        // Some garbage with assert-dead (always satisfied).
+        for (int i = 0; i < 20; ++i) {
+            Object *garbage = node(static_cast<uint64_t>(i));
+            runtime_->assertDead(garbage);
+            ++expected_satisfied;
+        }
+        // Some retained objects with assert-dead (always violated).
+        for (int i = 0; i < 3; ++i) {
+            retained.push_back(rootedNode(static_cast<uint64_t>(i)));
+            runtime_->assertDead(retained.back().get());
+            ++expected_dead_violations;
+        }
+        // Regions around pure-garbage allocation.
+        runtime_->startRegion();
+        for (int i = 0; i < 30; ++i)
+            node(static_cast<uint64_t>(i));
+        runtime_->assertAllDead();
+        expected_satisfied += 30;
+
+        runtime_->collect();
+    }
+    EXPECT_EQ(violationsOf(AssertionKind::Dead).size(),
+              expected_dead_violations);
+    EXPECT_EQ(violationsOf(AssertionKind::AllDead).size(), 0u);
+    EXPECT_EQ(runtime_->assertionStats().deadAssertsSatisfied,
+              expected_satisfied);
+}
+
+TEST_F(StressTest, OwnershipSoakWithChurn)
+{
+    // A container under heavy insert/remove churn with ownership
+    // asserted on every element; a native mirror tracks membership
+    // so the expected violation count is exact (zero).
+    Rng rng(45);
+    Handle container(*runtime_, runtime_->allocArrayRaw(arrayType_, 512),
+                     "soak-container");
+    std::vector<uint32_t> occupied;
+    for (int round = 0; round < 15; ++round) {
+        for (int op = 0; op < 200; ++op) {
+            if (rng.chance(0.55) || occupied.empty()) {
+                uint32_t slot =
+                    static_cast<uint32_t>(rng.below(512));
+                if (container->ref(slot))
+                    continue;
+                Object *element = node(slot);
+                container->setRef(slot, element);
+                runtime_->assertOwnedBy(container.get(), element);
+                occupied.push_back(slot);
+            } else {
+                size_t pick = rng.below(occupied.size());
+                uint32_t slot = occupied[pick];
+                container->setRef(slot, nullptr);
+                occupied.erase(occupied.begin() +
+                               static_cast<long>(pick));
+            }
+        }
+        runtime_->collect();
+        ASSERT_TRUE(violations().empty()) << "round " << round;
+    }
+    EXPECT_EQ(runtime_->engine().ownership().owneeCount(),
+              occupied.size());
+}
+
+TEST_F(StressTest, WideAndDeepStructures)
+{
+    // A 60k-slot array of 1k-deep lists' heads... scaled down: one
+    // wide array plus several deep chains, traced repeatedly.
+    Handle wide(*runtime_, runtime_->allocArrayRaw(arrayType_, 60000),
+                "wide");
+    for (uint32_t i = 0; i < 60000; i += 3)
+        wide->setRef(i, node(i));
+
+    Handle deep = rootedNode(0, "deep");
+    Object *current = deep.get();
+    for (int i = 0; i < 30000; ++i) {
+        Object *next = node(static_cast<uint64_t>(i));
+        current->setRef(0, next);
+        current = next;
+    }
+    for (int i = 0; i < 3; ++i) {
+        CollectionResult result = runtime_->collect();
+        EXPECT_EQ(result.marked, 20000u + 30001u + 1u);
+    }
+}
+
+TEST_F(StressTest, RepeatedGrowthAndRelease)
+{
+    // Grow to a large live set, release, repeat: blocks must be
+    // recycled and the footprint must come back down.
+    RuntimeConfig config;
+    config.heap.budgetBytes = 4ull * 1024 * 1024;
+    Runtime rt(config);
+    TypeId t = rt.types().define("N").refCount(2).scalars(16).build();
+    for (int round = 0; round < 8; ++round) {
+        {
+            std::vector<Handle> live;
+            for (int i = 0; i < 30000; ++i)
+                live.push_back(rt.alloc(t));
+            rt.collect();
+            EXPECT_GE(rt.heap().liveObjects(), 30000u);
+        }
+        rt.collect();
+        EXPECT_EQ(rt.heap().liveObjects(), 0u);
+    }
+}
+
+TEST_F(StressTest, DenseDagTracesOnce)
+{
+    // A dense DAG where every node is referenced many times: marked
+    // counts must equal the node count (no double counting).
+    constexpr uint32_t kLayers = 40;
+    constexpr uint32_t kWidth = 40;
+    Handle root(*runtime_, runtime_->allocArrayRaw(arrayType_, kWidth),
+                "dag");
+    std::vector<Object *> previous;
+    for (uint32_t i = 0; i < kWidth; ++i) {
+        Object *n = node(i);
+        root->setRef(i, n);
+        previous.push_back(n);
+    }
+    uint64_t total = kWidth;
+    for (uint32_t layer = 1; layer < kLayers; ++layer) {
+        std::vector<Object *> current;
+        for (uint32_t i = 0; i < kWidth; ++i) {
+            Object *n = node(layer * 1000 + i);
+            // Two parents each: dense sharing.
+            previous[i]->setRef(0, n);
+            previous[(i + 1) % kWidth]->setRef(1, n);
+            current.push_back(n);
+        }
+        total += kWidth;
+        previous = current;
+    }
+    CollectionResult result = runtime_->collect();
+    EXPECT_EQ(result.marked, total + 1);
+}
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the support layer: logging, RNG, statistics,
+ * stopwatch, string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/stopwatch.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+namespace {
+
+TEST(Logging, CaptureSinkCollectsRecords)
+{
+    CaptureLogSink capture;
+    inform("hello");
+    warn("watch out");
+    EXPECT_EQ(capture.records().size(), 2u);
+    EXPECT_EQ(capture.countAt(LogLevel::Info), 1u);
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 1u);
+    EXPECT_TRUE(capture.contains("watch"));
+    EXPECT_FALSE(capture.contains("absent"));
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    CaptureLogSink capture;
+    EXPECT_THROW(fatal("user error"), FatalError);
+    EXPECT_EQ(capture.countAt(LogLevel::Fatal), 1u);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    CaptureLogSink capture;
+    EXPECT_THROW(panic("bug"), PanicError);
+    EXPECT_EQ(capture.countAt(LogLevel::Panic), 1u);
+}
+
+TEST(Logging, SinksNest)
+{
+    CaptureLogSink outer;
+    {
+        CaptureLogSink inner;
+        inform("inner message");
+        EXPECT_TRUE(inner.contains("inner message"));
+        EXPECT_FALSE(outer.contains("inner message"));
+    }
+    inform("outer message");
+    EXPECT_TRUE(outer.contains("outer message"));
+}
+
+TEST(Logging, ClearDropsRecords)
+{
+    CaptureLogSink capture;
+    inform("one");
+    capture.clear();
+    EXPECT_TRUE(capture.records().empty());
+}
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        if (a.next() != b.next())
+            ++differing;
+    EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroPanics)
+{
+    CaptureLogSink capture;
+    Rng rng(7);
+    EXPECT_THROW(rng.below(0), PanicError);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, PickReturnsElements)
+{
+    Rng rng(17);
+    std::vector<int> items{10, 20, 30};
+    for (int i = 0; i < 50; ++i) {
+        int v = rng.pick(items);
+        EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+    }
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(19);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = items;
+    rng.shuffle(items);
+    std::sort(items.begin(), items.end());
+    EXPECT_EQ(items, sorted);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    SampleSet s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, CiHalfWidthShrinksWithSamples)
+{
+    SampleSet small, large;
+    Rng rng(23);
+    for (int i = 0; i < 5; ++i)
+        small.add(10.0 + rng.real());
+    for (int i = 0; i < 30; ++i)
+        large.add(10.0 + rng.real());
+    EXPECT_GT(small.ciHalfWidth(0.90), 0.0);
+    // Same distribution, more samples => tighter interval.
+    EXPECT_LT(large.ciHalfWidth(0.90), small.ciHalfWidth(0.90) * 2.0);
+}
+
+TEST(Stats, CiZeroForSingleSample)
+{
+    SampleSet s;
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.ciHalfWidth(0.90), 0.0);
+}
+
+TEST(Stats, MeanOfEmptyPanics)
+{
+    CaptureLogSink capture;
+    SampleSet s;
+    EXPECT_THROW(s.mean(), PanicError);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    CaptureLogSink capture;
+    EXPECT_THROW(geomean({1.0, 0.0}), PanicError);
+    EXPECT_THROW(geomean({}), PanicError);
+}
+
+TEST(Stats, TCriticalTableValues)
+{
+    EXPECT_NEAR(tCritical(0.90, 1), 6.314, 1e-3);
+    EXPECT_NEAR(tCritical(0.90, 9), 1.833, 1e-3);
+    EXPECT_NEAR(tCritical(0.90, 1000), 1.645, 1e-3);
+    EXPECT_NEAR(tCritical(0.95, 9), 2.262, 1e-3);
+}
+
+TEST(Stopwatch, AccumulatesTime)
+{
+    Stopwatch w;
+    EXPECT_EQ(w.elapsedNanos(), 0u);
+    w.start();
+    // Burn a little time.
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 100000; ++i)
+        x = x + i;
+    w.stop();
+    EXPECT_GT(w.elapsedNanos(), 0u);
+    uint64_t first = w.elapsedNanos();
+    w.start();
+    for (int i = 0; i < 100000; ++i)
+        x = x + i;
+    w.stop();
+    EXPECT_GT(w.elapsedNanos(), first);
+}
+
+TEST(Stopwatch, ResetClears)
+{
+    Stopwatch w;
+    w.start();
+    w.stop();
+    w.reset();
+    EXPECT_EQ(w.elapsedNanos(), 0u);
+    EXPECT_FALSE(w.running());
+}
+
+TEST(Stopwatch, ScopedTimerAddsSpan)
+{
+    Stopwatch w;
+    {
+        ScopedTimer t(w);
+        volatile uint64_t x = 0;
+        for (int i = 0; i < 10000; ++i)
+            x = x + i;
+    }
+    EXPECT_GT(w.elapsedNanos(), 0u);
+    EXPECT_FALSE(w.running());
+}
+
+TEST(Strutil, Format)
+{
+    EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(Strutil, Join)
+{
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"a"}, ", "), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, " -> "), "a -> b -> c");
+}
+
+TEST(Strutil, HumanBytes)
+{
+    EXPECT_EQ(humanBytes(512), "512 B");
+    EXPECT_EQ(humanBytes(2048), "2.0 KiB");
+    EXPECT_EQ(humanBytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(Strutil, PercentDelta)
+{
+    EXPECT_EQ(percentDelta(1.1337), "+13.37%");
+    EXPECT_EQ(percentDelta(0.98), "-2.00%");
+}
+
+TEST(Strutil, PadRight)
+{
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padRight("abcdef", 4), "abcd");
+}
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the type registry and descriptors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+#include "types/type_registry.h"
+
+namespace gcassert {
+namespace {
+
+TEST(TypeRegistry, DefinesTypesWithDenseIds)
+{
+    TypeRegistry registry;
+    TypeId a = registry.define("A").refs({"x"}).scalars(8).build();
+    TypeId b = registry.define("B").refCount(3).build();
+    EXPECT_EQ(b, a + 1);
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.get(a).name(), "A");
+    EXPECT_EQ(registry.get(b).fixedRefs(), 3u);
+    EXPECT_EQ(registry.get(a).scalarBytes(), 8u);
+}
+
+TEST(TypeRegistry, DuplicateNameIsFatal)
+{
+    CaptureLogSink capture;
+    TypeRegistry registry;
+    registry.define("Dup").build();
+    EXPECT_THROW(registry.define("Dup").build(), FatalError);
+}
+
+TEST(TypeRegistry, InvalidIdPanics)
+{
+    CaptureLogSink capture;
+    TypeRegistry registry;
+    EXPECT_THROW(registry.get(7), PanicError);
+}
+
+TEST(TypeRegistry, FindByName)
+{
+    TypeRegistry registry;
+    TypeId a = registry.define("Widget").build();
+    EXPECT_EQ(registry.findByName("Widget")->id(), a);
+    EXPECT_EQ(registry.findByName("Missing"), nullptr);
+}
+
+TEST(TypeDescriptor, NamedSlotLookup)
+{
+    TypeRegistry registry;
+    TypeId t =
+        registry.define("T").refs({"first", "second", "third"}).build();
+    const TypeDescriptor &desc = registry.get(t);
+    EXPECT_EQ(desc.slotIndex("first"), 0u);
+    EXPECT_EQ(desc.slotIndex("third"), 2u);
+    CaptureLogSink capture;
+    EXPECT_THROW(desc.slotIndex("fourth"), FatalError);
+}
+
+TEST(TypeDescriptor, SlotNameCountMustMatch)
+{
+    CaptureLogSink capture;
+    TypeId unused;
+    (void)unused;
+    // Constructing a descriptor directly with a name/count mismatch
+    // is fatal.
+    EXPECT_THROW(TypeDescriptor(0, "Bad", 3, 0, false, {"only", "two"}),
+                 FatalError);
+}
+
+TEST(TypeDescriptor, ArrayFlag)
+{
+    TypeRegistry registry;
+    TypeId arr = registry.define("Arr").array().build();
+    TypeId fixed = registry.define("Fixed").refCount(2).build();
+    EXPECT_TRUE(registry.get(arr).isArray());
+    EXPECT_FALSE(registry.get(fixed).isArray());
+}
+
+TEST(InstanceTracking, LimitAndCountLifecycle)
+{
+    TypeRegistry registry;
+    TypeId t = registry.define("Tracked").build();
+    EXPECT_FALSE(registry.get(t).tracked());
+    EXPECT_EQ(registry.get(t).instanceLimit(), kNoInstanceLimit);
+
+    registry.trackInstances(t, 5);
+    EXPECT_TRUE(registry.get(t).tracked());
+    EXPECT_EQ(registry.get(t).instanceLimit(), 5u);
+    ASSERT_EQ(registry.trackedTypes().size(), 1u);
+    EXPECT_EQ(registry.trackedTypes()[0], t);
+
+    registry.get(t).bumpInstanceCount();
+    registry.get(t).bumpInstanceCount();
+    EXPECT_EQ(registry.get(t).instanceCount(), 2u);
+
+    registry.resetInstanceCounts();
+    EXPECT_EQ(registry.get(t).instanceCount(), 0u);
+}
+
+TEST(InstanceTracking, TrackTwiceKeepsOneEntry)
+{
+    TypeRegistry registry;
+    TypeId t = registry.define("T").build();
+    registry.trackInstances(t, 5);
+    registry.trackInstances(t, 3); // tighten the limit
+    EXPECT_EQ(registry.trackedTypes().size(), 1u);
+    EXPECT_EQ(registry.get(t).instanceLimit(), 3u);
+}
+
+TEST(InstanceTracking, Untrack)
+{
+    TypeRegistry registry;
+    TypeId t = registry.define("T").build();
+    registry.trackInstances(t, 5);
+    registry.untrackInstances(t);
+    EXPECT_FALSE(registry.get(t).tracked());
+    EXPECT_TRUE(registry.trackedTypes().empty());
+}
+
+TEST(InstanceTracking, ZeroLimitMeansNoInstances)
+{
+    TypeRegistry registry;
+    TypeId t = registry.define("T").build();
+    registry.trackInstances(t, 0);
+    EXPECT_TRUE(registry.get(t).tracked());
+    EXPECT_EQ(registry.get(t).instanceLimit(), 0u);
+}
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for assert-volume (section 2.4's "total volume" constraint)
+ * and its interaction with assert-instances.
+ */
+
+#include "test_util.h"
+
+namespace gcassert {
+namespace {
+
+class AssertVolumeTest : public testutil::RuntimeTest {};
+
+TEST_F(AssertVolumeTest, UnderBudgetIsSatisfied)
+{
+    // A Node is 40 bytes (16 header + 2x8 refs + 8 scalars).
+    runtime_->assertVolume(nodeType_, 10 * 40);
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+    EXPECT_EQ(runtime_->assertionStats().assertVolumeCalls, 1u);
+}
+
+TEST_F(AssertVolumeTest, OverBudgetIsViolation)
+{
+    runtime_->assertVolume(nodeType_, 2 * 40);
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    Handle c = rootedNode(3);
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    const Violation &v = violations()[0];
+    EXPECT_EQ(v.kind, AssertionKind::Volume);
+    EXPECT_EQ(v.offendingType, "Node");
+    EXPECT_NE(v.message.find("120 bytes"), std::string::npos);
+    EXPECT_NE(v.message.find("budget is 80"), std::string::npos);
+}
+
+TEST_F(AssertVolumeTest, OnlyLiveBytesCount)
+{
+    runtime_->assertVolume(nodeType_, 2 * 40);
+    Handle a = rootedNode(1);
+    for (int i = 0; i < 100; ++i)
+        node(i); // garbage
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(AssertVolumeTest, VariableSizedInstancesSumTheirRealSizes)
+{
+    // Arrays of different lengths are different sizes; the tally
+    // uses each instance's actual footprint.
+    runtime_->assertVolume(arrayType_, 1024);
+    Handle big(*runtime_, runtime_->allocArrayRaw(arrayType_, 200),
+               "big-array");
+    runtime_->collect();
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_EQ(violations()[0].kind, AssertionKind::Volume);
+}
+
+TEST_F(AssertVolumeTest, InstancesAndVolumeOnTheSameType)
+{
+    runtime_->assertInstances(nodeType_, 2);
+    runtime_->assertVolume(nodeType_, 1 * 40);
+    Handle a = rootedNode(1);
+    Handle b = rootedNode(2);
+    runtime_->collect();
+    // Two live nodes: instances OK (== limit), volume over budget.
+    ASSERT_EQ(violations().size(), 1u);
+    EXPECT_EQ(violations()[0].kind, AssertionKind::Volume);
+
+    Handle c = rootedNode(3);
+    runtime_->collect();
+    // Now both fire.
+    EXPECT_EQ(violationsOf(AssertionKind::Instances).size(), 1u);
+    EXPECT_EQ(violationsOf(AssertionKind::Volume).size(), 2u);
+}
+
+TEST_F(AssertVolumeTest, RecoveryStopsReports)
+{
+    runtime_->assertVolume(nodeType_, 1 * 40);
+    {
+        Handle a = rootedNode(1);
+        Handle b = rootedNode(2);
+        runtime_->collect();
+        EXPECT_EQ(violations().size(), 1u);
+    }
+    runtime_->collect();
+    EXPECT_EQ(violations().size(), 1u) << "back under budget";
+}
+
+TEST_F(AssertVolumeTest, UntrackVolumeKeepsInstanceTracking)
+{
+    runtime_->assertInstances(nodeType_, 0);
+    runtime_->assertVolume(nodeType_, 0);
+    runtime_->types().untrackVolume(nodeType_);
+    Handle a = rootedNode(1);
+    runtime_->collect();
+    // Volume no longer checked; the instance limit still is.
+    EXPECT_EQ(violationsOf(AssertionKind::Volume).size(), 0u);
+    EXPECT_EQ(violationsOf(AssertionKind::Instances).size(), 1u);
+}
+
+TEST_F(AssertVolumeTest, MemoryBudgetIdiom)
+{
+    // The paper's suggested use: types whose population should stay
+    // small "for best performance" without being a strict error —
+    // e.g. a buffer cache with a byte budget.
+    TypeId buffer = runtime_->types().define("IOBuffer").array().build();
+    runtime_->assertVolume(buffer, 64 * 1024);
+
+    std::vector<Handle> buffers;
+    for (int i = 0; i < 3; ++i)
+        buffers.emplace_back(
+            *runtime_,
+            runtime_->allocScalarRaw(buffer, 16 * 1024),
+            "io-buffer");
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty()) << "48 KiB of 64 KiB budget";
+
+    buffers.emplace_back(*runtime_,
+                         runtime_->allocScalarRaw(buffer, 32 * 1024),
+                         "io-buffer");
+    runtime_->collect();
+    EXPECT_EQ(violationsOf(AssertionKind::Volume).size(), 1u)
+        << "80 KiB exceeds the budget";
+}
+
+} // namespace
+} // namespace gcassert

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for weak-reference types: slot 0 is not traced through, and
+ * is cleared when the referent dies.
+ */
+
+#include "test_util.h"
+
+namespace gcassert {
+namespace {
+
+class WeakRefTest : public testutil::RuntimeTest {
+  protected:
+    WeakRefTest()
+    {
+        weakType_ = runtime_->types()
+                        .define("WeakRef")
+                        .refs({"referent", "strong"})
+                        .scalars(8)
+                        .weak()
+                        .build();
+    }
+
+    /** A rooted weak reference to @p target. */
+    Handle
+    weakRef(Object *target)
+    {
+        Object *weak = runtime_->allocRaw(weakType_);
+        weak->setRef(0, target);
+        return Handle(*runtime_, weak, "weak-root");
+    }
+
+    TypeId weakType_ = kInvalidTypeId;
+};
+
+TEST_F(WeakRefTest, DoesNotKeepReferentAlive)
+{
+    Object *target = node(1);
+    Handle weak = weakRef(target);
+    runtime_->collect();
+    EXPECT_FALSE(alive(target)) << "weak edge must not retain";
+    EXPECT_EQ(weak->ref(0), nullptr) << "edge cleared on reclamation";
+}
+
+TEST_F(WeakRefTest, ReferentSurvivesWhileStronglyReachable)
+{
+    Handle strong = rootedNode(1);
+    Handle weak = weakRef(strong.get());
+    runtime_->collect();
+    EXPECT_TRUE(alive(strong.get()));
+    EXPECT_EQ(weak->ref(0), strong.get()) << "edge intact while live";
+
+    strong.reset();
+    runtime_->collect();
+    EXPECT_EQ(weak->ref(0), nullptr);
+}
+
+TEST_F(WeakRefTest, StrongSlotsOfWeakTypeStillTrace)
+{
+    // Only slot 0 is weak; slot 1 is a normal strong reference.
+    Object *weak_target = node(1);
+    Object *strong_target = node(2);
+    Object *weak = runtime_->allocRaw(weakType_);
+    Handle root(*runtime_, weak, "weak-root");
+    weak->setRef(0, weak_target);
+    weak->setRef(1, strong_target);
+    runtime_->collect();
+    EXPECT_FALSE(alive(weak_target));
+    EXPECT_TRUE(alive(strong_target));
+    EXPECT_EQ(weak->ref(0), nullptr);
+    EXPECT_EQ(weak->ref(1), strong_target);
+}
+
+TEST_F(WeakRefTest, DeadWeakRefIsItselfCollected)
+{
+    Object *target = node(1);
+    Object *weak = runtime_->allocRaw(weakType_);
+    weak->setRef(0, target);
+    runtime_->collect();
+    EXPECT_FALSE(alive(weak));
+    EXPECT_FALSE(alive(target));
+}
+
+TEST_F(WeakRefTest, WeakChainCollapses)
+{
+    // weak1 -(weak)-> weak2 -(weak)-> target: nothing retains
+    // anything.
+    Object *target = node(1);
+    Object *weak2 = runtime_->allocRaw(weakType_);
+    weak2->setRef(0, target);
+    Object *weak1 = runtime_->allocRaw(weakType_);
+    Handle root(*runtime_, weak1, "chain-root");
+    weak1->setRef(0, weak2);
+    runtime_->collect();
+    EXPECT_TRUE(alive(weak1));
+    EXPECT_FALSE(alive(weak2));
+    EXPECT_FALSE(alive(target));
+    EXPECT_EQ(weak1->ref(0), nullptr);
+}
+
+TEST_F(WeakRefTest, CacheIdiom)
+{
+    // Weak-valued cache: entries vanish once the strong owner drops
+    // them, without explicit invalidation.
+    Object *cache = runtime_->allocArrayRaw(arrayType_, 8);
+    Handle cache_root(*runtime_, cache, "cache");
+    std::vector<Handle> strong;
+    for (uint32_t i = 0; i < 8; ++i) {
+        strong.push_back(rootedNode(i));
+        Object *weak = runtime_->allocRaw(weakType_);
+        weak->setRef(0, strong.back().get());
+        cache->setRef(i, weak);
+    }
+    runtime_->collect();
+    for (uint32_t i = 0; i < 8; ++i)
+        EXPECT_NE(cache->ref(i)->ref(0), nullptr);
+
+    // Drop half the strong references.
+    for (uint32_t i = 0; i < 8; i += 2)
+        strong[i].reset();
+    runtime_->collect();
+    for (uint32_t i = 0; i < 8; ++i) {
+        if (i % 2 == 0)
+            EXPECT_EQ(cache->ref(i)->ref(0), nullptr) << i;
+        else
+            EXPECT_NE(cache->ref(i)->ref(0), nullptr) << i;
+    }
+}
+
+TEST_F(WeakRefTest, WorksInBaseConfiguration)
+{
+    // Weak references are substrate, not assertion infrastructure:
+    // they must behave identically with the checks compiled out.
+    Runtime base(RuntimeConfig::base(testutil::kTestHeapBytes));
+    TypeId n = base.types().define("N").refCount(1).build();
+    TypeId w =
+        base.types().define("W").refs({"referent"}).weak().build();
+    Object *target = base.allocRaw(n);
+    Object *weak = base.allocRaw(w);
+    Handle root(base, weak, "weak");
+    weak->setRef(0, target);
+    base.collect();
+    EXPECT_EQ(weak->ref(0), nullptr);
+}
+
+TEST_F(WeakRefTest, WeakTargetNotReportedDead)
+{
+    // An object reachable only through a weak edge is genuinely
+    // collectable, so an assert-dead on it must be satisfied.
+    Object *target = node(1);
+    Handle weak = weakRef(target);
+    runtime_->assertDead(target);
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+    EXPECT_EQ(runtime_->assertionStats().deadAssertsSatisfied, 1u);
+}
+
+TEST_F(WeakRefTest, WeakRefsInsideOwnedStructures)
+{
+    // An ownee referenced weakly from elsewhere: the weak edge does
+    // not count as a path for ownership purposes either.
+    Handle owner = rootedNode(0, "owner");
+    Object *element = node(1);
+    owner->setRef(0, element);
+    Handle weak = weakRef(element);
+    runtime_->assertOwnedBy(owner.get(), element);
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+
+    // Remove from the owner: only the weak edge remains, so the
+    // element dies (assertion satisfied) and the edge clears.
+    owner->setRef(0, nullptr);
+    runtime_->collect();
+    EXPECT_TRUE(violations().empty());
+    EXPECT_EQ(weak->ref(0), nullptr);
+}
+
+TEST_F(WeakRefTest, WeakTypeValidation)
+{
+    CaptureLogSink capture;
+    EXPECT_THROW(
+        runtime_->types().define("BadWeak0").refCount(0).weak().build(),
+        FatalError)
+        << "weak types need slot 0";
+    EXPECT_THROW(
+        runtime_->types().define("BadWeakArr").array().weak().build(),
+        FatalError)
+        << "array types cannot be weak";
+}
+
+} // namespace
+} // namespace gcassert

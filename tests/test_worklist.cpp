@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the tagged worklist and the path recorder — the
+ * section 2.7 mechanism in isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gc/path_recorder.h"
+#include "gc/worklist.h"
+#include "heap/heap.h"
+
+namespace gcassert {
+namespace {
+
+/** A tiny heap to mint word-aligned objects for tagging tests. */
+class WorklistTest : public ::testing::Test {
+  protected:
+    WorklistTest() : heap_(HeapConfig{1024 * 1024, false, 1.5}) {}
+
+    Object *
+    obj()
+    {
+        return heap_.allocate(0, 2, 8);
+    }
+
+    Heap heap_;
+    Worklist list_;
+    PathRecorder paths_;
+};
+
+TEST_F(WorklistTest, TaggingRoundTrips)
+{
+    Object *o = obj();
+    uintptr_t plain = Worklist::plain(o);
+    uintptr_t tagged = Worklist::tagged(o);
+    EXPECT_FALSE(Worklist::isTagged(plain));
+    EXPECT_TRUE(Worklist::isTagged(tagged));
+    EXPECT_EQ(Worklist::objectOf(plain), o);
+    EXPECT_EQ(Worklist::objectOf(tagged), o);
+    EXPECT_NE(plain, tagged);
+}
+
+TEST_F(WorklistTest, ObjectsAreWordAligned)
+{
+    // The whole scheme depends on bit 0 being free.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(obj()) & 1u, 0u);
+}
+
+TEST_F(WorklistTest, LifoOrder)
+{
+    Object *a = obj();
+    Object *b = obj();
+    list_.push(a);
+    list_.push(b);
+    EXPECT_EQ(list_.size(), 2u);
+    EXPECT_EQ(Worklist::objectOf(list_.pop()), b);
+    EXPECT_EQ(Worklist::objectOf(list_.pop()), a);
+    EXPECT_TRUE(list_.empty());
+}
+
+TEST_F(WorklistTest, MixedTaggedAndPlainEntries)
+{
+    Object *a = obj();
+    Object *b = obj();
+    list_.pushTagged(a);
+    list_.push(b);
+    uintptr_t top = list_.pop();
+    EXPECT_FALSE(Worklist::isTagged(top));
+    uintptr_t bottom = list_.pop();
+    EXPECT_TRUE(Worklist::isTagged(bottom));
+    EXPECT_EQ(Worklist::objectOf(bottom), a);
+}
+
+TEST_F(WorklistTest, EntriesExposeTheStackBottomToTop)
+{
+    Object *a = obj();
+    Object *b = obj();
+    Object *c = obj();
+    list_.pushTagged(a);
+    list_.push(b);
+    list_.pushTagged(c);
+    const auto &entries = list_.entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(Worklist::objectOf(entries[0]), a);
+    EXPECT_EQ(Worklist::objectOf(entries[2]), c);
+}
+
+TEST_F(WorklistTest, ClearEmptiesButKeepsCapacity)
+{
+    for (int i = 0; i < 100; ++i)
+        list_.push(obj());
+    size_t high = list_.highWater();
+    EXPECT_GE(high, 100u);
+    list_.clear();
+    EXPECT_TRUE(list_.empty());
+    EXPECT_GE(list_.highWater(), high) << "capacity is retained";
+}
+
+TEST_F(WorklistTest, BuildPathCollectsOnlyTaggedEntries)
+{
+    // Simulate the DFS invariant: tagged entries are the current
+    // root-to-parent chain, untagged entries are pending siblings.
+    Object *root = obj();
+    Object *mid = obj();
+    Object *sibling = obj();
+    Object *current = obj();
+    list_.pushTagged(root);
+    list_.push(sibling); // pending, not on the path
+    list_.pushTagged(mid);
+
+    auto path = paths_.buildPath(list_, current);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0], root);
+    EXPECT_EQ(path[1], mid);
+    EXPECT_EQ(path[2], current);
+}
+
+TEST_F(WorklistTest, OriginAttributionKeepsTheFirstRecord)
+{
+    Object *o = obj();
+    paths_.noteOrigin(o, "first-root");
+    paths_.noteOrigin(o, "second-root");
+    EXPECT_EQ(paths_.originOf(o), "first-root");
+    paths_.reset();
+    EXPECT_EQ(paths_.originOf(o), "");
+    paths_.noteOrigin(o, "second-root");
+    EXPECT_EQ(paths_.originOf(o), "second-root");
+}
+
+TEST_F(WorklistTest, UnknownOriginIsEmpty)
+{
+    EXPECT_EQ(paths_.originOf(obj()), "");
+}
+
+} // namespace
+} // namespace gcassert
