@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detectors.dir/ablation_detectors.cpp.o"
+  "CMakeFiles/ablation_detectors.dir/ablation_detectors.cpp.o.d"
+  "CMakeFiles/ablation_detectors.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_detectors.dir/bench_util.cpp.o.d"
+  "ablation_detectors"
+  "ablation_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_immediate.dir/ablation_immediate.cpp.o"
+  "CMakeFiles/ablation_immediate.dir/ablation_immediate.cpp.o.d"
+  "CMakeFiles/ablation_immediate.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_immediate.dir/bench_util.cpp.o.d"
+  "ablation_immediate"
+  "ablation_immediate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_immediate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

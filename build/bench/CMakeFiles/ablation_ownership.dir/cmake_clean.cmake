@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ownership.dir/ablation_ownership.cpp.o"
+  "CMakeFiles/ablation_ownership.dir/ablation_ownership.cpp.o.d"
+  "CMakeFiles/ablation_ownership.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_ownership.dir/bench_util.cpp.o.d"
+  "ablation_ownership"
+  "ablation_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

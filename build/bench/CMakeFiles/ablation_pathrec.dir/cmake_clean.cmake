@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pathrec.dir/ablation_pathrec.cpp.o"
+  "CMakeFiles/ablation_pathrec.dir/ablation_pathrec.cpp.o.d"
+  "CMakeFiles/ablation_pathrec.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_pathrec.dir/bench_util.cpp.o.d"
+  "ablation_pathrec"
+  "ablation_pathrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pathrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

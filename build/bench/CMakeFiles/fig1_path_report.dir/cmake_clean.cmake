@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_path_report.dir/bench_util.cpp.o"
+  "CMakeFiles/fig1_path_report.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig1_path_report.dir/fig1_path_report.cpp.o"
+  "CMakeFiles/fig1_path_report.dir/fig1_path_report.cpp.o.d"
+  "fig1_path_report"
+  "fig1_path_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_path_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

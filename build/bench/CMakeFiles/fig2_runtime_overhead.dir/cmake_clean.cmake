@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_runtime_overhead.dir/bench_util.cpp.o"
+  "CMakeFiles/fig2_runtime_overhead.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig2_runtime_overhead.dir/fig2_runtime_overhead.cpp.o"
+  "CMakeFiles/fig2_runtime_overhead.dir/fig2_runtime_overhead.cpp.o.d"
+  "fig2_runtime_overhead"
+  "fig2_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_gc_overhead.dir/bench_util.cpp.o"
+  "CMakeFiles/fig3_gc_overhead.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig3_gc_overhead.dir/fig3_gc_overhead.cpp.o"
+  "CMakeFiles/fig3_gc_overhead.dir/fig3_gc_overhead.cpp.o.d"
+  "fig3_gc_overhead"
+  "fig3_gc_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_gc_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_assertions_gc.dir/bench_util.cpp.o"
+  "CMakeFiles/fig5_assertions_gc.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig5_assertions_gc.dir/fig5_assertions_gc.cpp.o"
+  "CMakeFiles/fig5_assertions_gc.dir/fig5_assertions_gc.cpp.o.d"
+  "fig5_assertions_gc"
+  "fig5_assertions_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_assertions_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

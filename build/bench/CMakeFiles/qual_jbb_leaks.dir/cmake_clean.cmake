@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qual_jbb_leaks.dir/bench_util.cpp.o"
+  "CMakeFiles/qual_jbb_leaks.dir/bench_util.cpp.o.d"
+  "CMakeFiles/qual_jbb_leaks.dir/qual_jbb_leaks.cpp.o"
+  "CMakeFiles/qual_jbb_leaks.dir/qual_jbb_leaks.cpp.o.d"
+  "qual_jbb_leaks"
+  "qual_jbb_leaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qual_jbb_leaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

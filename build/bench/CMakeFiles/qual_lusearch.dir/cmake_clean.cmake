@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qual_lusearch.dir/bench_util.cpp.o"
+  "CMakeFiles/qual_lusearch.dir/bench_util.cpp.o.d"
+  "CMakeFiles/qual_lusearch.dir/qual_lusearch.cpp.o"
+  "CMakeFiles/qual_lusearch.dir/qual_lusearch.cpp.o.d"
+  "qual_lusearch"
+  "qual_lusearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qual_lusearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qual_lusearch.
+# This may be replaced when dependencies are built.

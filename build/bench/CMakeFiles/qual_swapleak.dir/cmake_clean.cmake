@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qual_swapleak.dir/bench_util.cpp.o"
+  "CMakeFiles/qual_swapleak.dir/bench_util.cpp.o.d"
+  "CMakeFiles/qual_swapleak.dir/qual_swapleak.cpp.o"
+  "CMakeFiles/qual_swapleak.dir/qual_swapleak.cpp.o.d"
+  "qual_swapleak"
+  "qual_swapleak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qual_swapleak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

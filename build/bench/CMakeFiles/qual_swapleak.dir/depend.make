@@ -1,0 +1,2 @@
+# Empty dependencies file for qual_swapleak.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_doctor.dir/heap_doctor.cpp.o"
+  "CMakeFiles/heap_doctor.dir/heap_doctor.cpp.o.d"
+  "heap_doctor"
+  "heap_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_leak.dir/order_leak.cpp.o"
+  "CMakeFiles/order_leak.dir/order_leak.cpp.o.d"
+  "order_leak"
+  "order_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

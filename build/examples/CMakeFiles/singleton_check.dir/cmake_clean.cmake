@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/singleton_check.dir/singleton_check.cpp.o"
+  "CMakeFiles/singleton_check.dir/singleton_check.cpp.o.d"
+  "singleton_check"
+  "singleton_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/singleton_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

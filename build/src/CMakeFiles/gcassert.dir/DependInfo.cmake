@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assertions/assertion_table.cpp" "src/CMakeFiles/gcassert.dir/assertions/assertion_table.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/assertions/assertion_table.cpp.o.d"
+  "/root/repo/src/assertions/engine.cpp" "src/CMakeFiles/gcassert.dir/assertions/engine.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/assertions/engine.cpp.o.d"
+  "/root/repo/src/assertions/ownership.cpp" "src/CMakeFiles/gcassert.dir/assertions/ownership.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/assertions/ownership.cpp.o.d"
+  "/root/repo/src/assertions/reaction.cpp" "src/CMakeFiles/gcassert.dir/assertions/reaction.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/assertions/reaction.cpp.o.d"
+  "/root/repo/src/assertions/violation.cpp" "src/CMakeFiles/gcassert.dir/assertions/violation.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/assertions/violation.cpp.o.d"
+  "/root/repo/src/detectors/cork.cpp" "src/CMakeFiles/gcassert.dir/detectors/cork.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/detectors/cork.cpp.o.d"
+  "/root/repo/src/detectors/probes.cpp" "src/CMakeFiles/gcassert.dir/detectors/probes.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/detectors/probes.cpp.o.d"
+  "/root/repo/src/detectors/staleness.cpp" "src/CMakeFiles/gcassert.dir/detectors/staleness.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/detectors/staleness.cpp.o.d"
+  "/root/repo/src/gc/collector.cpp" "src/CMakeFiles/gcassert.dir/gc/collector.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/gc/collector.cpp.o.d"
+  "/root/repo/src/gc/gc_stats.cpp" "src/CMakeFiles/gcassert.dir/gc/gc_stats.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/gc/gc_stats.cpp.o.d"
+  "/root/repo/src/gc/mutator.cpp" "src/CMakeFiles/gcassert.dir/gc/mutator.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/gc/mutator.cpp.o.d"
+  "/root/repo/src/gc/path_recorder.cpp" "src/CMakeFiles/gcassert.dir/gc/path_recorder.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/gc/path_recorder.cpp.o.d"
+  "/root/repo/src/gc/roots.cpp" "src/CMakeFiles/gcassert.dir/gc/roots.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/gc/roots.cpp.o.d"
+  "/root/repo/src/gc/worklist.cpp" "src/CMakeFiles/gcassert.dir/gc/worklist.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/gc/worklist.cpp.o.d"
+  "/root/repo/src/heap/block.cpp" "src/CMakeFiles/gcassert.dir/heap/block.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/heap/block.cpp.o.d"
+  "/root/repo/src/heap/heap.cpp" "src/CMakeFiles/gcassert.dir/heap/heap.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/heap/heap.cpp.o.d"
+  "/root/repo/src/heap/object.cpp" "src/CMakeFiles/gcassert.dir/heap/object.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/heap/object.cpp.o.d"
+  "/root/repo/src/heap/size_classes.cpp" "src/CMakeFiles/gcassert.dir/heap/size_classes.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/heap/size_classes.cpp.o.d"
+  "/root/repo/src/heap/verifier.cpp" "src/CMakeFiles/gcassert.dir/heap/verifier.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/heap/verifier.cpp.o.d"
+  "/root/repo/src/runtime/config.cpp" "src/CMakeFiles/gcassert.dir/runtime/config.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/runtime/config.cpp.o.d"
+  "/root/repo/src/runtime/handle.cpp" "src/CMakeFiles/gcassert.dir/runtime/handle.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/runtime/handle.cpp.o.d"
+  "/root/repo/src/runtime/heap_query.cpp" "src/CMakeFiles/gcassert.dir/runtime/heap_query.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/runtime/heap_query.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/gcassert.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/support/logging.cpp" "src/CMakeFiles/gcassert.dir/support/logging.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/support/logging.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/gcassert.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/gcassert.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/stopwatch.cpp" "src/CMakeFiles/gcassert.dir/support/stopwatch.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/support/stopwatch.cpp.o.d"
+  "/root/repo/src/support/strutil.cpp" "src/CMakeFiles/gcassert.dir/support/strutil.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/support/strutil.cpp.o.d"
+  "/root/repo/src/types/type_descriptor.cpp" "src/CMakeFiles/gcassert.dir/types/type_descriptor.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/types/type_descriptor.cpp.o.d"
+  "/root/repo/src/types/type_registry.cpp" "src/CMakeFiles/gcassert.dir/types/type_registry.cpp.o" "gcc" "src/CMakeFiles/gcassert.dir/types/type_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

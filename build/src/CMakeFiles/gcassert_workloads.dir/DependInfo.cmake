@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/driver.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/driver.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/driver.cpp.o.d"
+  "/root/repo/src/workloads/jbbemu.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/jbbemu.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/jbbemu.cpp.o.d"
+  "/root/repo/src/workloads/long_btree.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/long_btree.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/long_btree.cpp.o.d"
+  "/root/repo/src/workloads/lusearch.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/lusearch.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/lusearch.cpp.o.d"
+  "/root/repo/src/workloads/managed_util.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/managed_util.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/managed_util.cpp.o.d"
+  "/root/repo/src/workloads/minidb.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/minidb.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/minidb.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/swapleak.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/swapleak.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/swapleak.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/synthetic.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/gcassert_workloads.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/gcassert_workloads.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gcassert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcassert_workloads.dir/workloads/driver.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/driver.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/workloads/jbbemu.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/jbbemu.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/workloads/long_btree.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/long_btree.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/workloads/lusearch.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/lusearch.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/workloads/managed_util.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/managed_util.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/workloads/minidb.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/minidb.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/workloads/registry.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/registry.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/workloads/swapleak.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/swapleak.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/workloads/synthetic.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/synthetic.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/workloads/workload.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/workloads/workload.cpp.o.d"
+  "libgcassert_workloads.a"
+  "libgcassert_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcassert_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assert_dead.dir/test_assert_dead.cpp.o"
+  "CMakeFiles/test_assert_dead.dir/test_assert_dead.cpp.o.d"
+  "test_assert_dead"
+  "test_assert_dead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assert_dead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

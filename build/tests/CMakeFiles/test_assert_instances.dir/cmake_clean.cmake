@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assert_instances.dir/test_assert_instances.cpp.o"
+  "CMakeFiles/test_assert_instances.dir/test_assert_instances.cpp.o.d"
+  "test_assert_instances"
+  "test_assert_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assert_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assert_ownedby.dir/test_assert_ownedby.cpp.o"
+  "CMakeFiles/test_assert_ownedby.dir/test_assert_ownedby.cpp.o.d"
+  "test_assert_ownedby"
+  "test_assert_ownedby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assert_ownedby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assert_unshared.dir/test_assert_unshared.cpp.o"
+  "CMakeFiles/test_assert_unshared.dir/test_assert_unshared.cpp.o.d"
+  "test_assert_unshared"
+  "test_assert_unshared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assert_unshared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finalizer.dir/test_finalizer.cpp.o"
+  "CMakeFiles/test_finalizer.dir/test_finalizer.cpp.o.d"
+  "test_finalizer"
+  "test_finalizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

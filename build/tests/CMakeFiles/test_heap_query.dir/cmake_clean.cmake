@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heap_query.dir/test_heap_query.cpp.o"
+  "CMakeFiles/test_heap_query.dir/test_heap_query.cpp.o.d"
+  "test_heap_query"
+  "test_heap_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heap_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

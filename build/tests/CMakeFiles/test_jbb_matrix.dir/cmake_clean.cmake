@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jbb_matrix.dir/test_jbb_matrix.cpp.o"
+  "CMakeFiles/test_jbb_matrix.dir/test_jbb_matrix.cpp.o.d"
+  "test_jbb_matrix"
+  "test_jbb_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jbb_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_managed_util.dir/test_managed_util.cpp.o"
+  "CMakeFiles/test_managed_util.dir/test_managed_util.cpp.o.d"
+  "test_managed_util"
+  "test_managed_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_managed_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

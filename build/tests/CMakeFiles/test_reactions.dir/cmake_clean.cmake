@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reactions.dir/test_reactions.cpp.o"
+  "CMakeFiles/test_reactions.dir/test_reactions.cpp.o.d"
+  "test_reactions"
+  "test_reactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

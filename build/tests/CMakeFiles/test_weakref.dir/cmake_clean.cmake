@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weakref.dir/test_weakref.cpp.o"
+  "CMakeFiles/test_weakref.dir/test_weakref.cpp.o.d"
+  "test_weakref"
+  "test_weakref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weakref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

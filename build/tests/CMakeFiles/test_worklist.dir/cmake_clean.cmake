@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worklist.dir/test_worklist.cpp.o"
+  "CMakeFiles/test_worklist.dir/test_worklist.cpp.o.d"
+  "test_worklist"
+  "test_worklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
