@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parallel-mark scalability sweep: trace-phase time for 1/2/4/8
+ * marker threads over a large shared random graph.
+ *
+ * Not a figure from the paper (which uses a sequential collector);
+ * this bench characterizes the work-stealing mark phase added on
+ * top: the table reports per-GC mark time, speedup over the
+ * sequential trace, and steal counts. Meaningful speedups need real
+ * cores — the binary prints the host's concurrency so single-core CI
+ * results are not misread as a scalability regression.
+ *
+ * Knobs: GCASSERT_BENCH_REPEATS (measured GCs per thread count,
+ * default 5), GCASSERT_BENCH_OBJECTS (graph size, default 400000).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/runtime.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+/** Mark time and steal count for one thread-count configuration. */
+struct SweepPoint {
+    uint32_t threads = 1;
+    double markSecondsPerGc = 0.0;
+    double stealsPerGc = 0.0;
+    uint64_t marked = 0;
+};
+
+/**
+ * Build the standard graph (seed-determined, identical across
+ * configurations) and measure the average trace-phase time over the
+ * requested number of collections.
+ */
+SweepPoint
+measure(uint32_t threads, uint64_t num_objects, uint64_t repeats)
+{
+    RuntimeConfig config;
+    config.heap.budgetBytes = 2ull * 1024 * 1024 * 1024;
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.markThreads = threads;
+    Runtime rt(config);
+
+    TypeId node_type =
+        rt.types().define("Node").refs({"left", "right"}).scalars(8).build();
+    TypeId array_type = rt.types().define("Array").array().build();
+
+    // A mostly-live random graph: an array spine keeps object
+    // batches reachable, node edges create the shared subtrees and
+    // cycles that make tracing memory-bound.
+    Rng rng(0xfeed);
+    const uint64_t spine_len = 1024;
+    Handle spine(rt, rt.allocArrayRaw(array_type,
+                                      static_cast<uint32_t>(spine_len)),
+                 "spine");
+    std::vector<Object *> objs;
+    objs.reserve(num_objects);
+    for (uint64_t i = 0; i < num_objects; ++i) {
+        Object *obj = rt.allocRaw(node_type);
+        objs.push_back(obj);
+        if (i < spine_len)
+            spine->setRef(static_cast<uint32_t>(i), obj);
+    }
+    for (uint64_t i = 0; i < num_objects; ++i) {
+        objs[i]->setRef(0, objs[rng.below(num_objects)]);
+        if (rng.chance(0.9))
+            objs[i]->setRef(1, objs[rng.below(num_objects)]);
+    }
+
+    rt.collect(); // warmup: faults pages, settles block lists
+
+    GcStats &stats = rt.gcStats();
+    double start_trace = stats.tracePhase.elapsedSeconds();
+    uint64_t start_steals = stats.markSteals;
+    uint64_t start_marked = stats.objectsMarked;
+    for (uint64_t i = 0; i < repeats; ++i)
+        rt.collect();
+
+    SweepPoint point;
+    point.threads = threads;
+    point.markSecondsPerGc =
+        (stats.tracePhase.elapsedSeconds() - start_trace) /
+        static_cast<double>(repeats);
+    point.stealsPerGc =
+        static_cast<double>(stats.markSteals - start_steals) /
+        static_cast<double>(repeats);
+    point.marked = (stats.objectsMarked - start_marked) / repeats;
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    printHeader("Parallel mark",
+                "trace-phase time vs marker-thread count on a large "
+                "shared random graph",
+                "n/a (extension beyond the paper's sequential collector)");
+
+    const uint64_t num_objects = envOr("GCASSERT_BENCH_OBJECTS", 400000);
+    const uint64_t repeats = envOr("GCASSERT_BENCH_REPEATS", 5);
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    std::fprintf(stderr,
+                 "  objects: %llu, repeats: %llu, host cores: %u\n",
+                 static_cast<unsigned long long>(num_objects),
+                 static_cast<unsigned long long>(repeats), cores);
+    if (cores < 2)
+        std::fprintf(stderr,
+                     "  NOTE: single-core host; expect no speedup (the "
+                     "sweep still validates correctness/termination)\n");
+
+    std::vector<SweepPoint> points;
+    for (uint32_t threads : {1u, 2u, 4u, 8u})
+        points.push_back(measure(threads, num_objects, repeats));
+
+    std::printf("\n  threads   mark ms/GC   speedup   steals/GC   marked\n");
+    std::printf("  -------   ----------   -------   ---------   ------\n");
+    const double base = points.front().markSecondsPerGc;
+    for (const SweepPoint &p : points)
+        std::printf("  %7u   %10.3f   %6.2fx   %9.1f   %6llu\n",
+                    p.threads, p.markSecondsPerGc * 1e3,
+                    base / p.markSecondsPerGc, p.stealsPerGc,
+                    static_cast<unsigned long long>(p.marked));
+
+    // The graph is identical across configurations, so divergent
+    // mark counts indicate a tracer bug, not noise.
+    for (const SweepPoint &p : points) {
+        if (p.marked != points.front().marked) {
+            std::fprintf(stderr,
+                         "  ERROR: mark count diverges at %u threads "
+                         "(%llu vs %llu)\n",
+                         p.threads,
+                         static_cast<unsigned long long>(p.marked),
+                         static_cast<unsigned long long>(
+                             points.front().marked));
+            return 1;
+        }
+    }
+    return 0;
+}

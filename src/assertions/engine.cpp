@@ -1,9 +1,34 @@
 #include "assertions/engine.h"
 
+#include <algorithm>
+
 #include "support/logging.h"
 #include "support/strutil.h"
 
 namespace gcassert {
+
+namespace {
+
+/**
+ * Rank kinds by the sequential trace's per-object checking order
+ * (p2Visit: ownee check, then dead check, then unshared on
+ * re-encounter), so same-object dedup keeps the violation the
+ * sequential collector would have reported.
+ */
+int
+kindRank(AssertionKind kind)
+{
+    switch (kind) {
+    case AssertionKind::OwnedBy: return 0;
+    case AssertionKind::OwnershipMisuse: return 1;
+    case AssertionKind::AllDead: return 2;
+    case AssertionKind::Dead: return 3;
+    case AssertionKind::Unshared: return 4;
+    default: return 5;
+    }
+}
+
+} // namespace
 
 AssertionEngine::AssertionEngine(TypeRegistry &types,
                                  MutatorRegistry &mutators,
@@ -177,6 +202,27 @@ bool
 AssertionEngine::alreadyReported(const Object *obj)
 {
     return !reportedThisGc_.insert(obj).second;
+}
+
+void
+AssertionEngine::reportPending(std::vector<PendingViolation> pending)
+{
+    std::sort(pending.begin(), pending.end(),
+              [](const PendingViolation &a, const PendingViolation &b) {
+                  if (a.obj != b.obj)
+                      return a.obj < b.obj;
+                  return kindRank(a.kind) < kindRank(b.kind);
+              });
+    for (PendingViolation &pv : pending) {
+        if (alreadyReported(pv.obj))
+            continue;
+        Violation v;
+        v.kind = pv.kind;
+        v.offendingType = typeNameOf(pv.obj);
+        v.gcNumber = gcNumber_;
+        v.message = std::move(pv.message);
+        report(std::move(v));
+    }
 }
 
 std::string

@@ -48,6 +48,20 @@ struct EngineOptions {
 };
 
 /**
+ * A violation detected by a parallel marker thread.
+ *
+ * The engine's report path is not thread-safe (and heap paths are
+ * unavailable under parallel marking anyway), so workers record
+ * these into private buffers; the collector merges the buffers after
+ * the markers join and hands them to reportPending().
+ */
+struct PendingViolation {
+    AssertionKind kind = AssertionKind::Dead;
+    Object *obj = nullptr;
+    std::string message;
+};
+
+/**
  * Records assertions, reports violations, and owns the assertion
  * metadata the collector consults while tracing.
  */
@@ -117,6 +131,20 @@ class AssertionEngine {
      *         (and records it otherwise).
      */
     bool alreadyReported(const Object *obj);
+
+    /**
+     * Merge and report violations recorded by parallel markers.
+     *
+     * Racing workers can record the same object more than once (each
+     * loser of a mark race records independently), so the buffer is
+     * first sorted into a deterministic order — object address, then
+     * the sequential trace's checking order (ownee, dead, unshared)
+     * — and then filtered through the same one-report-per-object
+     * gate the sequential trace uses. The resulting violation
+     * multiset is identical to a sequential collection's, modulo
+     * heap paths.
+     */
+    void reportPending(std::vector<PendingViolation> pending);
 
     /** @} */
 

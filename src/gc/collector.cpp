@@ -1,7 +1,9 @@
 #include "gc/collector.h"
 
 #include <algorithm>
+#include <thread>
 
+#include "gc/mark_deque.h"
 #include "support/logging.h"
 #include "support/strutil.h"
 
@@ -73,8 +75,26 @@ CollectionResult
 Collector::collect()
 {
     if (config_.infrastructure) {
-        if (config_.recordPaths)
+        if (config_.recordPaths) {
+            // Section 2.7's tagged worklist *is* the path — it only
+            // spells a root-to-object chain because one thread pops
+            // and re-pushes in DFS order. Rather than emit silently
+            // wrong paths, a parallel request downgrades to the
+            // sequential trace, loudly.
+            if (config_.markThreads > 1) {
+                ++stats_.pathDowngrades;
+                if (!loggedPathDowngrade_) {
+                    warn(format(
+                        "markThreads=%u requested with path recording "
+                        "enabled; path recording is inherently "
+                        "sequential, so tracing runs single-threaded "
+                        "(set recordPaths=false for parallel marking)",
+                        config_.markThreads));
+                    loggedPathDowngrade_ = true;
+                }
+            }
             return collectImpl<true, true>();
+        }
         return collectImpl<true, false>();
     }
     return collectImpl<false, false>();
@@ -104,10 +124,19 @@ Collector::collectImpl()
         ownershipPhase<kPath>();
     }
 
-    // Phase 2: root scan and full trace.
+    // Phase 2: root scan and full trace. Parallel marking never
+    // runs with path recording (collect() downgrades instead).
     {
         ScopedTimer t(stats_.tracePhase);
-        rootScanPhase<kInfra, kPath>();
+        if constexpr (!kPath) {
+            if (config_.markThreads > 1) {
+                parallelMarkPhase<kInfra>();
+            } else {
+                rootScanPhase<kInfra, kPath>();
+            }
+        } else {
+            rootScanPhase<kInfra, kPath>();
+        }
     }
 
     // Weak-reference processing: clear weak edges whose referents
@@ -502,6 +531,250 @@ Collector::p1Visit(Object **slot, Object *obj, Object *owner,
 
     markObject<true>(obj);
     worklist_.push(obj);
+}
+
+// ---------------------------------------------------------------------
+// Parallel mark phase (markThreads > 1, path recording off)
+// ---------------------------------------------------------------------
+
+/**
+ * Private state of one marker thread. Everything a worker touches
+ * while tracing is either immutable for the phase (type flags, the
+ * ownership table, reaction policy), per-object-exclusive (reference
+ * slots: the CAS mark guarantees exactly one worker scans each
+ * object), accessed atomically (the object flag word, the
+ * termination counter), or lives here and is merged after the join.
+ */
+struct Collector::MarkWorker {
+    MarkDeque deque;
+    /** Objects this worker won the mark race for. */
+    uint64_t marked = 0;
+    /** Ownee-membership checks performed. */
+    uint64_t owneeChecks = 0;
+    /** Successful steals from peers. */
+    uint64_t steals = 0;
+    /** Violations to merge-report after the join. */
+    std::vector<PendingViolation> pending;
+    /** Marked weak-reference objects (merged into weakRefs_). */
+    std::vector<Object *> weakRefs;
+    /** Dense per-type tallies, indexed by TypeId (kInfra only). */
+    std::vector<uint64_t> instanceCounts;
+    std::vector<uint64_t> instanceBytes;
+};
+
+template <bool kInfra>
+void
+Collector::parallelMarkPhase()
+{
+    const size_t worker_count = config_.markThreads;
+
+    // Snapshot the root slots; workers take interleaved slices.
+    std::vector<Object **> root_slots;
+    roots_.forEach([&](RootNode &node) {
+        if (node.get())
+            root_slots.push_back(node.slotAddr());
+    });
+
+    std::vector<MarkWorker> workers(worker_count);
+    if (kInfra) {
+        for (MarkWorker &w : workers) {
+            w.instanceCounts.assign(types_.size(), 0);
+            w.instanceBytes.assign(types_.size(), 0);
+        }
+    }
+
+    // One virtual token per worker: pendingWork_ cannot reach zero
+    // until every worker has pushed its whole root slice, so nobody
+    // mistakes a not-yet-seeded trace for a finished one.
+    pendingWork_.store(static_cast<int64_t>(worker_count),
+                       std::memory_order_relaxed);
+
+    std::vector<std::thread> threads;
+    threads.reserve(worker_count - 1);
+    for (size_t i = 1; i < worker_count; ++i)
+        threads.emplace_back([this, &workers, &root_slots, i] {
+            parWorkerRun<kInfra>(workers, i, root_slots);
+        });
+    parWorkerRun<kInfra>(workers, 0, root_slots);
+    for (std::thread &t : threads)
+        t.join();
+
+    // Merge, single-threaded again: counters, weak refs, per-type
+    // tallies, and the deferred violation reports.
+    std::vector<PendingViolation> pending;
+    for (MarkWorker &w : workers) {
+        markedThisGc_ += w.marked;
+        stats_.owneeChecks += w.owneeChecks;
+        stats_.owneeChecksLastGc += w.owneeChecks;
+        stats_.markSteals += w.steals;
+        stats_.maxWorklistDepth = std::max<uint64_t>(
+            stats_.maxWorklistDepth, w.deque.highWater());
+        weakRefs_.insert(weakRefs_.end(), w.weakRefs.begin(),
+                         w.weakRefs.end());
+        for (PendingViolation &pv : w.pending)
+            pending.push_back(std::move(pv));
+    }
+    if (kInfra) {
+        for (TypeId id : types_.trackedTypes()) {
+            for (MarkWorker &w : workers) {
+                if (w.instanceCounts[id] != 0 || w.instanceBytes[id] != 0)
+                    types_.bumpInstanceCountBy(id, w.instanceCounts[id],
+                                               w.instanceBytes[id]);
+            }
+        }
+        engine_.reportPending(std::move(pending));
+    }
+    ++stats_.parallelMarkPhases;
+}
+
+template <bool kInfra>
+void
+Collector::parWorkerRun(std::vector<MarkWorker> &workers, size_t index,
+                        const std::vector<Object **> &root_slots)
+{
+    MarkWorker &w = workers[index];
+    const size_t worker_count = workers.size();
+
+    for (size_t i = index; i < root_slots.size(); i += worker_count) {
+        Object **slot = root_slots[i];
+        if (Object *obj = *slot)
+            parVisit<kInfra>(slot, obj, w);
+    }
+    // Root slice fully pushed: release this worker's seed token.
+    pendingWork_.fetch_sub(1, std::memory_order_seq_cst);
+
+    Object *obj = nullptr;
+    while (true) {
+        if (w.deque.pop(obj)) {
+            parScan<kInfra>(obj, w);
+            pendingWork_.fetch_sub(1, std::memory_order_seq_cst);
+            continue;
+        }
+        bool stole = false;
+        for (size_t attempt = 1; attempt < worker_count; ++attempt) {
+            size_t victim = (index + attempt) % worker_count;
+            if (workers[victim].deque.steal(obj)) {
+                stole = true;
+                ++w.steals;
+                break;
+            }
+        }
+        if (stole) {
+            parScan<kInfra>(obj, w);
+            pendingWork_.fetch_sub(1, std::memory_order_seq_cst);
+            continue;
+        }
+        // Nothing local, nothing stealable: the trace is over when
+        // no marked-but-unscanned objects remain anywhere.
+        if (pendingWork_.load(std::memory_order_seq_cst) == 0)
+            break;
+        std::this_thread::yield();
+    }
+}
+
+template <bool kInfra>
+void
+Collector::parScan(Object *obj, MarkWorker &w)
+{
+    uint32_t n = obj->numRefs();
+    Object **slots = n ? obj->refSlotAddr(0) : nullptr;
+    uint32_t first = 0;
+    if (hasWeak_ && types_.weakFlags()[obj->typeId()]) [[unlikely]] {
+        w.weakRefs.push_back(obj);
+        first = 1;
+    }
+    for (uint32_t i = first; i < n; ++i) {
+        Object *child = slots[i];
+        if (child)
+            parVisit<kInfra>(&slots[i], child, w);
+    }
+}
+
+template <bool kInfra>
+void
+Collector::parVisit(Object **slot, Object *obj, MarkWorker &w)
+{
+    // Same one-flag-word economy as p2Visit, with an atomic load:
+    // marker threads mutate the word concurrently via CAS.
+    uint32_t flags = obj->rawFlagsAtomic();
+    if (kInfra && (flags & (kOwneeBit | kDeadBit)) != 0) [[unlikely]] {
+        if (flags & kOwneeBit)
+            parOwneeCheck(obj, flags, w);
+        if ((flags & kDeadBit) && parDeadCheck(slot, obj, flags, w))
+            return;
+    }
+    if (obj->tryMark()) {
+        ++w.marked;
+        if (kInfra) {
+            TypeId type = obj->typeId();
+            if (types_.trackedFlags()[type]) {
+                ++w.instanceCounts[type];
+                w.instanceBytes[type] += obj->sizeBytes();
+            }
+        }
+        pendingWork_.fetch_add(1, std::memory_order_seq_cst);
+        w.deque.push(obj);
+    } else if (kInfra && (flags & kUnsharedBit) != 0) [[unlikely]] {
+        // The loser of the mark race is by definition a second
+        // incoming reference — the condition assert-unshared
+        // detects. Racing workers may both record it; the merge
+        // dedups to the single report the sequential trace emits.
+        w.pending.push_back(
+            {AssertionKind::Unshared, obj,
+             "an object that was asserted unshared has more than one "
+             "incoming reference (second path shown)."});
+    }
+}
+
+void
+Collector::parOwneeCheck(Object *obj, uint32_t flags, MarkWorker &w)
+{
+    ++w.owneeChecks;
+    // kOwnedBit was settled by the (sequential) ownership phase and
+    // is read-only during phase 2.
+    if ((flags & kOwnedBit) == 0) {
+        Object *owner = engine_.ownership().ownerOf(obj);
+        std::string owner_name =
+            owner ? engine_.typeNameOf(owner) : std::string("<unknown>");
+        w.pending.push_back(
+            {AssertionKind::OwnedBy, obj,
+             format("an object asserted to be owned by a %s is reachable "
+                    "without passing through its owner.",
+                    owner_name.c_str())});
+    }
+}
+
+bool
+Collector::parDeadCheck(Object **slot, Object *obj, uint32_t flags,
+                        MarkWorker &w)
+{
+    AssertionKind kind = AssertionKind::Dead;
+    std::string what = "an object that was asserted dead is reachable.";
+    if (flags & kOrphanBit) {
+        kind = AssertionKind::OwnedBy;
+        what = "an ownee outlived its owner (the owner was reclaimed in "
+               "an earlier collection) and is still reachable.";
+    } else if (flags & kRegionBit) {
+        kind = AssertionKind::AllDead;
+        what =
+            "an object allocated in an assert-alldead region is reachable.";
+    }
+    bool force = engine_.reactions().forKind(kind) == Reaction::ForceTrue;
+    if (force)
+        what += " Forcing reclamation by nulling the reference.";
+    w.pending.push_back({kind, obj, std::move(what)});
+    if (!engine_.options().stickyDeadAssertions && !force)
+        obj->clearFlagsAtomic(kDeadBit | kRegionBit | kOrphanBit);
+
+    if (force) {
+        // The slot belongs to the object this worker is scanning
+        // (or to one of its root-slice RootNodes), so the write is
+        // data-race-free; every incoming edge gets severed by
+        // whichever worker traverses it, as in the sequential trace.
+        *slot = nullptr;
+        return true;
+    }
+    return false;
 }
 
 // Explicit instantiations for the three configurations collect()

@@ -15,7 +15,10 @@
  *     ownee/owned bits, and tallies instance counts. With path
  *     recording enabled, scanned objects are re-pushed onto the
  *     worklist with their low-order bit set so the tagged entries
- *     always spell the root-to-current path (section 2.7).
+ *     always spell the root-to-current path (section 2.7). With
+ *     markThreads > 1 (and path recording off) this phase instead
+ *     runs N marker threads over work-stealing deques; see
+ *     CollectorConfig::markThreads.
  *  3. *Finish*: instance-limit checks, region-queue pruning and
  *     ownership-table pruning (while mark bits are still valid).
  *  4. *Sweep*: reclaim unmarked objects and clear mark bits.
@@ -28,6 +31,7 @@
 #ifndef GCASSERT_GC_COLLECTOR_H
 #define GCASSERT_GC_COLLECTOR_H
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -58,6 +62,20 @@ struct CollectorConfig {
      * infrastructure is on.
      */
     bool recordPaths = true;
+
+    /**
+     * Marker threads for the trace phase; 1 (or 0) keeps the
+     * original sequential DFS. With N > 1, phase 2 runs N workers,
+     * each owning a work-stealing MarkDeque, with atomic
+     * test-and-set mark bits so every object is scanned exactly
+     * once. Assertion checks move onto the CAS-mark path (the loser
+     * of a mark race is a second incoming reference — exactly what
+     * assert-unshared detects); per-class instance tallies become
+     * per-worker and merge in the finish phase. Path recording is
+     * inherently sequential, so recordPaths = true forces a
+     * single-threaded trace with a logged downgrade.
+     */
+    uint32_t markThreads = 1;
 };
 
 /** Outcome of one collection. */
@@ -165,6 +183,42 @@ class Collector {
     template <bool kInfra, bool kPath>
     void p2Drain();
 
+    /** @name Parallel mark phase (markThreads > 1, no path recording)
+     *  @{ */
+
+    /** Per-marker-thread state; defined in collector.cpp. */
+    struct MarkWorker;
+
+    /** Phase 2, parallel: fan out over N workers and merge. */
+    template <bool kInfra>
+    void parallelMarkPhase();
+
+    /** One worker: visit its root slice, then drain/steal to empty. */
+    template <bool kInfra>
+    void parWorkerRun(std::vector<MarkWorker> &workers, size_t index,
+                      const std::vector<Object **> &root_slots);
+
+    /** Scan one gray object's reference slots. */
+    template <bool kInfra>
+    void parScan(Object *obj, MarkWorker &worker);
+
+    /** Parallel edge visit: piggybacked checks + CAS mark. */
+    template <bool kInfra>
+    void parVisit(Object **slot, Object *obj, MarkWorker &worker);
+
+    /** Ownee check against the phase-1 owned bits (read-only). */
+    void parOwneeCheck(Object *obj, uint32_t flags, MarkWorker &worker);
+
+    /**
+     * Dead-bit check on the parallel path.
+     * @return true when the visit must stop (ForceTrue nulled the
+     *         reference).
+     */
+    bool parDeadCheck(Object **slot, Object *obj, uint32_t flags,
+                      MarkWorker &worker);
+
+    /** @} */
+
     /** Mark @p obj and tally instance counts when kInfra. */
     template <bool kInfra>
     void markObject(Object *obj);
@@ -204,6 +258,14 @@ class Collector {
     GcStats stats_;
 
     uint64_t markedThisGc_ = 0;
+    /**
+     * Parallel-phase termination counter: one virtual token per
+     * worker until its root slice is pushed, plus one unit per
+     * marked-but-unscanned object. Zero means the trace is complete.
+     */
+    std::atomic<int64_t> pendingWork_{0};
+    /** The path-recording downgrade is logged once per collector. */
+    bool loggedPathDowngrade_ = false;
     /** Snapshot of TypeRegistry::hasWeakTypes() for this GC. */
     bool hasWeak_ = false;
     /** Marked weak-reference objects awaiting edge clearing. */

@@ -27,6 +27,13 @@ GcStats::toString() const
                   static_cast<unsigned long long>(owneeChecksLastGc));
     out += format("violations:         %llu\n",
                   static_cast<unsigned long long>(violations));
+    if (parallelMarkPhases > 0 || pathDowngrades > 0) {
+        out += format("parallel marks:     %llu (steals: %llu, path "
+                      "downgrades: %llu)\n",
+                      static_cast<unsigned long long>(parallelMarkPhases),
+                      static_cast<unsigned long long>(markSteals),
+                      static_cast<unsigned long long>(pathDowngrades));
+    }
     out += format("gc time:            %.3f ms\n",
                   totalGc.elapsedSeconds() * 1e3);
     out += format("  ownership phase:  %.3f ms\n",

@@ -54,8 +54,26 @@ struct GcStats {
     /** Live bytes after the most recent collection. */
     uint64_t lastLiveBytes = 0;
 
-    /** Deepest tracing worklist observed. */
+    /** Deepest tracing worklist (or mark deque) observed. */
     uint64_t maxWorklistDepth = 0;
+
+    /** @name Parallel marking
+     *  @{ */
+
+    /** Collections whose trace phase ran parallel markers. */
+    uint64_t parallelMarkPhases = 0;
+
+    /** Successful mark-deque steals, cumulative. */
+    uint64_t markSteals = 0;
+
+    /**
+     * Collections where markThreads > 1 was requested but path
+     * recording forced a single-threaded trace (the tagged-worklist
+     * path trick of section 2.7 is inherently sequential).
+     */
+    uint64_t pathDowngrades = 0;
+
+    /** @} */
 
     /** Reset all counters and timers. */
     void reset();

@@ -1,0 +1,117 @@
+#include "gc/mark_deque.h"
+
+namespace gcassert {
+
+namespace {
+
+/** Round @p n up to a power of two (minimum 8). */
+int64_t
+roundUpPow2(size_t n)
+{
+    int64_t cap = 8;
+    while (cap < static_cast<int64_t>(n))
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+MarkDeque::MarkDeque(size_t initial_capacity)
+    : ring_(new Ring(roundUpPow2(initial_capacity)))
+{
+}
+
+MarkDeque::~MarkDeque()
+{
+    delete ring_.load(std::memory_order_relaxed);
+}
+
+MarkDeque::Ring *
+MarkDeque::grow(Ring *ring, int64_t top, int64_t bottom)
+{
+    Ring *bigger = new Ring(ring->capacity * 2);
+    for (int64_t i = top; i < bottom; ++i)
+        bigger->put(i, ring->get(i));
+    retired_.emplace_back(ring);
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+}
+
+void
+MarkDeque::push(Object *obj)
+{
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    Ring *ring = ring_.load(std::memory_order_relaxed);
+    if (b - t > ring->capacity - 1)
+        ring = grow(ring, t, b);
+    ring->put(b, obj);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    size_t depth = static_cast<size_t>(b + 1 - t);
+    if (depth > highWater_)
+        highWater_ = depth;
+}
+
+bool
+MarkDeque::pop(Object *&out)
+{
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring *ring = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+        out = ring->get(b);
+        if (t == b) {
+            // Last entry: race the thieves for it.
+            if (!top_.compare_exchange_strong(t, t + 1,
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_relaxed)) {
+                bottom_.store(b + 1, std::memory_order_relaxed);
+                return false;
+            }
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return true;
+    }
+    // Already empty; undo the speculative decrement.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+}
+
+bool
+MarkDeque::steal(Object *&out)
+{
+    int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b)
+        return false;
+    Ring *ring = ring_.load(std::memory_order_acquire);
+    Object *candidate = ring->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+        return false; // lost to the owner or another thief
+    out = candidate;
+    return true;
+}
+
+size_t
+MarkDeque::size() const
+{
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+}
+
+void
+MarkDeque::clear()
+{
+    retired_.clear();
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    top_.store(b, std::memory_order_relaxed);
+}
+
+} // namespace gcassert

@@ -18,6 +18,7 @@
 #ifndef GCASSERT_HEAP_OBJECT_H
 #define GCASSERT_HEAP_OBJECT_H
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -131,6 +132,50 @@ class Object {
     void setFlag(ObjectFlag f) { flags_ |= f; }
     void clearFlag(ObjectFlag f) { flags_ &= ~static_cast<uint32_t>(f); }
     uint32_t rawFlags() const { return flags_; }
+    /** @} */
+
+    /** @name Atomic flag accessors (parallel mark phase only)
+     *
+     * Marker threads race on the shared flag word, so every access
+     * during a parallel trace goes through these; the sequential
+     * trace keeps the plain accessors above (zero overhead, and the
+     * two phases never overlap — the world is stopped either way).
+     *  @{ */
+
+    /** Atomic snapshot of the flag word. */
+    uint32_t
+    rawFlagsAtomic() const
+    {
+        return std::atomic_ref<uint32_t>(
+                   const_cast<uint32_t &>(flags_))
+            .load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Atomically test-and-set the mark bit.
+     * @return true when this call transitioned unmarked -> marked
+     *         (the caller won the race and must scan the object);
+     *         false when the object was already marked — under
+     *         parallel marking the loser is by definition a second
+     *         incoming reference, which is what assert-unshared
+     *         detects.
+     */
+    bool
+    tryMark()
+    {
+        uint32_t old = std::atomic_ref<uint32_t>(flags_).fetch_or(
+            kMarkBit, std::memory_order_acq_rel);
+        return (old & kMarkBit) == 0;
+    }
+
+    /** Atomically clear every flag in @p mask. */
+    void
+    clearFlagsAtomic(uint32_t mask)
+    {
+        std::atomic_ref<uint32_t>(flags_).fetch_and(
+            ~mask, std::memory_order_acq_rel);
+    }
+
     /** @} */
 
     /** Convenience: the GC mark bit. */

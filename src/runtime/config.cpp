@@ -22,4 +22,15 @@ RuntimeConfig::infra(uint64_t heap_bytes)
     return config;
 }
 
+RuntimeConfig
+RuntimeConfig::parallel(uint64_t heap_bytes, uint32_t threads)
+{
+    RuntimeConfig config;
+    config.heap.budgetBytes = heap_bytes;
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.markThreads = threads;
+    return config;
+}
+
 } // namespace gcassert

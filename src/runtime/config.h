@@ -38,6 +38,15 @@ struct RuntimeConfig {
     /** Maintain tagged-worklist path recording for reports. */
     bool recordPaths = true;
 
+    /**
+     * Marker threads for the GC trace phase (see
+     * CollectorConfig::markThreads). 1 keeps the sequential DFS.
+     * Values > 1 require recordPaths = false; otherwise each
+     * collection downgrades to a single-threaded trace with a
+     * logged warning.
+     */
+    uint32_t markThreads = 1;
+
     /** Engine behaviour switches. */
     EngineOptions engine;
 
@@ -49,6 +58,13 @@ struct RuntimeConfig {
 
     /** @return an Infrastructure configuration (checks on). */
     static RuntimeConfig infra(uint64_t heap_bytes);
+
+    /**
+     * @return an Infrastructure configuration with @p threads
+     * parallel markers (path recording off, since the tagged
+     * worklist is inherently sequential).
+     */
+    static RuntimeConfig parallel(uint64_t heap_bytes, uint32_t threads);
 };
 
 } // namespace gcassert

@@ -12,7 +12,8 @@ Runtime::Runtime(RuntimeConfig config)
       engine_(types_, mutators_, config_.engine),
       collector_(heap_, types_, roots_, mutators_, engine_,
                  CollectorConfig{config_.infrastructure,
-                                 config_.recordPaths})
+                                 config_.recordPaths,
+                                 config_.markThreads})
 {
 }
 

@@ -92,6 +92,17 @@ class TypeDescriptor {
         ++instanceCount_;
         volumeBytes_ += bytes;
     }
+
+    /**
+     * Fold one parallel marker's private tallies into the shared
+     * counters (finish phase, single-threaded again).
+     */
+    void
+    bumpInstanceCountBy(uint64_t count, uint64_t bytes)
+    {
+        instanceCount_ += count;
+        volumeBytes_ += bytes;
+    }
     /** @} */
 
     /** @name assert-volume metadata (section 2.4's "total volume")

@@ -133,6 +133,13 @@ class TypeRegistry {
         types_[id]->bumpInstanceCount(bytes);
     }
 
+    /** Merge a parallel marker's per-type tallies (finish phase). */
+    void
+    bumpInstanceCountBy(TypeId id, uint64_t count, uint64_t bytes)
+    {
+        types_[id]->bumpInstanceCountBy(count, bytes);
+    }
+
     /** Zero the per-GC instance counts of tracked types. */
     void resetInstanceCounts();
 

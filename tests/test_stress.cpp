@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 
 #include "support/rng.h"
@@ -237,6 +240,116 @@ TEST_F(StressTest, DenseDagTracesOnce)
     }
     CollectionResult result = runtime_->collect();
     EXPECT_EQ(result.marked, total + 1);
+}
+
+TEST(StressParallelMark, ConcurrentMutatorsWithParallelMarking)
+{
+    // Several mutator threads churn their own structures while
+    // collections run with 4 marker threads. Heap access follows the
+    // repo's stop-the-world idiom (one mutex serializes mutation and
+    // collection, as in the lusearch workload), so the concurrency
+    // under test is mutator-vs-mutator interleaving plus the marker
+    // threads inside each collection. Native per-thread oracles
+    // predict the exact violation and satisfaction counts.
+    RuntimeConfig config;
+    config.heap.budgetBytes = 16ull * 1024 * 1024;
+    config.recordPaths = false;
+    config.markThreads = 4;
+    Runtime rt(config);
+    CaptureLogSink capture;
+    TypeId node_type = rt.types()
+                           .define("Node")
+                           .refs({"left", "right"})
+                           .scalars(8)
+                           .build();
+
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 10;
+    constexpr int kChain = 150;
+    constexpr int kGarbage = 12;
+    constexpr int kRegion = 20;
+
+    std::mutex heap_access;
+    std::atomic<uint64_t> expected_satisfied{0};
+    std::atomic<uint64_t> expected_dead_violations{0};
+    // Retained heads outlive the workers so the final collection can
+    // still report any violated assert-dead the round cadence missed.
+    std::vector<std::vector<Handle>> retained(kThreads);
+
+    auto worker = [&](int id) {
+        MutatorContext &mutator =
+            rt.registerMutator("stress-" + std::to_string(id));
+        Rng rng(1000 + static_cast<uint64_t>(id));
+        for (int round = 0; round < kRounds; ++round) {
+            std::lock_guard<std::mutex> guard(heap_access);
+
+            // A rooted chain private to this thread.
+            Object *head = rt.allocRaw(node_type, &mutator);
+            Handle handle(rt, head, "stress-head");
+            Object *current = head;
+            for (int i = 1; i < kChain; ++i) {
+                Object *next = rt.allocRaw(node_type, &mutator);
+                current->setRef(0, next);
+                current = next;
+            }
+            // Single-parent chain nodes satisfy assert-unshared.
+            rt.assertUnshared(head->ref(0));
+
+            // Pure garbage under assert-dead: always satisfied.
+            for (int i = 0; i < kGarbage; ++i) {
+                rt.assertDead(rt.allocRaw(node_type, &mutator));
+                ++expected_satisfied;
+            }
+
+            // A region of garbage allocations: all satisfied.
+            rt.startRegion(&mutator);
+            for (int i = 0; i < kRegion; ++i)
+                rt.allocRaw(node_type, &mutator);
+            rt.assertAllDead(&mutator);
+            expected_satisfied += kRegion;
+
+            // Sometimes keep the chain and (wrongly) assert it dead:
+            // exactly one violation at the next collection it
+            // survives (the dead bit clears after the report).
+            if (rng.chance(0.5)) {
+                rt.assertDead(head);
+                ++expected_dead_violations;
+                retained[static_cast<size_t>(id)].push_back(
+                    std::move(handle));
+            }
+
+            if (round % 3 == id % 3)
+                rt.collect();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back(worker, i);
+    for (std::thread &t : threads)
+        t.join();
+
+    // Catch any violated assert-dead not yet seen by a collection.
+    rt.collect();
+
+    uint64_t dead_violations = 0;
+    for (const Violation &v : rt.violations()) {
+        EXPECT_TRUE(v.kind == AssertionKind::Dead)
+            << "unexpected violation: " << v.toString();
+        if (v.kind == AssertionKind::Dead)
+            ++dead_violations;
+    }
+    EXPECT_EQ(dead_violations, expected_dead_violations.load());
+    EXPECT_GE(rt.gcStats().parallelMarkPhases, 1u);
+    EXPECT_EQ(rt.gcStats().pathDowngrades, 0u);
+
+    // Dropping the retained chains satisfies nothing extra (their
+    // dead bits were consumed by the violation reports).
+    retained.clear();
+    rt.collect();
+    EXPECT_EQ(rt.assertionStats().deadAssertsSatisfied,
+              expected_satisfied.load());
+    EXPECT_EQ(rt.heap().liveObjects(), 0u);
 }
 
 } // namespace
