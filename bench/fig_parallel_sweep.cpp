@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Parallel/lazy sweep characterization: sweep-phase time for 1/2/4/8
+ * sweeper threads, and stop-the-world pause comparison between eager
+ * and lazy sweeping, on a garbage-heavy workload.
+ *
+ * Not a figure from the paper (which uses a sequential collector);
+ * this bench characterizes the sharded sweep and the incremental
+ * (allocation-time) reclamation added on top. Each measured GC is
+ * preceded by a fresh crop of unreachable objects spread over many
+ * blocks and size classes, so the sweep phase dominates and the
+ * shard partition has real work to split. In lazy mode the sweep
+ * phase only runs the per-object accounting and defers free-list
+ * reconstruction to the allocation slow path, so the GC pause drops
+ * and the deferred cost rides on (untimed) mutator progress — the
+ * classic lazy-sweeping trade the table makes visible.
+ *
+ * Knobs: GCASSERT_BENCH_REPEATS (measured GCs per configuration,
+ * default 5), GCASSERT_BENCH_OBJECTS (garbage objects per GC,
+ * default 300000), GCASSERT_BENCH_JSON (path for the JSON record,
+ * default BENCH_parallel_sweep.json; empty string disables).
+ *
+ * Exit status 1 if any configuration's per-GC freed-object count
+ * diverges (the workload is identical, so divergence is a sweeper
+ * bug) — the same tripwire fig_parallel_mark uses for marking.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/runtime.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+/** One (threads, mode) configuration's measurements. */
+struct SweepPoint {
+    uint32_t threads = 1;
+    bool lazy = false;
+    double sweepMsPerGc = 0.0;
+    double maxPauseMs = 0.0;
+    uint64_t sweptPerGc = 0;
+};
+
+/**
+ * Run `repeats` garbage-heavy collections and report the average
+ * sweep-phase time and the worst full-collection pause. The garbage
+ * crop is seed-determined and identical across configurations.
+ */
+SweepPoint
+measure(uint32_t threads, bool lazy, uint64_t num_objects,
+        uint64_t repeats)
+{
+    RuntimeConfig config;
+    config.heap.budgetBytes = 4ull * 1024 * 1024 * 1024;
+    config.infrastructure = false;
+    config.recordPaths = false;
+    config.sweepThreads = threads;
+    config.lazySweep = lazy;
+    Runtime rt(config);
+
+    TypeId node_type =
+        rt.types().define("Node").refs({"left", "right"}).scalars(8).build();
+    TypeId record_type =
+        rt.types().define("Record").refs({"a"}).scalars(200).build();
+    TypeId blob_type = rt.types().define("Blob").array().build();
+
+    // A modest retained set so the sweep also skips live survivors.
+    std::vector<Handle> retained;
+    for (int i = 0; i < 2000; ++i)
+        retained.emplace_back(rt, rt.allocRaw(node_type), "retained");
+
+    auto dropGarbage = [&](uint64_t round) {
+        // Unreachable crop spread over several size classes; the
+        // seed is per-round but identical across configurations.
+        Rng crop(0xdead ^ round);
+        for (uint64_t i = 0; i < num_objects; ++i) {
+            switch (crop.below(8)) {
+            case 0:
+                rt.allocRaw(record_type);
+                break;
+            case 1:
+                rt.allocScalarRaw(blob_type, static_cast<uint32_t>(
+                                                 crop.range(24, 2000)));
+                break;
+            default:
+                rt.allocRaw(node_type);
+                break;
+            }
+        }
+    };
+
+    dropGarbage(0);
+    rt.collect(); // warmup: faults pages, settles block lists
+
+    GcStats &stats = rt.gcStats();
+    double start_sweep = stats.sweepPhase.elapsedSeconds();
+    uint64_t start_swept = stats.objectsSwept;
+    double max_pause = 0.0;
+    for (uint64_t round = 1; round <= repeats; ++round) {
+        dropGarbage(round);
+        uint64_t begin = nowNanos();
+        rt.collect();
+        double pause = static_cast<double>(nowNanos() - begin) / 1e9;
+        if (pause > max_pause)
+            max_pause = pause;
+    }
+
+    SweepPoint point;
+    point.threads = threads;
+    point.lazy = lazy;
+    point.sweepMsPerGc =
+        (stats.sweepPhase.elapsedSeconds() - start_sweep) * 1e3 /
+        static_cast<double>(repeats);
+    point.maxPauseMs = max_pause * 1e3;
+    point.sweptPerGc = (stats.objectsSwept - start_swept) / repeats;
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    printHeader("Parallel / lazy sweep",
+                "sweep-phase time vs sweeper-thread count, and "
+                "eager-vs-lazy pause on a garbage-heavy workload",
+                "n/a (extension beyond the paper's sequential collector)");
+
+    const uint64_t num_objects = envOr("GCASSERT_BENCH_OBJECTS", 300000);
+    const uint64_t repeats = envOr("GCASSERT_BENCH_REPEATS", 5);
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    std::fprintf(stderr,
+                 "  garbage objects/GC: %llu, repeats: %llu, host "
+                 "cores: %u\n",
+                 static_cast<unsigned long long>(num_objects),
+                 static_cast<unsigned long long>(repeats), cores);
+    if (cores < 2)
+        std::fprintf(stderr,
+                     "  NOTE: single-core host; expect no speedup (the "
+                     "sweep still validates correctness/termination)\n");
+
+    std::vector<SweepPoint> points;
+    for (bool lazy : {false, true})
+        for (uint32_t threads : {1u, 2u, 4u, 8u})
+            points.push_back(
+                measure(threads, lazy, num_objects, repeats));
+
+    const double eager_base = points.front().sweepMsPerGc;
+    std::printf("\n  mode    threads   sweep ms/GC   speedup   "
+                "max pause ms   swept/GC\n");
+    std::printf("  -----   -------   -----------   -------   "
+                "------------   --------\n");
+    for (const SweepPoint &p : points)
+        std::printf("  %-5s   %7u   %11.3f   %6.2fx   %12.3f   %8llu\n",
+                    p.lazy ? "lazy" : "eager", p.threads,
+                    p.sweepMsPerGc, eager_base / p.sweepMsPerGc,
+                    p.maxPauseMs,
+                    static_cast<unsigned long long>(p.sweptPerGc));
+
+    // JSON record for the repo's BENCH_ ledger.
+    std::string json = "{\"bench\":\"parallel_sweep\",\"garbageObjects\":" +
+                       std::to_string(num_objects) +
+                       ",\"repeats\":" + std::to_string(repeats) +
+                       ",\"hostCores\":" + std::to_string(cores) +
+                       ",\"points\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"threads\":%u,\"lazy\":%s,"
+                      "\"sweepMsPerGc\":%.3f,\"maxPauseMs\":%.3f,"
+                      "\"sweptPerGc\":%llu}",
+                      i ? "," : "", p.threads, p.lazy ? "true" : "false",
+                      p.sweepMsPerGc, p.maxPauseMs,
+                      static_cast<unsigned long long>(p.sweptPerGc));
+        json += buf;
+    }
+    json += "]}";
+    std::printf("\n  %s\n", json.c_str());
+
+    const char *json_path = std::getenv("GCASSERT_BENCH_JSON");
+    std::string path = json_path ? json_path : "BENCH_parallel_sweep.json";
+    if (!path.empty()) {
+        if (FILE *f = std::fopen(path.c_str(), "w")) {
+            std::fprintf(f, "%s\n", json.c_str());
+            std::fclose(f);
+            std::fprintf(stderr, "  JSON written to %s\n", path.c_str());
+        }
+    }
+
+    // Identical workload => identical per-GC freed counts; anything
+    // else is a sweeper bug, not noise.
+    for (const SweepPoint &p : points) {
+        if (p.sweptPerGc != points.front().sweptPerGc) {
+            std::fprintf(stderr,
+                         "  ERROR: swept count diverges at %u threads "
+                         "%s (%llu vs %llu)\n",
+                         p.threads, p.lazy ? "lazy" : "eager",
+                         static_cast<unsigned long long>(p.sweptPerGc),
+                         static_cast<unsigned long long>(
+                             points.front().sweptPerGc));
+            return 1;
+        }
+    }
+    return 0;
+}

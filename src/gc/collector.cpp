@@ -34,7 +34,8 @@ Collector::registerFinalizer(Object *obj,
     if (!obj)
         fatal("registerFinalizer called on null");
     if (finalizer)
-        finalizables_[obj] = std::move(finalizer);
+        finalizables_[obj] =
+            FinalizerEntry{finalizerSeq_++, std::move(finalizer)};
     else
         finalizables_.erase(obj);
 }
@@ -57,16 +58,20 @@ Collector::resurrectFinalizables()
     // so their whole subtree survives this collection, then moved to
     // the pending queue (each finalizer runs exactly once). Weak
     // edges to them were already cleared — the Java ordering.
-    std::vector<Object *> dying;
-    for (auto &[obj, finalizer] : finalizables_)
+    // Registration order, not the map's (address-seeded) iteration
+    // order, decides finalizer order, so runs are reproducible and
+    // identical across sweep configurations.
+    std::vector<std::pair<uint64_t, Object *>> dying;
+    for (auto &[obj, entry] : finalizables_)
         if (!obj->marked())
-            dying.push_back(obj);
-    for (Object *obj : dying) {
+            dying.emplace_back(entry.seq, obj);
+    std::sort(dying.begin(), dying.end());
+    for (auto &[seq, obj] : dying) {
         markObject<kInfra>(obj);
         worklist_.push(obj);
         p2Drain<kInfra, kPath>();
         auto it = finalizables_.find(obj);
-        pendingFinalizers_.emplace_back(obj, std::move(it->second));
+        pendingFinalizers_.emplace_back(obj, std::move(it->second.fn));
         finalizables_.erase(it);
     }
 }
@@ -105,6 +110,16 @@ CollectionResult
 Collector::collectImpl()
 {
     ScopedTimer total(stats_.totalGc);
+
+    // Prologue: finish any block whose previous (lazy) sweep is
+    // still deferred. Live objects in such blocks carry stale mark
+    // bits that would wrongly short-circuit this trace, so the
+    // finish must complete before any marking.
+    {
+        ScopedTimer t(stats_.lazyFinishPhase);
+        stats_.lazyBlocksFinishedAtGc += heap_.finishLazySweep();
+    }
+
     ++stats_.collections;
     markedThisGc_ = 0;
     stats_.owneeChecksLastGc = 0;
@@ -164,12 +179,28 @@ Collector::collectImpl()
     CollectionResult result;
     {
         ScopedTimer t(stats_.sweepPhase);
-        result.sweep = heap_.sweep([this](Object *obj) {
-            if (kInfra)
-                engine_.onObjectFreed(obj);
-            for (const auto &hook : freeHooks_)
-                hook(obj);
-        });
+        SweepOptions sweep_options;
+        sweep_options.threads = config_.sweepThreads;
+        sweep_options.lazy = config_.lazySweep;
+        if (kInfra || !freeHooks_.empty()) {
+            result.sweep = heap_.sweep(
+                [this](Object *obj) {
+                    if (kInfra)
+                        engine_.onObjectFreed(obj);
+                    for (const auto &hook : freeHooks_)
+                        hook(obj);
+                },
+                sweep_options);
+        } else {
+            // No observer: hand the heap an empty callback so
+            // parallel workers sweep their shards outright instead
+            // of buffering dead sets for replay.
+            result.sweep = heap_.sweep(nullptr, sweep_options);
+        }
+        if (sweep_options.threads > 1)
+            ++stats_.parallelSweepPhases;
+        if (sweep_options.lazy)
+            ++stats_.lazySweepGcs;
     }
 
     result.marked = markedThisGc_;
@@ -371,6 +402,20 @@ Collector::rootScanPhase()
         // every tagged chain descends from the root just scanned.
         p2Drain<kInfra, kPath>();
     });
+    // Thread-local roots: objects pinned by the TLAB fast path until
+    // their owning mutator publishes or drops them. The world is
+    // stopped, so the rosters are stable for the whole phase.
+    mutators_.forEach([this](MutatorContext &mutator) {
+        for (Object *&slot : mutator.localRoots()) {
+            Object *obj = slot;
+            if (!obj)
+                continue;
+            if (kPath)
+                paths_.noteOrigin(obj, mutator.name() + " (local)");
+            p2Visit<kInfra, kPath>(&slot, obj);
+            p2Drain<kInfra, kPath>();
+        }
+    });
 }
 
 template <bool kPath>
@@ -569,10 +614,17 @@ Collector::parallelMarkPhase()
     const size_t worker_count = config_.markThreads;
 
     // Snapshot the root slots; workers take interleaved slices.
+    // Mutator local-root rosters count as roots too (see
+    // rootScanPhase).
     std::vector<Object **> root_slots;
     roots_.forEach([&](RootNode &node) {
         if (node.get())
             root_slots.push_back(node.slotAddr());
+    });
+    mutators_.forEach([&](MutatorContext &mutator) {
+        for (Object *&slot : mutator.localRoots())
+            if (slot)
+                root_slots.push_back(&slot);
     });
 
     std::vector<MarkWorker> workers(worker_count);

@@ -76,6 +76,28 @@ struct CollectorConfig {
      * single-threaded trace with a logged downgrade.
      */
     uint32_t markThreads = 1;
+
+    /**
+     * Worker threads for the sweep phase; 1 (or 0) keeps the
+     * sequential sweep. Workers sweep contiguous shards of the block
+     * lists with private free lists and stats; the on_free callback
+     * is buffered per block and replayed in canonical address order
+     * on the collecting thread, so detector probes and finalizer
+     * discovery observe exactly the sequential sweep (see
+     * Heap::sweep). Unlike path recording vs markThreads, no feature
+     * conflicts with parallel sweeping.
+     */
+    uint32_t sweepThreads = 1;
+
+    /**
+     * Lazy sweeping: the sweep phase still runs every on_free hook
+     * and settles all accounting (so assertion/detector semantics
+     * are unchanged), but defers per-block mark-clearing and
+     * free-list rebuilding to the allocation path, shrinking the
+     * stop-the-world pause. Blocks still pending at the next
+     * collection are finished in its prologue.
+     */
+    bool lazySweep = false;
 };
 
 /** Outcome of one collection. */
@@ -275,9 +297,18 @@ class Collector {
     template <bool kInfra, bool kPath>
     void resurrectFinalizables();
 
+    /** A registered finalizer plus its registration sequence number
+     *  (dying finalizables are processed in registration order so
+     *  finalizer order is independent of hash-map iteration). */
+    struct FinalizerEntry {
+        uint64_t seq;
+        std::function<void(Object *)> fn;
+    };
+
     /** Registered finalizers, by object. */
-    std::unordered_map<Object *, std::function<void(Object *)>>
-        finalizables_;
+    std::unordered_map<Object *, FinalizerEntry> finalizables_;
+    /** Next registration sequence number. */
+    uint64_t finalizerSeq_ = 0;
     /** Finalizers queued to run after the current collection. */
     std::vector<std::pair<Object *, std::function<void(Object *)>>>
         pendingFinalizers_;

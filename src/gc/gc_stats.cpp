@@ -34,6 +34,18 @@ GcStats::toString() const
                       static_cast<unsigned long long>(markSteals),
                       static_cast<unsigned long long>(pathDowngrades));
     }
+    if (parallelSweepPhases > 0) {
+        out += format("parallel sweeps:    %llu\n",
+                      static_cast<unsigned long long>(parallelSweepPhases));
+    }
+    if (lazySweepGcs > 0) {
+        out += format("lazy sweeps:        %llu (blocks finished at GC: "
+                      "%llu, finish time: %.3f ms)\n",
+                      static_cast<unsigned long long>(lazySweepGcs),
+                      static_cast<unsigned long long>(
+                          lazyBlocksFinishedAtGc),
+                      lazyFinishPhase.elapsedSeconds() * 1e3);
+    }
     out += format("gc time:            %.3f ms\n",
                   totalGc.elapsedSeconds() * 1e3);
     out += format("  ownership phase:  %.3f ms\n",

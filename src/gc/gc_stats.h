@@ -75,6 +75,27 @@ struct GcStats {
 
     /** @} */
 
+    /** @name Parallel / lazy sweeping
+     *  @{ */
+
+    /** Collections whose sweep phase ran parallel workers. */
+    uint64_t parallelSweepPhases = 0;
+
+    /** Collections swept lazily (reclamation deferred per block). */
+    uint64_t lazySweepGcs = 0;
+
+    /**
+     * Lazily swept blocks whose deferred finish happened in a later
+     * collection's prologue (the rest were finished incrementally by
+     * the allocation path).
+     */
+    uint64_t lazyBlocksFinishedAtGc = 0;
+
+    /** Time spent finishing deferred sweeps in GC prologues. */
+    Stopwatch lazyFinishPhase;
+
+    /** @} */
+
     /** Reset all counters and timers. */
     void reset();
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "heap/heap.h"
 #include "heap/object.h"
 
 namespace gcassert {
@@ -56,6 +57,28 @@ class MutatorContext {
         return regionQueue_;
     }
 
+    /**
+     * This mutator's allocation buffer (blocks leased from the
+     * heap). Only the owning thread and the (stop-the-world) heap
+     * slow path touch it.
+     */
+    Heap::TlabCache &tlab() { return tlab_; }
+
+    /**
+     * Thread-local GC roots: objects handed out by the lock-free
+     * allocation fast path are retained here so a collection
+     * triggered by another thread cannot sweep them before the
+     * owning thread publishes them. Scanned (and mutated — dead
+     * assertion reactions may null entries) by the collector.
+     */
+    std::vector<Object *> &localRoots() { return localRoots_; }
+
+    /** Pin @p obj as a thread-local root. */
+    void retainLocal(Object *obj) { localRoots_.push_back(obj); }
+
+    /** Release every thread-local root. */
+    void dropLocalRoots() { localRoots_.clear(); }
+
   private:
     friend class AssertionEngine;
 
@@ -87,6 +110,8 @@ class MutatorContext {
     std::string name_;
     bool inRegion_ = false;
     std::vector<Object *> regionQueue_;
+    Heap::TlabCache tlab_;
+    std::vector<Object *> localRoots_;
 };
 
 /**

@@ -42,6 +42,8 @@ Block::~Block() = default;
 void *
 Block::allocateCell()
 {
+    if (lazyPending_)
+        finishLazySweep();
     if (!freeHead_)
         return nullptr;
     void *cell = freeHead_;
@@ -58,6 +60,16 @@ Block::contains(const void *p) const
     return c >= memory_.get() && c < memory_.get() + kBlockBytes;
 }
 
+bool
+Block::isAllocatedCell(const void *p) const
+{
+    if (!contains(p))
+        return false;
+    size_t offset = static_cast<const char *>(p) - memory_.get();
+    return offset % cellBytes_ == 0 &&
+           usedBit(static_cast<uint32_t>(offset / cellBytes_));
+}
+
 uint32_t
 Block::cellIndexOf(const void *p) const
 {
@@ -65,50 +77,49 @@ Block::cellIndexOf(const void *p) const
     return static_cast<uint32_t>(offset / cellBytes_);
 }
 
-bool
-Block::usedBit(uint32_t cell) const
-{
-    return (usedBits_[cell / 64] >> (cell % 64)) & 1;
-}
-
 void
-Block::setUsedBit(uint32_t cell)
+Block::pushFreeCell(void *cell)
 {
-    usedBits_[cell / 64] |= uint64_t{1} << (cell % 64);
-}
-
-void
-Block::clearUsedBit(uint32_t cell)
-{
-    usedBits_[cell / 64] &= ~(uint64_t{1} << (cell % 64));
+    reinterpret_cast<FreeCell *>(cell)->next = freeHead_;
+    freeHead_ = cell;
 }
 
 uint64_t
-Block::sweep(const std::function<void(Object *)> &on_free)
+Block::releaseCell(Object *obj)
 {
-    uint64_t freed = 0;
-    for (uint32_t word = 0; word < usedBits_.size(); ++word) {
-        uint64_t bits = usedBits_[word];
-        while (bits) {
-            uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(bits));
-            bits &= bits - 1;
-            uint32_t cell = word * 64 + bit;
-            Object *obj = reinterpret_cast<Object *>(
-                memory_.get() + size_t{cell} * cellBytes_);
-            if (obj->marked()) {
-                obj->clearFlag(kMarkBit);
-            } else {
-                if (on_free)
-                    on_free(obj);
-                clearUsedBit(cell);
-                reinterpret_cast<FreeCell *>(obj)->next = freeHead_;
-                freeHead_ = obj;
-                --liveCells_;
-                freed += cellBytes_;
-            }
+    clearUsedBit(cellIndexOf(obj));
+    pushFreeCell(obj);
+    --liveCells_;
+    return cellBytes_;
+}
+
+void
+Block::finishLazySweep()
+{
+    if (!lazyPending_)
+        return;
+    // Rebuild the entire free list from the used-bit complement in
+    // ascending address order: the block's free cells end up in the
+    // same order a freshly swept eager block would hand them out,
+    // which keeps allocation addresses (and thus test outcomes)
+    // independent of when the finish happens.
+    void *head = nullptr;
+    FreeCell *tail = nullptr;
+    for (uint32_t cell = 0; cell < numCells_; ++cell) {
+        if (usedBit(cell)) {
+            objectAt(cell)->clearFlag(kMarkBit);
+            continue;
         }
+        auto *fc = reinterpret_cast<FreeCell *>(objectAt(cell));
+        fc->next = nullptr;
+        if (tail)
+            tail->next = fc;
+        else
+            head = fc;
+        tail = fc;
     }
-    return freed;
+    freeHead_ = head;
+    lazyPending_ = false;
 }
 
 void
@@ -120,9 +131,7 @@ Block::forEachObject(const std::function<void(Object *)> &visit) const
             uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(bits));
             bits &= bits - 1;
             uint32_t cell = word * 64 + bit;
-            visit(reinterpret_cast<Object *>(
-                const_cast<char *>(memory_.get()) +
-                size_t{cell} * cellBytes_));
+            visit(objectAt(cell));
         }
     }
 }

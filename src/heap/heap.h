@@ -8,6 +8,12 @@
  * The heap is non-moving: Object addresses are stable for the life
  * of the object, which is what makes header-bit assertions and the
  * sorted ownee arrays (binary search by address) sound.
+ *
+ * Concurrency contract: all entry points except tlabAllocate()
+ * require exclusive access (the Runtime's writer lock). Any number
+ * of mutators may call tlabAllocate() concurrently under the
+ * Runtime's shared lock — it touches only atomics and blocks leased
+ * exclusively to the calling mutator.
  */
 
 #ifndef GCASSERT_HEAP_HEAP_H
@@ -15,6 +21,7 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -34,6 +41,17 @@ struct SweepStats {
     uint64_t liveBytes = 0;
     uint64_t liveObjects = 0;
     uint64_t releasedBlocks = 0;
+};
+
+/** How a sweep pass should run; defaults reproduce the sequential
+ *  eager sweep. */
+struct SweepOptions {
+    /** Worker threads sweeping block shards (clamped to the block
+     *  count; 0 and 1 both mean sequential). */
+    uint32_t threads = 1;
+    /** Defer mark-clearing and free-list threading per block to the
+     *  allocation path / next-GC prologue. */
+    bool lazy = false;
 };
 
 /**
@@ -57,7 +75,19 @@ struct HeapConfig {
  */
 class Heap {
   public:
+    /**
+     * Per-mutator allocation buffer: one block leased per size
+     * class, bump-allocated without the global lock. Owned by a
+     * MutatorContext; the heap fills it via refillTlab() and keeps
+     * leased blocks out of the shared allocation path.
+     */
+    struct TlabCache {
+        Block *blocks[kNumSizeClasses] = {};
+    };
+
     explicit Heap(const HeapConfig &config);
+
+    ~Heap();
 
     Heap(const Heap &) = delete;
     Heap &operator=(const Heap &) = delete;
@@ -75,22 +105,84 @@ class Heap {
                      uint32_t scalar_bytes);
 
     /**
+     * Thread-safe fast-path allocation from the calling mutator's
+     * leased blocks. Safe under the Runtime's *shared* lock: only
+     * atomics and the exclusively leased block are touched.
+     *
+     * @return The new object, or nullptr when the slow path is
+     *         needed — no lease yet, leased block full, large
+     *         object, or budget exhausted.
+     */
+    Object *tlabAllocate(TlabCache &cache, TypeId type_id,
+                         uint32_t num_refs, uint32_t scalar_bytes);
+
+    /**
+     * Replace the lease for @p size_class in @p cache with a block
+     * that has free cells, minting one if every unleased block is
+     * full. Returns the previous lease (if any) to the shared pool.
+     * Requires exclusive access.
+     */
+    void refillTlab(TlabCache &cache, size_t size_class);
+
+    /**
+     * Return every lease held by @p cache to the shared pool (on
+     * mutator teardown). Requires exclusive access.
+     */
+    void returnTlab(TlabCache &cache);
+
+    /**
      * Sweep all spaces: reclaim unmarked objects, clear mark bits on
-     * survivors, release empty blocks.
+     * survivors, release empty (unleased) blocks.
+     *
+     * Regardless of @p options, the @p on_free hook observes exactly
+     * the sequential eager sweep's behavior: invoked once per dying
+     * object, headers intact, in canonical order — small-object
+     * blocks by (size class, block list index), cells within a block
+     * by ascending address, then large objects in allocation order.
+     * Parallel workers buffer their dead sets and the calling thread
+     * replays them; lazy mode runs the hooks and the accounting at
+     * GC time and defers only mark-clearing and free-list threading.
      *
      * @param on_free Hook invoked on each dying object before its
      *                memory is recycled.
+     * @param options Worker count and eager/lazy mode.
      */
-    SweepStats sweep(const std::function<void(Object *)> &on_free);
+    SweepStats sweep(const std::function<void(Object *)> &on_free,
+                     const SweepOptions &options = {});
+
+    /**
+     * Finish every lazily swept block: clear stale mark bits and
+     * rebuild free lists. The collector calls this before marking so
+     * no stale mark bit can hide a live object.
+     *
+     * @return Number of blocks finished.
+     */
+    uint64_t finishLazySweep();
+
+    /** Blocks still awaiting their deferred sweep finish. */
+    uint64_t lazyPendingBlocks() const;
+
+    /**
+     * @return true if @p p sits in a block whose sweep finish is
+     * still deferred (its live objects carry stale mark bits).
+     */
+    bool inLazyPendingBlock(const Object *p) const;
 
     /** Visit every allocated object (marked or not). */
     void forEachObject(const std::function<void(Object *)> &visit) const;
 
-    /** @return true if @p p is a currently allocated heap object. */
+    /**
+     * @return true if @p p is a currently allocated heap object —
+     * exact (used-bit / large-set membership), not address-range.
+     */
     bool contains(const Object *p) const;
 
     /** Bytes currently allocated (cells + large objects). */
-    uint64_t usedBytes() const { return usedBytes_; }
+    uint64_t
+    usedBytes() const
+    {
+        return usedBytes_.load(std::memory_order_relaxed);
+    }
 
     /** Current allocation budget. */
     uint64_t budgetBytes() const { return config_.budgetBytes; }
@@ -101,13 +193,29 @@ class Heap {
     const HeapConfig &config() const { return config_; }
 
     /** Objects currently allocated. */
-    uint64_t liveObjects() const { return liveObjects_; }
+    uint64_t
+    liveObjects() const
+    {
+        return liveObjects_.load(std::memory_order_relaxed);
+    }
 
     /** Lifetime totals, for workload volume reporting. */
-    uint64_t totalAllocatedBytes() const { return totalAllocatedBytes_; }
-    uint64_t totalAllocatedObjects() const
+    uint64_t
+    totalAllocatedBytes() const
     {
-        return totalAllocatedObjects_;
+        return totalAllocatedBytes_.load(std::memory_order_relaxed);
+    }
+    uint64_t
+    totalAllocatedObjects() const
+    {
+        return totalAllocatedObjects_.load(std::memory_order_relaxed);
+    }
+
+    /** Lifetime count of lock-free TLAB fast-path allocations. */
+    uint64_t
+    tlabAllocs() const
+    {
+        return tlabAllocs_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -122,11 +230,16 @@ class Heap {
     Object *allocateLarge(TypeId type_id, uint32_t num_refs,
                           uint32_t scalar_bytes, uint32_t size);
 
+    /** Sweep the small-object space per @p options into @p stats. */
+    void sweepSmall(const std::function<void(Object *)> &on_free,
+                    const SweepOptions &options, SweepStats &stats);
+
     HeapConfig config_;
-    uint64_t usedBytes_ = 0;
-    uint64_t liveObjects_ = 0;
-    uint64_t totalAllocatedBytes_ = 0;
-    uint64_t totalAllocatedObjects_ = 0;
+    std::atomic<uint64_t> usedBytes_{0};
+    std::atomic<uint64_t> liveObjects_{0};
+    std::atomic<uint64_t> totalAllocatedBytes_{0};
+    std::atomic<uint64_t> totalAllocatedObjects_{0};
+    std::atomic<uint64_t> tlabAllocs_{0};
 
     /** Per-size-class block lists. */
     std::vector<std::unique_ptr<Block>> blocks_[kNumSizeClasses];

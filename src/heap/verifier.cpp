@@ -46,8 +46,12 @@ HeapVerifier::verify() const
                                    "allocated set", i));
         }
 
-        // No stale collector state between collections.
-        if (obj->marked())
+        // No stale collector state between collections. Exception:
+        // live objects in a block whose lazy sweep has not been
+        // finished yet legitimately keep their mark until allocation
+        // or the next GC prologue reaches the block.
+        if (obj->marked() &&
+            !runtime_.heap().inLazyPendingBlock(obj))
             report(obj, "stale mark bit outside a collection");
         // The owned bit is per-GC state but is only reset at the
         // *start* of each collection, so between collections it may

@@ -1,6 +1,49 @@
 #include "runtime/config.h"
 
+#include <cstdlib>
+
 namespace gcassert {
+
+namespace {
+
+uint64_t
+envUint(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+} // namespace
+
+uint32_t
+defaultMarkThreads()
+{
+    static const uint32_t threads = static_cast<uint32_t>(
+        envUint("GCASSERT_MARK_THREADS", 1));
+    return threads ? threads : 1;
+}
+
+uint32_t
+defaultSweepThreads()
+{
+    static const uint32_t threads = static_cast<uint32_t>(
+        envUint("GCASSERT_SWEEP_THREADS", 1));
+    return threads ? threads : 1;
+}
+
+bool
+defaultLazySweep()
+{
+    static const bool lazy = envUint("GCASSERT_LAZY_SWEEP", 0) != 0;
+    return lazy;
+}
+
+bool
+defaultTlabEnabled()
+{
+    static const bool tlab = envUint("GCASSERT_TLAB", 0) != 0;
+    return tlab;
+}
 
 RuntimeConfig
 RuntimeConfig::base(uint64_t heap_bytes)

@@ -20,6 +20,22 @@
 
 namespace gcassert {
 
+/** @name CI matrix defaults
+ *
+ * Environment-driven *defaults* for the sweep/alloc knobs, so the CI
+ * matrix can run the whole test suite in every sweep configuration
+ * without touching each test: GCASSERT_MARK_THREADS and
+ * GCASSERT_SWEEP_THREADS (integers), GCASSERT_LAZY_SWEEP and
+ * GCASSERT_TLAB (0/1). They only seed the default member
+ * initializers below — code that sets the fields explicitly (e.g.
+ * the differential harnesses pinning a configuration) is unaffected.
+ *  @{ */
+uint32_t defaultMarkThreads();
+uint32_t defaultSweepThreads();
+bool defaultLazySweep();
+bool defaultTlabEnabled();
+/** @} */
+
 /**
  * Configuration for a Runtime instance.
  */
@@ -43,9 +59,31 @@ struct RuntimeConfig {
      * CollectorConfig::markThreads). 1 keeps the sequential DFS.
      * Values > 1 require recordPaths = false; otherwise each
      * collection downgrades to a single-threaded trace with a
-     * logged warning.
+     * logged warning. Defaults to $GCASSERT_MARK_THREADS or 1.
      */
-    uint32_t markThreads = 1;
+    uint32_t markThreads = defaultMarkThreads();
+
+    /**
+     * Sweep workers for the GC sweep phase (see
+     * CollectorConfig::sweepThreads). Defaults to
+     * $GCASSERT_SWEEP_THREADS or 1.
+     */
+    uint32_t sweepThreads = defaultSweepThreads();
+
+    /**
+     * Lazy sweeping (see CollectorConfig::lazySweep). Defaults to
+     * $GCASSERT_LAZY_SWEEP or false.
+     */
+    bool lazySweep = defaultLazySweep();
+
+    /**
+     * Per-mutator allocation buffers: allocRaw/allocLocal bump-
+     * allocate from blocks leased to the calling mutator under a
+     * shared lock, taking the exclusive lock only to refill, collect
+     * or allocate large objects. Defaults to $GCASSERT_TLAB or
+     * false.
+     */
+    bool tlab = defaultTlabEnabled();
 
     /** Engine behaviour switches. */
     EngineOptions engine;

@@ -13,7 +13,9 @@ Runtime::Runtime(RuntimeConfig config)
       collector_(heap_, types_, roots_, mutators_, engine_,
                  CollectorConfig{config_.infrastructure,
                                  config_.recordPaths,
-                                 config_.markThreads})
+                                 config_.markThreads,
+                                 config_.sweepThreads,
+                                 config_.lazySweep})
 {
 }
 
@@ -22,32 +24,101 @@ Runtime::~Runtime() = default;
 MutatorContext &
 Runtime::registerMutator(const std::string &name)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     return mutators_.create(name);
+}
+
+Object *
+Runtime::tlabFastAlloc(TypeId type, MutatorContext *mutator,
+                       bool retain_local)
+{
+    std::shared_lock<std::shared_mutex> guard(lock_);
+    // Alloc hooks (leak-detector side tables) predate the shared
+    // path and assume serialized invocation, so their presence
+    // forces the exclusive path.
+    if (!allocHooks_.empty())
+        return nullptr;
+    const TypeDescriptor &desc = types_.get(type);
+    if (desc.isArray())
+        fatal(format("allocRaw: type '%s' is an array type; use "
+                     "allocArrayRaw", desc.name().c_str()));
+    MutatorContext &ctx = mutator ? *mutator : mutators_.main();
+    Object *obj = heap_.tlabAllocate(ctx.tlab(), type, desc.fixedRefs(),
+                                     desc.scalarBytes());
+    if (obj) {
+        // Pin before the shared lock drops: a GC acquiring the
+        // exclusive lock afterwards sees the object rooted.
+        if (retain_local)
+            ctx.retainLocal(obj);
+        if (config_.infrastructure)
+            ctx.noteAllocation(obj);
+    }
+    return obj;
 }
 
 Object *
 Runtime::allocRaw(TypeId type, MutatorContext *mutator)
 {
-    Object *obj;
-    {
-        std::lock_guard<std::mutex> guard(lock_);
+    Object *obj = nullptr;
+    if (config_.tlab)
+        obj = tlabFastAlloc(type, mutator, /*retain_local=*/false);
+    if (!obj) {
+        std::lock_guard<std::shared_mutex> guard(lock_);
         const TypeDescriptor &desc = types_.get(type);
         if (desc.isArray())
             fatal(format("allocRaw: type '%s' is an array type; use "
                          "allocArrayRaw", desc.name().c_str()));
-        obj = allocLocked(type, desc.fixedRefs(), desc.scalarBytes(),
-                          mutator);
+        if (config_.tlab && allocHooks_.empty()) {
+            MutatorContext &ctx = mutator ? *mutator : mutators_.main();
+            obj = tlabRefillAllocLocked(type, desc.fixedRefs(),
+                                        desc.scalarBytes(), ctx);
+        } else {
+            obj = allocLocked(type, desc.fixedRefs(), desc.scalarBytes(),
+                              mutator);
+        }
     }
     maybeRunFinalizers();
     return obj;
 }
 
 Object *
+Runtime::allocLocal(TypeId type, MutatorContext *mutator)
+{
+    Object *obj = nullptr;
+    if (config_.tlab)
+        obj = tlabFastAlloc(type, mutator, /*retain_local=*/true);
+    if (!obj) {
+        std::lock_guard<std::shared_mutex> guard(lock_);
+        const TypeDescriptor &desc = types_.get(type);
+        if (desc.isArray())
+            fatal(format("allocLocal: type '%s' is an array type; use "
+                         "allocArray", desc.name().c_str()));
+        MutatorContext &ctx = mutator ? *mutator : mutators_.main();
+        obj = config_.tlab && allocHooks_.empty()
+            ? tlabRefillAllocLocked(type, desc.fixedRefs(),
+                                    desc.scalarBytes(), ctx)
+            : allocLocked(type, desc.fixedRefs(), desc.scalarBytes(),
+                          &ctx);
+        ctx.retainLocal(obj);
+    }
+    maybeRunFinalizers();
+    return obj;
+}
+
+void
+Runtime::dropLocalRoots(MutatorContext *mutator)
+{
+    // Shared suffices: the roster is thread-affine, and holding the
+    // lock (in any mode) excludes a concurrent collection.
+    std::shared_lock<std::shared_mutex> guard(lock_);
+    (mutator ? *mutator : mutators_.main()).dropLocalRoots();
+}
+
+Object *
 Runtime::allocArrayRaw(TypeId type, uint32_t length,
                        MutatorContext *mutator)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     const TypeDescriptor &desc = types_.get(type);
     if (!desc.isArray())
         fatal(format("allocArrayRaw: type '%s' is not an array type",
@@ -59,7 +130,7 @@ Object *
 Runtime::allocScalarRaw(TypeId type, uint32_t scalar_bytes,
                         MutatorContext *mutator)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     const TypeDescriptor &desc = types_.get(type);
     if (!desc.isArray())
         fatal(format("allocScalarRaw: type '%s' is not an array type",
@@ -75,7 +146,7 @@ Runtime::alloc(TypeId type, MutatorContext *mutator)
     // unrooted.
     Handle handle;
     {
-        std::lock_guard<std::mutex> guard(lock_);
+        std::lock_guard<std::shared_mutex> guard(lock_);
         const TypeDescriptor &desc = types_.get(type);
         if (desc.isArray())
             fatal(format("alloc: type '%s' is an array type; use "
@@ -93,7 +164,7 @@ Runtime::allocArray(TypeId type, uint32_t length, MutatorContext *mutator)
 {
     Handle handle;
     {
-        std::lock_guard<std::mutex> guard(lock_);
+        std::lock_guard<std::shared_mutex> guard(lock_);
         const TypeDescriptor &desc = types_.get(type);
         if (!desc.isArray())
             fatal(format("allocArray: type '%s' is not an array type",
@@ -140,17 +211,58 @@ Runtime::allocLocked(TypeId type, uint32_t num_refs,
     return obj;
 }
 
+Object *
+Runtime::tlabRefillAllocLocked(TypeId type, uint32_t num_refs,
+                               uint32_t scalar_bytes, MutatorContext &ctx)
+{
+    uint32_t size = Object::sizeFor(num_refs, scalar_bytes);
+    size_t size_class = sizeClassFor(size);
+    if (size_class >= kNumSizeClasses)
+        return allocLocked(type, num_refs, scalar_bytes, &ctx);
+
+    // A fresh lease always has free cells, so a failure after the
+    // refill can only be the budget: apply the same collect-then-
+    // grow policy as allocLocked. Leased blocks survive collections,
+    // so the lease stays valid across collectLocked().
+    heap_.refillTlab(ctx.tlab(), size_class);
+    Object *obj =
+        heap_.tlabAllocate(ctx.tlab(), type, num_refs, scalar_bytes);
+    if (!obj) {
+        collectLocked();
+        heap_.refillTlab(ctx.tlab(), size_class);
+        obj = heap_.tlabAllocate(ctx.tlab(), type, num_refs,
+                                 scalar_bytes);
+        while (!obj && config_.heap.allowGrowth) {
+            uint64_t grown = static_cast<uint64_t>(
+                static_cast<double>(heap_.budgetBytes()) *
+                config_.heap.growthFactor);
+            if (grown <= heap_.budgetBytes())
+                grown = heap_.budgetBytes() + Block::kBlockBytes;
+            heap_.setBudgetBytes(grown);
+            obj = heap_.tlabAllocate(ctx.tlab(), type, num_refs,
+                                     scalar_bytes);
+        }
+        if (!obj)
+            fatal(format("out of memory: budget %s, live %s",
+                         humanBytes(heap_.budgetBytes()).c_str(),
+                         humanBytes(heap_.usedBytes()).c_str()));
+    }
+    if (config_.infrastructure)
+        ctx.noteAllocation(obj);
+    return obj;
+}
+
 void
 Runtime::addAllocHook(std::function<void(Object *)> hook)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     allocHooks_.push_back(std::move(hook));
 }
 
 void
 Runtime::addFreeHook(std::function<void(Object *)> hook)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     collector_.addFreeHook(std::move(hook));
 }
 
@@ -168,7 +280,7 @@ Runtime::collect()
 {
     CollectionResult result;
     {
-        std::lock_guard<std::mutex> guard(lock_);
+        std::lock_guard<std::shared_mutex> guard(lock_);
         result = collectLocked();
     }
     if (finalizersPending_.load(std::memory_order_relaxed))
@@ -179,14 +291,14 @@ Runtime::collect()
 void
 Runtime::setFinalizer(Object *obj, std::function<void(Object *)> fn)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     collector_.registerFinalizer(obj, std::move(fn));
 }
 
 size_t
 Runtime::finalizableCount()
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     return collector_.finalizableCount();
 }
 
@@ -210,7 +322,7 @@ Runtime::runPendingFinalizers()
         std::vector<std::pair<Object *, std::function<void(Object *)>>>
             pending;
         {
-            std::lock_guard<std::mutex> guard(lock_);
+            std::lock_guard<std::shared_mutex> guard(lock_);
             pending = collector_.takePendingFinalizers();
             if (pending.empty())
                 finalizersPending_.store(false,
@@ -263,7 +375,7 @@ Runtime::checkInfraEnabled(const char *what)
 void
 Runtime::assertDead(Object *obj)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     if (!checkInfraEnabled("assert-dead"))
         return;
     engine_.assertDead(obj);
@@ -272,7 +384,7 @@ Runtime::assertDead(Object *obj)
 void
 Runtime::startRegion(MutatorContext *mutator)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     if (!checkInfraEnabled("start-region"))
         return;
     engine_.startRegion(mutator ? *mutator : mutators_.main());
@@ -281,7 +393,7 @@ Runtime::startRegion(MutatorContext *mutator)
 void
 Runtime::assertAllDead(MutatorContext *mutator)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     if (!checkInfraEnabled("assert-alldead"))
         return;
     engine_.assertAllDead(mutator ? *mutator : mutators_.main());
@@ -290,7 +402,7 @@ Runtime::assertAllDead(MutatorContext *mutator)
 void
 Runtime::assertInstances(TypeId type, uint64_t limit)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     if (!checkInfraEnabled("assert-instances"))
         return;
     engine_.assertInstances(type, limit);
@@ -299,7 +411,7 @@ Runtime::assertInstances(TypeId type, uint64_t limit)
 void
 Runtime::assertVolume(TypeId type, uint64_t bytes)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     if (!checkInfraEnabled("assert-volume"))
         return;
     engine_.assertVolume(type, bytes);
@@ -308,7 +420,7 @@ Runtime::assertVolume(TypeId type, uint64_t bytes)
 void
 Runtime::assertUnshared(Object *obj)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     if (!checkInfraEnabled("assert-unshared"))
         return;
     engine_.assertUnshared(obj);
@@ -317,7 +429,7 @@ Runtime::assertUnshared(Object *obj)
 void
 Runtime::assertOwnedBy(Object *owner, Object *ownee)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     if (!checkInfraEnabled("assert-ownedby"))
         return;
     engine_.assertOwnedBy(owner, ownee);
@@ -326,14 +438,14 @@ Runtime::assertOwnedBy(Object *owner, Object *ownee)
 void
 Runtime::addRoot(RootNode &node, Object *obj, const char *name)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     roots_.add(node, obj, name);
 }
 
 void
 Runtime::removeRoot(RootNode &node)
 {
-    std::lock_guard<std::mutex> guard(lock_);
+    std::lock_guard<std::shared_mutex> guard(lock_);
     roots_.remove(node);
 }
 

@@ -8,10 +8,14 @@
  * Handles, and add GC assertions that are checked at the next
  * collection.
  *
- * Thread safety: all public entry points serialize on an internal
- * lock, modelling a stop-the-world runtime. Multithreaded workloads
- * register one MutatorContext per thread for per-thread region
- * state (assert-alldead).
+ * Thread safety: public entry points serialize on an internal
+ * reader-writer lock, modelling a stop-the-world runtime. With
+ * RuntimeConfig::tlab enabled, the allocation fast path takes the
+ * lock *shared* and bump-allocates from blocks leased to the calling
+ * mutator, so hot allocation scales with mutator threads; GC and
+ * every other mutation still take it exclusive. Multithreaded
+ * workloads register one MutatorContext per thread for per-thread
+ * region state (assert-alldead), TLAB leases, and local roots.
  */
 
 #ifndef GCASSERT_RUNTIME_RUNTIME_H
@@ -19,6 +23,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "assertions/engine.h"
@@ -105,6 +110,20 @@ class Runtime {
     Handle allocArray(TypeId type, uint32_t length,
                       MutatorContext *mutator = nullptr);
 
+    /**
+     * Thread-locally rooted allocation: allocate (via the TLAB fast
+     * path when enabled) and pin the object on @p mutator's
+     * local-root roster in the same critical section, so a
+     * collection triggered by another thread can never sweep it
+     * before the caller links it into reachable structure. Release
+     * the pins with dropLocalRoots(). This is the scalable analog of
+     * alloc() for worker threads.
+     */
+    Object *allocLocal(TypeId type, MutatorContext *mutator = nullptr);
+
+    /** Release every object pinned by allocLocal on @p mutator. */
+    void dropLocalRoots(MutatorContext *mutator = nullptr);
+
     /** @} */
 
     /** Trigger a full collection now. */
@@ -178,9 +197,28 @@ class Runtime {
   private:
     friend class Handle;
 
-    /** Allocation core; assumes the lock is held. */
+    /** Allocation core; assumes the exclusive lock is held. */
     Object *allocLocked(TypeId type, uint32_t num_refs,
                         uint32_t scalar_bytes, MutatorContext *mutator);
+
+    /**
+     * TLAB slow path; assumes the exclusive lock is held. Refills
+     * the mutator's lease for the object's size class (delegating
+     * large objects to allocLocked) and retries through the same
+     * collect-then-grow policy as allocLocked.
+     */
+    Object *tlabRefillAllocLocked(TypeId type, uint32_t num_refs,
+                                  uint32_t scalar_bytes,
+                                  MutatorContext &ctx);
+
+    /**
+     * TLAB fast path: bump-allocate under the shared lock. Returns
+     * nullptr when the slow path is required. Disabled while alloc
+     * hooks are registered — hooks predate the shared path and may
+     * assume serialization.
+     */
+    Object *tlabFastAlloc(TypeId type, MutatorContext *mutator,
+                          bool retain_local);
 
     /** Collection core; assumes the lock is held. */
     CollectionResult collectLocked();
@@ -206,7 +244,8 @@ class Runtime {
     /** Drain pending finalizers if any are queued (lock-free check). */
     void maybeRunFinalizers();
 
-    std::mutex lock_;
+    /** Reader-writer: shared = TLAB fast path, exclusive = the rest. */
+    std::shared_mutex lock_;
     bool warnedInfraOff_ = false;
     std::vector<std::function<void(Object *)>> allocHooks_;
     std::atomic<bool> finalizersPending_{false};
