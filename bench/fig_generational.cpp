@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Generational pause characterization: minor (nursery) collection
+ * pause vs full mark-sweep pause on the leak-heavy workloads
+ * (swapleak, jbbemu).
+ *
+ * Not a figure from the paper (which uses a full-heap collector);
+ * this bench characterizes the nursery generation added on top. Each
+ * workload runs with generational mode on and a small nursery; after
+ * every iteration one explicitly-timed minor collection and one
+ * explicitly-timed full collection are interleaved, so both pause
+ * populations see the same mutator state. The point of the table is
+ * the paper-motivated trade: assertion verdicts only come from full
+ * collections, but the nursery keeps reclamation pauses small
+ * between checking points.
+ *
+ * Knobs: GCASSERT_BENCH_REPEATS (timed minor/full pairs per
+ * workload, default 8), GCASSERT_BENCH_NURSERY_KB (nursery size,
+ * default 512), GCASSERT_BENCH_JSON (path for the JSON record,
+ * default BENCH_generational.json; empty string disables).
+ *
+ * Exit status 1 if any workload's average minor pause is not below
+ * its average full pause — the nursery exists to shorten pauses, so
+ * anything else is a regression, not noise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/runtime.h"
+#include "support/logging.h"
+#include "support/stopwatch.h"
+#include "workloads/registry.h"
+#include "workloads/workload.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+/** One workload's paired pause measurements. */
+struct GenPoint {
+    std::string workload;
+    double minorMsAvg = 0.0;
+    double minorMsMax = 0.0;
+    double fullMsAvg = 0.0;
+    double fullMsMax = 0.0;
+    uint64_t minorCollections = 0;
+    uint64_t fullCollections = 0;
+    uint64_t nurseryPromoted = 0;
+};
+
+/**
+ * Run `repeats` iterations of the workload, timing one minor and one
+ * full collection after each so both populations sample the same
+ * heap states.
+ */
+GenPoint
+measure(const std::string &name, uint64_t repeats, uint64_t nursery_kb)
+{
+    auto workload = WorkloadRegistry::instance().create(name);
+    RuntimeConfig config =
+        RuntimeConfig::infra(2 * workload->minHeapBytes());
+    config.recordPaths = false;
+    config.generational = true;
+    config.nurseryKb = static_cast<uint32_t>(nursery_kb);
+    Runtime rt(config);
+
+    workload->setup(rt);
+    workload->iterate(rt); // warmup: faults pages, settles block lists
+    rt.collect();
+
+    double minor_total = 0.0, minor_max = 0.0;
+    double full_total = 0.0, full_max = 0.0;
+    for (uint64_t round = 0; round < repeats; ++round) {
+        workload->iterate(rt);
+
+        uint64_t begin = nowNanos();
+        rt.collectMinor();
+        double minor_ms =
+            static_cast<double>(nowNanos() - begin) / 1e6;
+        minor_total += minor_ms;
+        if (minor_ms > minor_max)
+            minor_max = minor_ms;
+
+        workload->iterate(rt);
+
+        begin = nowNanos();
+        rt.collect();
+        double full_ms = static_cast<double>(nowNanos() - begin) / 1e6;
+        full_total += full_ms;
+        if (full_ms > full_max)
+            full_max = full_ms;
+    }
+    workload->teardown(rt);
+
+    GenPoint point;
+    point.workload = name;
+    point.minorMsAvg = minor_total / static_cast<double>(repeats);
+    point.minorMsMax = minor_max;
+    point.fullMsAvg = full_total / static_cast<double>(repeats);
+    point.fullMsMax = full_max;
+    point.minorCollections = rt.gcStats().minorCollections;
+    point.fullCollections = rt.gcStats().collections;
+    point.nurseryPromoted = rt.gcStats().nurseryPromoted;
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    printHeader("Generational pauses",
+                "minor (nursery) vs full mark-sweep pause on the "
+                "leak-heavy workloads",
+                "n/a (extension beyond the paper's full-heap collector)");
+
+    const uint64_t repeats = envOr("GCASSERT_BENCH_REPEATS", 8);
+    const uint64_t nursery_kb = envOr("GCASSERT_BENCH_NURSERY_KB", 512);
+    std::fprintf(stderr, "  repeats: %llu, nursery: %llu KB\n",
+                 static_cast<unsigned long long>(repeats),
+                 static_cast<unsigned long long>(nursery_kb));
+
+    std::vector<GenPoint> points;
+    for (const char *name : {"swapleak", "jbbemu"})
+        points.push_back(measure(name, repeats, nursery_kb));
+
+    std::printf("\n  workload   minor ms (avg/max)   full ms (avg/max)"
+                "   ratio   minors   promoted\n");
+    std::printf("  --------   ------------------   -----------------"
+                "   -----   ------   --------\n");
+    for (const GenPoint &p : points)
+        std::printf("  %-8s   %8.3f / %7.3f   %8.3f / %6.3f   "
+                    "%5.2f   %6llu   %8llu\n",
+                    p.workload.c_str(), p.minorMsAvg, p.minorMsMax,
+                    p.fullMsAvg, p.fullMsMax,
+                    p.fullMsAvg > 0 ? p.minorMsAvg / p.fullMsAvg : 0.0,
+                    static_cast<unsigned long long>(p.minorCollections),
+                    static_cast<unsigned long long>(p.nurseryPromoted));
+
+    // JSON record for the repo's BENCH_ ledger.
+    std::string json = "{\"bench\":\"generational\",\"repeats\":" +
+                       std::to_string(repeats) + ",\"nurseryKb\":" +
+                       std::to_string(nursery_kb) + ",\"points\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const GenPoint &p = points[i];
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"workload\":\"%s\",\"minorMsAvg\":%.3f,"
+                      "\"minorMsMax\":%.3f,\"fullMsAvg\":%.3f,"
+                      "\"fullMsMax\":%.3f,\"minorCollections\":%llu,"
+                      "\"fullCollections\":%llu,"
+                      "\"nurseryPromoted\":%llu}",
+                      i ? "," : "", p.workload.c_str(), p.minorMsAvg,
+                      p.minorMsMax, p.fullMsAvg, p.fullMsMax,
+                      static_cast<unsigned long long>(p.minorCollections),
+                      static_cast<unsigned long long>(p.fullCollections),
+                      static_cast<unsigned long long>(p.nurseryPromoted));
+        json += buf;
+    }
+    json += "]}";
+    std::printf("\n  %s\n", json.c_str());
+
+    const char *json_path = std::getenv("GCASSERT_BENCH_JSON");
+    std::string path = json_path ? json_path : "BENCH_generational.json";
+    if (!path.empty()) {
+        if (FILE *f = std::fopen(path.c_str(), "w")) {
+            std::fprintf(f, "%s\n", json.c_str());
+            std::fclose(f);
+            std::fprintf(stderr, "  JSON written to %s\n", path.c_str());
+        }
+    }
+
+    // The nursery exists to shorten reclamation pauses; a minor
+    // pause at or above the full pause is a regression, not noise.
+    for (const GenPoint &p : points) {
+        if (p.minorMsAvg >= p.fullMsAvg) {
+            std::fprintf(stderr,
+                         "  ERROR: minor pause (%.3f ms) not below "
+                         "full pause (%.3f ms) on %s\n",
+                         p.minorMsAvg, p.fullMsAvg,
+                         p.workload.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

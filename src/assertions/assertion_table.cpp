@@ -23,6 +23,10 @@ AssertionStats::toString() const
     line("violations reported:", violationsReported);
     line("dead asserts satisfied:", deadAssertsSatisfied);
     line("ownee asserts satisfied:", owneeAssertsSatisfied);
+    if (dirtyOwnersAtGc > 0 || dirtyUnsharedAtGc > 0) {
+        line("dirty owners consumed:", dirtyOwnersAtGc);
+        line("dirty unshared consumed:", dirtyUnsharedAtGc);
+    }
     return out;
 }
 

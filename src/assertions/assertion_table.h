@@ -39,6 +39,17 @@ struct AssertionStats {
     /** Ownee assertions satisfied (ownee died before its owner). */
     uint64_t owneeAssertsSatisfied = 0;
 
+    /** @name Barrier-fed incremental re-checking
+     *  @{ */
+
+    /** Mutated owners consumed from the dirty set at full GCs. */
+    uint64_t dirtyOwnersAtGc = 0;
+
+    /** Newly referenced assert-unshared objects consumed at full GCs. */
+    uint64_t dirtyUnsharedAtGc = 0;
+
+    /** @} */
+
     /** Multi-line human-readable dump. */
     std::string toString() const;
 };

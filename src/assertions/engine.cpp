@@ -173,6 +173,31 @@ AssertionEngine::onTraceDone()
             ownee->setFlag(kOrphanBit);
         }
     }
+
+    // Consume the barrier-fed dirty sets: this trace has re-checked
+    // everything they pointed at, so the latches reset and the next
+    // mutator window starts clean. Entries are still valid here —
+    // the sweep has not run, and the minor GC pins dirty objects.
+    stats_.dirtyOwnersAtGc += dirtyOwners_.size();
+    stats_.dirtyUnsharedAtGc += dirtyUnshared_.size();
+    for (Object *owner : dirtyOwners_)
+        owner->clearFlagsAtomic(kWriteDirtyBit);
+    for (Object *obj : dirtyUnshared_)
+        obj->clearFlagsAtomic(kWriteDirtyBit);
+    dirtyOwners_.clear();
+    dirtyUnshared_.clear();
+}
+
+void
+AssertionEngine::noteOwnerMutated(Object *owner)
+{
+    dirtyOwners_.push_back(owner);
+}
+
+void
+AssertionEngine::noteUnsharedTargetMutated(Object *obj)
+{
+    dirtyUnshared_.push_back(obj);
 }
 
 void

@@ -119,6 +119,44 @@ class AssertionEngine {
     void onObjectFreed(Object *obj);
 
     /**
+     * Write-barrier hook: @p owner (an assert-ownedby owner) had a
+     * reference slot written since the last collection. The next full
+     * trace's ownership phase scans dirty owners first, so the
+     * re-checks most likely to have changed verdicts run at the start
+     * of the pause instead of wherever registration order put them.
+     * Ownedness is independent of owner scan order (the truncation
+     * queue of section 2.5.2 runs after *all* owner regions), so the
+     * reordering affects scheduling only, never verdicts.
+     *
+     * The caller has already latched kWriteDirtyBit on @p owner, so
+     * each owner is enqueued at most once per GC cycle. Serialized by
+     * the barrier registry lock.
+     */
+    void noteOwnerMutated(Object *owner);
+
+    /**
+     * Write-barrier hook: a new reference was just stored to @p obj,
+     * an assert-unshared object. The dirty set bounds which unshared
+     * assertions could have gained a second incoming reference since
+     * the last collection (surfaced in the stats); the trace itself
+     * re-checks every unshared object it re-encounters regardless, so
+     * the verdict authority stays with the full GC.
+     */
+    void noteUnsharedTargetMutated(Object *obj);
+
+    /** Owners mutated since the last collection (barrier-fed). */
+    const std::vector<Object *> &dirtyOwners() const
+    {
+        return dirtyOwners_;
+    }
+
+    /** Unshared targets newly referenced since the last collection. */
+    const std::vector<Object *> &dirtyUnsharedTargets() const
+    {
+        return dirtyUnshared_;
+    }
+
+    /**
      * Report a violation. Applies the reaction policy: logs via
      * warn(), notifies handlers, and raises FatalError under
      * LogHalt. Returns after recording under LogContinue/ForceTrue.
@@ -186,6 +224,12 @@ class AssertionEngine {
     std::vector<Violation> violations_;
     std::unordered_set<const Object *> reportedThisGc_;
     uint64_t gcNumber_ = 0;
+
+    /** @name Barrier-fed dirty sets (consumed by onTraceDone)
+     *  @{ */
+    std::vector<Object *> dirtyOwners_;
+    std::vector<Object *> dirtyUnshared_;
+    /** @} */
 };
 
 } // namespace gcassert

@@ -1,0 +1,123 @@
+#include "gc/barrier.h"
+
+#include <mutex>
+#include <vector>
+
+#include "assertions/engine.h"
+#include "gc/remset.h"
+#include "heap/heap.h"
+
+namespace gcassert {
+
+namespace {
+
+/**
+ * One registered generational runtime. The registry is a flat vector:
+ * processes embed a handful of runtimes at most, and the slow path is
+ * reached at most once per (object, latch bit) per GC cycle, so a
+ * linear ownership probe is cheaper than any indexing scheme would be
+ * to maintain.
+ */
+struct BarrierContext {
+    Heap *heap;
+    RememberedSet *remset;
+    AssertionEngine *engine;
+};
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::vector<BarrierContext> &
+registry()
+{
+    static std::vector<BarrierContext> contexts;
+    return contexts;
+}
+
+/** Find the registered context whose heap owns @p obj, else nullptr. */
+BarrierContext *
+contextOwning(const Object *obj)
+{
+    for (BarrierContext &ctx : registry())
+        if (ctx.heap->contains(obj))
+            return &ctx;
+    return nullptr;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<uint32_t> g_writeBarriersArmed{0};
+
+void
+writeBarrierSlow(Object *src, Object **slot, Object *target)
+{
+    // The inline filter ran against racy flag snapshots; re-evaluate
+    // under the registry lock so each latch fires exactly once.
+    std::lock_guard<std::mutex> guard(registryMutex());
+
+    uint32_t sf = src->rawFlagsAtomic();
+    uint32_t tf = target ? target->rawFlagsAtomic() : 0;
+
+    if ((tf & kNurseryBit) != 0 &&
+        (sf & (kNurseryBit | kRememberedBit)) == 0) {
+        // Mature -> nursery edge: remember the source so the minor GC
+        // can treat it as a root into the nursery. The source must
+        // belong to the same heap as the target; a source outside any
+        // registered heap (e.g. a test object from a non-generational
+        // runtime) cannot reach a nursery object, so the probe on the
+        // source alone is sufficient.
+        if (BarrierContext *ctx = contextOwning(src))
+            ctx->remset->record(src, slot);
+    }
+
+    if ((sf & kOwnerBit) != 0 && (sf & kWriteDirtyBit) == 0) {
+        // Mutated owner: its owned region may have changed shape, so
+        // the next full trace scans it ahead of clean owners.
+        if (BarrierContext *ctx = contextOwning(src)) {
+            src->setFlagsAtomic(kWriteDirtyBit);
+            ctx->engine->noteOwnerMutated(src);
+        }
+    }
+
+    if (target && (tf & kUnsharedBit) != 0 &&
+        (tf & kWriteDirtyBit) == 0) {
+        // A new reference now points at an assert-unshared object; the
+        // next full trace re-checks it from the dirty set.
+        if (BarrierContext *ctx = contextOwning(target)) {
+            target->setFlagsAtomic(kWriteDirtyBit);
+            ctx->engine->noteUnsharedTargetMutated(target);
+        }
+    }
+}
+
+} // namespace detail
+
+BarrierScope::BarrierScope(Heap &heap, RememberedSet &remset,
+                           AssertionEngine &engine)
+    : heap_(heap)
+{
+    std::lock_guard<std::mutex> guard(registryMutex());
+    registry().push_back(BarrierContext{&heap, &remset, &engine});
+    detail::g_writeBarriersArmed.fetch_add(1, std::memory_order_relaxed);
+}
+
+BarrierScope::~BarrierScope()
+{
+    std::lock_guard<std::mutex> guard(registryMutex());
+    auto &contexts = registry();
+    for (auto it = contexts.begin(); it != contexts.end(); ++it) {
+        if (it->heap == &heap_) {
+            contexts.erase(it);
+            break;
+        }
+    }
+    detail::g_writeBarriersArmed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+} // namespace gcassert

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The generational write barrier.
+ *
+ * Reference stores funnel through Object::setRef, whose inline fast
+ * path (heap/object.h) loads one global armed flag and, when some
+ * runtime is generational, applies header-bit filters. Everything
+ * past the filters lives here: a process-wide registry maps the
+ * mutated object back to its owning runtime's RememberedSet and
+ * AssertionEngine, and the slow path then
+ *
+ *  - records mature->nursery edges in the remembered set (so a minor
+ *    collection can treat remembered sources as roots into the
+ *    nursery), and
+ *  - enqueues mutated owners and newly referenced assert-unshared
+ *    targets on the engine's dirty set, so the next full trace's
+ *    re-checks start from the mutated frontier instead of cold
+ *    (mutated owner regions are scanned first; dirty/clean counts are
+ *    surfaced in the stats).
+ *
+ * The registry indirection is what keeps raw Object::setRef callers
+ * (tests, embedders that never adopted Runtime::writeRef) sound in
+ * generational mode: the barrier does not depend on the caller
+ * holding a runtime reference, only on the store going through
+ * setRef. Lookups are rare by construction — each filter bit latches
+ * until the next collection clears it.
+ */
+
+#ifndef GCASSERT_GC_BARRIER_H
+#define GCASSERT_GC_BARRIER_H
+
+#include "heap/object.h"
+
+namespace gcassert {
+
+class Heap;
+class RememberedSet;
+class AssertionEngine;
+
+/**
+ * Arms the write barrier for one runtime's lifetime: registers the
+ * (heap, remset, engine) triple with the process-wide barrier
+ * registry on construction and removes it on destruction. Owned by
+ * Runtime; constructed only in generational mode.
+ */
+class BarrierScope {
+  public:
+    BarrierScope(Heap &heap, RememberedSet &remset,
+                 AssertionEngine &engine);
+    ~BarrierScope();
+
+    BarrierScope(const BarrierScope &) = delete;
+    BarrierScope &operator=(const BarrierScope &) = delete;
+
+  private:
+    Heap &heap_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_BARRIER_H

@@ -41,6 +41,7 @@
 #include "gc/gc_stats.h"
 #include "gc/mutator.h"
 #include "gc/path_recorder.h"
+#include "gc/remset.h"
 #include "gc/roots.h"
 #include "gc/worklist.h"
 #include "heap/heap.h"
@@ -110,6 +111,18 @@ struct CollectionResult {
     uint64_t violations = 0;
 };
 
+/** Outcome of one minor (nursery-only) collection. */
+struct MinorCollectionResult {
+    /** Nursery survivors promoted to the mature space. */
+    uint64_t promoted = 0;
+    /** Nursery objects reclaimed. */
+    uint64_t freedObjects = 0;
+    /** Bytes reclaimed. */
+    uint64_t freedBytes = 0;
+    /** Remembered-set sources scanned as roots. */
+    uint64_t remsetSources = 0;
+};
+
 /**
  * The mark-sweep collector.
  */
@@ -117,13 +130,33 @@ class Collector {
   public:
     Collector(Heap &heap, TypeRegistry &types, RootRegistry &roots,
               MutatorRegistry &mutators, AssertionEngine &engine,
-              CollectorConfig config);
+              RememberedSet &remset, CollectorConfig config);
 
     Collector(const Collector &) = delete;
     Collector &operator=(const Collector &) = delete;
 
     /** Run one full collection. */
     CollectionResult collect();
+
+    /**
+     * Run one minor (nursery-only) collection. Stopped-world and
+     * sequential; requires the heap to be generational.
+     *
+     * Traces from roots, mutator local roots, and remembered-set
+     * sources, truncating at mature objects; marked nursery objects
+     * are promoted in place, unmarked ones reclaimed. Objects the
+     * assertion machinery holds raw pointers to (region queues,
+     * finalizables, the ownership table, the barrier dirty sets) are
+     * pinned — their lifetime verdicts belong to the full GC, which
+     * remains the sole authority for assertion checking: a minor
+     * collection performs NO assertion checks and reports NO
+     * violations, it only bounds pause time between full GCs.
+     *
+     * Weak slot 0 is traced as a *strong* edge here: weak-edge
+     * clearing is observable behavior and stays full-GC-only, so
+     * generational mode cannot change when a weak reference nulls.
+     */
+    MinorCollectionResult minorCollect();
 
     GcStats &stats() { return stats_; }
     const GcStats &stats() const { return stats_; }
@@ -173,6 +206,12 @@ class Collector {
     /** Phase 1: trace from owners. */
     template <bool kPath>
     void ownershipPhase();
+
+    /** Minor-trace edge visit: mark-and-push, truncated at mature. */
+    void mnVisit(Object *obj);
+
+    /** Drain the worklist with minor-trace semantics. */
+    void mnDrain();
 
     /**
      * Scan the subtree under @p from on behalf of @p owner.
@@ -273,6 +312,7 @@ class Collector {
     RootRegistry &roots_;
     MutatorRegistry &mutators_;
     AssertionEngine &engine_;
+    RememberedSet &remset_;
     CollectorConfig config_;
 
     Worklist worklist_;

@@ -46,6 +46,22 @@ GcStats::toString() const
                           lazyBlocksFinishedAtGc),
                       lazyFinishPhase.elapsedSeconds() * 1e3);
     }
+    if (minorCollections > 0) {
+        out += format("minor collections:  %llu (promoted: %llu, swept: "
+                      "%llu / %s, remset roots: %llu)\n",
+                      static_cast<unsigned long long>(minorCollections),
+                      static_cast<unsigned long long>(nurseryPromoted),
+                      static_cast<unsigned long long>(nurserySweptObjects),
+                      humanBytes(nurserySweptBytes).c_str(),
+                      static_cast<unsigned long long>(remsetSourcesScanned));
+        out += format("minor gc time:      %.3f ms\n",
+                      minorGc.elapsedSeconds() * 1e3);
+    }
+    if (dirtyOwnerScans > 0 || cleanOwnerScans > 0) {
+        out += format("owner scans:        %llu dirty-first, %llu cold\n",
+                      static_cast<unsigned long long>(dirtyOwnerScans),
+                      static_cast<unsigned long long>(cleanOwnerScans));
+    }
     out += format("gc time:            %.3f ms\n",
                   totalGc.elapsedSeconds() * 1e3);
     out += format("  ownership phase:  %.3f ms\n",

@@ -96,6 +96,42 @@ struct GcStats {
 
     /** @} */
 
+    /** @name Generational (nursery) collection
+     *  @{ */
+
+    /** Minor (nursery-only) collections performed. */
+    uint64_t minorCollections = 0;
+
+    /** Nursery objects that survived a minor GC and were promoted. */
+    uint64_t nurseryPromoted = 0;
+
+    /** Nursery objects reclaimed by minor GCs. */
+    uint64_t nurserySweptObjects = 0;
+
+    /** Bytes reclaimed by minor GCs. */
+    uint64_t nurserySweptBytes = 0;
+
+    /** Nursery objects promoted wholesale in full-GC prologues. */
+    uint64_t nurseryPromotedAtFullGc = 0;
+
+    /** Remembered-set sources traced as minor-GC roots, cumulative. */
+    uint64_t remsetSourcesScanned = 0;
+
+    /** Stop-the-world time spent in minor collections. */
+    Stopwatch minorGc;
+
+    /** @name Dirty-first ownership scanning (barrier-fed)
+     *  @{ */
+
+    /** Owner regions scanned from the dirty set (scanned first). */
+    uint64_t dirtyOwnerScans = 0;
+
+    /** Owner regions scanned cold (no barrier hit since last GC). */
+    uint64_t cleanOwnerScans = 0;
+
+    /** @} */
+    /** @} */
+
     /** Reset all counters and timers. */
     void reset();
 

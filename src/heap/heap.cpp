@@ -54,6 +54,9 @@ Heap::allocateSmall(size_t size_class, TypeId type_id, uint32_t num_refs,
         if (void *cell = list[hint]->allocateCell()) {
             auto *obj = static_cast<Object *>(cell);
             obj->format(type_id, num_refs, scalar_bytes);
+            if (config_.generational)
+                noteNursery(obj, list[hint].get(),
+                            kSizeClassBytes[size_class]);
             return obj;
         }
     }
@@ -65,6 +68,9 @@ Heap::allocateSmall(size_t size_class, TypeId type_id, uint32_t num_refs,
             allocHint_[size_class] = static_cast<ssize_t>(i);
             auto *obj = static_cast<Object *>(cell);
             obj->format(type_id, num_refs, scalar_bytes);
+            if (config_.generational)
+                noteNursery(obj, list[i].get(),
+                            kSizeClassBytes[size_class]);
             return obj;
         }
     }
@@ -74,6 +80,8 @@ Heap::allocateSmall(size_t size_class, TypeId type_id, uint32_t num_refs,
     allocHint_[size_class] = static_cast<ssize_t>(list.size() - 1);
     auto *obj = static_cast<Object *>(list.back()->allocateCell());
     obj->format(type_id, num_refs, scalar_bytes);
+    if (config_.generational)
+        noteNursery(obj, list.back().get(), kSizeClassBytes[size_class]);
     return obj;
 }
 
@@ -88,6 +96,8 @@ Heap::allocateLarge(TypeId type_id, uint32_t num_refs,
     obj->format(type_id, num_refs, scalar_bytes);
     largeSet_.insert(obj);
     large_.push_back(std::move(large));
+    if (config_.generational)
+        noteNursery(obj, nullptr, size);
     return obj;
 }
 
@@ -123,6 +133,8 @@ Heap::tlabAllocate(TlabCache &cache, TypeId type_id, uint32_t num_refs,
     totalAllocatedBytes_.fetch_add(charged, std::memory_order_relaxed);
     totalAllocatedObjects_.fetch_add(1, std::memory_order_relaxed);
     tlabAllocs_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.generational)
+        noteNursery(obj, block, charged);
     return obj;
 }
 
@@ -297,10 +309,21 @@ Heap::sweep(const std::function<void(Object *)> &on_free,
         allocHint_[c] = list.empty() ? -1 : 0;
     }
 
-    if (stats.freedBytes > usedBytes())
+    if (stats.freedBytes + minorFreedBytes_ > usedBytes())
         panic("sweep freed more bytes than were allocated");
     usedBytes_.fetch_sub(stats.freedBytes, std::memory_order_relaxed);
     liveObjects_.fetch_sub(stats.freedObjects, std::memory_order_relaxed);
+
+    // Settle the minor-collection debt: nursery sweeps recycle memory
+    // immediately but leave the budget counters untouched (so full-GC
+    // trigger points match the non-generational run); the counters
+    // catch up here, at the full sweep where the non-generational run
+    // would have freed the same objects.
+    usedBytes_.fetch_sub(minorFreedBytes_, std::memory_order_relaxed);
+    liveObjects_.fetch_sub(minorFreedObjects_, std::memory_order_relaxed);
+    minorFreedBytes_ = 0;
+    minorFreedObjects_ = 0;
+
     stats.liveBytes = usedBytes();
     stats.liveObjects = liveObjects();
     return stats;
@@ -350,6 +373,89 @@ Heap::forEachObject(const std::function<void(Object *)> &visit) const
             block->forEachObject(visit);
     for (const auto &large : large_)
         visit(reinterpret_cast<Object *>(large.memory.get()));
+}
+
+void
+Heap::noteNursery(Object *obj, Block *block, uint32_t charged)
+{
+    obj->setFlag(kNurseryBit);
+    std::lock_guard<std::mutex> guard(nurseryMutex_);
+    nursery_.push_back(NurseryEntry{obj, block, charged});
+    nurseryMembers_.insert(obj);
+    nurseryBytes_.fetch_add(charged, std::memory_order_relaxed);
+}
+
+size_t
+Heap::nurseryCount() const
+{
+    std::lock_guard<std::mutex> guard(nurseryMutex_);
+    return nursery_.size();
+}
+
+bool
+Heap::nurseryContains(const Object *p) const
+{
+    std::lock_guard<std::mutex> guard(nurseryMutex_);
+    return nurseryMembers_.count(p) != 0;
+}
+
+void
+Heap::forEachNursery(const std::function<void(Object *)> &visit) const
+{
+    for (const NurseryEntry &entry : nursery_)
+        visit(entry.obj);
+}
+
+NurserySweepStats
+Heap::sweepNursery(const std::function<void(Object *)> &on_dead)
+{
+    NurserySweepStats stats;
+    for (const NurseryEntry &entry : nursery_) {
+        Object *obj = entry.obj;
+        if (obj->marked()) {
+            // Promote in place: the heap is non-moving, so promotion
+            // is just dropping the nursery tag.
+            obj->clearFlag(kMarkBit);
+            obj->clearFlag(kNurseryBit);
+            ++stats.promotedObjects;
+            continue;
+        }
+        if (on_dead)
+            on_dead(obj);
+        if (entry.block) {
+            entry.block->releaseCell(obj);
+        } else {
+            largeSet_.erase(obj);
+            for (auto it = large_.begin(); it != large_.end(); ++it) {
+                if (reinterpret_cast<Object *>(it->memory.get()) == obj) {
+                    large_.erase(it);
+                    break;
+                }
+            }
+        }
+        ++stats.freedObjects;
+        stats.freedBytes += entry.charged;
+    }
+    minorFreedBytes_ += stats.freedBytes;
+    minorFreedObjects_ += stats.freedObjects;
+    nursery_.clear();
+    nurseryMembers_.clear();
+    nurseryBytes_.store(0, std::memory_order_relaxed);
+    return stats;
+}
+
+uint64_t
+Heap::promoteAllNursery()
+{
+    uint64_t promoted = 0;
+    for (const NurseryEntry &entry : nursery_) {
+        entry.obj->clearFlag(kNurseryBit);
+        ++promoted;
+    }
+    nursery_.clear();
+    nurseryMembers_.clear();
+    nurseryBytes_.store(0, std::memory_order_relaxed);
+    return promoted;
 }
 
 bool

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -64,6 +65,21 @@ struct HeapConfig {
     bool allowGrowth = true;
     /** Multiplier applied when growing. */
     double growthFactor = 1.5;
+    /**
+     * Track new objects as a logical nursery generation. The nursery
+     * is not a separate region — the heap stays non-moving — but a
+     * roster of young objects tagged kNurseryBit, collectible by a
+     * minor GC (Collector::minorCollect) and promoted in place by
+     * clearing the tag.
+     */
+    bool generational = false;
+};
+
+/** Result of one nursery sweep (minor collection epilogue). */
+struct NurserySweepStats {
+    uint64_t promotedObjects = 0;
+    uint64_t freedObjects = 0;
+    uint64_t freedBytes = 0;
 };
 
 /**
@@ -218,6 +234,50 @@ class Heap {
         return tlabAllocs_.load(std::memory_order_relaxed);
     }
 
+    /** @return true when the heap tracks a nursery generation. */
+    bool generational() const { return config_.generational; }
+
+    /** Bytes charged to nursery objects since the last collection. */
+    uint64_t
+    nurseryBytes() const
+    {
+        return nurseryBytes_.load(std::memory_order_relaxed);
+    }
+
+    /** Nursery objects currently on the roster. */
+    size_t nurseryCount() const;
+
+    /** @return true if @p p is on the nursery roster. */
+    bool nurseryContains(const Object *p) const;
+
+    /** Visit every nursery object, in allocation order. Stopped-world
+     *  use only. */
+    void forEachNursery(const std::function<void(Object *)> &visit) const;
+
+    /**
+     * Minor-collection epilogue: promote marked nursery objects in
+     * place (clear kMarkBit and kNurseryBit) and reclaim unmarked
+     * ones, invoking @p on_dead first, headers intact, in allocation
+     * order. Afterwards the roster is empty.
+     *
+     * Reclaimed memory is recycled immediately, but the budget
+     * counters (usedBytes / liveObjects) are deliberately NOT
+     * decremented here: they settle at the next full sweep, so
+     * full-GC trigger points are identical with the nursery on or
+     * off — the cornerstone of the generational equivalence argument.
+     */
+    NurserySweepStats
+    sweepNursery(const std::function<void(Object *)> &on_dead);
+
+    /**
+     * Full-GC prologue: promote the entire nursery wholesale so the
+     * full collection runs with zero nursery state and is textually
+     * identical to the non-generational path.
+     *
+     * @return Number of objects promoted.
+     */
+    uint64_t promoteAllNursery();
+
   private:
     struct LargeObject {
         std::unique_ptr<char[]> memory;
@@ -234,6 +294,15 @@ class Heap {
     void sweepSmall(const std::function<void(Object *)> &on_free,
                     const SweepOptions &options, SweepStats &stats);
 
+    /**
+     * Tag @p obj as nursery and append it to the roster. @p block is
+     * its small-object block, or nullptr for a large object; @p
+     * charged is the budget charge (cell bytes or large size).
+     * Thread-safe: tlabAllocate() calls this under the Runtime's
+     * shared lock.
+     */
+    void noteNursery(Object *obj, Block *block, uint32_t charged);
+
     HeapConfig config_;
     std::atomic<uint64_t> usedBytes_{0};
     std::atomic<uint64_t> liveObjects_{0};
@@ -249,6 +318,29 @@ class Heap {
     std::vector<LargeObject> large_;
     /** Fast membership test for large objects. */
     std::unordered_set<const Object *> largeSet_;
+
+    /** One nursery roster entry; block is null for large objects. */
+    struct NurseryEntry {
+        Object *obj;
+        Block *block;
+        uint32_t charged;
+    };
+    /** Guards the roster (appended to under the shared lock). */
+    mutable std::mutex nurseryMutex_;
+    /** Young objects in allocation order. */
+    std::vector<NurseryEntry> nursery_;
+    /** Fast roster membership for the verifier. */
+    std::unordered_set<const Object *> nurseryMembers_;
+    std::atomic<uint64_t> nurseryBytes_{0};
+
+    /**
+     * Budget charge reclaimed by minor collections since the last
+     * full sweep. Settled (subtracted from usedBytes_/liveObjects_)
+     * at the end of sweep() so that the budget counters evolve
+     * exactly as they would with the nursery off.
+     */
+    uint64_t minorFreedBytes_ = 0;
+    uint64_t minorFreedObjects_ = 0;
 };
 
 } // namespace gcassert

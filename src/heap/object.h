@@ -64,7 +64,54 @@ enum ObjectFlag : uint32_t {
      * owner), and a violation about it reports as assert-ownedby.
      */
     kOrphanBit = 1u << 8,
+    /**
+     * Generational mode: the object sits in the logical nursery
+     * (allocated since the last collection, not yet promoted). Never
+     * set outside generational mode, which is what lets the write
+     * barrier's target filter cost nothing elsewhere.
+     */
+    kNurseryBit = 1u << 9,
+    /**
+     * Generational mode: this mature object holds at least one
+     * recorded mature-to-nursery reference and is already in the
+     * remembered set (the barrier's once-per-source latch).
+     */
+    kRememberedBit = 1u << 10,
+    /**
+     * A tracked reference write mutated this object (as source) or
+     * newly referenced it (as an assert-unshared target) since the
+     * last full collection. Feeds the assertion engine's dirty set;
+     * cleared when the full GC consumes the set.
+     */
+    kWriteDirtyBit = 1u << 11,
 };
+
+namespace detail {
+
+/**
+ * Global count of runtimes with write barriers armed (generational
+ * mode). The inline fast path in Object::setRef loads this once; when
+ * zero — every non-generational configuration — the barrier costs one
+ * relaxed load and a never-taken branch.
+ */
+extern std::atomic<uint32_t> g_writeBarriersArmed;
+
+inline bool
+writeBarriersArmed()
+{
+    return g_writeBarriersArmed.load(std::memory_order_relaxed) != 0;
+}
+
+/**
+ * Out-of-line barrier slow path (src/gc/barrier.cpp): records
+ * mature-to-nursery edges in the owning runtime's remembered set and
+ * feeds mutated owner / unshared-target objects to its assertion
+ * engine's dirty set. Reached only when the inline header-bit filters
+ * fire, i.e. at most once per (object, latch bit) per GC cycle.
+ */
+void writeBarrierSlow(Object *src, Object **slot, Object *target);
+
+} // namespace detail
 
 /**
  * Bits [kOwnerTagShift, 32) of the flag word hold the *owner tag*
@@ -176,6 +223,15 @@ class Object {
             ~mask, std::memory_order_acq_rel);
     }
 
+    /** Atomically set every flag in @p mask (write-barrier latches:
+     *  concurrent mutators race on unrelated bits of the word). */
+    void
+    setFlagsAtomic(uint32_t mask)
+    {
+        std::atomic_ref<uint32_t>(flags_).fetch_or(
+            mask, std::memory_order_acq_rel);
+    }
+
     /** @} */
 
     /** Convenience: the GC mark bit. */
@@ -200,12 +256,40 @@ class Object {
         return refSlots()[index];
     }
 
-    /** Write reference slot @p index. */
+    /** Write reference slot @p index.
+     *
+     * Every reference store funnels through here, so this is where
+     * the generational write barrier hangs: when some runtime has
+     * barriers armed, header-bit filters decide (without any lookup)
+     * whether the store can possibly need recording — a
+     * mature-to-nursery edge, a mutated owner, or a newly referenced
+     * assert-unshared target — and only then take the out-of-line
+     * slow path. Raw setRef callers (tests, embedders) therefore stay
+     * sound in generational mode without going through
+     * Runtime::writeRef.
+     */
     void
     setRef(uint32_t index, Object *target)
     {
         checkRefIndex(index);
-        refSlots()[index] = target;
+        Object **slot = &refSlots()[index];
+        if (detail::writeBarriersArmed()) [[unlikely]] {
+            // Atomic loads: a mutator may store refs while another
+            // thread's collection is marking (the pre-existing
+            // stop-the-world contract covers slots, not the flag
+            // word, which parallel markers CAS concurrently).
+            uint32_t sf = rawFlagsAtomic();
+            uint32_t tf = target ? target->rawFlagsAtomic() : 0;
+            bool nursery_edge = (tf & kNurseryBit) != 0 &&
+                (sf & (kNurseryBit | kRememberedBit)) == 0;
+            bool dirty_owner = (sf & kOwnerBit) != 0 &&
+                (sf & kWriteDirtyBit) == 0;
+            bool dirty_unshared = (tf & kUnsharedBit) != 0 &&
+                (tf & kWriteDirtyBit) == 0;
+            if (nursery_edge || dirty_owner || dirty_unshared)
+                detail::writeBarrierSlow(this, slot, target);
+        }
+        *slot = target;
     }
 
     /** Address of reference slot @p index (for root-style scanning). */

@@ -69,6 +69,39 @@ HeapVerifier::verify() const
             !runtime_.mainMutatorInRegionOrAny())
             report(obj, "region bit outside any active region and "
                         "not dead-asserted");
+
+        // Generational state consistency.
+        bool in_nursery = runtime_.heap().nurseryContains(obj);
+        if (obj->testFlag(kNurseryBit) != in_nursery)
+            report(obj, in_nursery
+                       ? "nursery roster entry without kNurseryBit"
+                       : "kNurseryBit set on an object off the roster");
+        if (obj->testFlag(kRememberedBit) &&
+            !runtime_.remset().contains(obj))
+            report(obj, "kRememberedBit set but the object is not in "
+                        "the remembered set");
+
+        // Remembered-set invariant: at a mutator quiescent point,
+        // every mature->nursery edge must have been recorded by the
+        // write barrier — the source is in the remembered set and the
+        // slot's card is marked. An unrecorded edge proves a barrier
+        // bypass and would let a minor collection reclaim a live
+        // nursery object.
+        if (!obj->testFlag(kNurseryBit)) {
+            for (uint32_t i = 0; i < obj->numRefs(); ++i) {
+                const Object *child = obj->ref(i);
+                if (!child || !child->testFlag(kNurseryBit))
+                    continue;
+                if (!runtime_.remset().contains(obj))
+                    report(obj, format("unrecorded mature->nursery edge "
+                                       "in ref slot %u (source not in "
+                                       "the remembered set)", i));
+                else if (!runtime_.remset().cardMarkedFor(
+                             obj->refSlotAddr(i)))
+                    report(obj, format("mature->nursery edge in ref "
+                                       "slot %u has no marked card", i));
+            }
+        }
     });
 
     // Root sanity.

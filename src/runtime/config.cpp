@@ -45,6 +45,22 @@ defaultTlabEnabled()
     return tlab;
 }
 
+bool
+defaultGenerational()
+{
+    static const bool generational =
+        envUint("GCASSERT_GENERATIONAL", 0) != 0;
+    return generational;
+}
+
+uint32_t
+defaultNurseryKb()
+{
+    static const uint32_t kb = static_cast<uint32_t>(
+        envUint("GCASSERT_NURSERY_KB", 4096));
+    return kb ? kb : 4096;
+}
+
 RuntimeConfig
 RuntimeConfig::base(uint64_t heap_bytes)
 {

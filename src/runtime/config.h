@@ -34,6 +34,8 @@ uint32_t defaultMarkThreads();
 uint32_t defaultSweepThreads();
 bool defaultLazySweep();
 bool defaultTlabEnabled();
+bool defaultGenerational();
+uint32_t defaultNurseryKb();
 /** @} */
 
 /**
@@ -84,6 +86,26 @@ struct RuntimeConfig {
      * false.
      */
     bool tlab = defaultTlabEnabled();
+
+    /**
+     * Generational (nursery) collection: new objects join a logical
+     * nursery, the write barrier records mature-to-nursery edges in a
+     * remembered set, and minor collections reclaim short-lived
+     * garbage between full GCs without whole-heap traces. Assertion
+     * verdicts are unchanged — minor GCs perform no checks, and the
+     * full GC promotes the nursery wholesale before running exactly
+     * the non-generational algorithm. Defaults to
+     * $GCASSERT_GENERATIONAL or false.
+     */
+    bool generational = defaultGenerational();
+
+    /**
+     * Nursery size in KiB: a minor collection triggers when this
+     * many bytes of young objects have accumulated (checked at
+     * allocation entry). Only meaningful with generational = true.
+     * Defaults to $GCASSERT_NURSERY_KB or 4096.
+     */
+    uint32_t nurseryKb = defaultNurseryKb();
 
     /** Engine behaviour switches. */
     EngineOptions engine;

@@ -6,17 +6,31 @@
 
 namespace gcassert {
 
+namespace {
+
+/** Propagate runtime-level knobs into the nested heap config. */
+RuntimeConfig
+withDerivedHeapConfig(RuntimeConfig config)
+{
+    config.heap.generational = config.generational;
+    return config;
+}
+
+} // namespace
+
 Runtime::Runtime(RuntimeConfig config)
-    : config_(std::move(config)),
+    : config_(withDerivedHeapConfig(std::move(config))),
       heap_(config_.heap),
       engine_(types_, mutators_, config_.engine),
-      collector_(heap_, types_, roots_, mutators_, engine_,
+      collector_(heap_, types_, roots_, mutators_, engine_, remset_,
                  CollectorConfig{config_.infrastructure,
                                  config_.recordPaths,
                                  config_.markThreads,
                                  config_.sweepThreads,
                                  config_.lazySweep})
 {
+    if (config_.generational)
+        barrier_ = std::make_unique<BarrierScope>(heap_, remset_, engine_);
 }
 
 Runtime::~Runtime() = default;
@@ -56,9 +70,24 @@ Runtime::tlabFastAlloc(TypeId type, MutatorContext *mutator,
     return obj;
 }
 
+void
+Runtime::maybeMinorCollect()
+{
+    if (!config_.generational)
+        return;
+    uint64_t threshold = uint64_t{config_.nurseryKb} * 1024;
+    if (heap_.nurseryBytes() < threshold)
+        return;
+    std::lock_guard<std::shared_mutex> guard(lock_);
+    // Re-check under the lock: another mutator may have collected.
+    if (heap_.nurseryBytes() >= threshold)
+        collector_.minorCollect();
+}
+
 Object *
 Runtime::allocRaw(TypeId type, MutatorContext *mutator)
 {
+    maybeMinorCollect();
     Object *obj = nullptr;
     if (config_.tlab)
         obj = tlabFastAlloc(type, mutator, /*retain_local=*/false);
@@ -84,6 +113,7 @@ Runtime::allocRaw(TypeId type, MutatorContext *mutator)
 Object *
 Runtime::allocLocal(TypeId type, MutatorContext *mutator)
 {
+    maybeMinorCollect();
     Object *obj = nullptr;
     if (config_.tlab)
         obj = tlabFastAlloc(type, mutator, /*retain_local=*/true);
@@ -118,6 +148,7 @@ Object *
 Runtime::allocArrayRaw(TypeId type, uint32_t length,
                        MutatorContext *mutator)
 {
+    maybeMinorCollect();
     std::lock_guard<std::shared_mutex> guard(lock_);
     const TypeDescriptor &desc = types_.get(type);
     if (!desc.isArray())
@@ -130,6 +161,7 @@ Object *
 Runtime::allocScalarRaw(TypeId type, uint32_t scalar_bytes,
                         MutatorContext *mutator)
 {
+    maybeMinorCollect();
     std::lock_guard<std::shared_mutex> guard(lock_);
     const TypeDescriptor &desc = types_.get(type);
     if (!desc.isArray())
@@ -141,6 +173,7 @@ Runtime::allocScalarRaw(TypeId type, uint32_t scalar_bytes,
 Handle
 Runtime::alloc(TypeId type, MutatorContext *mutator)
 {
+    maybeMinorCollect();
     // Allocate and root under one lock acquisition: a concurrent
     // mutator's collection can never observe the new object
     // unrooted.
@@ -162,6 +195,7 @@ Runtime::alloc(TypeId type, MutatorContext *mutator)
 Handle
 Runtime::allocArray(TypeId type, uint32_t length, MutatorContext *mutator)
 {
+    maybeMinorCollect();
     Handle handle;
     {
         std::lock_guard<std::shared_mutex> guard(lock_);
@@ -273,6 +307,24 @@ Runtime::mainMutatorInRegionOrAny()
     mutators_.forEach(
         [&](MutatorContext &mutator) { any |= mutator.inRegion(); });
     return any;
+}
+
+void
+Runtime::writeRef(Object *src, uint32_t index, Object *target)
+{
+    // Shared suffices: holding the lock in any mode excludes a
+    // concurrent stop-the-world collection, and distinct mutators
+    // write distinct slots (the usual data-race-freedom contract).
+    // The write barrier fires inside setRef.
+    std::shared_lock<std::shared_mutex> guard(lock_);
+    src->setRef(index, target);
+}
+
+MinorCollectionResult
+Runtime::collectMinor()
+{
+    std::lock_guard<std::shared_mutex> guard(lock_);
+    return collector_.minorCollect();
 }
 
 CollectionResult

@@ -22,13 +22,16 @@
 #define GCASSERT_RUNTIME_RUNTIME_H
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <vector>
 
 #include "assertions/engine.h"
+#include "gc/barrier.h"
 #include "gc/collector.h"
 #include "gc/mutator.h"
+#include "gc/remset.h"
 #include "gc/roots.h"
 #include "heap/heap.h"
 #include "runtime/config.h"
@@ -56,6 +59,7 @@ class Runtime {
     AssertionEngine &engine() { return engine_; }
     RootRegistry &roots() { return roots_; }
     MutatorRegistry &mutators() { return mutators_; }
+    RememberedSet &remset() { return remset_; }
     const RuntimeConfig &config() const { return config_; }
     /** @} */
 
@@ -126,8 +130,27 @@ class Runtime {
 
     /** @} */
 
+    /**
+     * Store a reference: src.refs[index] = target, through the write
+     * barrier, under the shared lock (so the store can never race a
+     * stop-the-world collection). This is the official reference-
+     * write path — workloads and embedders should prefer it over
+     * calling Object::setRef directly. Raw setRef remains sound (the
+     * barrier hooks setRef itself), but only writeRef also excludes
+     * a concurrent GC.
+     */
+    void writeRef(Object *src, uint32_t index, Object *target);
+
     /** Trigger a full collection now. */
     CollectionResult collect();
+
+    /**
+     * Trigger a minor (nursery-only) collection now. No-op result
+     * with generational mode off (the nursery is always empty). See
+     * Collector::minorCollect for semantics — no assertion checks,
+     * verdicts stay with full collections.
+     */
+    MinorCollectionResult collectMinor();
 
     /**
      * Register (or clear, with an empty function) a finalizer for
@@ -223,6 +246,16 @@ class Runtime {
     /** Collection core; assumes the lock is held. */
     CollectionResult collectLocked();
 
+    /**
+     * Allocation-entry nursery check: when generational mode is on
+     * and the nursery has outgrown nurseryKb, run a minor collection
+     * before allocating — mirroring the full GC's collect-before-
+     * allocate discipline, so a freshly returned object is never
+     * collected by the trigger that its own allocation tripped.
+     * Takes the exclusive lock itself; call before acquiring any.
+     */
+    void maybeMinorCollect();
+
     /** Warn once if an assertion is used with infrastructure off. */
     bool checkInfraEnabled(const char *what);
 
@@ -236,7 +269,12 @@ class Runtime {
     RootRegistry roots_;
     MutatorRegistry mutators_;
     AssertionEngine engine_;
+    /** Mature-to-nursery edges recorded by the write barrier. */
+    RememberedSet remset_;
     Collector collector_;
+    /** Arms the global write barrier; non-null only in generational
+     *  mode. Declared after collector_ so it unregisters first. */
+    std::unique_ptr<BarrierScope> barrier_;
 
     /** Run finalizers queued by the most recent collection. */
     void runPendingFinalizers();

@@ -151,15 +151,15 @@ JbbEmuWorkload::buildCompany(Runtime &runtime)
     Object *company = runtime.allocRaw(companyType_);
     Handle guard(runtime, company, "jbb.newcompany");
 
-    company->setRef(companyWarehousesSlot_,
+    runtime.writeRef(company, companyWarehousesSlot_,
                     vec_->create(options_.warehouses + 1));
-    company->setRef(companyCustomersSlot_,
+    runtime.writeRef(company, companyCustomersSlot_,
                     vec_->create(options_.customers + 1));
 
     for (uint32_t c = 0; c < options_.customers; ++c) {
         Object *customer = runtime.allocRaw(customerType_);
         Handle cguard(runtime, customer, "jbb.newcustomer");
-        customer->setRef(customerNameSlot_,
+        runtime.writeRef(customer, customerNameSlot_,
                          str_->create("customer-" + std::to_string(c)));
         vec_->push(company->ref(companyCustomersSlot_), customer);
     }
@@ -168,9 +168,9 @@ JbbEmuWorkload::buildCompany(Runtime &runtime)
     for (uint32_t w = 0; w < options_.warehouses; ++w) {
         Object *warehouse = runtime.allocRaw(warehouseType_);
         Handle wguard(runtime, warehouse, "jbb.newwarehouse");
-        warehouse->setRef(warehouseNameSlot_,
+        runtime.writeRef(warehouse, warehouseNameSlot_,
                           str_->create("warehouse-" + std::to_string(w)));
-        warehouse->setRef(warehouseDistrictsSlot_,
+        runtime.writeRef(warehouse, warehouseDistrictsSlot_,
                           vec_->create(options_.districtsPerWarehouse + 1));
         vec_->push(company->ref(companyWarehousesSlot_), warehouse);
 
@@ -182,7 +182,7 @@ JbbEmuWorkload::buildCompany(Runtime &runtime)
             district->setScalar<int64_t>(
                 kDistrictCursor,
                 static_cast<int64_t>(district_seq * 1000000000ull));
-            district->setRef(districtTableSlot_, btree_->create());
+            runtime.writeRef(district, districtTableSlot_, btree_->create());
             vec_->push(warehouse->ref(warehouseDistrictsSlot_), district);
 
             // Seed the order table.
@@ -212,24 +212,24 @@ JbbEmuWorkload::makeOrder(Runtime &runtime, Object *district,
     Handle guard(runtime, order, "jbb.neworder");
     order->setScalar<int64_t>(kOrderId, order_id);
     order->setScalar<uint64_t>(kOrderStatus, 0);
-    order->setRef(orderCustomerSlot_, customer);
+    runtime.writeRef(order, orderCustomerSlot_, customer);
 
     uint32_t lines = 3 + static_cast<uint32_t>(rng_.below(5));
     Object *line_array = runtime.allocArrayRaw(vec_->arrayType(), lines);
-    order->setRef(orderLinesSlot_, line_array);
+    runtime.writeRef(order, orderLinesSlot_, line_array);
     for (uint32_t i = 0; i < lines; ++i) {
         Object *line = runtime.allocRaw(orderLineType_);
         line->setScalar<uint64_t>(0, rng_.next() % 100000);
         line->setScalar<uint64_t>(8, i);
         line->setScalar<uint64_t>(16, rng_.next() % 100);
-        line_array->setRef(i, line);
+        runtime.writeRef(line_array, i, line);
     }
 
     // Insert into the district's order table; the Customer also
     // remembers its most recent order (the leak-prone reference).
     Object *table = district->ref(districtTableSlot_);
     btree_->insert(table, order_id, order);
-    customer->setRef(customerLastOrderSlot_, order);
+    runtime.writeRef(customer, customerLastOrderSlot_, order);
 
     if (assertionsEnabled_ && options_.assertOwnership)
         runtime.assertOwnedBy(table, order);
@@ -246,7 +246,7 @@ JbbEmuWorkload::destroyOrder(Runtime &runtime, Object *order)
         Object *customer = order->ref(orderCustomerSlot_);
         if (customer &&
             customer->ref(customerLastOrderSlot_) == order)
-            customer->setRef(customerLastOrderSlot_, nullptr);
+            runtime.writeRef(customer, customerLastOrderSlot_, nullptr);
     }
     if (assertionsEnabled_ && options_.assertDeadOnDestroy)
         runtime.assertDead(order);

@@ -81,7 +81,7 @@ LongBTreeOps::allocNode(bool leaf) const
     Object *node = runtime_.allocRaw(nodeType_);
     Handle guard(runtime_, node, "btree.node");
     Object *array = runtime_.allocArrayRaw(arrayType_, kMaxKeys + 1);
-    node->setRef(0, array);
+    runtime_.writeRef(node, 0, array);
     node->setScalar<uint64_t>(kOffNumKeys, 0);
     node->setScalar<uint64_t>(kOffIsLeaf, leaf ? 1 : 0);
     return node;
@@ -122,10 +122,10 @@ LongBTreeOps::insert(Object *tree, int64_t new_key, Object *value) const
     Object *root = tree->ref(0);
     if (!root) {
         Object *leaf = allocNode(true);
-        slots(leaf)->setRef(0, value);
+        runtime_.writeRef(slots(leaf), 0, value);
         setKey(leaf, 0, new_key);
         setNumKeys(leaf, 1);
-        tree->setRef(0, leaf);
+        runtime_.writeRef(tree, 0, leaf);
         tree->setScalar<uint64_t>(0, 1);
         return;
     }
@@ -140,11 +140,11 @@ LongBTreeOps::insert(Object *tree, int64_t new_key, Object *value) const
     if (r.split) {
         Handle guard_right(runtime_, r.right, "btree.split");
         Object *new_root = allocNode(false);
-        slots(new_root)->setRef(0, tree->ref(0));
-        slots(new_root)->setRef(1, r.right);
+        runtime_.writeRef(slots(new_root), 0, tree->ref(0));
+        runtime_.writeRef(slots(new_root), 1, r.right);
         setKey(new_root, 0, r.midKey);
         setNumKeys(new_root, 1);
-        tree->setRef(0, new_root);
+        runtime_.writeRef(tree, 0, new_root);
     }
     tree->setScalar<uint64_t>(0, size(tree) + 1);
 }
@@ -164,10 +164,10 @@ LongBTreeOps::insertRec(Object *node, int64_t new_key,
             Object *array = slots(node);
             for (uint32_t i = static_cast<uint32_t>(n); i > pos; --i) {
                 setKey(node, i, key(node, i - 1));
-                array->setRef(i, array->ref(i - 1));
+                runtime_.writeRef(array, i, array->ref(i - 1));
             }
             setKey(node, pos, new_key);
-            array->setRef(pos, value);
+            runtime_.writeRef(array, pos, value);
             setNumKeys(node, n + 1);
             return SplitResult{};
         }
@@ -180,8 +180,8 @@ LongBTreeOps::insertRec(Object *node, int64_t new_key,
         Object *right_array = slots(right);
         for (uint32_t i = half; i < kMaxKeys; ++i) {
             setKey(right, i - half, key(node, i));
-            right_array->setRef(i - half, left_array->ref(i));
-            left_array->setRef(i, nullptr);
+            runtime_.writeRef(right_array, i - half, left_array->ref(i));
+            runtime_.writeRef(left_array, i, nullptr);
         }
         setNumKeys(node, half);
         setNumKeys(right, kMaxKeys - half);
@@ -210,10 +210,10 @@ LongBTreeOps::insertRec(Object *node, int64_t new_key,
         Object *array = slots(node);
         for (uint32_t i = static_cast<uint32_t>(n); i > child_idx; --i) {
             setKey(node, i, key(node, i - 1));
-            array->setRef(i + 1, array->ref(i));
+            runtime_.writeRef(array, i + 1, array->ref(i));
         }
         setKey(node, child_idx, r.midKey);
-        array->setRef(child_idx + 1, r.right);
+        runtime_.writeRef(array, child_idx + 1, r.right);
         setNumKeys(node, n + 1);
         return SplitResult{};
     }
@@ -245,19 +245,19 @@ LongBTreeOps::insertRec(Object *node, int64_t new_key,
     Object *right_array = slots(right);
     for (uint32_t i = 0; i < mid; ++i) {
         setKey(node, i, all_keys[i]);
-        array->setRef(i, all_children[i]);
+        runtime_.writeRef(array, i, all_children[i]);
     }
-    array->setRef(mid, all_children[mid]);
+    runtime_.writeRef(array, mid, all_children[mid]);
     for (uint32_t i = mid + 1; i <= kMaxKeys; ++i)
-        array->setRef(i, nullptr);
+        runtime_.writeRef(array, i, nullptr);
     setNumKeys(node, mid);
 
     uint32_t right_n = kMaxKeys - mid;
     for (uint32_t i = 0; i < right_n; ++i) {
         setKey(right, i, all_keys[mid + 1 + i]);
-        right_array->setRef(i, all_children[mid + 1 + i]);
+        runtime_.writeRef(right_array, i, all_children[mid + 1 + i]);
     }
-    right_array->setRef(right_n, all_children[kMaxKeys + 1]);
+    runtime_.writeRef(right_array, right_n, all_children[kMaxKeys + 1]);
     setNumKeys(right, right_n);
 
     return SplitResult{true, all_keys[mid], right};
@@ -273,10 +273,10 @@ LongBTreeOps::remove(Object *tree, int64_t key_sought) const
     if (!r.value)
         return nullptr;
     if (r.childEmptied) {
-        tree->setRef(0, nullptr);
+        runtime_.writeRef(tree, 0, nullptr);
     } else if (!isLeaf(root) && numKeys(root) == 0) {
         // Collapse a root with a single child to shrink the height.
-        tree->setRef(0, slots(root)->ref(0));
+        runtime_.writeRef(tree, 0, slots(root)->ref(0));
     }
     tree->setScalar<uint64_t>(0, size(tree) - 1);
     return r.value;
@@ -294,9 +294,9 @@ LongBTreeOps::removeRec(Object *node, int64_t key_sought) const
                 Object *value = array->ref(i);
                 for (uint32_t j = i + 1; j < n; ++j) {
                     setKey(node, j - 1, key(node, j));
-                    array->setRef(j - 1, array->ref(j));
+                    runtime_.writeRef(array, j - 1, array->ref(j));
                 }
-                array->setRef(static_cast<uint32_t>(n - 1), nullptr);
+                runtime_.writeRef(array, static_cast<uint32_t>(n - 1), nullptr);
                 setNumKeys(node, n - 1);
                 return RemoveResult{value, n - 1 == 0};
             }
@@ -315,7 +315,7 @@ LongBTreeOps::removeRec(Object *node, int64_t key_sought) const
         if (n == 0) {
             // Zero-key internal node (lazy-deletion artifact) whose
             // only child emptied: this node is now empty too.
-            array->setRef(0, nullptr);
+            runtime_.writeRef(array, 0, nullptr);
             return RemoveResult{r.value, true};
         }
         // Prune the emptied child and one adjoining separator. At
@@ -324,8 +324,8 @@ LongBTreeOps::removeRec(Object *node, int64_t key_sought) const
         for (uint32_t j = key_idx + 1; j < n; ++j)
             setKey(node, j - 1, key(node, j));
         for (uint32_t j = child_idx + 1; j <= n; ++j)
-            array->setRef(j - 1, array->ref(j));
-        array->setRef(static_cast<uint32_t>(n), nullptr);
+            runtime_.writeRef(array, j - 1, array->ref(j));
+        runtime_.writeRef(array, static_cast<uint32_t>(n), nullptr);
         setNumKeys(node, n - 1);
         return RemoveResult{r.value, false};
     }
@@ -348,7 +348,7 @@ LongBTreeOps::replaceExisting(Object *tree, int64_t key_sought,
         uint64_t n = numKeys(node);
         for (uint32_t i = 0; i < n; ++i) {
             if (key(node, i) == key_sought) {
-                slots(node)->setRef(i, value);
+                runtime_.writeRef(slots(node), i, value);
                 return;
             }
         }

@@ -118,9 +118,9 @@ LusearchWorkload::setup(Runtime &runtime)
     hitsDocsSlot_ = types.get(hitsType_).slotIndex("docs");
 
     index_ = Handle(runtime, runtime.allocRaw(indexType_), "lu.index");
-    index_->setRef(indexTermsSlot_, vec_->create(kTerms));
-    index_->setRef(indexPostingsSlot_, vec_->create(kTerms));
-    index_->setRef(indexDocsSlot_, vec_->create(kDocs));
+    runtime.writeRef(index_.get(), indexTermsSlot_, vec_->create(kTerms));
+    runtime.writeRef(index_.get(), indexPostingsSlot_, vec_->create(kTerms));
+    runtime.writeRef(index_.get(), indexDocsSlot_, vec_->create(kDocs));
 
     Rng rng(0x10cea2);
 
@@ -129,7 +129,7 @@ LusearchWorkload::setup(Runtime &runtime)
         Object *doc = runtime.allocRaw(docType_);
         Handle guard(runtime, doc, "lu.doc");
         doc->setScalar<uint64_t>(0, d);
-        doc->setRef(docTitleSlot_,
+        runtime.writeRef(doc, docTitleSlot_,
                     str_->create("doc-" + std::to_string(d)));
         vec_->push(index_->ref(indexDocsSlot_), doc);
     }
@@ -177,7 +177,7 @@ LusearchWorkload::searchOnce(Runtime &runtime, MutatorContext &mutator,
 
     Object *hits = runtime.allocRaw(hitsType_, &mutator);
     Handle hguard(runtime, hits, "lu.hits");
-    hits->setRef(hitsDocsSlot_, vec_->create(16));
+    runtime.writeRef(hits, hitsDocsSlot_, vec_->create(16));
 
     // Collect the top-k merged hits, like a real top-k collector.
     constexpr uint64_t kTopK = 16;
@@ -243,7 +243,7 @@ LusearchWorkload::iterate(Runtime &runtime)
                 std::lock_guard<std::mutex> guard(heapAccess_);
                 Object *s = runtime.allocRaw(searcherType_, &mutator);
                 Handle h(runtime, s, "lu.searcher");
-                s->setRef(searcherIndexSlot_, index_.get());
+                runtime.writeRef(s, searcherIndexSlot_, index_.get());
                 s->setScalar<uint64_t>(0, t);
                 return h;
             }();

@@ -29,7 +29,7 @@ ManagedVectorOps::create(uint32_t initial_capacity) const
     Object *vec = runtime_.allocRaw(vectorType_);
     Handle root(runtime_, vec, "vector");
     Object *array = runtime_.allocArrayRaw(arrayType_, initial_capacity);
-    vec->setRef(storageSlot_, array);
+    runtime_.writeRef(vec, storageSlot_, array);
     setSize(vec, 0);
     return vec;
 }
@@ -69,7 +69,7 @@ ManagedVectorOps::set(Object *vec, uint64_t index, Object *value) const
         panic(format("ManagedVector::set index %llu out of range %llu",
                      static_cast<unsigned long long>(index),
                      static_cast<unsigned long long>(size(vec))));
-    storage(vec)->setRef(static_cast<uint32_t>(index), value);
+    runtime_.writeRef(storage(vec), static_cast<uint32_t>(index), value);
 }
 
 void
@@ -85,11 +85,11 @@ ManagedVectorOps::push(Object *vec, Object *value) const
         Object *grown = runtime_.allocArrayRaw(arrayType_, new_cap);
         array = storage(vec); // re-read: still valid (non-moving heap)
         for (uint32_t i = 0; i < n; ++i)
-            grown->setRef(i, array->ref(i));
-        vec->setRef(storageSlot_, grown);
+            runtime_.writeRef(grown, i, array->ref(i));
+        runtime_.writeRef(vec, storageSlot_, grown);
         array = grown;
     }
-    array->setRef(static_cast<uint32_t>(n), value);
+    runtime_.writeRef(array, static_cast<uint32_t>(n), value);
     setSize(vec, n + 1);
 }
 
@@ -101,9 +101,9 @@ ManagedVectorOps::removeAt(Object *vec, uint64_t index) const
         panic("ManagedVector::removeAt index out of range");
     Object *array = storage(vec);
     for (uint64_t i = index + 1; i < n; ++i)
-        array->setRef(static_cast<uint32_t>(i - 1),
+        runtime_.writeRef(array, static_cast<uint32_t>(i - 1),
                       array->ref(static_cast<uint32_t>(i)));
-    array->setRef(static_cast<uint32_t>(n - 1), nullptr);
+    runtime_.writeRef(array, static_cast<uint32_t>(n - 1), nullptr);
     setSize(vec, n - 1);
 }
 
@@ -114,9 +114,9 @@ ManagedVectorOps::swapRemoveAt(Object *vec, uint64_t index) const
     if (index >= n)
         panic("ManagedVector::swapRemoveAt index out of range");
     Object *array = storage(vec);
-    array->setRef(static_cast<uint32_t>(index),
+    runtime_.writeRef(array, static_cast<uint32_t>(index),
                   array->ref(static_cast<uint32_t>(n - 1)));
-    array->setRef(static_cast<uint32_t>(n - 1), nullptr);
+    runtime_.writeRef(array, static_cast<uint32_t>(n - 1), nullptr);
     setSize(vec, n - 1);
 }
 
@@ -126,7 +126,7 @@ ManagedVectorOps::clear(Object *vec) const
     uint64_t n = size(vec);
     Object *array = storage(vec);
     for (uint64_t i = 0; i < n; ++i)
-        array->setRef(static_cast<uint32_t>(i), nullptr);
+        runtime_.writeRef(array, static_cast<uint32_t>(i), nullptr);
     setSize(vec, 0);
 }
 

@@ -94,7 +94,7 @@ MinidbWorkload::setup(Runtime &runtime)
 
     database_ = Handle(runtime, runtime.allocRaw(databaseType_),
                        "minidb.database");
-    database_->setRef(entriesSlot_, vec_->create(1024));
+    runtime.writeRef(database_.get(), entriesSlot_, vec_->create(1024));
 
     cache_ = Handle(runtime, vec_->create(1024), "minidb.cache");
 
@@ -118,9 +118,9 @@ MinidbWorkload::makeEntry(Runtime &runtime, uint64_t id)
     Handle root(runtime, entry, "minidb.newentry");
     entry->setScalar<uint64_t>(0, id);
     entry->setScalar<uint64_t>(8, 0); // cached flag
-    entry->setRef(nameSlot_,
+    runtime.writeRef(entry, nameSlot_,
                   str_->create("entry-" + std::to_string(id)));
-    entry->setRef(payloadSlot_,
+    runtime.writeRef(entry, payloadSlot_,
                   str_->create("payload:" + std::to_string(id * 7919) +
                                ":" + std::string(32, 'x')));
     return entry;

@@ -53,7 +53,7 @@ class SwapLeakWorkload : public Workload {
     Object *makeSObject(Runtime &runtime);
 
     /** SObject.swap(other): exchange rep fields. */
-    void swap(Object *a, Object *b);
+    void swap(Runtime &runtime, Object *a, Object *b);
 
     TypeId sobjectType_ = kInvalidTypeId;
     TypeId repType_ = kInvalidTypeId;
@@ -93,7 +93,7 @@ SwapLeakWorkload::setup(Runtime &runtime)
     array_ = Handle(runtime, runtime.allocArrayRaw(arrayType_, kObjects),
                     "swapleak.array");
     for (uint32_t i = 0; i < kObjects; ++i)
-        array_->setRef(i, makeSObject(runtime));
+        runtime.writeRef(array_.get(), i, makeSObject(runtime));
 }
 
 Object *
@@ -102,17 +102,17 @@ SwapLeakWorkload::makeSObject(Runtime &runtime)
     Object *sobject = runtime.allocRaw(sobjectType_);
     Handle guard(runtime, sobject, "swapleak.new");
     Object *rep = runtime.allocRaw(repType_);
-    rep->setRef(repEnclosingSlot_, sobject);
-    sobject->setRef(sobjectRepSlot_, rep);
+    runtime.writeRef(rep, repEnclosingSlot_, sobject);
+    runtime.writeRef(sobject, sobjectRepSlot_, rep);
     return sobject;
 }
 
 void
-SwapLeakWorkload::swap(Object *a, Object *b)
+SwapLeakWorkload::swap(Runtime &runtime, Object *a, Object *b)
 {
     Object *tmp = a->ref(sobjectRepSlot_);
-    a->setRef(sobjectRepSlot_, b->ref(sobjectRepSlot_));
-    b->setRef(sobjectRepSlot_, tmp);
+    runtime.writeRef(a, sobjectRepSlot_, b->ref(sobjectRepSlot_));
+    runtime.writeRef(b, sobjectRepSlot_, tmp);
 }
 
 void
@@ -122,7 +122,7 @@ SwapLeakWorkload::iterate(Runtime &runtime)
         uint32_t slot = static_cast<uint32_t>(rng_.below(kObjects));
         Object *fresh = makeSObject(runtime);
         Handle guard(runtime, fresh, "swapleak.fresh");
-        swap(array_->ref(slot), fresh);
+        swap(runtime, array_->ref(slot), fresh);
         // The user believes `fresh` is garbage now...
         if (assertionsEnabled_)
             runtime.assertDead(fresh);

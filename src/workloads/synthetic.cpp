@@ -102,10 +102,10 @@ class BinaryTreesWorkload : public Workload {
             if (d == 0)
                 continue;
             Object *left = runtime.allocRaw(nodeType_);
-            node->setRef(0, left);
+            runtime.writeRef(node, 0, left);
             left->setScalar<uint64_t>(0, d);
             Object *right = runtime.allocRaw(nodeType_);
-            node->setRef(1, right);
+            runtime.writeRef(node, 1, right);
             right->setScalar<uint64_t>(0, d + 1);
             frontier.emplace_back(left, d - 1);
             frontier.emplace_back(right, d - 1);
@@ -169,12 +169,12 @@ class GraphChurnWorkload : public Workload {
         for (uint32_t i = 0; i < kNodes; ++i) {
             Object *node = runtime.allocRaw(nodeType_);
             node->setScalar<uint64_t>(0, i);
-            nodes_->setRef(i, node);
+            runtime.writeRef(nodes_.get(), i, node);
         }
         // Dense random wiring.
         for (uint32_t i = 0; i < kNodes; ++i)
             for (uint32_t e = 0; e < kOutDegree; ++e)
-                nodes_->ref(i)->setRef(
+                runtime.writeRef(nodes_->ref(i), 
                     e, nodes_->ref(static_cast<uint32_t>(
                            rng_.below(kNodes))));
     }
@@ -203,17 +203,17 @@ class GraphChurnWorkload : public Workload {
                 fresh->setScalar<uint64_t>(0,
                                            old->scalar<uint64_t>(0) + kNodes);
                 for (uint32_t e = 0; e < kOutDegree; ++e)
-                    fresh->setRef(e, old->ref(e));
-                nodes_->setRef(i, fresh);
+                    runtime.writeRef(fresh, e, old->ref(e));
+                runtime.writeRef(nodes_.get(), i, fresh);
             } else {
                 // Rewire one edge via a transient edge-event record,
                 // like a message-passing graph engine would allocate.
                 Object *event = runtime.allocRaw(nodeType_);
                 uint32_t e = static_cast<uint32_t>(rng_.below(kOutDegree));
                 uint32_t k = static_cast<uint32_t>(rng_.below(kNodes));
-                event->setRef(0, nodes_->ref(i));
-                event->setRef(1, nodes_->ref(k));
-                nodes_->ref(i)->setRef(e, nodes_->ref(k));
+                runtime.writeRef(event, 0, nodes_->ref(i));
+                runtime.writeRef(event, 1, nodes_->ref(k));
+                runtime.writeRef(nodes_->ref(i), e, nodes_->ref(k));
             }
         }
         if (walk_checksum == 0xdeadbeef)
@@ -264,13 +264,12 @@ class StringStormWorkload : public Workload {
         ring_ = Handle(runtime, runtime.allocArrayRaw(ringType_, kRing),
                        "stringstorm.ring");
         for (uint32_t i = 0; i < kRing; ++i)
-            ring_->setRef(i, str_->create(payload(i)));
+            runtime.writeRef(ring_.get(), i, str_->create(payload(i)));
     }
 
     void
     iterate(Runtime &runtime) override
     {
-        (void)runtime;
         for (uint32_t op = 0; op < kOpsPerIteration; ++op) {
             uint32_t slot = cursor_++ % kRing;
             // Concatenate two ring entries into a fresh string and
@@ -280,7 +279,7 @@ class StringStormWorkload : public Workload {
                 str_->read(ring_->ref((slot + 17) % kRing));
             Object *merged =
                 str_->create(a.substr(0, 48) + "|" + b.substr(0, 48));
-            ring_->setRef(slot, merged);
+            runtime.writeRef(ring_.get(), slot, merged);
         }
     }
 
@@ -346,7 +345,6 @@ class TreeWalkWorkload : public Workload {
     void
     iterate(Runtime &runtime) override
     {
-        (void)runtime; // allocations go through the captured helpers
         uint64_t found = 0;
         for (uint32_t q = 0; q < kQueriesPerIteration; ++q)
             found += lookup(static_cast<uint32_t>(rng_.below(kNodes)))
@@ -358,7 +356,7 @@ class TreeWalkWorkload : public Workload {
             Object *node =
                 findNode(static_cast<uint32_t>(rng_.below(kNodes)));
             if (node)
-                node->setRef(2, str_->create(
+                runtime.writeRef(node, 2, str_->create(
                     "payload-" + std::to_string(rng_.next() % 100000) +
                     ":" + std::string(48, 'p')));
         }
@@ -381,7 +379,7 @@ class TreeWalkWorkload : public Workload {
         Object *fresh = runtime.allocRaw(nodeType_);
         Handle guard(runtime, fresh, "treewalk.insert");
         fresh->setScalar<uint64_t>(0, key);
-        fresh->setRef(2, str_->create("p" + std::to_string(key)));
+        runtime.writeRef(fresh, 2, str_->create("p" + std::to_string(key)));
         if (!root_.get()) {
             root_.set(fresh);
             return;
@@ -391,7 +389,7 @@ class TreeWalkWorkload : public Workload {
             uint32_t slot = key < node->scalar<uint64_t>(0) ? 0 : 1;
             Object *child = node->ref(slot);
             if (!child) {
-                node->setRef(slot, fresh);
+                runtime.writeRef(node, slot, fresh);
                 return;
             }
             node = child;
@@ -470,7 +468,7 @@ class MapStressWorkload : public Workload {
             if (rng_.chance(0.5))
                 put(runtime, key);
             else
-                erase(key);
+                erase(runtime, key);
         }
     }
 
@@ -506,20 +504,20 @@ class MapStressWorkload : public Workload {
         uint32_t i = probe(key);
         while (Object *pair = slots_->ref(i)) {
             if (pair->scalar<uint64_t>(0) == key) {
-                pair->setRef(0, value); // refresh the mapping
+                runtime.writeRef(pair, 0, value); // refresh the mapping
                 return;
             }
             i = (i + 1) % capacity_;
         }
         Object *pair = runtime.allocRaw(pairType_);
         pair->setScalar<uint64_t>(0, key);
-        pair->setRef(0, value);
-        slots_->setRef(i, pair);
+        runtime.writeRef(pair, 0, value);
+        runtime.writeRef(slots_.get(), i, pair);
         ++size_;
     }
 
     void
-    erase(uint64_t key)
+    erase(Runtime &runtime, uint64_t key)
     {
         uint32_t i = probe(key);
         while (Object *pair = slots_->ref(i)) {
@@ -533,12 +531,12 @@ class MapStressWorkload : public Workload {
                         ? (home <= hole && hole < j)
                         : (home <= hole || hole < j);
                     if (movable) {
-                        slots_->setRef(hole, shift);
+                        runtime.writeRef(slots_.get(), hole, shift);
                         hole = j;
                     }
                     j = (j + 1) % capacity_;
                 }
-                slots_->setRef(hole, nullptr);
+                runtime.writeRef(slots_.get(), hole, nullptr);
                 --size_;
                 return;
             }
@@ -563,7 +561,7 @@ class MapStressWorkload : public Workload {
             uint32_t j = probe(pair->scalar<uint64_t>(0));
             while (fresh->ref(j))
                 j = (j + 1) % capacity_;
-            fresh->setRef(j, pair);
+            runtime.writeRef(fresh.get(), j, pair);
         }
         slots_.set(fresh.get());
     }
@@ -604,7 +602,7 @@ class ArrayBloatWorkload : public Workload {
                          runtime.allocArrayRaw(windowType_, kWindow),
                          "arraybloat.window");
         for (uint32_t i = 0; i < kWindow; ++i)
-            window_->setRef(i, makeBuffer(runtime, i));
+            runtime.writeRef(window_.get(), i, makeBuffer(runtime, i));
     }
 
     void
@@ -620,7 +618,7 @@ class ArrayBloatWorkload : public Workload {
             uint64_t fold = old->scalar<uint64_t>(0) ^
                 buffer->scalar<uint64_t>(0);
             buffer->setScalar<uint64_t>(0, fold);
-            window_->setRef(slot, buffer);
+            runtime.writeRef(window_.get(), slot, buffer);
         }
     }
 

@@ -86,6 +86,7 @@ Outcome
 runScenario(uint32_t mark_threads, uint64_t seed)
 {
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.infrastructure = true;
     config.recordPaths = false;
     config.markThreads = mark_threads;
@@ -227,6 +228,7 @@ TEST(ParallelMarkTest, ParallelPhaseIsRecordedInStats)
 {
     CaptureLogSink capture;
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.recordPaths = false;
     config.markThreads = 4;
     Runtime rt(config);
@@ -241,6 +243,7 @@ TEST(ParallelMarkTest, SingleThreadKeepsSequentialTrace)
 {
     CaptureLogSink capture;
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.recordPaths = false;
     config.markThreads = 1;
     Runtime rt(config);
@@ -254,6 +257,7 @@ TEST(ParallelMarkTest, PathRecordingForcesSequentialDowngrade)
 {
     CaptureLogSink capture;
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.recordPaths = true; // incompatible with parallel marking
     config.markThreads = 4;
     Runtime rt(config);
@@ -289,6 +293,7 @@ TEST(ParallelMarkTest, DeepListDoesNotOverflowOrDiverge)
     CaptureLogSink capture;
     for (uint32_t threads : {1u, 4u}) {
         RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
         config.recordPaths = false;
         config.markThreads = threads;
         Runtime rt(config);
@@ -315,6 +320,7 @@ TEST(ParallelMarkTest, MoreThreadsThanWork)
     // must still terminate promptly and correctly.
     CaptureLogSink capture;
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.recordPaths = false;
     config.markThreads = 8;
     Runtime rt(config);
@@ -331,6 +337,7 @@ TEST(ParallelMarkTest, EmptyRootSetTerminates)
 {
     CaptureLogSink capture;
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.recordPaths = false;
     config.markThreads = 4;
     Runtime rt(config);

@@ -140,6 +140,7 @@ Outcome
 runScenario(const SweepConfig &sweep, uint64_t seed)
 {
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.infrastructure = true;
     config.recordPaths = false;
     config.markThreads = 1;
@@ -397,6 +398,7 @@ TEST(ParallelSweepTest, StatsRecordConfiguration)
 {
     CaptureLogSink capture;
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.recordPaths = false;
     config.sweepThreads = 4;
     config.lazySweep = true;
@@ -413,6 +415,7 @@ TEST(ParallelSweepTest, LazyBlocksFinishInNextGcPrologue)
 {
     CaptureLogSink capture;
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.recordPaths = false;
     config.lazySweep = true;
     Runtime rt(config);
@@ -434,6 +437,7 @@ TEST(ParallelSweepTest, AllocationFinishesLazyPendingBlock)
 {
     CaptureLogSink capture;
     RuntimeConfig config;
+    config.generational = false; // harness holds unrooted raw pointers
     config.recordPaths = false;
     config.lazySweep = true;
     Runtime rt(config);

@@ -35,6 +35,9 @@ tlabConfig()
     config.infrastructure = false;
     config.recordPaths = false;
     config.tlab = true;
+    // The scenarios hold unrooted raw pointers between allocations,
+    // which the generational env leg would invalidate.
+    config.generational = false;
     return config;
 }
 
