@@ -141,5 +141,23 @@ printHeader(const std::string &figure, const std::string &what,
                 "=====\n");
 }
 
+void
+emitBenchJson(const std::string &json, const char *default_path)
+{
+    std::printf("\n  %s\n", json.c_str());
+    const char *env = std::getenv("GCASSERT_BENCH_JSON");
+    std::string path = env ? env : default_path;
+    if (path.empty())
+        return;
+    if (FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+        std::fprintf(stderr, "  JSON written to %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "  WARNING: cannot write %s\n",
+                     path.c_str());
+    }
+}
+
 } // namespace bench
 } // namespace gcassert

@@ -89,6 +89,14 @@ void printOverheadTable(const std::string &title,
 void printHeader(const std::string &figure, const std::string &what,
                  const std::string &paper_result);
 
+/**
+ * Emit a bench JSON record: echo @p json to stdout and write it to
+ * GCASSERT_BENCH_JSON (default @p default_path; the empty string
+ * disables the file). @p json should come from a JsonWriter so the
+ * whole BENCH_ ledger shares one serializer.
+ */
+void emitBenchJson(const std::string &json, const char *default_path);
+
 } // namespace bench
 } // namespace gcassert
 

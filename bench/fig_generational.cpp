@@ -32,6 +32,7 @@
 
 #include "bench_util.h"
 #include "runtime/runtime.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/stopwatch.h"
 #include "workloads/registry.h"
@@ -152,37 +153,27 @@ main()
                     static_cast<unsigned long long>(p.nurseryPromoted));
 
     // JSON record for the repo's BENCH_ ledger.
-    std::string json = "{\"bench\":\"generational\",\"repeats\":" +
-                       std::to_string(repeats) + ",\"nurseryKb\":" +
-                       std::to_string(nursery_kb) + ",\"points\":[";
-    for (size_t i = 0; i < points.size(); ++i) {
-        const GenPoint &p = points[i];
-        char buf[256];
-        std::snprintf(buf, sizeof buf,
-                      "%s{\"workload\":\"%s\",\"minorMsAvg\":%.3f,"
-                      "\"minorMsMax\":%.3f,\"fullMsAvg\":%.3f,"
-                      "\"fullMsMax\":%.3f,\"minorCollections\":%llu,"
-                      "\"fullCollections\":%llu,"
-                      "\"nurseryPromoted\":%llu}",
-                      i ? "," : "", p.workload.c_str(), p.minorMsAvg,
-                      p.minorMsMax, p.fullMsAvg, p.fullMsMax,
-                      static_cast<unsigned long long>(p.minorCollections),
-                      static_cast<unsigned long long>(p.fullCollections),
-                      static_cast<unsigned long long>(p.nurseryPromoted));
-        json += buf;
+    JsonWriter w;
+    w.beginObject()
+        .field("bench", "generational")
+        .field("repeats", repeats)
+        .field("nurseryKb", nursery_kb)
+        .key("points")
+        .beginArray();
+    for (const GenPoint &p : points) {
+        w.beginObject()
+            .field("workload", p.workload)
+            .field("minorMsAvg", p.minorMsAvg)
+            .field("minorMsMax", p.minorMsMax)
+            .field("fullMsAvg", p.fullMsAvg)
+            .field("fullMsMax", p.fullMsMax)
+            .field("minorCollections", p.minorCollections)
+            .field("fullCollections", p.fullCollections)
+            .field("nurseryPromoted", p.nurseryPromoted)
+            .endObject();
     }
-    json += "]}";
-    std::printf("\n  %s\n", json.c_str());
-
-    const char *json_path = std::getenv("GCASSERT_BENCH_JSON");
-    std::string path = json_path ? json_path : "BENCH_generational.json";
-    if (!path.empty()) {
-        if (FILE *f = std::fopen(path.c_str(), "w")) {
-            std::fprintf(f, "%s\n", json.c_str());
-            std::fclose(f);
-            std::fprintf(stderr, "  JSON written to %s\n", path.c_str());
-        }
-    }
+    w.endArray().endObject();
+    emitBenchJson(w.str(), "BENCH_generational.json");
 
     // The nursery exists to shorten reclamation pauses; a minor
     // pause at or above the full pause is a regression, not noise.

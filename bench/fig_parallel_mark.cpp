@@ -21,6 +21,7 @@
 
 #include "bench_util.h"
 #include "runtime/runtime.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -142,6 +143,26 @@ main()
                     p.threads, p.markSecondsPerGc * 1e3,
                     base / p.markSecondsPerGc, p.stealsPerGc,
                     static_cast<unsigned long long>(p.marked));
+
+    // JSON record for the repo's BENCH_ ledger.
+    JsonWriter w;
+    w.beginObject()
+        .field("bench", "parallel_mark")
+        .field("objects", num_objects)
+        .field("repeats", repeats)
+        .field("hostCores", cores)
+        .key("points")
+        .beginArray();
+    for (const SweepPoint &p : points) {
+        w.beginObject()
+            .field("threads", p.threads)
+            .field("markMsPerGc", p.markSecondsPerGc * 1e3)
+            .field("stealsPerGc", p.stealsPerGc)
+            .field("marked", p.marked)
+            .endObject();
+    }
+    w.endArray().endObject();
+    emitBenchJson(w.str(), "BENCH_parallel_mark.json");
 
     // The graph is identical across configurations, so divergent
     // mark counts indicate a tracer bug, not noise.

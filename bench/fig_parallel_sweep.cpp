@@ -34,6 +34,7 @@
 
 #include "bench_util.h"
 #include "runtime/runtime.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/rng.h"
 #include "support/stopwatch.h"
@@ -178,35 +179,25 @@ main()
                     static_cast<unsigned long long>(p.sweptPerGc));
 
     // JSON record for the repo's BENCH_ ledger.
-    std::string json = "{\"bench\":\"parallel_sweep\",\"garbageObjects\":" +
-                       std::to_string(num_objects) +
-                       ",\"repeats\":" + std::to_string(repeats) +
-                       ",\"hostCores\":" + std::to_string(cores) +
-                       ",\"points\":[";
-    for (size_t i = 0; i < points.size(); ++i) {
-        const SweepPoint &p = points[i];
-        char buf[160];
-        std::snprintf(buf, sizeof buf,
-                      "%s{\"threads\":%u,\"lazy\":%s,"
-                      "\"sweepMsPerGc\":%.3f,\"maxPauseMs\":%.3f,"
-                      "\"sweptPerGc\":%llu}",
-                      i ? "," : "", p.threads, p.lazy ? "true" : "false",
-                      p.sweepMsPerGc, p.maxPauseMs,
-                      static_cast<unsigned long long>(p.sweptPerGc));
-        json += buf;
+    JsonWriter w;
+    w.beginObject()
+        .field("bench", "parallel_sweep")
+        .field("garbageObjects", num_objects)
+        .field("repeats", repeats)
+        .field("hostCores", cores)
+        .key("points")
+        .beginArray();
+    for (const SweepPoint &p : points) {
+        w.beginObject()
+            .field("threads", p.threads)
+            .field("lazy", p.lazy)
+            .field("sweepMsPerGc", p.sweepMsPerGc)
+            .field("maxPauseMs", p.maxPauseMs)
+            .field("sweptPerGc", p.sweptPerGc)
+            .endObject();
     }
-    json += "]}";
-    std::printf("\n  %s\n", json.c_str());
-
-    const char *json_path = std::getenv("GCASSERT_BENCH_JSON");
-    std::string path = json_path ? json_path : "BENCH_parallel_sweep.json";
-    if (!path.empty()) {
-        if (FILE *f = std::fopen(path.c_str(), "w")) {
-            std::fprintf(f, "%s\n", json.c_str());
-            std::fclose(f);
-            std::fprintf(stderr, "  JSON written to %s\n", path.c_str());
-        }
-    }
+    w.endArray().endObject();
+    emitBenchJson(w.str(), "BENCH_parallel_sweep.json");
 
     // Identical workload => identical per-GC freed counts; anything
     // else is a sweeper bug, not noise.

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * CI telemetry smoke checker: runs the figure workload suite with
+ * every observability knob on (phase tracing, metrics, census every
+ * GC), validates each emitted JSON artifact with the in-tree parser,
+ * and enforces an overhead tripwire against interleaved knobs-off
+ * runs of the same workloads.
+ *
+ * Checks per workload:
+ *  - the Chrome trace file parses, has a traceEvents array, and
+ *    contains at least one full_gc span with mark/sweep sub-phases;
+ *  - the census snapshot is present, internally consistent (row sums
+ *    equal totals), and serializes to valid JSON;
+ *  - the metrics snapshot parses and its gc.collections gauge agrees
+ *    with GcStats;
+ *  - every violation's toJson() (with provenance) parses.
+ *
+ * Tripwire: the geometric-mean slowdown of telemetry-on over
+ * telemetry-off runs must stay at or below
+ * GCASSERT_SMOKE_MAX_OVERHEAD_PCT (default 2%). Honors the usual
+ * GCASSERT_GENERATIONAL / GCASSERT_SWEEP_THREADS / ... env defaults,
+ * so the CI matrix reuses one binary for every leg.
+ *
+ * Exit status: 0 on success, 1 on any validation failure or a
+ * tripped overhead bound.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/runtime.h"
+#include "support/json.h"
+#include "support/logging.h"
+#include "support/stats.h"
+#include "support/stopwatch.h"
+#include "workloads/registry.h"
+#include "workloads/workload.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+int failures = 0;
+
+void
+fail(const std::string &what)
+{
+    std::fprintf(stderr, "  FAIL: %s\n", what.c_str());
+    ++failures;
+}
+
+/** Parse @p text, failing the run (with context) on error. */
+bool
+parseChecked(const std::string &text, const std::string &what,
+             JsonValue &out)
+{
+    std::string error;
+    if (!jsonParse(text, out, &error)) {
+        fail(what + ": invalid JSON: " + error);
+        return false;
+    }
+    return true;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::string out;
+    if (FILE *f = std::fopen(path.c_str(), "rb")) {
+        char buf[65536];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            out.append(buf, n);
+        std::fclose(f);
+    }
+    return out;
+}
+
+/** Validate the in-runtime artifacts (census, metrics, violations). */
+void
+validateRuntimeArtifacts(const std::string &name, Runtime &rt)
+{
+    CensusSnapshot census = rt.latestCensus();
+    if (census.empty()) {
+        fail(name + ": no census despite censusEvery=1");
+    } else {
+        uint64_t objects = 0, bytes = 0;
+        for (const CensusRow &row : census.rows) {
+            objects += row.liveObjects;
+            bytes += row.liveBytes;
+        }
+        if (objects != census.totalObjects ||
+            bytes != census.totalBytes)
+            fail(name + ": census rows disagree with totals");
+        JsonValue parsed;
+        parseChecked(census.toJson(), name + ": census", parsed);
+    }
+
+    JsonValue metrics;
+    if (parseChecked(rt.telemetry()->metrics().toJson(),
+                     name + ": metrics", metrics)) {
+        const JsonValue *gauges = metrics.find("gauges");
+        const JsonValue *collections =
+            gauges ? gauges->find("gc.collections") : nullptr;
+        if (!collections ||
+            collections->number !=
+                static_cast<double>(rt.gcStats().collections))
+            fail(name + ": gc.collections gauge disagrees with stats");
+    }
+
+    for (const Violation &v : rt.violations()) {
+        JsonValue parsed;
+        if (!parseChecked(v.toJson(), name + ": violation", parsed))
+            break;
+        if (v.provenanceJson.empty()) {
+            fail(name + ": violation missing provenance");
+            break;
+        }
+    }
+}
+
+/** Validate the flushed Chrome trace file. */
+void
+validateTraceFile(const std::string &name, const std::string &path,
+                  bool expect_minor)
+{
+    JsonValue root;
+    if (!parseChecked(readFile(path), name + ": trace file", root))
+        return;
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || !events->isArray() || events->array.empty()) {
+        fail(name + ": trace has no traceEvents");
+        return;
+    }
+    bool full = false, mark = false, sweep = false, minor = false;
+    for (const JsonValue &ev : events->array) {
+        const JsonValue *nm = ev.find("name");
+        const JsonValue *ph = ev.find("ph");
+        const JsonValue *ts = ev.find("ts");
+        if (!nm || !nm->isString() || !ph || !ts || !ts->isNumber()) {
+            fail(name + ": malformed trace event");
+            return;
+        }
+        if (ph->string == "X") {
+            const JsonValue *dur = ev.find("dur");
+            if (!dur || !dur->isNumber() || dur->number < 0) {
+                fail(name + ": X event without a valid dur");
+                return;
+            }
+        }
+        full |= nm->string == "full_gc";
+        mark |= nm->string == "mark";
+        sweep |= nm->string == "sweep";
+        minor |= nm->string == "minor_gc";
+    }
+    if (!full || !mark || !sweep)
+        fail(name + ": trace missing full_gc/mark/sweep spans");
+    if (expect_minor && !minor)
+        fail(name + ": generational run produced no minor_gc span");
+}
+
+/**
+ * One measured workload run. Telemetry-on runs also validate every
+ * artifact; validation happens outside the timed region so the
+ * tripwire measures the recording cost, not the checking cost.
+ */
+double
+runOnce(const std::string &name, bool telemetry, uint32_t iterations)
+{
+    auto workload = WorkloadRegistry::instance().create(name);
+    RuntimeConfig config =
+        RuntimeConfig::infra(2 * workload->minHeapBytes());
+    std::string trace_path = "telemetry_smoke_" + name + ".trace.json";
+    if (telemetry) {
+        config.observe.traceFile = trace_path;
+        config.observe.metricsSink =
+            "telemetry_smoke_" + name + ".metrics.json";
+        config.observe.censusEvery = 1;
+    } else {
+        config.observe.traceFile.clear();
+        config.observe.metricsSink.clear();
+        config.observe.censusEvery = 0;
+    }
+
+    double seconds = 0.0;
+    uint64_t minors = 0;
+    {
+        Runtime rt(config);
+        uint64_t t0 = nowNanos();
+        workload->setup(rt);
+        workload->enableAssertions(rt);
+        for (uint32_t i = 0; i < iterations; ++i)
+            workload->iterate(rt);
+        workload->teardown(rt);
+        rt.collect();
+        seconds = static_cast<double>(nowNanos() - t0) * 1e-9;
+        minors = rt.gcStats().minorCollections;
+        if (telemetry)
+            validateRuntimeArtifacts(name, rt);
+    } // destructor flushes the trace and metrics files
+    if (telemetry) {
+        validateTraceFile(name, trace_path, minors > 0);
+        std::remove(trace_path.c_str());
+        std::remove(
+            ("telemetry_smoke_" + name + ".metrics.json").c_str());
+    }
+    return seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    std::printf("telemetry smoke: JSON validation + overhead tripwire\n");
+
+    const uint64_t repeats = envOr("GCASSERT_SMOKE_REPEATS", 3);
+    const uint64_t iterations = envOr("GCASSERT_SMOKE_ITERATIONS", 2);
+    const double max_overhead_pct = [] {
+        const char *env = std::getenv("GCASSERT_SMOKE_MAX_OVERHEAD_PCT");
+        return env ? std::atof(env) : 2.0;
+    }();
+
+    std::vector<double> medians;
+    std::printf("\n  %-14s %10s %10s %9s\n", "workload", "off ms",
+                "on ms", "overhead");
+    for (const std::string &name : figureSuite()) {
+        SampleSet ratios;
+        double off_med = 0.0, on_med = 0.0;
+        SampleSet off_samples, on_samples;
+        for (uint64_t r = 0; r < repeats; ++r) {
+            double off = runOnce(name, false,
+                                 static_cast<uint32_t>(iterations));
+            double on = runOnce(name, true,
+                                static_cast<uint32_t>(iterations));
+            off_samples.add(off);
+            on_samples.add(on);
+            if (off > 0)
+                ratios.add(on / off);
+        }
+        off_med = off_samples.median();
+        on_med = on_samples.median();
+        double ratio = ratios.empty() ? 1.0 : ratios.median();
+        medians.push_back(ratio);
+        std::printf("  %-14s %8.1f   %8.1f   %+7.2f%%\n", name.c_str(),
+                    off_med * 1e3, on_med * 1e3, (ratio - 1.0) * 100.0);
+    }
+
+    double gm = geomean(medians);
+    std::printf("\n  geomean telemetry overhead: %+.2f%% (bound: "
+                "%.2f%%)\n", (gm - 1.0) * 100.0, max_overhead_pct);
+    if ((gm - 1.0) * 100.0 > max_overhead_pct) {
+        std::fprintf(stderr,
+                     "  FAIL: telemetry overhead %.2f%% exceeds the "
+                     "%.2f%% tripwire\n",
+                     (gm - 1.0) * 100.0, max_overhead_pct);
+        ++failures;
+    }
+
+    if (failures) {
+        std::fprintf(stderr, "\ntelemetry smoke: %d failure(s)\n",
+                     failures);
+        return 1;
+    }
+    std::printf("\ntelemetry smoke: all checks passed\n");
+    return 0;
+}

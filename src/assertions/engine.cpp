@@ -214,6 +214,10 @@ AssertionEngine::report(Violation violation)
 {
     ++stats_.violationsReported;
     Reaction reaction = reactions_.forKind(violation.kind);
+    // Enrich before recording so the stored violation carries the
+    // provenance; the observer adds context only, never verdicts.
+    if (violationObserver_)
+        violationObserver_(violation);
     violations_.push_back(violation);
     warn(violation.toString());
     reactions_.notify(violations_.back());
@@ -244,6 +248,7 @@ AssertionEngine::reportPending(std::vector<PendingViolation> pending)
         Violation v;
         v.kind = pv.kind;
         v.offendingType = typeNameOf(pv.obj);
+        v.offendingAddress = pv.obj;
         v.gcNumber = gcNumber_;
         v.message = std::move(pv.message);
         report(std::move(v));

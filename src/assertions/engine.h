@@ -13,6 +13,7 @@
 #define GCASSERT_ASSERTIONS_ENGINE_H
 
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
 #include <vector>
 
@@ -164,6 +165,20 @@ class AssertionEngine {
     void report(Violation violation);
 
     /**
+     * Install an observer invoked on every violation before it is
+     * recorded, free to *add* context (the telemetry layer fills
+     * Violation::provenanceJson and emits a trace event here) but
+     * expected never to alter the verdict fields — observers must not
+     * change kind, message, or gcNumber, so verdict streams stay
+     * identical with telemetry on or off. One observer; an empty
+     * function clears it.
+     */
+    void setViolationObserver(std::function<void(Violation &)> observer)
+    {
+        violationObserver_ = std::move(observer);
+    }
+
+    /**
      * One-report-per-object-per-GC filter.
      * @return true if @p obj has already been reported this GC
      *         (and records it otherwise).
@@ -224,6 +239,8 @@ class AssertionEngine {
     std::vector<Violation> violations_;
     std::unordered_set<const Object *> reportedThisGc_;
     uint64_t gcNumber_ = 0;
+    /** Telemetry enrichment hook (see setViolationObserver). */
+    std::function<void(Violation &)> violationObserver_;
 
     /** @name Barrier-fed dirty sets (consumed by onTraceDone)
      *  @{ */

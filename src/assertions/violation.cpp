@@ -1,5 +1,9 @@
 #include "assertions/violation.h"
 
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/json.h"
 #include "support/strutil.h"
 
 namespace gcassert {
@@ -36,6 +40,45 @@ Violation::toString() const
         out += join(hops, " ->\n") + "\n";
     }
     return out;
+}
+
+namespace {
+
+std::string
+addressString(const void *p)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%" PRIxPTR,
+                  reinterpret_cast<uintptr_t>(p));
+    return buf;
+}
+
+} // namespace
+
+std::string
+Violation::toJson() const
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("kind", assertionKindName(kind))
+        .field("message", message)
+        .field("type", offendingType)
+        .field("root", rootName)
+        .field("gc", gcNumber);
+    if (offendingAddress)
+        w.field("address", addressString(offendingAddress));
+    w.key("path").beginArray();
+    for (const PathEntry &entry : path) {
+        w.beginObject()
+            .field("type", entry.typeName)
+            .field("address", addressString(entry.address))
+            .endObject();
+    }
+    w.endArray();
+    if (!provenanceJson.empty())
+        w.key("provenance").valueRaw(provenanceJson);
+    w.endObject();
+    return w.str();
 }
 
 } // namespace gcassert

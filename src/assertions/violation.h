@@ -72,6 +72,20 @@ struct Violation {
     uint64_t gcNumber = 0;
 
     /**
+     * Address of the offending object (stable: the heap is
+     * non-moving), nullptr for type-level violations
+     * (instances/volume) where no single object offends.
+     */
+    const void *offendingAddress = nullptr;
+
+    /**
+     * Provenance context attached by the telemetry layer's violation
+     * observer (heap snapshot, region/nursery info, top census rows)
+     * as a verbatim JSON object; empty when telemetry is off.
+     */
+    std::string provenanceJson;
+
+    /**
      * Render in the style of the paper's Figure 1:
      *
      *   Warning: an object that was asserted dead is reachable.
@@ -80,6 +94,13 @@ struct Violation {
      *   Company -> Object[] -> ... -> Order
      */
     std::string toString() const;
+
+    /**
+     * Full machine-readable report: kind, message, type, root, path,
+     * GC number, offending address, and the provenance object when
+     * present — all through the shared JSON writer.
+     */
+    std::string toJson() const;
 };
 
 } // namespace gcassert

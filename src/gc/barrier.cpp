@@ -22,6 +22,8 @@ struct BarrierContext {
     Heap *heap;
     RememberedSet *remset;
     AssertionEngine *engine;
+    /** Telemetry: slow-path entries for this runtime (may be null). */
+    std::atomic<uint64_t> *slowHits;
 };
 
 std::mutex &
@@ -61,6 +63,15 @@ writeBarrierSlow(Object *src, Object **slot, Object *target)
     // under the registry lock so each latch fires exactly once.
     std::lock_guard<std::mutex> guard(registryMutex());
 
+    // Telemetry: attribute the slow-path entry to the runtime that
+    // owns the mutated object. Latch bits bound how often this runs
+    // (at most once per object/bit per GC cycle), so the extra probe
+    // costs nothing on the store fast path.
+    if (BarrierContext *ctx = contextOwning(src)) {
+        if (ctx->slowHits)
+            ctx->slowHits->fetch_add(1, std::memory_order_relaxed);
+    }
+
     uint32_t sf = src->rawFlagsAtomic();
     uint32_t tf = target ? target->rawFlagsAtomic() : 0;
 
@@ -99,11 +110,13 @@ writeBarrierSlow(Object *src, Object **slot, Object *target)
 } // namespace detail
 
 BarrierScope::BarrierScope(Heap &heap, RememberedSet &remset,
-                           AssertionEngine &engine)
+                           AssertionEngine &engine,
+                           std::atomic<uint64_t> *slow_hits)
     : heap_(heap)
 {
     std::lock_guard<std::mutex> guard(registryMutex());
-    registry().push_back(BarrierContext{&heap, &remset, &engine});
+    registry().push_back(
+        BarrierContext{&heap, &remset, &engine, slow_hits});
     detail::g_writeBarriersArmed.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -29,6 +29,9 @@
 #ifndef GCASSERT_GC_BARRIER_H
 #define GCASSERT_GC_BARRIER_H
 
+#include <atomic>
+#include <cstdint>
+
 #include "heap/object.h"
 
 namespace gcassert {
@@ -45,8 +48,14 @@ class AssertionEngine;
  */
 class BarrierScope {
   public:
+    /**
+     * @param slow_hits Optional telemetry counter bumped once per
+     *        slow-path entry attributed to this runtime's heap (the
+     *        metrics registry reads it as a gauge). May be nullptr.
+     */
     BarrierScope(Heap &heap, RememberedSet &remset,
-                 AssertionEngine &engine);
+                 AssertionEngine &engine,
+                 std::atomic<uint64_t> *slow_hits = nullptr);
     ~BarrierScope();
 
     BarrierScope(const BarrierScope &) = delete;

@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "gc/mark_deque.h"
+#include "observe/telemetry.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/strutil.h"
 
@@ -26,6 +28,49 @@ void
 Collector::addFreeHook(std::function<void(Object *)> hook)
 {
     freeHooks_.push_back(std::move(hook));
+}
+
+void
+Collector::setTelemetry(Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+}
+
+void
+Collector::beginCensus(uint64_t gc_number)
+{
+    censusActive_ = false;
+    if (!telemetry_)
+        return;
+    uint32_t every = telemetry_->config().censusEvery;
+    if (censusRequested_ || (every != 0 && gc_number % every == 0)) {
+        censusActive_ = true;
+        censusCounts_.assign(types_.size(), 0);
+        censusBytes_.assign(types_.size(), 0);
+    }
+}
+
+void
+Collector::finishCensus(uint64_t gc_number)
+{
+    if (!censusActive_)
+        return;
+    CensusSnapshot census;
+    census.gcNumber = gc_number;
+    for (size_t i = 0; i < censusCounts_.size(); ++i) {
+        if (censusCounts_[i] == 0)
+            continue;
+        census.rows.push_back(
+            CensusRow{types_.get(static_cast<TypeId>(i)).name(),
+                      censusCounts_[i], censusBytes_[i]});
+        census.totalObjects += censusCounts_[i];
+        census.totalBytes += censusBytes_[i];
+    }
+    census.sortByBytes();
+    telemetry_->metrics().counter("observe.census_taken")->increment();
+    telemetry_->setCensus(std::move(census));
+    censusActive_ = false;
+    censusRequested_ = false;
 }
 
 void
@@ -144,6 +189,8 @@ Collector::mnDrain()
 MinorCollectionResult
 Collector::minorCollect()
 {
+    TraceRecorder *tr = telemetry_ ? telemetry_->recorder() : nullptr;
+    uint64_t t0 = tr ? nowNanos() : 0;
     ScopedTimer timer(stats_.minorGc);
     ++stats_.minorCollections;
     worklist_.clear();
@@ -219,6 +266,16 @@ Collector::minorCollect()
     // a non-generational run's (same objects, earlier collection).
     stats_.objectsSwept += swept.freedObjects;
     stats_.bytesSwept += swept.freedBytes;
+    if (tr) {
+        JsonWriter a;
+        a.beginObject()
+            .field("promoted", result.promoted)
+            .field("freedObjects", result.freedObjects)
+            .field("freedBytes", result.freedBytes)
+            .field("remsetSources", result.remsetSources)
+            .endObject();
+        tr->complete("minor_gc", "gc", t0, nowNanos(), 0, a.str());
+    }
     return result;
 }
 
@@ -226,6 +283,16 @@ template <bool kInfra, bool kPath>
 CollectionResult
 Collector::collectImpl()
 {
+    // Telemetry is all-or-nothing per collection: the recorder
+    // pointer is read once here, so every phase boundary below pays
+    // exactly one null test when tracing is off. Recording never
+    // mutates collector state the algorithm reads — only timestamps
+    // and stats snapshots flow out — so traced and untraced runs are
+    // behaviorally identical by construction.
+    TraceRecorder *tr = telemetry_ ? telemetry_->recorder() : nullptr;
+    traceActive_ = tr != nullptr;
+    uint64_t gc_begin = tr ? nowNanos() : 0;
+
     ScopedTimer total(stats_.totalGc);
 
     // Prologue: finish any block whose previous (lazy) sweep is
@@ -233,8 +300,16 @@ Collector::collectImpl()
     // bits that would wrongly short-circuit this trace, so the
     // finish must complete before any marking.
     {
+        uint64_t t0 = tr ? nowNanos() : 0;
         ScopedTimer t(stats_.lazyFinishPhase);
-        stats_.lazyBlocksFinishedAtGc += heap_.finishLazySweep();
+        uint64_t finished = heap_.finishLazySweep();
+        stats_.lazyBlocksFinishedAtGc += finished;
+        if (tr) {
+            JsonWriter a;
+            a.beginObject().field("blocksFinished", finished).endObject();
+            tr->complete("lazy_finish", "gc", t0, nowNanos(), 0,
+                         a.str());
+        }
     }
 
     // Generational prologue: promote the entire nursery wholesale and
@@ -252,6 +327,7 @@ Collector::collectImpl()
     markedThisGc_ = 0;
     stats_.owneeChecksLastGc = 0;
     uint64_t violations_before = engine_.stats().violationsReported;
+    beginCensus(stats_.collections);
 
     worklist_.clear();
     hasWeak_ = types_.hasWeakTypes();
@@ -263,22 +339,56 @@ Collector::collectImpl()
     // Phase 1: ownership scan (only with assertion infrastructure
     // and registered owner/ownee pairs).
     if (kInfra && !engine_.ownership().empty()) {
-        ScopedTimer t(stats_.ownershipPhase);
-        ownershipPhase<kPath>();
+        uint64_t t0 = tr ? nowNanos() : 0;
+        uint64_t dirty_before = stats_.dirtyOwnerScans;
+        uint64_t clean_before = stats_.cleanOwnerScans;
+        {
+            ScopedTimer t(stats_.ownershipPhase);
+            ownershipPhase<kPath>();
+        }
+        if (tr) {
+            JsonWriter a;
+            a.beginObject()
+                .field("dirtyOwnerScans",
+                       stats_.dirtyOwnerScans - dirty_before)
+                .field("cleanOwnerScans",
+                       stats_.cleanOwnerScans - clean_before)
+                .field("owneeChecks", stats_.owneeChecksLastGc)
+                .endObject();
+            tr->complete("ownership_scan", "gc", t0, nowNanos(), 0,
+                         a.str());
+        }
     }
 
     // Phase 2: root scan and full trace. Parallel marking never
     // runs with path recording (collect() downgrades instead).
     {
-        ScopedTimer t(stats_.tracePhase);
-        if constexpr (!kPath) {
-            if (config_.markThreads > 1) {
-                parallelMarkPhase<kInfra>();
+        uint64_t t0 = tr ? nowNanos() : 0;
+        uint64_t steals_before = stats_.markSteals;
+        bool parallel = false;
+        {
+            ScopedTimer t(stats_.tracePhase);
+            if constexpr (!kPath) {
+                if (config_.markThreads > 1) {
+                    parallel = true;
+                    parallelMarkPhase<kInfra>();
+                } else {
+                    rootScanPhase<kInfra, kPath>();
+                }
             } else {
                 rootScanPhase<kInfra, kPath>();
             }
-        } else {
-            rootScanPhase<kInfra, kPath>();
+        }
+        if (tr) {
+            JsonWriter a;
+            a.beginObject()
+                .field("marked", markedThisGc_)
+                .field("parallel", parallel)
+                .field("workers",
+                       uint64_t{parallel ? config_.markThreads : 1})
+                .field("steals", stats_.markSteals - steals_before)
+                .endObject();
+            tr->complete("mark", "gc", t0, nowNanos(), 0, a.str());
         }
     }
 
@@ -299,17 +409,35 @@ Collector::collectImpl()
 
     // Phase 3: end-of-trace assertion work.
     if (kInfra) {
-        ScopedTimer t(stats_.finishPhase);
-        engine_.onTraceDone();
+        uint64_t t0 = tr ? nowNanos() : 0;
+        uint64_t violations_so_far =
+            engine_.stats().violationsReported - violations_before;
+        {
+            ScopedTimer t(stats_.finishPhase);
+            engine_.onTraceDone();
+        }
+        if (tr) {
+            JsonWriter a;
+            a.beginObject()
+                .field("violations",
+                       engine_.stats().violationsReported -
+                           violations_before - violations_so_far)
+                .endObject();
+            tr->complete("finish", "gc", t0, nowNanos(), 0, a.str());
+        }
     }
 
     // Phase 4: sweep.
     CollectionResult result;
     {
+        uint64_t t0 = tr ? nowNanos() : 0;
+        std::vector<SweepWorkerSpan> worker_spans;
         ScopedTimer t(stats_.sweepPhase);
         SweepOptions sweep_options;
         sweep_options.threads = config_.sweepThreads;
         sweep_options.lazy = config_.lazySweep;
+        if (tr)
+            sweep_options.workerSpans = &worker_spans;
         if (kInfra || !freeHooks_.empty()) {
             result.sweep = heap_.sweep(
                 [this](Object *obj) {
@@ -329,6 +457,31 @@ Collector::collectImpl()
             ++stats_.parallelSweepPhases;
         if (sweep_options.lazy)
             ++stats_.lazySweepGcs;
+        if (tr) {
+            for (size_t w = 0; w < worker_spans.size(); ++w) {
+                const SweepWorkerSpan &span = worker_spans[w];
+                if (span.endNanos == 0)
+                    continue;
+                JsonWriter a;
+                a.beginObject()
+                    .field("blocks", span.blocks)
+                    .field("objects", span.objects)
+                    .endObject();
+                tr->complete("sweep_worker", "gc.worker",
+                             span.beginNanos, span.endNanos,
+                             static_cast<uint32_t>(w + 1), a.str());
+            }
+            JsonWriter a;
+            a.beginObject()
+                .field("freedObjects", result.sweep.freedObjects)
+                .field("freedBytes", result.sweep.freedBytes)
+                .field("liveObjects", result.sweep.liveObjects)
+                .field("liveBytes", result.sweep.liveBytes)
+                .field("threads", uint64_t{sweep_options.threads})
+                .field("lazy", sweep_options.lazy)
+                .endObject();
+            tr->complete("sweep", "gc", t0, nowNanos(), 0, a.str());
+        }
     }
 
     result.marked = markedThisGc_;
@@ -343,6 +496,23 @@ Collector::collectImpl()
     stats_.violations += result.violations;
     stats_.maxWorklistDepth =
         std::max<uint64_t>(stats_.maxWorklistDepth, worklist_.highWater());
+
+    // Census first (the whole-pause span advertises whether one was
+    // taken), then the enclosing full-GC span.
+    bool census_taken = censusActive_;
+    finishCensus(stats_.collections);
+    if (tr) {
+        JsonWriter a;
+        a.beginObject()
+            .field("gc", stats_.collections)
+            .field("marked", result.marked)
+            .field("freedObjects", result.sweep.freedObjects)
+            .field("violations", result.violations)
+            .field("census", census_taken)
+            .endObject();
+        tr->complete("full_gc", "gc", gc_begin, nowNanos(), 0, a.str());
+    }
+    traceActive_ = false;
     return result;
 }
 
@@ -361,6 +531,13 @@ Collector::markObject(Object *obj)
         if (types_.trackedFlags()[type])
             types_.bumpInstanceCount(type, obj->sizeBytes());
     }
+    // Census piggybacks on the mark win exactly as instance tracking
+    // does — zero extra traversal, just a tally per newly-live object.
+    if (censusActive_) [[unlikely]] {
+        TypeId type = obj->typeId();
+        ++censusCounts_[type];
+        censusBytes_[type] += obj->sizeBytes();
+    }
 }
 
 template <bool kPath>
@@ -373,6 +550,7 @@ Collector::reportPathViolation(AssertionKind kind, Object *obj,
     v.offendingType = engine_.typeNameOf(obj);
     v.gcNumber = stats_.collections;
     v.message = message;
+    v.offendingAddress = obj;
     if (kPath) {
         std::vector<const Object *> path = paths_.buildPath(worklist_, obj);
         // Phase-1 scans attribute the path to the owner or ownee
@@ -748,6 +926,12 @@ struct Collector::MarkWorker {
     /** Dense per-type tallies, indexed by TypeId (kInfra only). */
     std::vector<uint64_t> instanceCounts;
     std::vector<uint64_t> instanceBytes;
+    /** Per-type census tallies (armed only when a census is active). */
+    std::vector<uint64_t> censusCounts;
+    std::vector<uint64_t> censusBytes;
+    /** Wall-clock span of this worker's run (tracing only). */
+    uint64_t beginNs = 0;
+    uint64_t endNs = 0;
 };
 
 template <bool kInfra>
@@ -775,6 +959,12 @@ Collector::parallelMarkPhase()
         for (MarkWorker &w : workers) {
             w.instanceCounts.assign(types_.size(), 0);
             w.instanceBytes.assign(types_.size(), 0);
+        }
+    }
+    if (censusActive_) {
+        for (MarkWorker &w : workers) {
+            w.censusCounts.assign(types_.size(), 0);
+            w.censusBytes.assign(types_.size(), 0);
         }
     }
 
@@ -808,6 +998,27 @@ Collector::parallelMarkPhase()
                          w.weakRefs.end());
         for (PendingViolation &pv : w.pending)
             pending.push_back(std::move(pv));
+        if (censusActive_) {
+            for (size_t t = 0; t < w.censusCounts.size(); ++t) {
+                censusCounts_[t] += w.censusCounts[t];
+                censusBytes_[t] += w.censusBytes[t];
+            }
+        }
+    }
+    if (traceActive_) {
+        TraceRecorder *tr = telemetry_->recorder();
+        for (size_t i = 0; i < workers.size(); ++i) {
+            const MarkWorker &w = workers[i];
+            if (w.endNs == 0)
+                continue;
+            JsonWriter a;
+            a.beginObject()
+                .field("marked", w.marked)
+                .field("steals", w.steals)
+                .endObject();
+            tr->complete("mark_worker", "gc.worker", w.beginNs, w.endNs,
+                         static_cast<uint32_t>(i + 1), a.str());
+        }
     }
     if (kInfra) {
         for (TypeId id : types_.trackedTypes()) {
@@ -829,6 +1040,8 @@ Collector::parWorkerRun(std::vector<MarkWorker> &workers, size_t index,
 {
     MarkWorker &w = workers[index];
     const size_t worker_count = workers.size();
+    if (traceActive_)
+        w.beginNs = nowNanos();
 
     for (size_t i = index; i < root_slots.size(); i += worker_count) {
         Object **slot = root_slots[i];
@@ -865,6 +1078,8 @@ Collector::parWorkerRun(std::vector<MarkWorker> &workers, size_t index,
             break;
         std::this_thread::yield();
     }
+    if (traceActive_)
+        w.endNs = nowNanos();
 }
 
 template <bool kInfra>
@@ -906,6 +1121,11 @@ Collector::parVisit(Object **slot, Object *obj, MarkWorker &w)
                 ++w.instanceCounts[type];
                 w.instanceBytes[type] += obj->sizeBytes();
             }
+        }
+        if (censusActive_) [[unlikely]] {
+            TypeId type = obj->typeId();
+            ++w.censusCounts[type];
+            w.censusBytes[type] += obj->sizeBytes();
         }
         pendingWork_.fetch_add(1, std::memory_order_seq_cst);
         w.deque.push(obj);

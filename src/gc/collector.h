@@ -49,6 +49,9 @@
 
 namespace gcassert {
 
+class Telemetry;
+class TraceRecorder;
+
 /** Collector feature switches. */
 struct CollectorConfig {
     /**
@@ -165,6 +168,23 @@ class Collector {
 
     /** Reconfigure (between collections only). */
     void setConfig(const CollectorConfig &config) { config_ = config; }
+
+    /**
+     * Attach (or detach, with nullptr) the runtime's telemetry
+     * bundle. With a recorder configured, each GC phase emits one
+     * trace span (plus per-worker sub-spans for the parallel mark
+     * and sweep workers); with a census cadence configured, full GCs
+     * tally live objects/bytes per type during the existing trace.
+     * With no telemetry, every phase boundary pays exactly one null
+     * test. Set between collections only.
+     */
+    void setTelemetry(Telemetry *telemetry);
+
+    /**
+     * Take a heap census at the next full collection regardless of
+     * the configured cadence (no-op without telemetry attached).
+     */
+    void requestCensus() { censusRequested_ = true; }
 
     /**
      * Register a hook invoked on every object freed by sweep (used
@@ -336,6 +356,30 @@ class Collector {
     /** Resurrect dead finalizable objects; returns resurrected count. */
     template <bool kInfra, bool kPath>
     void resurrectFinalizables();
+
+    /** @name Telemetry (all inert when telemetry_ is null)
+     *  @{ */
+
+    /** The runtime's telemetry bundle; null = all knobs off. */
+    Telemetry *telemetry_ = nullptr;
+    /** True while the current GC records trace spans. */
+    bool traceActive_ = false;
+    /** True while the current full GC tallies a heap census. */
+    bool censusActive_ = false;
+    /** One-shot on-demand census request (requestCensus). */
+    bool censusRequested_ = false;
+    /** Dense per-TypeId census tallies for the current full GC
+     *  (single-threaded marking; parallel workers tally privately
+     *  and merge after the join). */
+    std::vector<uint64_t> censusCounts_;
+    std::vector<uint64_t> censusBytes_;
+
+    /** Decide/arm the census for the GC numbered @p gc_number. */
+    void beginCensus(uint64_t gc_number);
+    /** Snapshot the tallies into the telemetry bundle. */
+    void finishCensus(uint64_t gc_number);
+
+    /** @} */
 
     /** A registered finalizer plus its registration sequence number
      *  (dying finalizables are processed in registration order so

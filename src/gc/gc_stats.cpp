@@ -1,5 +1,6 @@
 #include "gc/gc_stats.h"
 
+#include "support/json.h"
 #include "support/strutil.h"
 
 namespace gcassert {
@@ -73,6 +74,46 @@ GcStats::toString() const
     out += format("  finish phase:     %.3f ms\n",
                   finishPhase.elapsedSeconds() * 1e3);
     return out;
+}
+
+std::string
+GcStats::toJson() const
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("collections", collections)
+        .field("objectsMarked", objectsMarked)
+        .field("objectsSwept", objectsSwept)
+        .field("bytesSwept", bytesSwept)
+        .field("owneeChecks", owneeChecks)
+        .field("owneeChecksLastGc", owneeChecksLastGc)
+        .field("violations", violations)
+        .field("lastLiveObjects", lastLiveObjects)
+        .field("lastLiveBytes", lastLiveBytes)
+        .field("maxWorklistDepth", maxWorklistDepth)
+        .field("parallelMarkPhases", parallelMarkPhases)
+        .field("markSteals", markSteals)
+        .field("pathDowngrades", pathDowngrades)
+        .field("parallelSweepPhases", parallelSweepPhases)
+        .field("lazySweepGcs", lazySweepGcs)
+        .field("lazyBlocksFinishedAtGc", lazyBlocksFinishedAtGc)
+        .field("minorCollections", minorCollections)
+        .field("nurseryPromoted", nurseryPromoted)
+        .field("nurserySweptObjects", nurserySweptObjects)
+        .field("nurserySweptBytes", nurserySweptBytes)
+        .field("nurseryPromotedAtFullGc", nurseryPromotedAtFullGc)
+        .field("remsetSourcesScanned", remsetSourcesScanned)
+        .field("dirtyOwnerScans", dirtyOwnerScans)
+        .field("cleanOwnerScans", cleanOwnerScans)
+        .field("totalGcNanos", totalGc.elapsedNanos())
+        .field("ownershipPhaseNanos", ownershipPhase.elapsedNanos())
+        .field("tracePhaseNanos", tracePhase.elapsedNanos())
+        .field("sweepPhaseNanos", sweepPhase.elapsedNanos())
+        .field("finishPhaseNanos", finishPhase.elapsedNanos())
+        .field("lazyFinishPhaseNanos", lazyFinishPhase.elapsedNanos())
+        .field("minorGcNanos", minorGc.elapsedNanos())
+        .endObject();
+    return w.str();
 }
 
 } // namespace gcassert

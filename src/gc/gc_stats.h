@@ -137,6 +137,13 @@ struct GcStats {
 
     /** Multi-line human-readable dump. */
     std::string toString() const;
+
+    /**
+     * JSON object with every counter and phase timer (timers in
+     * nanoseconds, keys suffixed "Nanos"). The bench harnesses and
+     * the metrics registry both serialize through this.
+     */
+    std::string toJson() const;
 };
 
 } // namespace gcassert

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/logging.h"
+#include "support/stopwatch.h"
 #include "support/strutil.h"
 
 namespace gcassert {
@@ -77,6 +78,7 @@ Heap::allocateSmall(size_t size_class, TypeId type_id, uint32_t num_refs,
 
     // No room anywhere: mint a new block.
     list.push_back(std::make_unique<Block>(kSizeClassBytes[size_class]));
+    blocksMinted_.fetch_add(1, std::memory_order_relaxed);
     allocHint_[size_class] = static_cast<ssize_t>(list.size() - 1);
     auto *obj = static_cast<Object *>(list.back()->allocateCell());
     obj->format(type_id, num_refs, scalar_bytes);
@@ -154,6 +156,7 @@ Heap::refillTlab(TlabCache &cache, size_t size_class)
         }
     }
     list.push_back(std::make_unique<Block>(kSizeClassBytes[size_class]));
+    blocksMinted_.fetch_add(1, std::memory_order_relaxed);
     list.back()->setLeased(true);
     cache.blocks[size_class] = list.back().get();
 }
@@ -220,23 +223,43 @@ Heap::sweepSmall(const std::function<void(Object *)> &on_free,
         uint64_t objects = 0;
     };
     std::vector<Tally> tallies(threads);
+    // Telemetry out-param: one timing span per worker. Pure
+    // observation — filled alongside the tallies, never consulted.
+    if (options.workerSpans)
+        options.workerSpans->assign(threads, SweepWorkerSpan{});
     auto work = [&](uint32_t w) {
         size_t begin = items.size() * w / threads;
         size_t end = items.size() * (w + 1) / threads;
         Tally &tally = tallies[w];
+        SweepWorkerSpan *span =
+            options.workerSpans ? &(*options.workerSpans)[w] : nullptr;
+        if (span) {
+            span->beginNanos = nowNanos();
+            span->blocks = end - begin;
+        }
+        uint64_t dead_found = 0;
         for (size_t i = begin; i < end; ++i) {
             Block *block = items[i];
             if (options.lazy)
                 tally.bytes += block->lazySweep([&](Object *obj) {
                     ++tally.objects;
+                    ++dead_found;
                     dead[i].push_back(obj);
                 });
             else if (on_free)
-                block->identifyDead(
-                    [&](Object *obj) { dead[i].push_back(obj); });
+                block->identifyDead([&](Object *obj) {
+                    ++dead_found;
+                    dead[i].push_back(obj);
+                });
             else
-                tally.bytes += block->sweepWith(
-                    [&](Object *) { ++tally.objects; });
+                tally.bytes += block->sweepWith([&](Object *) {
+                    ++tally.objects;
+                    ++dead_found;
+                });
+        }
+        if (span) {
+            span->objects = dead_found;
+            span->endNanos = nowNanos();
         }
     };
     std::vector<std::thread> workers;

@@ -44,6 +44,16 @@ struct SweepStats {
     uint64_t releasedBlocks = 0;
 };
 
+/** Timing/tally record for one parallel sweep worker (telemetry). */
+struct SweepWorkerSpan {
+    uint64_t beginNanos = 0;
+    uint64_t endNanos = 0;
+    /** Blocks in this worker's shard. */
+    uint64_t blocks = 0;
+    /** Dead objects this worker identified or reclaimed. */
+    uint64_t objects = 0;
+};
+
 /** How a sweep pass should run; defaults reproduce the sequential
  *  eager sweep. */
 struct SweepOptions {
@@ -53,6 +63,12 @@ struct SweepOptions {
     /** Defer mark-clearing and free-list threading per block to the
      *  allocation path / next-GC prologue. */
     bool lazy = false;
+    /**
+     * When non-null and the sweep runs parallel workers, receives one
+     * timing span per worker (resized by the sweep). Observation
+     * only: filling it never changes what the sweep does.
+     */
+    std::vector<SweepWorkerSpan> *workerSpans = nullptr;
 };
 
 /**
@@ -234,6 +250,14 @@ class Heap {
         return tlabAllocs_.load(std::memory_order_relaxed);
     }
 
+    /** Lifetime count of small-object blocks minted (allocation and
+     *  TLAB-refill slow paths; telemetry gauge). */
+    uint64_t
+    blocksMinted() const
+    {
+        return blocksMinted_.load(std::memory_order_relaxed);
+    }
+
     /** @return true when the heap tracks a nursery generation. */
     bool generational() const { return config_.generational; }
 
@@ -309,6 +333,7 @@ class Heap {
     std::atomic<uint64_t> totalAllocatedBytes_{0};
     std::atomic<uint64_t> totalAllocatedObjects_{0};
     std::atomic<uint64_t> tlabAllocs_{0};
+    std::atomic<uint64_t> blocksMinted_{0};
 
     /** Per-size-class block lists. */
     std::vector<std::unique_ptr<Block>> blocks_[kNumSizeClasses];

@@ -1,0 +1,58 @@
+#include "observe/census.h"
+
+#include <algorithm>
+
+#include "support/json.h"
+
+namespace gcassert {
+
+void
+CensusSnapshot::sortByBytes()
+{
+    std::sort(rows.begin(), rows.end(),
+              [](const CensusRow &a, const CensusRow &b) {
+                  if (a.liveBytes != b.liveBytes)
+                      return a.liveBytes > b.liveBytes;
+                  return a.typeName < b.typeName;
+              });
+}
+
+std::string
+CensusSnapshot::toJson() const
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("gc", gcNumber)
+        .field("totalObjects", totalObjects)
+        .field("totalBytes", totalBytes)
+        .key("rows")
+        .beginArray();
+    for (const CensusRow &row : rows) {
+        w.beginObject()
+            .field("type", row.typeName)
+            .field("objects", row.liveObjects)
+            .field("bytes", row.liveBytes)
+            .endObject();
+    }
+    w.endArray().endObject();
+    return w.str();
+}
+
+std::string
+CensusSnapshot::topRowsJson(size_t n) const
+{
+    JsonWriter w;
+    w.beginArray();
+    size_t count = std::min(n, rows.size());
+    for (size_t i = 0; i < count; ++i) {
+        w.beginObject()
+            .field("type", rows[i].typeName)
+            .field("objects", rows[i].liveObjects)
+            .field("bytes", rows[i].liveBytes)
+            .endObject();
+    }
+    w.endArray();
+    return w.str();
+}
+
+} // namespace gcassert

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Heap census: live objects/bytes per TypeDescriptor, tallied
+ * during the collector's existing mark traversal (zero extra
+ * passes) and snapshotted at the end of a full GC.
+ *
+ * The collector owns the dense per-TypeId tally arrays (they ride
+ * the mark hot loop); this module is the snapshot container and its
+ * JSON export. A census runs on demand (Runtime::requestCensus) or
+ * every N full GCs (GCASSERT_CENSUS_EVERY / ObserveConfig), and the
+ * latest snapshot also backs violation provenance and the
+ * assert-instances debugging report.
+ */
+
+#ifndef GCASSERT_OBSERVE_CENSUS_H
+#define GCASSERT_OBSERVE_CENSUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/** Per-type row of a census snapshot. */
+struct CensusRow {
+    std::string typeName;
+    uint64_t liveObjects;
+    uint64_t liveBytes;
+};
+
+/** A complete census: one row per type with live instances. */
+struct CensusSnapshot {
+    uint64_t gcNumber = 0; //!< full GC that produced this census
+    std::vector<CensusRow> rows;
+    uint64_t totalObjects = 0;
+    uint64_t totalBytes = 0;
+
+    bool empty() const { return rows.empty() && gcNumber == 0; }
+
+    /** Rows sorted by descending liveBytes (report order). */
+    void sortByBytes();
+
+    /** {"gc": N, "totalObjects": ..., "rows": [...]}. */
+    std::string toJson() const;
+
+    /** Compact fragment of the top @p n rows, for embedding in
+     *  violation provenance:
+     *  [{"type": ..., "objects": ..., "bytes": ...}, ...]. */
+    std::string topRowsJson(size_t n) const;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_OBSERVE_CENSUS_H

@@ -1,0 +1,102 @@
+#include "observe/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace gcassert {
+
+Counter *
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (NamedCounter &c : counters_)
+        if (c.name == name)
+            return c.counter.get();
+    counters_.push_back(NamedCounter{name, std::make_unique<Counter>()});
+    return counters_.back().counter.get();
+}
+
+void
+MetricsRegistry::gauge(const std::string &name,
+                       std::function<uint64_t()> read)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (NamedGauge &g : gauges_) {
+        if (g.name == name) {
+            g.read = std::move(read);
+            return;
+        }
+    }
+    gauges_.push_back(NamedGauge{name, std::move(read)});
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSample> out;
+    out.reserve(counters_.size() + gauges_.size());
+    for (const NamedCounter &c : counters_)
+        out.push_back(MetricSample{c.name, c.counter->get(), true});
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    size_t gaugeStart = out.size();
+    for (const NamedGauge &g : gauges_)
+        out.push_back(MetricSample{g.name, g.read ? g.read() : 0, false});
+    std::sort(out.begin() + gaugeStart, out.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::vector<MetricSample> samples = snapshot();
+    JsonWriter w;
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const MetricSample &s : samples)
+        if (s.monotonic)
+            w.field(s.name, s.value);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const MetricSample &s : samples)
+        if (!s.monotonic)
+            w.field(s.name, s.value);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+bool
+MetricsRegistry::publish(const std::string &sink) const
+{
+    if (sink.empty())
+        return true;
+    std::string doc = toJson();
+    if (sink == "stderr" || sink == "1") {
+        std::fprintf(stderr, "%s\n", doc.c_str());
+        return true;
+    }
+    std::FILE *f = std::fopen(sink.c_str(), "w");
+    if (!f) {
+        warn("metrics: cannot open '" + sink + "' for writing");
+        return false;
+    }
+    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (written != doc.size()) {
+        warn("metrics: short write to '" + sink + "'");
+        return false;
+    }
+    return true;
+}
+
+} // namespace gcassert

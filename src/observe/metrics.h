@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Named metrics registry: monotonic counters (push) and gauges
+ * (pull) with a pluggable sink.
+ *
+ * Design: the collector/heap/barrier hot paths already accumulate
+ * into cheap local state (GcStats fields, Heap atomics, barrier
+ * tallies). Rather than replace those with registry lookups — which
+ * would put a hash probe on the hot path — the registry reads them:
+ *
+ *  - **Gauges** are pull-based: a std::function sampled at
+ *    snapshot() time. Existing accumulators (GcStats, Heap byte
+ *    counters, remset sizes) are exposed as gauges, so GcStats
+ *    stays exactly what it is today and becomes *one consumer view*
+ *    of the registry rather than a parallel bookkeeping scheme.
+ *  - **Counters** are push-based atomics for the slow paths that
+ *    had no accounting at all (barrier slow hits, blocks minted,
+ *    trace flushes); callers hold a Counter* and increment it
+ *    directly — no name lookup after registration.
+ *
+ * Sink semantics (GCASSERT_METRICS): "" disables; "stderr" or "1"
+ * dumps a JSON snapshot to stderr at runtime teardown; anything
+ * else is a file path the snapshot is written to.
+ */
+
+#ifndef GCASSERT_OBSERVE_METRICS_H
+#define GCASSERT_OBSERVE_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/** Monotonic counter; incremented directly by the owning code. */
+class Counter {
+  public:
+    void add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+    void increment() { add(1); }
+    uint64_t get() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** One sampled metric value. */
+struct MetricSample {
+    std::string name;
+    uint64_t value;
+    bool monotonic; //!< true for counters, false for gauges
+};
+
+/**
+ * Registry of counters and gauges. Registration happens at runtime
+ * construction (single-threaded); sampling happens outside pauses.
+ * Counter increments are lock-free; the registry mutex only guards
+ * the registration lists.
+ */
+class MetricsRegistry {
+  public:
+    /** Register (or fetch) a counter by name. The returned pointer
+     *  is stable for the registry's lifetime. */
+    Counter *counter(const std::string &name);
+
+    /** Register a pull gauge sampled at snapshot() time. */
+    void gauge(const std::string &name, std::function<uint64_t()> read);
+
+    /** Sample every metric (counters first, then gauges), sorted by
+     *  name within each class. */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Snapshot serialized as a JSON object:
+     *  {"counters": {...}, "gauges": {...}}. */
+    std::string toJson() const;
+
+    /** Write toJson() per the sink spec ("stderr"/"1" or a path).
+     *  Returns false on write failure. */
+    bool publish(const std::string &sink) const;
+
+  private:
+    struct NamedCounter {
+        std::string name;
+        std::unique_ptr<Counter> counter;
+    };
+    struct NamedGauge {
+        std::string name;
+        std::function<uint64_t()> read;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<NamedCounter> counters_;
+    std::vector<NamedGauge> gauges_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_OBSERVE_METRICS_H

@@ -1,0 +1,82 @@
+#include "observe/telemetry.h"
+
+#include <cstdlib>
+
+namespace gcassert {
+
+namespace {
+
+/** Cached env-string reader (same pattern as runtime/config.cpp:
+ *  the environment is sampled once, first use wins). */
+std::string
+envString(const char *name)
+{
+    const char *raw = std::getenv(name);
+    return raw ? std::string(raw) : std::string();
+}
+
+uint32_t
+envUint(const char *name, uint32_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(raw, &end, 10);
+    if (end == raw || *end != '\0')
+        return fallback;
+    return static_cast<uint32_t>(v);
+}
+
+} // namespace
+
+std::string
+defaultTraceFile()
+{
+    static const std::string value = envString("GCASSERT_TRACE_FILE");
+    return value;
+}
+
+std::string
+defaultMetricsSink()
+{
+    static const std::string value = envString("GCASSERT_METRICS");
+    return value;
+}
+
+uint32_t
+defaultCensusEvery()
+{
+    static const uint32_t value = envUint("GCASSERT_CENSUS_EVERY", 0);
+    return value;
+}
+
+Telemetry::Telemetry(ObserveConfig config) : config_(std::move(config))
+{
+    if (!config_.traceFile.empty())
+        recorder_ = std::make_unique<TraceRecorder>(config_.traceFile);
+}
+
+void
+Telemetry::setCensus(CensusSnapshot census)
+{
+    std::lock_guard<std::mutex> lock(censusMutex_);
+    census_ = std::move(census);
+}
+
+CensusSnapshot
+Telemetry::latestCensus() const
+{
+    std::lock_guard<std::mutex> lock(censusMutex_);
+    return census_;
+}
+
+void
+Telemetry::flush()
+{
+    if (recorder_)
+        recorder_->flush();
+    metrics_.publish(config_.metricsSink);
+}
+
+} // namespace gcassert

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Telemetry bundle: the per-Runtime handle tying together the trace
+ * recorder, metrics registry, and latest heap census. Owned by
+ * Runtime, handed to the Collector as a raw pointer (nullptr when
+ * every knob is off, so the collector pays exactly one null test
+ * per phase boundary).
+ *
+ * Knobs (all default-off):
+ *  - GCASSERT_TRACE_FILE=<path>   write a Chrome trace_event JSON
+ *  - GCASSERT_METRICS=<sink>      "stderr"/"1" or a file path for a
+ *                                 metrics snapshot at teardown
+ *  - GCASSERT_CENSUS_EVERY=<n>    heap census every n full GCs
+ *                                 (0 = only on demand)
+ */
+
+#ifndef GCASSERT_OBSERVE_TELEMETRY_H
+#define GCASSERT_OBSERVE_TELEMETRY_H
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "observe/census.h"
+#include "observe/metrics.h"
+#include "observe/trace_recorder.h"
+
+namespace gcassert {
+
+/** @name Environment-driven defaults (see RuntimeConfig's knobs)
+ *  @{ */
+std::string defaultTraceFile();
+std::string defaultMetricsSink();
+uint32_t defaultCensusEvery();
+/** @} */
+
+/**
+ * Observability switches, carried inside RuntimeConfig. The string
+ * knobs mirror the GCASSERT_* environment variables; explicit field
+ * assignment overrides the environment as with every other knob.
+ */
+struct ObserveConfig {
+    /** Chrome trace output path; "" disables tracing. */
+    std::string traceFile = defaultTraceFile();
+
+    /** Metrics sink: "" off, "stderr"/"1" stderr, else a path. */
+    std::string metricsSink = defaultMetricsSink();
+
+    /** Census every N full GCs; 0 = on demand only. */
+    uint32_t censusEvery = defaultCensusEvery();
+
+    /** True when any telemetry feature is active. */
+    bool
+    any() const
+    {
+        return !traceFile.empty() || !metricsSink.empty() ||
+               censusEvery != 0;
+    }
+};
+
+/**
+ * Live telemetry state for one Runtime. Thread safety matches its
+ * parts: the recorder and registry are internally synchronized; the
+ * census slot is guarded here (written at end of full GC inside the
+ * pause, read by violation enrichment and reporting calls).
+ */
+class Telemetry {
+  public:
+    explicit Telemetry(ObserveConfig config);
+
+    const ObserveConfig &config() const { return config_; }
+
+    /** Non-null iff traceFile was configured. */
+    TraceRecorder *recorder() { return recorder_.get(); }
+
+    MetricsRegistry &metrics() { return metrics_; }
+
+    /** Store the census taken by the collector's mark phase. */
+    void setCensus(CensusSnapshot census);
+
+    /** Copy of the latest census (empty() if none taken yet). */
+    CensusSnapshot latestCensus() const;
+
+    /**
+     * Flush everything that persists: write the trace file and
+     * publish the metrics snapshot. Called from the Runtime
+     * destructor and safe to call repeatedly.
+     */
+    void flush();
+
+  private:
+    ObserveConfig config_;
+    std::unique_ptr<TraceRecorder> recorder_;
+    MetricsRegistry metrics_;
+
+    mutable std::mutex censusMutex_;
+    CensusSnapshot census_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_OBSERVE_TELEMETRY_H

@@ -1,0 +1,102 @@
+#include "observe/trace_recorder.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace gcassert {
+
+uint64_t
+traceNowNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+TraceRecorder::TraceRecorder(std::string path)
+    : path_(std::move(path)), epochNanos_(traceNowNanos())
+{
+}
+
+void
+TraceRecorder::complete(const char *name, const char *cat,
+                        uint64_t beginNanos, uint64_t endNanos,
+                        uint32_t tid, std::string argsJson)
+{
+    uint64_t rel = beginNanos > epochNanos_ ? beginNanos - epochNanos_ : 0;
+    uint64_t dur = endNanos > beginNanos ? endNanos - beginNanos : 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(TraceEvent{name, cat, 'X', rel, dur, tid,
+                                 std::move(argsJson)});
+}
+
+void
+TraceRecorder::instant(const char *name, const char *cat, uint64_t tsNanos,
+                       std::string argsJson)
+{
+    uint64_t rel = tsNanos > epochNanos_ ? tsNanos - epochNanos_ : 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(
+        TraceEvent{name, cat, 'i', rel, 0, 0, std::move(argsJson)});
+}
+
+size_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::string
+TraceRecorder::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w;
+    w.beginObject().key("traceEvents").beginArray();
+    for (const TraceEvent &ev : events_) {
+        w.beginObject()
+            .field("name", ev.name)
+            .field("cat", ev.cat)
+            .field("ph", std::string(1, ev.ph))
+            // trace_event timestamps are microseconds; keep sub-µs
+            // resolution as a fraction (Perfetto accepts doubles).
+            .field("ts", static_cast<double>(ev.tsNanos) / 1000.0)
+            .field("pid", uint64_t{1})
+            .field("tid", uint64_t{ev.tid});
+        if (ev.ph == 'X')
+            w.field("dur", static_cast<double>(ev.durNanos) / 1000.0);
+        if (ev.ph == 'i')
+            w.field("s", "t"); // thread-scoped instant
+        if (!ev.argsJson.empty())
+            w.key("args").valueRaw(ev.argsJson);
+        w.endObject();
+    }
+    w.endArray().endObject();
+    return w.str();
+}
+
+bool
+TraceRecorder::flush()
+{
+    if (path_.empty())
+        return false;
+    std::string doc = toJson();
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+        warn("trace recorder: cannot open '" + path_ + "' for writing");
+        return false;
+    }
+    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (written != doc.size()) {
+        warn("trace recorder: short write to '" + path_ + "'");
+        return false;
+    }
+    return true;
+}
+
+} // namespace gcassert

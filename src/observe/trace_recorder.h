@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Chrome trace_event recorder for GC pauses.
+ *
+ * The collector emits one complete ("X") span per GC phase —
+ * lazy-finish, ownership scan, mark, finish, sweep, and whole
+ * minor/full pauses — plus per-worker sub-spans for the parallel
+ * mark and sweep workers, and instant ("i") events for assertion
+ * violations. The resulting file loads directly in Perfetto or
+ * chrome://tracing.
+ *
+ * Recording is lock-cheap by design: spans are appended to a
+ * mutex-guarded vector, but *only from inside a stop-the-world
+ * pause* (or from the single mutator thread between pauses), so
+ * the mutex is effectively uncontended; the collector's hot loops
+ * never touch the recorder at all — phase boundaries capture two
+ * timestamps and append one event.
+ */
+
+#ifndef GCASSERT_OBSERVE_TRACE_RECORDER_H
+#define GCASSERT_OBSERVE_TRACE_RECORDER_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/** Monotonic wall-clock in nanoseconds (steady_clock based). */
+uint64_t traceNowNanos();
+
+/** One recorded trace event (Chrome trace_event semantics). */
+struct TraceEvent {
+    std::string name; //!< e.g. "mark", "full_gc", "mark_worker"
+    std::string cat;  //!< e.g. "gc", "gc.worker", "violation"
+    char ph;          //!< 'X' complete span, 'i' instant
+    uint64_t tsNanos; //!< start (epoch-relative, see recorder)
+    uint64_t durNanos;
+    uint32_t tid;       //!< 0 = collector/mutator thread, 1..N workers
+    std::string argsJson; //!< verbatim JSON object, "" for none
+};
+
+/**
+ * Accumulates trace events in memory; flush() serializes them as a
+ * Chrome trace JSON document ({"traceEvents": [...]}).
+ *
+ * Timestamps are stored relative to the recorder's construction so
+ * traces start near t=0 regardless of process uptime.
+ */
+class TraceRecorder {
+  public:
+    explicit TraceRecorder(std::string path);
+
+    /** Record a complete span covering [beginNanos, endNanos]. */
+    void complete(const char *name, const char *cat, uint64_t beginNanos,
+                  uint64_t endNanos, uint32_t tid,
+                  std::string argsJson = "");
+
+    /** Record an instant event at @p tsNanos. */
+    void instant(const char *name, const char *cat, uint64_t tsNanos,
+                 std::string argsJson = "");
+
+    /** Serialize all events to the configured path. Returns false
+     *  (and warns) if the file cannot be written. Idempotent —
+     *  re-flushing after new events rewrites the whole file. */
+    bool flush();
+
+    /** Serialize to a string (testing / in-memory consumers). */
+    std::string toJson() const;
+
+    const std::string &path() const { return path_; }
+    size_t eventCount() const;
+
+  private:
+    std::string path_;
+    uint64_t epochNanos_;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_OBSERVE_TRACE_RECORDER_H

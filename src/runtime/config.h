@@ -17,6 +17,7 @@
 
 #include "assertions/engine.h"
 #include "heap/heap.h"
+#include "observe/telemetry.h"
 
 namespace gcassert {
 
@@ -109,6 +110,14 @@ struct RuntimeConfig {
 
     /** Engine behaviour switches. */
     EngineOptions engine;
+
+    /**
+     * Observability knobs (trace file, metrics sink, census cadence).
+     * All default-off; the environment seeds the defaults via
+     * GCASSERT_TRACE_FILE / GCASSERT_METRICS / GCASSERT_CENSUS_EVERY
+     * just like the sweep/alloc knobs above.
+     */
+    ObserveConfig observe;
 
     /** Log one line per collection. */
     bool verboseGc = false;

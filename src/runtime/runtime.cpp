@@ -1,6 +1,7 @@
 #include "runtime/runtime.h"
 
 #include "runtime/handle.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/strutil.h"
 
@@ -30,10 +31,112 @@ Runtime::Runtime(RuntimeConfig config)
                                  config_.lazySweep})
 {
     if (config_.generational)
-        barrier_ = std::make_unique<BarrierScope>(heap_, remset_, engine_);
+        barrier_ = std::make_unique<BarrierScope>(heap_, remset_, engine_,
+                                                  &barrierSlowHits_);
+    if (config_.observe.any()) {
+        telemetry_ = std::make_unique<Telemetry>(config_.observe);
+        collector_.setTelemetry(telemetry_.get());
+        wireTelemetry();
+    }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime()
+{
+    if (telemetry_)
+        telemetry_->flush();
+}
+
+void
+Runtime::wireTelemetry()
+{
+    // Gauges read the accumulators the hot paths already maintain
+    // (GcStats, heap atomics, remset sizes): registering them adds
+    // zero cost to allocation or collection — sampling happens only
+    // at snapshot()/publish() time.
+    MetricsRegistry &m = telemetry_->metrics();
+    const GcStats &gs = collector_.stats();
+    m.gauge("gc.collections", [&gs] { return gs.collections; });
+    m.gauge("gc.minor_collections", [&gs] { return gs.minorCollections; });
+    m.gauge("gc.objects_marked", [&gs] { return gs.objectsMarked; });
+    m.gauge("gc.objects_swept", [&gs] { return gs.objectsSwept; });
+    m.gauge("gc.bytes_swept", [&gs] { return gs.bytesSwept; });
+    m.gauge("gc.violations", [&gs] { return gs.violations; });
+    m.gauge("gc.last_live_objects", [&gs] { return gs.lastLiveObjects; });
+    m.gauge("gc.last_live_bytes", [&gs] { return gs.lastLiveBytes; });
+    m.gauge("gc.total_pause_nanos",
+            [&gs] { return gs.totalGc.elapsedNanos(); });
+    m.gauge("gc.mark_steals", [&gs] { return gs.markSteals; });
+    m.gauge("gc.nursery_promoted", [&gs] { return gs.nurseryPromoted; });
+    const Heap &h = heap_;
+    m.gauge("heap.used_bytes", [&h] { return h.usedBytes(); });
+    m.gauge("heap.live_objects", [&h] { return h.liveObjects(); });
+    m.gauge("heap.total_allocated_bytes",
+            [&h] { return h.totalAllocatedBytes(); });
+    m.gauge("heap.total_allocated_objects",
+            [&h] { return h.totalAllocatedObjects(); });
+    m.gauge("heap.tlab_allocs", [&h] { return h.tlabAllocs(); });
+    m.gauge("heap.blocks_minted", [&h] { return h.blocksMinted(); });
+    m.gauge("heap.nursery_bytes", [&h] { return h.nurseryBytes(); });
+    const RememberedSet &rs = remset_;
+    m.gauge("remset.sources", [&rs] { return uint64_t{rs.size()}; });
+    m.gauge("remset.cards", [&rs] { return uint64_t{rs.cardCount()}; });
+    m.gauge("remset.total_records", [&rs] { return rs.totalRecords(); });
+    const std::atomic<uint64_t> &hits = barrierSlowHits_;
+    m.gauge("barrier.slow_path_hits", [&hits] {
+        return hits.load(std::memory_order_relaxed);
+    });
+
+    // Violation provenance: enrich every report with the heap state
+    // and latest census at the moment it fired, and drop an instant
+    // event into the trace. Context only — the observer never writes
+    // kind/message/gcNumber, so verdict streams are identical with
+    // telemetry on or off.
+    Telemetry *t = telemetry_.get();
+    engine_.setViolationObserver([this, t](Violation &v) {
+        t->metrics().counter("assert.violations_observed")->increment();
+        JsonWriter w;
+        w.beginObject()
+            .field("heapUsedBytes", heap_.usedBytes())
+            .field("heapLiveObjects", heap_.liveObjects())
+            .field("nurseryBytes", heap_.nurseryBytes());
+        if (v.offendingAddress) {
+            const Object *obj =
+                static_cast<const Object *>(v.offendingAddress);
+            w.field("offenderInNursery", obj->testFlag(kNurseryBit));
+        }
+        CensusSnapshot census = t->latestCensus();
+        if (!census.empty()) {
+            w.field("censusGc", census.gcNumber);
+            w.key("censusTop").valueRaw(census.topRowsJson(5));
+        }
+        w.endObject();
+        v.provenanceJson = w.str();
+        if (TraceRecorder *tr = t->recorder()) {
+            JsonWriter a;
+            a.beginObject()
+                .field("kind", assertionKindName(v.kind))
+                .field("type", v.offendingType)
+                .field("gc", v.gcNumber)
+                .endObject();
+            tr->instant("violation", "assert", nowNanos(), a.str());
+        }
+    });
+}
+
+void
+Runtime::requestCensus()
+{
+    if (!telemetry_)
+        return;
+    std::lock_guard<std::shared_mutex> guard(lock_);
+    collector_.requestCensus();
+}
+
+CensusSnapshot
+Runtime::latestCensus() const
+{
+    return telemetry_ ? telemetry_->latestCensus() : CensusSnapshot{};
+}
 
 MutatorContext &
 Runtime::registerMutator(const std::string &name)

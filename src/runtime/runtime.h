@@ -61,6 +61,26 @@ class Runtime {
     MutatorRegistry &mutators() { return mutators_; }
     RememberedSet &remset() { return remset_; }
     const RuntimeConfig &config() const { return config_; }
+
+    /** Telemetry bundle; nullptr when every observe knob is off. */
+    Telemetry *telemetry() { return telemetry_.get(); }
+    /** @} */
+
+    /** @name Observability
+     *  @{ */
+
+    /**
+     * Request a heap census at the next full collection (regardless
+     * of the censusEvery cadence). No-op without telemetry.
+     */
+    void requestCensus();
+
+    /**
+     * Latest heap census (empty() when none has been taken or
+     * telemetry is off). Returns a copy; safe from any thread.
+     */
+    CensusSnapshot latestCensus() const;
+
     /** @} */
 
     /** The implicit main-thread mutator. */
@@ -263,6 +283,9 @@ class Runtime {
     void addRoot(RootNode &node, Object *obj, const char *name);
     void removeRoot(RootNode &node);
 
+    /** Register the standard gauge set and the violation observer. */
+    void wireTelemetry();
+
     RuntimeConfig config_;
     TypeRegistry types_;
     Heap heap_;
@@ -272,9 +295,16 @@ class Runtime {
     /** Mature-to-nursery edges recorded by the write barrier. */
     RememberedSet remset_;
     Collector collector_;
+    /** Write-barrier slow-path entries attributed to this runtime
+     *  (fed to the barrier scope; surfaced as a metrics counter). */
+    std::atomic<uint64_t> barrierSlowHits_{0};
     /** Arms the global write barrier; non-null only in generational
      *  mode. Declared after collector_ so it unregisters first. */
     std::unique_ptr<BarrierScope> barrier_;
+    /** Observability bundle; non-null iff config_.observe.any().
+     *  Referenced (raw) by collector_ and the violation observer,
+     *  both quiescent by the time the destructor flushes it. */
+    std::unique_ptr<Telemetry> telemetry_;
 
     /** Run finalizers queued by the most recent collection. */
     void runPendingFinalizers();

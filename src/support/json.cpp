@@ -1,0 +1,477 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace gcassert {
+
+// --------------------------------------------------------------------------
+// JsonWriter
+// --------------------------------------------------------------------------
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        // Key already emitted the separator; the value follows ':'.
+        pendingKey_ = false;
+        return;
+    }
+    if (stack_.empty())
+        return;
+    Frame &top = stack_.back();
+    if (top.first)
+        top.first = false;
+    else
+        out_ += ',';
+}
+
+void
+JsonWriter::escapeInto(const std::string &s)
+{
+    out_ += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out_ += "\\\"";
+            break;
+          case '\\':
+            out_ += "\\\\";
+            break;
+          case '\b':
+            out_ += "\\b";
+            break;
+          case '\f':
+            out_ += "\\f";
+            break;
+          case '\n':
+            out_ += "\\n";
+            break;
+          case '\r':
+            out_ += "\\r";
+            break;
+          case '\t':
+            out_ += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out_ += buf;
+            } else {
+                out_ += static_cast<char>(c);
+            }
+        }
+    }
+    out_ += '"';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    stack_.push_back({'o', true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += '}';
+    if (!stack_.empty())
+        stack_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    stack_.push_back({'a', true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += ']';
+    if (!stack_.empty())
+        stack_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separate();
+    escapeInto(name);
+    out_ += ':';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    separate();
+    escapeInto(s);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out_ += "null";
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueNull()
+{
+    separate();
+    out_ += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueRaw(const std::string &json)
+{
+    separate();
+    out_ += json;
+    return *this;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    JsonWriter w;
+    w.value(s);
+    return w.str();
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(name);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+struct Parser {
+    const char *p;
+    const char *end;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " (at byte offset %ld)",
+                      static_cast<long>(p - start));
+        error = msg + buf;
+        return false;
+    }
+
+    const char *start;
+
+    void
+    skipWs()
+    {
+        while (p < end &&
+               (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > 128)
+            return fail("nesting too deep");
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+                out.kind = JsonValue::Kind::Bool;
+                out.boolean = true;
+                p += 4;
+                return true;
+            }
+            return fail("bad literal");
+          case 'f':
+            if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+                out.kind = JsonValue::Kind::Bool;
+                out.boolean = false;
+                p += 5;
+                return true;
+            }
+            return fail("bad literal");
+          case 'n':
+            if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
+                out.kind = JsonValue::Kind::Null;
+                p += 4;
+                return true;
+            }
+            return fail("bad literal");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++p; // opening quote
+        out.clear();
+        while (p < end && *p != '"') {
+            unsigned char c = static_cast<unsigned char>(*p);
+            if (c < 0x20)
+                return fail("unescaped control character in string");
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("truncated escape");
+                switch (*p) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (end - p < 5)
+                        return fail("truncated \\u escape");
+                    unsigned v = 0;
+                    for (int i = 1; i <= 4; ++i) {
+                        char h = p[i];
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            v |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            v |= h - 'A' + 10;
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    p += 4;
+                    // Encode as UTF-8 (surrogate pairs are passed
+                    // through as two 3-byte sequences; good enough
+                    // for a validator of our own ASCII-ish output).
+                    if (v < 0x80) {
+                        out += static_cast<char>(v);
+                    } else if (v < 0x800) {
+                        out += static_cast<char>(0xC0 | (v >> 6));
+                        out += static_cast<char>(0x80 | (v & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (v >> 12));
+                        out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (v & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                ++p;
+            } else {
+                out += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *numStart = p;
+        if (p < end && *p == '-')
+            ++p;
+        while (p < end &&
+               (std::isdigit(static_cast<unsigned char>(*p)) || *p == '.' ||
+                *p == 'e' || *p == 'E' || *p == '+' || *p == '-'))
+            ++p;
+        if (p == numStart)
+            return fail("expected value");
+        std::string tok(numStart, p);
+        char *parsedEnd = nullptr;
+        double v = std::strtod(tok.c_str(), &parsedEnd);
+        if (parsedEnd != tok.c_str() + tok.size())
+            return fail("malformed number");
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++p; // '{'
+        skipWs();
+        if (p < end && *p == '}') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (p >= end || *p != '"')
+                return fail("expected object key");
+            std::string name;
+            if (!parseString(name))
+                return false;
+            skipWs();
+            if (p >= end || *p != ':')
+                return fail("expected ':'");
+            ++p;
+            JsonValue member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.object.emplace(std::move(name), std::move(member));
+            skipWs();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++p; // '['
+        skipWs();
+        if (p < end && *p == ']') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            JsonValue element;
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.array.push_back(std::move(element));
+            skipWs();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+};
+
+} // namespace
+
+bool
+jsonParse(const std::string &text, JsonValue &out, std::string *error)
+{
+    Parser parser{text.data(), text.data() + text.size(), "",
+                  text.data()};
+    if (!parser.parseValue(out, 0)) {
+        if (error)
+            *error = parser.error;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        if (error)
+            *error = "trailing garbage after document";
+        return false;
+    }
+    return true;
+}
+
+} // namespace gcassert

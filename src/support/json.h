@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal JSON support shared by the telemetry layer, the bench
+ * ledger, and the CI trace checker: a streaming writer with
+ * automatic comma/escape handling, and a small recursive-descent
+ * parser used to *validate* emitted documents (schema checks in
+ * tests and the telemetry smoke binary) — not a general-purpose
+ * JSON library.
+ */
+
+#ifndef GCASSERT_SUPPORT_JSON_H
+#define GCASSERT_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/**
+ * Streaming JSON writer. Values are appended in document order;
+ * the writer tracks the container stack and inserts commas, so
+ * callers never hand-format separators:
+ *
+ * @code
+ * JsonWriter w;
+ * w.beginObject()
+ *     .key("bench").value("sweep")
+ *     .key("points").beginArray()
+ *         .beginObject().key("ms").value(1.25).endObject()
+ *     .endArray()
+ * .endObject();
+ * std::string doc = w.str();
+ * @endcode
+ */
+class JsonWriter {
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next value() call is its value. */
+    JsonWriter &key(const std::string &name);
+
+    /** @name Scalar values
+     *  @{ */
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(uint32_t v) { return value(uint64_t{v}); }
+    JsonWriter &value(int v) { return value(int64_t{v}); }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &valueNull();
+    /** @} */
+
+    /** Splice @p json in verbatim as one value (must be valid JSON). */
+    JsonWriter &valueRaw(const std::string &json);
+
+    /** @name key+value in one call
+     *  @{ */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+    /** @} */
+
+    /** The document so far. */
+    const std::string &str() const { return out_; }
+
+    /** True when every container has been closed. */
+    bool complete() const { return stack_.empty() && !out_.empty(); }
+
+  private:
+    void separate();
+    void escapeInto(const std::string &s);
+
+    std::string out_;
+    /** 'o' = object, 'a' = array; paired with "first element" flag. */
+    struct Frame {
+        char kind;
+        bool first;
+    };
+    std::vector<Frame> stack_;
+    bool pendingKey_ = false;
+};
+
+/** Escape @p s as a quoted JSON string (helper for callers that
+ *  build fragments outside a JsonWriter). */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * Parsed JSON value (validating parser output). Numbers are kept as
+ * doubles — ample for the schema checks this supports.
+ */
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ *
+ * @param[out] error Filled with a position-annotated message on
+ *             failure (may be nullptr).
+ * @return The parsed value, or std::nullopt-like: kind Null with
+ *         @p ok false.
+ */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string *error);
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_JSON_H

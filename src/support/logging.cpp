@@ -1,6 +1,7 @@
 #include "support/logging.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace gcassert {
 
@@ -20,6 +21,12 @@ class StderrSink : public LogSink {
 StderrSink defaultSink;
 LogSink *currentSink = &defaultSink;
 
+// Guards currentSink *and* serializes write() calls: parallel mark
+// and sweep workers can warn concurrently, and sinks (CaptureLogSink
+// in particular) are not internally synchronized. Holding the lock
+// across write() makes records atomic from the sink's point of view.
+std::mutex logMutex;
+
 } // namespace
 
 const char *
@@ -37,6 +44,7 @@ logLevelName(LogLevel level)
 LogSink *
 setLogSink(LogSink *sink)
 {
+    std::lock_guard<std::mutex> lock(logMutex);
     LogSink *old = currentSink;
     currentSink = sink ? sink : &defaultSink;
     return old == &defaultSink ? nullptr : old;
@@ -45,6 +53,7 @@ setLogSink(LogSink *sink)
 void
 logEmit(LogLevel level, const std::string &message)
 {
+    std::lock_guard<std::mutex> lock(logMutex);
     currentSink->write(LogRecord{level, message});
 }
 

@@ -11,6 +11,16 @@
  * All output is routed through a LogSink so tests can capture and
  * inspect messages (e.g. assertion-violation warnings) without
  * scraping stderr.
+ *
+ * Thread safety: logEmit() (and therefore inform/warn/fatal/panic)
+ * may be called from any thread — parallel mark and sweep workers
+ * warn concurrently. A global mutex guards both the installed-sink
+ * pointer and the sink's write() call, so each record is delivered
+ * atomically and sinks need no internal locking. setLogSink() and
+ * CaptureLogSink construction/destruction are likewise safe to
+ * interleave with concurrent emission, though scoped capture still
+ * assumes install/uninstall happen on one thread (the usual RAII
+ * test pattern).
  */
 
 #ifndef GCASSERT_SUPPORT_LOGGING_H

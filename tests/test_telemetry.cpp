@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Telemetry-vs-no-telemetry differential harness plus schema checks
+ * for every JSON artifact the observe layer emits.
+ *
+ * The telemetry layer claims full observational equivalence: phase
+ * tracing, the metrics registry, the heap census, and violation
+ * provenance only *read* algorithm state, so runs with every knob on
+ * must be bit-identical — per-window freed multisets, finalizer
+ * order, and violation verdicts — to runs with everything off. A
+ * randomized rooted-contract heap program over 100 seeds (the
+ * test_generational.cpp idiom) enforces the claim in both plain and
+ * generational mode.
+ *
+ * The schema tests validate the emitted documents with the in-tree
+ * parser: the Chrome trace (traceEvents array, "X" spans with
+ * ts/dur, per-phase names, worker sub-spans on their own tids), the
+ * census snapshot (row/total consistency), the metrics snapshot
+ * (counters/gauges objects), and violation provenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "support/json.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace gcassert {
+namespace {
+
+/** Address-free summary of one scenario run. */
+struct Outcome {
+    uint64_t marked = 0;
+    uint64_t swept = 0;
+    uint64_t sweptBytes = 0;
+    uint64_t liveObjects = 0;
+    uint64_t usedBytes = 0;
+    uint64_t fullCollections = 0;
+    /** Freed "type:id" keys per full-GC window, as multisets. */
+    std::vector<std::multiset<std::string>> freedPerWindow;
+    /** Finalized ids, in invocation order (must match exactly). */
+    std::vector<uint64_t> finalized;
+    /** "kind|type|gc#" per violation, order-insensitive. */
+    std::multiset<std::string> violations;
+
+    bool
+    equivalentTo(const Outcome &other) const
+    {
+        return freedPerWindow == other.freedPerWindow &&
+               marked == other.marked && swept == other.swept &&
+               sweptBytes == other.sweptBytes &&
+               liveObjects == other.liveObjects &&
+               usedBytes == other.usedBytes &&
+               fullCollections == other.fullCollections &&
+               finalized == other.finalized &&
+               violations == other.violations;
+    }
+};
+
+std::string
+describe(const Outcome &o)
+{
+    std::string out;
+    out += "marked=" + std::to_string(o.marked) +
+           " swept=" + std::to_string(o.swept) +
+           " live=" + std::to_string(o.liveObjects) +
+           " fullGcs=" + std::to_string(o.fullCollections) + "\n";
+    for (size_t w = 0; w < o.freedPerWindow.size(); ++w)
+        out += "  window" + std::to_string(w) + ": freed " +
+               std::to_string(o.freedPerWindow[w].size()) + "\n";
+    out += "  finalized:";
+    for (uint64_t id : o.finalized)
+        out += " " + std::to_string(id);
+    out += "\n";
+    for (const std::string &v : o.violations)
+        out += "  " + v + "\n";
+    return out;
+}
+
+std::string
+tracePath(uint64_t seed)
+{
+    return ::testing::TempDir() + "gcassert_test_trace_" +
+           std::to_string(seed) + ".json";
+}
+
+/**
+ * Run the seed-determined heap program with telemetry fully on
+ * (tracing, metrics to a file, census every GC) or fully off and
+ * summarize every GC-observable effect. The rng stream is identical
+ * either way; telemetry must not perturb any of it.
+ */
+Outcome
+runScenario(bool telemetry, uint64_t seed, bool generational = false)
+{
+    RuntimeConfig config;
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.tlab = false;
+    config.generational = generational;
+    config.nurseryKb = 32;
+    if (telemetry) {
+        config.observe.traceFile = tracePath(seed);
+        config.observe.metricsSink =
+            ::testing::TempDir() + "gcassert_test_metrics.json";
+        config.observe.censusEvery = 1;
+    } else {
+        config.observe = ObserveConfig{};
+        config.observe.traceFile.clear();
+        config.observe.metricsSink.clear();
+        config.observe.censusEvery = 0;
+    }
+    Runtime rt(config);
+
+    Outcome out;
+
+    TypeId node_type = rt.types()
+                           .define("Node")
+                           .refs({"left", "right"})
+                           .scalars(8)
+                           .build();
+    TypeId record_type = rt.types()
+                             .define("Record")
+                             .refs({"a", "b", "c"})
+                             .scalars(136)
+                             .build();
+    TypeId blob_type = rt.types().define("Blob").array().build();
+
+    uint64_t next_id = 1;
+    auto keyOf = [&](Object *obj) {
+        return rt.types().get(obj->typeId()).name() + ":" +
+               std::to_string(obj->scalar<uint64_t>(0));
+    };
+    out.freedPerWindow.emplace_back();
+    rt.addFreeHook([&](Object *obj) {
+        out.freedPerWindow.back().insert(keyOf(obj));
+    });
+
+    Rng rng(seed);
+
+    std::vector<Handle> handles;
+    std::vector<Object *> objs;
+    std::vector<char> rooted;
+    auto stamp = [&](Object *obj) {
+        obj->setScalar<uint64_t>(0, next_id++);
+        handles.emplace_back(rt, obj, "obj");
+        objs.push_back(obj);
+        rooted.push_back(1);
+        return obj;
+    };
+
+    const size_t num_nodes = rng.range(120, 300);
+    const size_t num_records = rng.range(15, 50);
+    const size_t num_blobs = rng.range(3, 10);
+    for (size_t i = 0; i < num_nodes; ++i)
+        stamp(rt.allocRaw(node_type));
+    for (size_t i = 0; i < num_records; ++i)
+        stamp(rt.allocRaw(record_type));
+    for (size_t i = 0; i < num_blobs; ++i)
+        stamp(rt.allocScalarRaw(
+            blob_type, static_cast<uint32_t>(rng.range(64, 8000))));
+
+    auto slots_of = [&](size_t i) -> uint32_t {
+        return objs[i]->numRefs();
+    };
+    auto rooted_index = [&]() -> size_t {
+        for (;;) {
+            size_t i = rng.below(objs.size());
+            if (rooted[i])
+                return i;
+        }
+    };
+    auto wire = [&](size_t src, uint32_t slot, size_t dst) {
+        rt.writeRef(objs[src], slot, objs[dst]);
+    };
+
+    for (size_t i = 0; i < objs.size(); ++i)
+        for (uint32_t s = 0; s < slots_of(i); ++s)
+            if (rng.chance(0.6))
+                wire(i, s, rng.below(objs.size()));
+
+    for (size_t i = 0; i < objs.size(); ++i)
+        if (objs[i]->scalarBytes() >= 8 && rng.chance(0.08))
+            rt.setFinalizer(objs[i], [&](Object *obj) {
+                out.finalized.push_back(obj->scalar<uint64_t>(0));
+            });
+
+    // Assertions that will sometimes hold and sometimes fire —
+    // identically with telemetry on or off.
+    rt.assertInstances(record_type, num_records / 2);
+    rt.assertVolume(blob_type, 16 * 1024);
+    for (size_t i = 0, n = objs.size() / 30; i < n; ++i)
+        rt.assertUnshared(objs[rooted_index()]);
+    for (size_t i = 0, n = objs.size() / 30; i < n; ++i) {
+        size_t owner = rooted_index();
+        size_t ownee = rooted_index();
+        if (owner != ownee && slots_of(owner) > 0)
+            rt.assertOwnedBy(objs[owner], objs[ownee]);
+    }
+
+    const size_t windows = 3;
+    for (size_t w = 0; w < windows; ++w) {
+        size_t churn_begin = objs.size();
+        for (size_t i = 0, n = rng.range(40, 120); i < n; ++i)
+            stamp(rt.allocRaw(node_type));
+        for (size_t i = churn_begin; i < objs.size(); ++i) {
+            size_t elder = rooted_index();
+            if (slots_of(elder) > 0 && rng.chance(0.5))
+                wire(elder,
+                     static_cast<uint32_t>(rng.below(slots_of(elder))),
+                     i);
+        }
+        for (size_t i = 0, n = rng.range(3, 10); i < n; ++i) {
+            size_t victim = rooted_index();
+            if (rng.chance(0.5))
+                rt.assertDead(objs[victim]);
+            rooted[victim] = 0;
+            handles[victim].reset();
+        }
+        rt.collect();
+        out.freedPerWindow.emplace_back();
+    }
+    rt.collect();
+
+    const GcStats &stats = rt.gcStats();
+    out.marked = stats.objectsMarked;
+    out.swept = stats.objectsSwept;
+    out.sweptBytes = stats.bytesSwept;
+    out.liveObjects = rt.heap().liveObjects();
+    out.usedBytes = rt.heap().usedBytes();
+    out.fullCollections = stats.collections;
+    for (const Violation &v : rt.violations())
+        out.violations.insert(std::string(assertionKindName(v.kind)) +
+                              "|" + v.offendingType + "|" +
+                              std::to_string(v.gcNumber));
+    return out;
+}
+
+TEST(TelemetryDifferential, MatchesUntracedAcross100Seeds)
+{
+    CaptureLogSink capture;
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        Outcome off = runScenario(false, seed);
+        Outcome on = runScenario(true, seed);
+        ASSERT_TRUE(on.equivalentTo(off))
+            << "telemetry divergence at seed " << seed
+            << "\n--- off ---\n" << describe(off)
+            << "--- on ---\n" << describe(on);
+        std::remove(tracePath(seed).c_str());
+    }
+}
+
+TEST(TelemetryDifferential, MatchesUntracedUnderGenerationalMode)
+{
+    CaptureLogSink capture;
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        Outcome off = runScenario(false, seed, /*generational=*/true);
+        Outcome on = runScenario(true, seed, /*generational=*/true);
+        ASSERT_TRUE(on.equivalentTo(off))
+            << "telemetry divergence (generational) at seed " << seed
+            << "\n--- off ---\n" << describe(off)
+            << "--- on ---\n" << describe(on);
+        std::remove(tracePath(seed).c_str());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema checks
+// ---------------------------------------------------------------------
+
+/** A small runtime with telemetry on; drives a couple of GCs. */
+RuntimeConfig
+observedConfig()
+{
+    RuntimeConfig config;
+    config.infrastructure = true;
+    config.tlab = false;
+    config.observe.traceFile =
+        ::testing::TempDir() + "gcassert_schema_trace.json";
+    config.observe.metricsSink.clear();
+    config.observe.censusEvery = 1;
+    return config;
+}
+
+TEST(TelemetrySchema, ChromeTraceParsesWithPhaseSpans)
+{
+    CaptureLogSink capture;
+    RuntimeConfig config = observedConfig();
+    // Parallel marking requires path recording off (collect() would
+    // downgrade to sequential otherwise), and the sweep only shards
+    // when there is more than one block to split across workers.
+    config.recordPaths = false;
+    config.markThreads = 2;
+    config.sweepThreads = 2;
+    Runtime rt(config);
+    TypeId t = rt.types().define("T").refs({"next"}).scalars(256).build();
+    {
+        Handle keep(rt, rt.allocRaw(t), "keep");
+        for (int i = 0; i < 2000; ++i) {
+            Object *obj = rt.allocRaw(t);
+            rt.writeRef(keep.get(), 0, obj);
+        }
+        rt.collect();
+        rt.collect();
+    }
+
+    ASSERT_NE(rt.telemetry(), nullptr);
+    ASSERT_NE(rt.telemetry()->recorder(), nullptr);
+    std::string doc = rt.telemetry()->recorder()->toJson();
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(jsonParse(doc, root, &error)) << error;
+    ASSERT_TRUE(root.isObject());
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_FALSE(events->array.empty());
+
+    std::set<std::string> names;
+    std::set<double> worker_tids;
+    for (const JsonValue &ev : events->array) {
+        ASSERT_TRUE(ev.isObject());
+        const JsonValue *name = ev.find("name");
+        const JsonValue *ph = ev.find("ph");
+        const JsonValue *ts = ev.find("ts");
+        const JsonValue *pid = ev.find("pid");
+        const JsonValue *tid = ev.find("tid");
+        ASSERT_NE(name, nullptr);
+        ASSERT_TRUE(name->isString());
+        ASSERT_NE(ph, nullptr);
+        ASSERT_NE(ts, nullptr);
+        ASSERT_TRUE(ts->isNumber());
+        ASSERT_NE(pid, nullptr);
+        ASSERT_NE(tid, nullptr);
+        if (ph->string == "X") {
+            const JsonValue *dur = ev.find("dur");
+            ASSERT_NE(dur, nullptr);
+            ASSERT_TRUE(dur->isNumber());
+            EXPECT_GE(dur->number, 0.0);
+        }
+        names.insert(name->string);
+        const JsonValue *cat = ev.find("cat");
+        if (cat && cat->string == "gc.worker")
+            worker_tids.insert(tid->number);
+    }
+    // One span per phase of the two full collections.
+    EXPECT_TRUE(names.count("full_gc"));
+    EXPECT_TRUE(names.count("mark"));
+    EXPECT_TRUE(names.count("sweep"));
+    EXPECT_TRUE(names.count("finish"));
+    EXPECT_TRUE(names.count("lazy_finish"));
+    // Parallel mark/sweep workers get their own tids (1..N), so
+    // Perfetto renders them as sub-tracks under the collector row.
+    EXPECT_GE(worker_tids.size(), 2u);
+    EXPECT_FALSE(worker_tids.count(0.0));
+}
+
+TEST(TelemetrySchema, MinorGcSpansAreDistinguishable)
+{
+    CaptureLogSink capture;
+    RuntimeConfig config = observedConfig();
+    config.generational = true;
+    config.nurseryKb = 16;
+    Runtime rt(config);
+    TypeId t = rt.types().define("T").refs({"next"}).scalars(64).build();
+    for (int i = 0; i < 2000; ++i)
+        rt.allocRaw(t); // unrooted: dies in the nursery
+    rt.collectMinor();
+    rt.collect();
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(
+        jsonParse(rt.telemetry()->recorder()->toJson(), root, &error))
+        << error;
+    bool saw_minor = false, saw_full = false;
+    for (const JsonValue &ev : root.find("traceEvents")->array) {
+        const std::string &name = ev.find("name")->string;
+        if (name == "minor_gc")
+            saw_minor = true;
+        if (name == "full_gc")
+            saw_full = true;
+    }
+    EXPECT_TRUE(saw_minor);
+    EXPECT_TRUE(saw_full);
+}
+
+TEST(TelemetrySchema, CensusMatchesHeapAndSerializes)
+{
+    CaptureLogSink capture;
+    Runtime rt(observedConfig());
+    TypeId a = rt.types().define("Alpha").refs({"x"}).scalars(8).build();
+    TypeId b = rt.types().define("Beta").refs({}).scalars(40).build();
+    std::vector<Handle> keep;
+    for (int i = 0; i < 7; ++i)
+        keep.emplace_back(rt, rt.allocRaw(a), "a");
+    for (int i = 0; i < 3; ++i)
+        keep.emplace_back(rt, rt.allocRaw(b), "b");
+    rt.collect();
+
+    CensusSnapshot census = rt.latestCensus();
+    ASSERT_FALSE(census.empty());
+    EXPECT_EQ(census.gcNumber, rt.gcStats().collections);
+    EXPECT_EQ(census.totalObjects, rt.heap().liveObjects());
+    uint64_t alpha = 0, beta = 0, total = 0;
+    for (const CensusRow &row : census.rows) {
+        total += row.liveObjects;
+        if (row.typeName == "Alpha")
+            alpha = row.liveObjects;
+        if (row.typeName == "Beta")
+            beta = row.liveObjects;
+    }
+    EXPECT_EQ(alpha, 7u);
+    EXPECT_EQ(beta, 3u);
+    EXPECT_EQ(total, census.totalObjects);
+
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(jsonParse(census.toJson(), parsed, &error)) << error;
+    ASSERT_TRUE(parsed.isObject());
+    EXPECT_NE(parsed.find("rows"), nullptr);
+
+    // requestCensus() forces one outside the censusEvery cadence.
+    rt.requestCensus();
+    rt.collect();
+    EXPECT_EQ(rt.latestCensus().gcNumber, rt.gcStats().collections);
+}
+
+TEST(TelemetrySchema, MetricsSnapshotSerializesAndTracksStats)
+{
+    CaptureLogSink capture;
+    Runtime rt(observedConfig());
+    TypeId t = rt.types().define("T").refs({}).scalars(16).build();
+    for (int i = 0; i < 50; ++i)
+        rt.allocRaw(t);
+    rt.collect();
+    rt.collect();
+
+    MetricsRegistry &m = rt.telemetry()->metrics();
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(jsonParse(m.toJson(), parsed, &error)) << error;
+    const JsonValue *gauges = parsed.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    const JsonValue *collections = gauges->find("gc.collections");
+    ASSERT_NE(collections, nullptr);
+    EXPECT_EQ(collections->number,
+              static_cast<double>(rt.gcStats().collections));
+    const JsonValue *counters = parsed.find("counters");
+    ASSERT_NE(counters, nullptr);
+    // The census-every-1 cadence bumped the push counter each GC.
+    const JsonValue *taken = counters->find("observe.census_taken");
+    ASSERT_NE(taken, nullptr);
+    EXPECT_EQ(taken->number,
+              static_cast<double>(rt.gcStats().collections));
+}
+
+TEST(TelemetrySchema, ViolationCarriesProvenance)
+{
+    CaptureLogSink capture;
+    Runtime rt(observedConfig());
+    TypeId t = rt.types().define("Leak").refs({}).scalars(8).build();
+    Handle keep(rt, rt.allocRaw(t), "keep");
+    rt.collect(); // census snapshot exists before the violation
+    rt.assertDead(keep.get());
+    rt.collect();
+
+    ASSERT_EQ(rt.violations().size(), 1u);
+    const Violation &v = rt.violations()[0];
+    EXPECT_FALSE(v.provenanceJson.empty());
+
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(jsonParse(v.toJson(), parsed, &error)) << error;
+    EXPECT_NE(parsed.find("kind"), nullptr);
+    EXPECT_NE(parsed.find("address"), nullptr);
+    const JsonValue *prov = parsed.find("provenance");
+    ASSERT_NE(prov, nullptr);
+    ASSERT_TRUE(prov->isObject());
+    EXPECT_NE(prov->find("heapUsedBytes"), nullptr);
+    EXPECT_NE(prov->find("censusTop"), nullptr);
+}
+
+TEST(TelemetrySchema, TraceFileFlushedOnDestruction)
+{
+    CaptureLogSink capture;
+    std::string path =
+        ::testing::TempDir() + "gcassert_flush_trace.json";
+    std::remove(path.c_str());
+    {
+        RuntimeConfig config = observedConfig();
+        config.observe.traceFile = path;
+        Runtime rt(config);
+        TypeId t = rt.types().define("T").refs({}).build();
+        rt.allocRaw(t);
+        rt.collect();
+    }
+    FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string doc;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        doc.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(jsonParse(doc, root, &error)) << error;
+    ASSERT_NE(root.find("traceEvents"), nullptr);
+}
+
+} // namespace
+} // namespace gcassert
