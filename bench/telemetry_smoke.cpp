@@ -13,7 +13,16 @@
  *    equal totals), and serializes to valid JSON;
  *  - the metrics snapshot parses and its gc.collections gauge agrees
  *    with GcStats;
- *  - every violation's toJson() (with provenance) parses.
+ *  - every violation's toJson() (with provenance) parses;
+ *  - the per-assertion cost gauges (assert.cost.{mark,finish}.*)
+ *    sum to within GCASSERT_SMOKE_MAX_ATTRIB_DELTA_PCT (default 5%)
+ *    of the mark+finish wall-clock spans from the trace — sequential
+ *    marking only, since parallel workers tally CPU time that
+ *    legitimately exceeds the wall-clock span;
+ *  - when GCASSERT_PAUSE_BUDGET_US arms a generous (>= 1 s) pause
+ *    budget, no pause-SLO violation may fire;
+ *  - across the whole suite, the assertion kinds that do per-GC
+ *    work (instances, ownedby) carry non-zero attributed cost.
  *
  * Tripwire: the geometric-mean slowdown of telemetry-on over
  * telemetry-off runs must stay at or below
@@ -25,16 +34,19 @@
  * tripped overhead bound.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "observe/assert_cost.h"
 #include "runtime/runtime.h"
 #include "support/json.h"
 #include "support/logging.h"
 #include "support/stats.h"
+#include "support/strutil.h"
 #include "support/stopwatch.h"
 #include "workloads/registry.h"
 #include "workloads/workload.h"
@@ -87,6 +99,88 @@ readFile(const std::string &path)
     return out;
 }
 
+/** Which assertion kinds carried non-zero cost anywhere in the suite. */
+bool kindSeen[kNumAssertCostKinds] = {};
+
+/**
+ * Check the per-assertion cost gauges against the phase spans they
+ * partition: summed across all six kinds and both phases, the
+ * attribution must reproduce the cumulative mark+finish wall-clock
+ * time recorded in the trace. Exact by construction for sequential
+ * marking (the "other" bucket absorbs the span remainder), so any
+ * drift beyond the tolerance means the merge or gauge wiring lost
+ * tallies. Skipped for parallel marking, where per-worker CPU time
+ * legitimately exceeds the wall-clock span.
+ */
+void
+validateAttribution(const std::string &name, Runtime &rt,
+                    bool sequential_mark, double max_delta_pct)
+{
+    JsonValue metrics;
+    if (!parseChecked(rt.telemetry()->metrics().toJson(),
+                      name + ": metrics", metrics))
+        return;
+    const JsonValue *gauges = metrics.find("gauges");
+    if (!gauges) {
+        fail(name + ": metrics snapshot has no gauges");
+        return;
+    }
+    double attrib = 0.0;
+    for (size_t i = 0; i < kNumAssertCostKinds; ++i) {
+        std::string kind =
+            assertCostKindName(static_cast<AssertCostKind>(i));
+        double kind_total = 0.0;
+        for (const char *phase : {"mark", "finish"}) {
+            std::string key = std::string("assert.cost.") + phase +
+                              "." + kind + "_nanos";
+            const JsonValue *g = gauges->find(key);
+            if (!g || !g->isNumber()) {
+                fail(name + ": missing gauge " + key);
+                return;
+            }
+            kind_total += g->number;
+        }
+        attrib += kind_total;
+        if (kind_total > 0.0)
+            kindSeen[i] = true;
+    }
+
+    TraceRecorder *recorder = rt.telemetry()->recorder();
+    if (!recorder) {
+        fail(name + ": attribution check needs an active trace");
+        return;
+    }
+    JsonValue trace;
+    if (!parseChecked(recorder->toJson(), name + ": live trace",
+                      trace))
+        return;
+    const JsonValue *events = trace.find("traceEvents");
+    double span_nanos = 0.0;
+    if (events && events->isArray())
+        for (const JsonValue &ev : events->array) {
+            const JsonValue *nm = ev.find("name");
+            const JsonValue *ph = ev.find("ph");
+            const JsonValue *dur = ev.find("dur");
+            if (nm && nm->isString() && ph && ph->string == "X" &&
+                dur && dur->isNumber() &&
+                (nm->string == "mark" || nm->string == "finish"))
+                span_nanos += dur->number * 1000.0; // dur is in us
+        }
+    if (span_nanos <= 0.0) {
+        fail(name + ": trace has no mark/finish spans to attribute");
+        return;
+    }
+    if (!sequential_mark)
+        return;
+    double delta_pct =
+        std::fabs(attrib - span_nanos) / span_nanos * 100.0;
+    if (delta_pct > max_delta_pct)
+        fail(format("%s: attribution sum %.0f ns vs mark+finish "
+                    "spans %.0f ns (%.2f%% apart, bound %.2f%%)",
+                    name.c_str(), attrib, span_nanos, delta_pct,
+                    max_delta_pct));
+}
+
 /** Validate the in-runtime artifacts (census, metrics, violations). */
 void
 validateRuntimeArtifacts(const std::string &name, Runtime &rt)
@@ -119,6 +213,11 @@ validateRuntimeArtifacts(const std::string &name, Runtime &rt)
             fail(name + ": gc.collections gauge disagrees with stats");
     }
 
+    // A generous armed budget (>= 1 s) must never be blown by the
+    // figure workloads; a pause-SLO report here means the tracker is
+    // firing spuriously or a pause regressed by orders of magnitude.
+    const uint64_t pause_budget =
+        rt.telemetry()->pauseSlo().budgetNanos();
     for (const Violation &v : rt.violations()) {
         JsonValue parsed;
         if (!parseChecked(v.toJson(), name + ": violation", parsed))
@@ -127,6 +226,11 @@ validateRuntimeArtifacts(const std::string &name, Runtime &rt)
             fail(name + ": violation missing provenance");
             break;
         }
+        if (v.kind == AssertionKind::PauseSlo &&
+            pause_budget >= 1000000000ull)
+            fail(name + ": pause-SLO violation under a generous (" +
+                 std::to_string(pause_budget / 1000000000ull) +
+                 " s) budget: " + v.message);
     }
 }
 
@@ -206,8 +310,16 @@ runOnce(const std::string &name, bool telemetry, uint32_t iterations)
         rt.collect();
         seconds = static_cast<double>(nowNanos() - t0) * 1e-9;
         minors = rt.gcStats().minorCollections;
-        if (telemetry)
+        if (telemetry) {
             validateRuntimeArtifacts(name, rt);
+            double max_delta_pct = [] {
+                const char *env =
+                    std::getenv("GCASSERT_SMOKE_MAX_ATTRIB_DELTA_PCT");
+                return env ? std::atof(env) : 5.0;
+            }();
+            validateAttribution(name, rt, config.markThreads == 1,
+                                max_delta_pct);
+        }
     } // destructor flushes the trace and metrics files
     if (telemetry) {
         validateTraceFile(name, trace_path, minors > 0);
@@ -257,6 +369,19 @@ main()
         std::printf("  %-14s %8.1f   %8.1f   %+7.2f%%\n", name.c_str(),
                     off_med * 1e3, on_med * 1e3, (ratio - 1.0) * 100.0);
     }
+
+    // The figure workloads collectively exercise instances and
+    // ownedby assertions, which do per-GC work whether or not they
+    // fire; each must have accrued attributed cost somewhere in the
+    // suite or the attribution plumbing is dark. (Dead assertions on
+    // a clean run cost nothing attributable: a flagged object that is
+    // genuinely dead is never marked, so deadCheck never runs on it.)
+    for (AssertCostKind kind :
+         {AssertCostKind::Instances, AssertCostKind::OwnedBy})
+        if (!kindSeen[static_cast<size_t>(kind)])
+            fail(std::string("suite-wide: no attributed cost for "
+                             "assertion kind ") +
+                 assertCostKindName(kind));
 
     double gm = geomean(medians);
     std::printf("\n  geomean telemetry overhead: %+.2f%% (bound: "

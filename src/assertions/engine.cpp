@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "observe/assert_cost.h"
 #include "support/logging.h"
 #include "support/strutil.h"
 
@@ -120,43 +121,54 @@ AssertionEngine::onGcStart(uint64_t gc_number)
 }
 
 void
-AssertionEngine::onTraceDone()
+AssertionEngine::onTraceDone(AssertCostTallies *cost)
 {
     // Instance- and volume-limit checks (paper: "at the end of GC,
     // we iterate through our list of tracked types").
-    for (TypeId id : types_.trackedTypes()) {
-        const TypeDescriptor &desc = types_.get(id);
-        if (desc.instanceCount() > desc.instanceLimit()) {
-            Violation v;
-            v.kind = AssertionKind::Instances;
-            v.offendingType = desc.name();
-            v.gcNumber = gcNumber_;
-            v.message = format(
-                "%llu instances of %s are live; the limit is %llu.",
-                static_cast<unsigned long long>(desc.instanceCount()),
-                desc.name().c_str(),
-                static_cast<unsigned long long>(desc.instanceLimit()));
-            report(std::move(v));
-        }
-        if (desc.volumeBytes() > desc.volumeLimit()) {
-            Violation v;
-            v.kind = AssertionKind::Volume;
-            v.offendingType = desc.name();
-            v.gcNumber = gcNumber_;
-            v.message = format(
-                "live %s instances total %llu bytes; the budget is "
-                "%llu bytes.",
-                desc.name().c_str(),
-                static_cast<unsigned long long>(desc.volumeBytes()),
-                static_cast<unsigned long long>(desc.volumeLimit()));
-            report(std::move(v));
+    {
+        CostScope scope(cost, AssertCostKind::Instances);
+        for (TypeId id : types_.trackedTypes()) {
+            const TypeDescriptor &desc = types_.get(id);
+            if (desc.instanceCount() > desc.instanceLimit()) {
+                Violation v;
+                v.kind = AssertionKind::Instances;
+                v.offendingType = desc.name();
+                v.gcNumber = gcNumber_;
+                v.message = format(
+                    "%llu instances of %s are live; the limit is "
+                    "%llu.",
+                    static_cast<unsigned long long>(
+                        desc.instanceCount()),
+                    desc.name().c_str(),
+                    static_cast<unsigned long long>(
+                        desc.instanceLimit()));
+                report(std::move(v));
+            }
+            if (desc.volumeBytes() > desc.volumeLimit()) {
+                Violation v;
+                v.kind = AssertionKind::Volume;
+                v.offendingType = desc.name();
+                v.gcNumber = gcNumber_;
+                v.message = format(
+                    "live %s instances total %llu bytes; the budget "
+                    "is %llu bytes.",
+                    desc.name().c_str(),
+                    static_cast<unsigned long long>(
+                        desc.volumeBytes()),
+                    static_cast<unsigned long long>(
+                        desc.volumeLimit()));
+                report(std::move(v));
+            }
         }
     }
 
     // Region queues: drop entries that died in this collection so
     // the queues never hold dangling pointers.
-    mutators_.forEach(
-        [](MutatorContext &mutator) { mutator.pruneRegionQueue(); });
+    {
+        CostScope scope(cost, AssertCostKind::AllDead);
+        mutators_.forEach(
+            [](MutatorContext &mutator) { mutator.pruneRegionQueue(); });
+    }
 
     // Ownership table: drop satisfied pairs; convert ownees that
     // survived a reclaimed owner into orphan dead-assertions. They
@@ -165,27 +177,36 @@ AssertionEngine::onTraceDone()
     // still finds them reachable (now necessarily from real roots),
     // the dead check reports them as assert-ownedby violations with
     // a full path; if they die, the assertion was satisfied.
-    OwnershipTable::PruneResult pruned = ownership_.prune();
-    stats_.owneeAssertsSatisfied += pruned.deadOwnees;
-    if (options_.orphanedOwneeIsViolation) {
-        for (Object *ownee : pruned.orphanedOwnees) {
-            ownee->setFlag(kDeadBit);
-            ownee->setFlag(kOrphanBit);
+    {
+        CostScope scope(cost, AssertCostKind::OwnedBy);
+        OwnershipTable::PruneResult pruned = ownership_.prune();
+        stats_.owneeAssertsSatisfied += pruned.deadOwnees;
+        if (options_.orphanedOwneeIsViolation) {
+            for (Object *ownee : pruned.orphanedOwnees) {
+                ownee->setFlag(kDeadBit);
+                ownee->setFlag(kOrphanBit);
+            }
         }
+
+        // Consume the owner half of the barrier-fed dirty sets: this
+        // trace has re-checked everything they pointed at, so the
+        // latches reset and the next mutator window starts clean.
+        // Entries are still valid here — the sweep has not run, and
+        // the minor GC pins dirty objects.
+        stats_.dirtyOwnersAtGc += dirtyOwners_.size();
+        for (Object *owner : dirtyOwners_)
+            owner->clearFlagsAtomic(kWriteDirtyBit);
+        dirtyOwners_.clear();
     }
 
-    // Consume the barrier-fed dirty sets: this trace has re-checked
-    // everything they pointed at, so the latches reset and the next
-    // mutator window starts clean. Entries are still valid here —
-    // the sweep has not run, and the minor GC pins dirty objects.
-    stats_.dirtyOwnersAtGc += dirtyOwners_.size();
-    stats_.dirtyUnsharedAtGc += dirtyUnshared_.size();
-    for (Object *owner : dirtyOwners_)
-        owner->clearFlagsAtomic(kWriteDirtyBit);
-    for (Object *obj : dirtyUnshared_)
-        obj->clearFlagsAtomic(kWriteDirtyBit);
-    dirtyOwners_.clear();
-    dirtyUnshared_.clear();
+    // And the unshared half, under its own attribution bucket.
+    {
+        CostScope scope(cost, AssertCostKind::Unshared);
+        stats_.dirtyUnsharedAtGc += dirtyUnshared_.size();
+        for (Object *obj : dirtyUnshared_)
+            obj->clearFlagsAtomic(kWriteDirtyBit);
+        dirtyUnshared_.clear();
+    }
 }
 
 void

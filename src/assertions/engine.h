@@ -26,6 +26,8 @@
 
 namespace gcassert {
 
+struct AssertCostTallies;
+
 /** Behavioural switches for the engine. */
 struct EngineOptions {
     /**
@@ -112,9 +114,11 @@ class AssertionEngine {
     /**
      * Post-trace finish work (run while mark bits are valid, before
      * sweep): instance-limit checks, region-queue pruning, ownership
-     * table pruning with orphaned-ownee reporting.
+     * table pruning with orphaned-ownee reporting. When @p cost is
+     * non-null, each sub-step's time is attributed to its assertion
+     * kind.
      */
-    void onTraceDone();
+    void onTraceDone(AssertCostTallies *cost = nullptr);
 
     /** Sweep hook: account for satisfied lifetime assertions. */
     void onObjectFreed(Object *obj);

@@ -63,7 +63,7 @@ class ReactionPolicy {
     static bool forcible(AssertionKind kind);
 
   private:
-    static constexpr size_t kNumKinds = 7;
+    static constexpr size_t kNumKinds = 8;
     Reaction reactions_[kNumKinds];
     std::vector<ViolationHandler> handlers_;
 };

@@ -19,6 +19,7 @@ assertionKindName(AssertionKind kind)
       case AssertionKind::Unshared: return "assert-unshared";
       case AssertionKind::OwnedBy: return "assert-ownedby";
       case AssertionKind::OwnershipMisuse: return "ownership-misuse";
+      case AssertionKind::PauseSlo: return "pause-slo";
     }
     return "?";
 }

@@ -37,6 +37,13 @@ enum class AssertionKind {
      * regions overlap), reported as a warning per section 2.5.2.
      */
     OwnershipMisuse,
+    /**
+     * A stop-the-world pause exceeded the configured SLO budget
+     * (GCASSERT_PAUSE_BUDGET_US). Context-only: reported through the
+     * same funnel for provenance, never forced or part of any
+     * assertion verdict.
+     */
+    PauseSlo,
 };
 
 /** Short name for an assertion kind ("assert-dead" etc.). */

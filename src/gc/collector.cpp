@@ -190,7 +190,7 @@ MinorCollectionResult
 Collector::minorCollect()
 {
     TraceRecorder *tr = telemetry_ ? telemetry_->recorder() : nullptr;
-    uint64_t t0 = tr ? nowNanos() : 0;
+    uint64_t t0 = (tr || telemetry_) ? nowNanos() : 0;
     ScopedTimer timer(stats_.minorGc);
     ++stats_.minorCollections;
     worklist_.clear();
@@ -266,6 +266,7 @@ Collector::minorCollect()
     // a non-generational run's (same objects, earlier collection).
     stats_.objectsSwept += swept.freedObjects;
     stats_.bytesSwept += swept.freedBytes;
+    uint64_t t1 = (tr || telemetry_) ? nowNanos() : 0;
     if (tr) {
         JsonWriter a;
         a.beginObject()
@@ -274,8 +275,13 @@ Collector::minorCollect()
             .field("freedBytes", result.freedBytes)
             .field("remsetSources", result.remsetSources)
             .endObject();
-        tr->complete("minor_gc", "gc", t0, nowNanos(), 0, a.str());
+        tr->complete("minor_gc", "gc", t0, t1, 0, a.str());
     }
+    // Minor pauses count against the same SLO budget. This is the
+    // one exception to "a minor collection reports no violations":
+    // PauseSlo is context-only and never an assertion verdict.
+    if (telemetry_)
+        notePause(true, t1 - t0);
     return result;
 }
 
@@ -291,7 +297,11 @@ Collector::collectImpl()
     // behaviorally identical by construction.
     TraceRecorder *tr = telemetry_ ? telemetry_->recorder() : nullptr;
     traceActive_ = tr != nullptr;
-    uint64_t gc_begin = tr ? nowNanos() : 0;
+    // Cost attribution rides on the assertion infrastructure and any
+    // telemetry; the SLO tracker needs only telemetry, so the pause
+    // endpoints are taken whenever the bundle is attached.
+    costActive_ = kInfra && telemetry_ != nullptr;
+    uint64_t gc_begin = (tr || telemetry_) ? nowNanos() : 0;
 
     ScopedTimer total(stats_.totalGc);
 
@@ -363,9 +373,15 @@ Collector::collectImpl()
     // Phase 2: root scan and full trace. Parallel marking never
     // runs with path recording (collect() downgrades instead).
     {
-        uint64_t t0 = tr ? nowNanos() : 0;
+        uint64_t t0 = (tr || costActive_) ? nowNanos() : 0;
         uint64_t steals_before = stats_.markSteals;
         bool parallel = false;
+        markCost_ = AssertCostTallies{};
+        // cost_ arms the sequential checks' CostScopes for exactly
+        // this span; parallel workers tally into their own copies
+        // and merge into markCost_ after the join.
+        if (costActive_)
+            cost_ = &markCost_;
         {
             ScopedTimer t(stats_.tracePhase);
             if constexpr (!kPath) {
@@ -379,6 +395,12 @@ Collector::collectImpl()
                 rootScanPhase<kInfra, kPath>();
             }
         }
+        cost_ = nullptr;
+        uint64_t t1 = (tr || costActive_) ? nowNanos() : 0;
+        if (costActive_) {
+            markCost_.setOtherFromSpan(t1 - t0);
+            telemetry_->assertCost().addMark(markCost_);
+        }
         if (tr) {
             JsonWriter a;
             a.beginObject()
@@ -386,9 +408,11 @@ Collector::collectImpl()
                 .field("parallel", parallel)
                 .field("workers",
                        uint64_t{parallel ? config_.markThreads : 1})
-                .field("steals", stats_.markSteals - steals_before)
-                .endObject();
-            tr->complete("mark", "gc", t0, nowNanos(), 0, a.str());
+                .field("steals", stats_.markSteals - steals_before);
+            if (costActive_)
+                a.key("assertCost").valueRaw(markCost_.toJson());
+            a.endObject();
+            tr->complete("mark", "gc", t0, t1, 0, a.str());
         }
     }
 
@@ -409,21 +433,29 @@ Collector::collectImpl()
 
     // Phase 3: end-of-trace assertion work.
     if (kInfra) {
-        uint64_t t0 = tr ? nowNanos() : 0;
+        uint64_t t0 = (tr || costActive_) ? nowNanos() : 0;
         uint64_t violations_so_far =
             engine_.stats().violationsReported - violations_before;
+        AssertCostTallies finish_cost;
         {
             ScopedTimer t(stats_.finishPhase);
-            engine_.onTraceDone();
+            engine_.onTraceDone(costActive_ ? &finish_cost : nullptr);
+        }
+        uint64_t t1 = (tr || costActive_) ? nowNanos() : 0;
+        if (costActive_) {
+            finish_cost.setOtherFromSpan(t1 - t0);
+            telemetry_->assertCost().addFinish(finish_cost);
         }
         if (tr) {
             JsonWriter a;
             a.beginObject()
                 .field("violations",
                        engine_.stats().violationsReported -
-                           violations_before - violations_so_far)
-                .endObject();
-            tr->complete("finish", "gc", t0, nowNanos(), 0, a.str());
+                           violations_before - violations_so_far);
+            if (costActive_)
+                a.key("assertCost").valueRaw(finish_cost.toJson());
+            a.endObject();
+            tr->complete("finish", "gc", t0, t1, 0, a.str());
         }
     }
 
@@ -501,6 +533,7 @@ Collector::collectImpl()
     // taken), then the enclosing full-GC span.
     bool census_taken = censusActive_;
     finishCensus(stats_.collections);
+    uint64_t gc_end = (tr || telemetry_) ? nowNanos() : 0;
     if (tr) {
         JsonWriter a;
         a.beginObject()
@@ -510,10 +543,37 @@ Collector::collectImpl()
             .field("violations", result.violations)
             .field("census", census_taken)
             .endObject();
-        tr->complete("full_gc", "gc", gc_begin, nowNanos(), 0, a.str());
+        tr->complete("full_gc", "gc", gc_begin, gc_end, 0, a.str());
     }
     traceActive_ = false;
+    costActive_ = false;
+    // SLO check dead last: the result (and every per-GC violation
+    // count) is settled, so an over-budget report is pure context
+    // and can never leak into assertion verdicts.
+    if (telemetry_)
+        notePause(false, gc_end - gc_begin);
     return result;
+}
+
+void
+Collector::notePause(bool minor, uint64_t pauseNanos)
+{
+    PauseSloTracker &slo = telemetry_->pauseSlo();
+    bool over = minor ? slo.recordMinor(pauseNanos)
+                      : slo.recordFull(pauseNanos);
+    if (!over)
+        return;
+    Violation v;
+    v.kind = AssertionKind::PauseSlo;
+    v.gcNumber = stats_.collections;
+    v.message = format(
+        "%s pause of %llu us exceeded the %llu us SLO budget.",
+        minor ? "minor-GC" : "full-GC",
+        static_cast<unsigned long long>(pauseNanos / 1000),
+        static_cast<unsigned long long>(slo.budgetNanos() / 1000));
+    // Through the regular funnel so the violation gains provenance
+    // and reaches observers/reaction hooks like any other.
+    engine_.report(std::move(v));
 }
 
 template <bool kInfra>
@@ -526,10 +586,14 @@ Collector::markObject(Object *obj)
         // The per-object RVMClass inspection of section 2.4.1: check
         // whether the object's type is instance-tracked. The flag is
         // a dense byte array so the untracked common case stays
-        // cheap in the trace loop.
+        // cheap in the trace loop. Attribution times only the
+        // tracked-type tally; the flag test itself is baseline visit
+        // cost and lands in the Other bucket.
         TypeId type = obj->typeId();
-        if (types_.trackedFlags()[type])
+        if (types_.trackedFlags()[type]) {
+            CostScope cost(cost_, AssertCostKind::Instances);
             types_.bumpInstanceCount(type, obj->sizeBytes());
+        }
     }
     // Census piggybacks on the mark win exactly as instance tracking
     // does — zero extra traversal, just a tally per newly-live object.
@@ -576,14 +640,19 @@ Collector::deadCheck(Object **slot, Object *obj)
     if (!obj->testFlag(kDeadBit))
         return false;
 
+    // The early-out above keeps the common no-dead-bit path free of
+    // the timing scope; only actual check work is attributed.
+    CostScope cost(cost_, AssertCostKind::Dead);
     AssertionKind kind = AssertionKind::Dead;
     std::string what = "an object that was asserted dead is reachable.";
     if (obj->testFlag(kOrphanBit)) {
         kind = AssertionKind::OwnedBy;
+        cost.reclassify(AssertCostKind::OwnedBy);
         what = "an ownee outlived its owner (the owner was reclaimed in "
                "an earlier collection) and is still reachable.";
     } else if (obj->testFlag(kRegionBit)) {
         kind = AssertionKind::AllDead;
+        cost.reclassify(AssertCostKind::AllDead);
         what =
             "an object allocated in an assert-alldead region is reachable.";
     }
@@ -613,7 +682,10 @@ template <bool kPath>
 void
 Collector::unsharedCheck(Object *obj)
 {
-    if (obj->testFlag(kUnsharedBit) && !engine_.alreadyReported(obj)) {
+    if (!obj->testFlag(kUnsharedBit))
+        return;
+    CostScope cost(cost_, AssertCostKind::Unshared);
+    if (!engine_.alreadyReported(obj)) {
         reportPathViolation<kPath>(
             AssertionKind::Unshared, obj,
             "an object that was asserted unshared has more than one "
@@ -627,6 +699,7 @@ Collector::owneeCheckPhase2(Object *obj)
 {
     if (!obj->testFlag(kOwneeBit))
         return;
+    CostScope cost(cost_, AssertCostKind::OwnedBy);
     ++stats_.owneeChecks;
     ++stats_.owneeChecksLastGc;
     if (!obj->testFlag(kOwnedBit) && !engine_.alreadyReported(obj)) {
@@ -929,6 +1002,9 @@ struct Collector::MarkWorker {
     /** Per-type census tallies (armed only when a census is active). */
     std::vector<uint64_t> censusCounts;
     std::vector<uint64_t> censusBytes;
+    /** Per-kind check-time tallies (armed when costActive_); merged
+     *  into markCost_ after the join like everything above. */
+    AssertCostTallies cost;
     /** Wall-clock span of this worker's run (tracing only). */
     uint64_t beginNs = 0;
     uint64_t endNs = 0;
@@ -998,6 +1074,8 @@ Collector::parallelMarkPhase()
                          w.weakRefs.end());
         for (PendingViolation &pv : w.pending)
             pending.push_back(std::move(pv));
+        if (costActive_)
+            markCost_.merge(w.cost);
         if (censusActive_) {
             for (size_t t = 0; t < w.censusCounts.size(); ++t) {
                 censusCounts_[t] += w.censusCounts[t];
@@ -1118,6 +1196,8 @@ Collector::parVisit(Object **slot, Object *obj, MarkWorker &w)
         if (kInfra) {
             TypeId type = obj->typeId();
             if (types_.trackedFlags()[type]) {
+                CostScope cost(costActive_ ? &w.cost : nullptr,
+                               AssertCostKind::Instances);
                 ++w.instanceCounts[type];
                 w.instanceBytes[type] += obj->sizeBytes();
             }
@@ -1134,6 +1214,8 @@ Collector::parVisit(Object **slot, Object *obj, MarkWorker &w)
         // incoming reference — the condition assert-unshared
         // detects. Racing workers may both record it; the merge
         // dedups to the single report the sequential trace emits.
+        CostScope cost(costActive_ ? &w.cost : nullptr,
+                       AssertCostKind::Unshared);
         w.pending.push_back(
             {AssertionKind::Unshared, obj,
              "an object that was asserted unshared has more than one "
@@ -1144,6 +1226,8 @@ Collector::parVisit(Object **slot, Object *obj, MarkWorker &w)
 void
 Collector::parOwneeCheck(Object *obj, uint32_t flags, MarkWorker &w)
 {
+    CostScope cost(costActive_ ? &w.cost : nullptr,
+                   AssertCostKind::OwnedBy);
     ++w.owneeChecks;
     // kOwnedBit was settled by the (sequential) ownership phase and
     // is read-only during phase 2.
@@ -1163,14 +1247,18 @@ bool
 Collector::parDeadCheck(Object **slot, Object *obj, uint32_t flags,
                         MarkWorker &w)
 {
+    CostScope cost(costActive_ ? &w.cost : nullptr,
+                   AssertCostKind::Dead);
     AssertionKind kind = AssertionKind::Dead;
     std::string what = "an object that was asserted dead is reachable.";
     if (flags & kOrphanBit) {
         kind = AssertionKind::OwnedBy;
+        cost.reclassify(AssertCostKind::OwnedBy);
         what = "an ownee outlived its owner (the owner was reclaimed in "
                "an earlier collection) and is still reachable.";
     } else if (flags & kRegionBit) {
         kind = AssertionKind::AllDead;
+        cost.reclassify(AssertCostKind::AllDead);
         what =
             "an object allocated in an assert-alldead region is reachable.";
     }

@@ -39,6 +39,7 @@
 
 #include "assertions/engine.h"
 #include "gc/gc_stats.h"
+#include "observe/assert_cost.h"
 #include "gc/mutator.h"
 #include "gc/path_recorder.h"
 #include "gc/remset.h"
@@ -153,7 +154,10 @@ class Collector {
      * pinned — their lifetime verdicts belong to the full GC, which
      * remains the sole authority for assertion checking: a minor
      * collection performs NO assertion checks and reports NO
-     * violations, it only bounds pause time between full GCs.
+     * assertion violations, it only bounds pause time between full
+     * GCs. (A minor pause does count against the pause SLO budget;
+     * the resulting PauseSlo report is context-only, never an
+     * assertion verdict.)
      *
      * Weak slot 0 is traced as a *strong* edge here: weak-edge
      * clearing is observable behavior and stays full-GC-only, so
@@ -378,6 +382,26 @@ class Collector {
     void beginCensus(uint64_t gc_number);
     /** Snapshot the tallies into the telemetry bundle. */
     void finishCensus(uint64_t gc_number);
+
+    /** True while the current GC attributes per-check cost. */
+    bool costActive_ = false;
+    /** Mark-phase tallies for the current GC (sequential trace;
+     *  parallel workers tally privately and merge after the join —
+     *  the census pattern). */
+    AssertCostTallies markCost_;
+    /** Points at markCost_ only inside the phase-2 mark span (null
+     *  during phase 1 and resurrection, so checks outside the span
+     *  never inflate mark attribution); CostScopes are inert on
+     *  null. */
+    AssertCostTallies *cost_ = nullptr;
+
+    /**
+     * Feed a completed pause to the SLO tracker and, over budget,
+     * report a context-only PauseSlo violation. Called after the
+     * collection's result is fully settled so the violation never
+     * perturbs per-GC violation counts or assertion verdicts.
+     */
+    void notePause(bool minor, uint64_t pauseNanos);
 
     /** @} */
 

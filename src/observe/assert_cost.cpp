@@ -1,0 +1,92 @@
+#include "observe/assert_cost.h"
+
+#include "support/json.h"
+
+namespace gcassert {
+
+const char *
+assertCostKindName(AssertCostKind kind)
+{
+    switch (kind) {
+      case AssertCostKind::Dead: return "dead";
+      case AssertCostKind::AllDead: return "alldead";
+      case AssertCostKind::Instances: return "instances";
+      case AssertCostKind::Unshared: return "unshared";
+      case AssertCostKind::OwnedBy: return "ownedby";
+      case AssertCostKind::Other: return "other";
+    }
+    return "?";
+}
+
+uint64_t
+AssertCostTallies::checkedNanos() const
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < kNumAssertCostKinds; ++i) {
+        if (static_cast<AssertCostKind>(i) != AssertCostKind::Other)
+            sum += nanos[i];
+    }
+    return sum;
+}
+
+void
+AssertCostTallies::merge(const AssertCostTallies &other)
+{
+    for (size_t i = 0; i < kNumAssertCostKinds; ++i)
+        nanos[i] += other.nanos[i];
+}
+
+void
+AssertCostTallies::setOtherFromSpan(uint64_t spanNanos)
+{
+    uint64_t checked = checkedNanos();
+    nanos[static_cast<size_t>(AssertCostKind::Other)] =
+        spanNanos > checked ? spanNanos - checked : 0;
+}
+
+std::string
+AssertCostTallies::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    for (size_t i = 0; i < kNumAssertCostKinds; ++i)
+        w.field(assertCostKindName(static_cast<AssertCostKind>(i)),
+                nanos[i]);
+    w.endObject();
+    return w.str();
+}
+
+void
+AssertCostAttribution::addMark(const AssertCostTallies &tallies)
+{
+    mark_.merge(tallies);
+}
+
+void
+AssertCostAttribution::addFinish(const AssertCostTallies &tallies)
+{
+    finish_.merge(tallies);
+}
+
+uint64_t
+AssertCostAttribution::markNanos(AssertCostKind kind) const
+{
+    return mark_.get(kind);
+}
+
+uint64_t
+AssertCostAttribution::finishNanos(AssertCostKind kind) const
+{
+    return finish_.get(kind);
+}
+
+uint64_t
+AssertCostAttribution::totalNanos() const
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < kNumAssertCostKinds; ++i)
+        sum += mark_.nanos[i] + finish_.nanos[i];
+    return sum;
+}
+
+} // namespace gcassert

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Per-assertion-kind cost attribution for the mark and finish phases.
+ *
+ * The paper's overhead figures report cost per *phase*; these tallies
+ * split the mark and finish spans per assertion *kind* (dead,
+ * alldead, instances, unshared, ownedby), so "who costs what" becomes
+ * a continuously exported metric instead of a one-off figure.
+ *
+ * Mechanics mirror the census tallies exactly: the sequential trace
+ * accumulates into one AssertCostTallies owned by the collector;
+ * parallel markers accumulate into per-worker copies merged
+ * single-threaded after the join. A check region is timed by a
+ * CostScope (two nowNanos() reads) only when attribution is armed —
+ * with telemetry off the scope is a null-pointer test. The mark and
+ * finish residual — span time not inside any check — lands in the
+ * Other bucket, so each phase's buckets decompose its full span and
+ * their sum tracks the phase totals (enforced to 5% by the telemetry
+ * smoke bench).
+ *
+ * With parallel marking the per-kind buckets are summed *CPU* time
+ * across workers; the Other bucket is clamped at zero when that sum
+ * exceeds the wall-clock span.
+ */
+
+#ifndef GCASSERT_OBSERVE_ASSERT_COST_H
+#define GCASSERT_OBSERVE_ASSERT_COST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/stopwatch.h"
+
+namespace gcassert {
+
+/** Attribution buckets: the five checkable kinds plus the residual. */
+enum class AssertCostKind : uint8_t {
+    Dead,      //!< assert-dead checks (dead-bit encounters)
+    AllDead,   //!< assert-alldead checks and region-queue pruning
+    Instances, //!< instance/volume tallying and limit checks
+    Unshared,  //!< assert-unshared re-encounter checks
+    OwnedBy,   //!< ownee checks and ownership-table maintenance
+    Other,     //!< phase time outside every assertion check
+};
+
+constexpr size_t kNumAssertCostKinds = 6;
+
+/** Short bucket name ("dead", "alldead", ..., "other"). */
+const char *assertCostKindName(AssertCostKind kind);
+
+/**
+ * Nanosecond tallies for one phase of one collection. Plain array,
+ * value-type: per-worker copies merge by addition, exactly like the
+ * census vectors.
+ */
+struct AssertCostTallies {
+    uint64_t nanos[kNumAssertCostKinds] = {};
+
+    void
+    add(AssertCostKind kind, uint64_t ns)
+    {
+        nanos[static_cast<size_t>(kind)] += ns;
+    }
+
+    uint64_t
+    get(AssertCostKind kind) const
+    {
+        return nanos[static_cast<size_t>(kind)];
+    }
+
+    /** Sum over the checkable kinds (everything but Other). */
+    uint64_t checkedNanos() const;
+
+    /** Fold @p other worker's tallies into this one. */
+    void merge(const AssertCostTallies &other);
+
+    /**
+     * Set the Other bucket to the phase residual: @p spanNanos minus
+     * the checked sum, clamped at zero (parallel markers can tally
+     * more CPU time than the wall-clock span).
+     */
+    void setOtherFromSpan(uint64_t spanNanos);
+
+    /** Bucket object, e.g. {"dead": 120, ..., "other": 53000}. */
+    std::string toJson() const;
+};
+
+/**
+ * RAII timing scope for one check region. Inert (one pointer test,
+ * no clock reads) when constructed with nullptr — the collector
+ * passes null whenever attribution is off.
+ */
+class CostScope {
+  public:
+    CostScope(AssertCostTallies *tallies, AssertCostKind kind)
+        : tallies_(tallies), kind_(kind)
+    {
+        if (tallies_)
+            begin_ = nowNanos();
+    }
+
+    ~CostScope()
+    {
+        if (tallies_)
+            tallies_->add(kind_, nowNanos() - begin_);
+    }
+
+    /**
+     * Re-bucket the scope (e.g. a dead-bit check that turns out to
+     * be an alldead or orphaned-ownee verdict).
+     */
+    void reclassify(AssertCostKind kind) { kind_ = kind; }
+
+    CostScope(const CostScope &) = delete;
+    CostScope &operator=(const CostScope &) = delete;
+
+  private:
+    AssertCostTallies *tallies_;
+    AssertCostKind kind_;
+    uint64_t begin_ = 0;
+};
+
+/**
+ * Cumulative attribution across collections, owned by Telemetry.
+ * Written single-threaded at phase end inside the pause; read by
+ * metric gauges between pauses (the same relaxed model as GcStats).
+ */
+class AssertCostAttribution {
+  public:
+    void addMark(const AssertCostTallies &tallies);
+    void addFinish(const AssertCostTallies &tallies);
+
+    uint64_t markNanos(AssertCostKind kind) const;
+    uint64_t finishNanos(AssertCostKind kind) const;
+
+    /** Sum of every bucket in both phases. */
+    uint64_t totalNanos() const;
+
+  private:
+    AssertCostTallies mark_;
+    AssertCostTallies finish_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_OBSERVE_ASSERT_COST_H

@@ -1,0 +1,102 @@
+#include "observe/pause_slo.h"
+
+#include <bit>
+#include <cmath>
+
+#include "support/json.h"
+
+namespace gcassert {
+
+size_t
+PauseHistogram::bucketIndex(uint64_t nanos)
+{
+    if (nanos < 16)
+        return static_cast<size_t>(nanos);
+    // Highest set bit selects the octave; the next four bits select
+    // the sub-bucket within it. Octave msb starts at index
+    // (msb-3)*16 so the unit buckets hand over seamlessly at 16.
+    int msb = 63 - std::countl_zero(nanos);
+    size_t sub = static_cast<size_t>(nanos >> (msb - 4)) & 0xF;
+    return static_cast<size_t>(msb - 3) * 16 + sub;
+}
+
+uint64_t
+PauseHistogram::bucketHi(size_t index)
+{
+    if (index < 16)
+        return index;
+    int msb = static_cast<int>(index / 16) + 3;
+    uint64_t sub = index % 16;
+    uint64_t width = uint64_t(1) << (msb - 4);
+    uint64_t lo = (uint64_t(1) << msb) + sub * width;
+    return lo + width - 1;
+}
+
+void
+PauseHistogram::record(uint64_t nanos)
+{
+    ++counts_[bucketIndex(nanos)];
+    ++count_;
+    total_ += nanos;
+    if (nanos > max_)
+        max_ = nanos;
+}
+
+uint64_t
+PauseHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    auto target = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (target < 1)
+        target = 1;
+    if (target > count_)
+        target = count_;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+        seen += counts_[i];
+        if (seen >= target) {
+            uint64_t hi = bucketHi(i);
+            return hi < max_ ? hi : max_;
+        }
+    }
+    return max_;
+}
+
+std::string
+PauseHistogram::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("count", count_);
+    w.field("p50", percentile(50.0));
+    w.field("p99", percentile(99.0));
+    w.field("max", max_);
+    w.endObject();
+    return w.str();
+}
+
+bool
+PauseSloTracker::record(PauseHistogram &hist, uint64_t pauseNanos)
+{
+    hist.record(pauseNanos);
+    bool over = budgetNanos_ != 0 && pauseNanos > budgetNanos_;
+    if (over)
+        ++violations_;
+    return over;
+}
+
+bool
+PauseSloTracker::recordFull(uint64_t pauseNanos)
+{
+    return record(full_, pauseNanos);
+}
+
+bool
+PauseSloTracker::recordMinor(uint64_t pauseNanos)
+{
+    return record(minor_, pauseNanos);
+}
+
+} // namespace gcassert

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Streaming pause-time percentiles and SLO budget tracking.
+ *
+ * Every stop-the-world pause (full or minor) is recorded into a
+ * fixed-size log-linear histogram — no allocation, no sorting, O(1)
+ * per pause — from which p50/p99/max are answered on demand by the
+ * metric gauges. A configurable budget (ObserveConfig::
+ * pauseBudgetNanos, env GCASSERT_PAUSE_BUDGET_US) turns the tracker
+ * into an SLO check: a pause that exceeds the budget makes record*()
+ * return true and the collector reports a context-only PauseSlo
+ * violation through the engine funnel. Budget zero means track-only.
+ *
+ * Histogram shape: values below 16 ns get exact unit buckets; above
+ * that, each power-of-two octave is split into 16 equal sub-buckets,
+ * so any reported percentile is within 1/16 (6.25%) of the true
+ * value. 976 buckets cover the full uint64_t range in ~7.6 KiB.
+ *
+ * Thread model: recorded single-threaded inside the pause; read by
+ * gauges between pauses (the same relaxed discipline as GcStats).
+ */
+
+#ifndef GCASSERT_OBSERVE_PAUSE_SLO_H
+#define GCASSERT_OBSERVE_PAUSE_SLO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gcassert {
+
+/** Fixed log-linear histogram of nanosecond durations. */
+class PauseHistogram {
+  public:
+    /// 16 unit buckets + 60 octaves x 16 sub-buckets.
+    static constexpr size_t kNumBuckets = 976;
+
+    /** Bucket index for @p nanos (0 .. kNumBuckets-1). */
+    static size_t bucketIndex(uint64_t nanos);
+
+    /** Inclusive upper bound of bucket @p index. */
+    static uint64_t bucketHi(size_t index);
+
+    void record(uint64_t nanos);
+
+    uint64_t count() const { return count_; }
+    uint64_t max() const { return max_; }
+    uint64_t totalNanos() const { return total_; }
+
+    /**
+     * Value at percentile @p p (0-100]: the upper bound of the
+     * bucket holding the ceil(p/100 * count)-th smallest sample,
+     * clamped to the observed max. Zero when empty.
+     */
+    uint64_t percentile(double p) const;
+
+    /** {"count":N,"p50":...,"p99":...,"max":...} */
+    std::string toJson() const;
+
+  private:
+    uint64_t counts_[kNumBuckets] = {};
+    uint64_t count_ = 0;
+    uint64_t max_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Pause-time SLO tracker: one histogram per pause flavour plus the
+ * budget check. Owned by Telemetry; fed by the collector at the end
+ * of every full and minor collection.
+ */
+class PauseSloTracker {
+  public:
+    explicit PauseSloTracker(uint64_t budgetNanos)
+        : budgetNanos_(budgetNanos)
+    {}
+
+    /**
+     * Record a completed pause; returns true when the pause blew a
+     * non-zero budget (the caller reports the PauseSlo violation).
+     */
+    bool recordFull(uint64_t pauseNanos);
+    bool recordMinor(uint64_t pauseNanos);
+
+    uint64_t budgetNanos() const { return budgetNanos_; }
+    uint64_t violationCount() const { return violations_; }
+
+    const PauseHistogram &full() const { return full_; }
+    const PauseHistogram &minor() const { return minor_; }
+
+  private:
+    bool record(PauseHistogram &hist, uint64_t pauseNanos);
+
+    uint64_t budgetNanos_;
+    uint64_t violations_ = 0;
+    PauseHistogram full_;
+    PauseHistogram minor_;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_OBSERVE_PAUSE_SLO_H

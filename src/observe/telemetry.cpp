@@ -1,34 +1,12 @@
 #include "observe/telemetry.h"
 
-#include <cstdlib>
+#include "support/env.h"
 
 namespace gcassert {
 
-namespace {
-
-/** Cached env-string reader (same pattern as runtime/config.cpp:
- *  the environment is sampled once, first use wins). */
-std::string
-envString(const char *name)
-{
-    const char *raw = std::getenv(name);
-    return raw ? std::string(raw) : std::string();
-}
-
-uint32_t
-envUint(const char *name, uint32_t fallback)
-{
-    const char *raw = std::getenv(name);
-    if (!raw || !*raw)
-        return fallback;
-    char *end = nullptr;
-    unsigned long v = std::strtoul(raw, &end, 10);
-    if (end == raw || *end != '\0')
-        return fallback;
-    return static_cast<uint32_t>(v);
-}
-
-} // namespace
+// Defaults cache the environment on first read (same pattern as
+// runtime/config.cpp) and parse through the shared validating
+// envUint(), which warns once per malformed variable.
 
 std::string
 defaultTraceFile()
@@ -47,11 +25,24 @@ defaultMetricsSink()
 uint32_t
 defaultCensusEvery()
 {
-    static const uint32_t value = envUint("GCASSERT_CENSUS_EVERY", 0);
+    static const uint32_t value =
+        static_cast<uint32_t>(envUint("GCASSERT_CENSUS_EVERY", 0));
     return value;
 }
 
-Telemetry::Telemetry(ObserveConfig config) : config_(std::move(config))
+uint64_t
+defaultPauseBudgetNanos()
+{
+    // The env knob is in microseconds — nobody types a pause budget
+    // in nanoseconds — but the config field stays in nanos like
+    // every other duration in the codebase.
+    static const uint64_t value =
+        envUint("GCASSERT_PAUSE_BUDGET_US", 0) * 1000;
+    return value;
+}
+
+Telemetry::Telemetry(ObserveConfig config)
+    : config_(std::move(config)), pauseSlo_(config_.pauseBudgetNanos)
 {
     if (!config_.traceFile.empty())
         recorder_ = std::make_unique<TraceRecorder>(config_.traceFile);

@@ -12,6 +12,11 @@
  *                                 metrics snapshot at teardown
  *  - GCASSERT_CENSUS_EVERY=<n>    heap census every n full GCs
  *                                 (0 = only on demand)
+ *  - GCASSERT_PAUSE_BUDGET_US=<n> pause-time SLO budget in
+ *                                 microseconds; a full or minor
+ *                                 pause over budget reports a
+ *                                 context-only pause-slo violation
+ *                                 (0 = track percentiles only)
  */
 
 #ifndef GCASSERT_OBSERVE_TELEMETRY_H
@@ -21,8 +26,10 @@
 #include <mutex>
 #include <string>
 
+#include "observe/assert_cost.h"
 #include "observe/census.h"
 #include "observe/metrics.h"
+#include "observe/pause_slo.h"
 #include "observe/trace_recorder.h"
 
 namespace gcassert {
@@ -32,6 +39,7 @@ namespace gcassert {
 std::string defaultTraceFile();
 std::string defaultMetricsSink();
 uint32_t defaultCensusEvery();
+uint64_t defaultPauseBudgetNanos();
 /** @} */
 
 /**
@@ -49,12 +57,19 @@ struct ObserveConfig {
     /** Census every N full GCs; 0 = on demand only. */
     uint32_t censusEvery = defaultCensusEvery();
 
+    /**
+     * Pause SLO budget in nanoseconds (the env knob is in µs); a
+     * pause over a non-zero budget reports a pause-slo violation.
+     * 0 = track percentiles without checking.
+     */
+    uint64_t pauseBudgetNanos = defaultPauseBudgetNanos();
+
     /** True when any telemetry feature is active. */
     bool
     any() const
     {
         return !traceFile.empty() || !metricsSink.empty() ||
-               censusEvery != 0;
+               censusEvery != 0 || pauseBudgetNanos != 0;
     }
 };
 
@@ -81,6 +96,17 @@ class Telemetry {
     /** Copy of the latest census (empty() if none taken yet). */
     CensusSnapshot latestCensus() const;
 
+    /** Pause percentiles + SLO budget; always present. */
+    PauseSloTracker &pauseSlo() { return pauseSlo_; }
+    const PauseSloTracker &pauseSlo() const { return pauseSlo_; }
+
+    /** Cumulative per-assertion-kind mark/finish attribution. */
+    AssertCostAttribution &assertCost() { return assertCost_; }
+    const AssertCostAttribution &assertCost() const
+    {
+        return assertCost_;
+    }
+
     /**
      * Flush everything that persists: write the trace file and
      * publish the metrics snapshot. Called from the Runtime
@@ -92,6 +118,8 @@ class Telemetry {
     ObserveConfig config_;
     std::unique_ptr<TraceRecorder> recorder_;
     MetricsRegistry metrics_;
+    PauseSloTracker pauseSlo_;
+    AssertCostAttribution assertCost_;
 
     mutable std::mutex censusMutex_;
     CensusSnapshot census_;

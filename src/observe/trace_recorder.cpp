@@ -23,6 +23,13 @@ TraceRecorder::TraceRecorder(std::string path)
 }
 
 void
+TraceRecorder::setMaxBuffered(size_t maxBuffered)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    maxBuffered_ = maxBuffered ? maxBuffered : 1;
+}
+
+void
 TraceRecorder::complete(const char *name, const char *cat,
                         uint64_t beginNanos, uint64_t endNanos,
                         uint32_t tid, std::string argsJson)
@@ -32,6 +39,8 @@ TraceRecorder::complete(const char *name, const char *cat,
     std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(TraceEvent{name, cat, 'X', rel, dur, tid,
                                  std::move(argsJson)});
+    if (!path_.empty() && events_.size() >= maxBuffered_)
+        flushLocked();
 }
 
 void
@@ -42,61 +51,142 @@ TraceRecorder::instant(const char *name, const char *cat, uint64_t tsNanos,
     std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(
         TraceEvent{name, cat, 'i', rel, 0, 0, std::move(argsJson)});
+    if (!path_.empty() && events_.size() >= maxBuffered_)
+        flushLocked();
 }
 
 size_t
 TraceRecorder::eventCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return events_.size();
+    return flushedCount_ + events_.size();
+}
+
+size_t
+TraceRecorder::flushedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flushedCount_;
+}
+
+std::string
+TraceRecorder::serializeEvent(const TraceEvent &ev)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("name", ev.name)
+        .field("cat", ev.cat)
+        .field("ph", std::string(1, ev.ph))
+        // trace_event timestamps are microseconds; keep sub-µs
+        // resolution as a fraction (Perfetto accepts doubles).
+        .field("ts", static_cast<double>(ev.tsNanos) / 1000.0)
+        .field("pid", uint64_t{1})
+        .field("tid", uint64_t{ev.tid});
+    if (ev.ph == 'X')
+        w.field("dur", static_cast<double>(ev.durNanos) / 1000.0);
+    if (ev.ph == 'i')
+        w.field("s", "t"); // thread-scoped instant
+    if (!ev.argsJson.empty())
+        w.key("args").valueRaw(ev.argsJson);
+    w.endObject();
+    return w.str();
 }
 
 std::string
 TraceRecorder::toJson() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    JsonWriter w;
-    w.beginObject().key("traceEvents").beginArray();
-    for (const TraceEvent &ev : events_) {
-        w.beginObject()
-            .field("name", ev.name)
-            .field("cat", ev.cat)
-            .field("ph", std::string(1, ev.ph))
-            // trace_event timestamps are microseconds; keep sub-µs
-            // resolution as a fraction (Perfetto accepts doubles).
-            .field("ts", static_cast<double>(ev.tsNanos) / 1000.0)
-            .field("pid", uint64_t{1})
-            .field("tid", uint64_t{ev.tid});
-        if (ev.ph == 'X')
-            w.field("dur", static_cast<double>(ev.durNanos) / 1000.0);
-        if (ev.ph == 'i')
-            w.field("s", "t"); // thread-scoped instant
-        if (!ev.argsJson.empty())
-            w.key("args").valueRaw(ev.argsJson);
-        w.endObject();
+    std::string out;
+    if (flushedCount_ == 0) {
+        out = "{\"traceEvents\":[";
+    } else {
+        // Already-flushed events live only in the file; read it back
+        // up to the splice point so the string carries the full
+        // history.
+        std::FILE *f = std::fopen(path_.c_str(), "rb");
+        if (!f) {
+            warn("trace recorder: cannot read back '" + path_ + "'");
+            out = "{\"traceEvents\":[";
+        } else {
+            out.resize(static_cast<size_t>(tailOffset_));
+            size_t got = std::fread(out.data(), 1, out.size(), f);
+            std::fclose(f);
+            out.resize(got);
+        }
     }
-    w.endArray().endObject();
-    return w.str();
+    bool have_prior = out.size() > 0 && out.back() == '}';
+    for (const TraceEvent &ev : events_) {
+        if (have_prior)
+            out += ',';
+        out += serializeEvent(ev);
+        have_prior = true;
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+TraceRecorder::flushLocked()
+{
+    if (path_.empty())
+        return false;
+
+    std::string chunk;
+    for (size_t i = 0; i < events_.size(); ++i) {
+        // A comma is needed unless this event directly follows the
+        // opening '[' (flushedCount_, not fileStarted_: an empty
+        // first flush leaves a started file with zero events).
+        if (flushedCount_ > 0 || i > 0)
+            chunk += ',';
+        chunk += serializeEvent(events_[i]);
+    }
+
+    std::FILE *f = nullptr;
+    if (!fileStarted_) {
+        f = std::fopen(path_.c_str(), "wb");
+        if (!f) {
+            warn("trace recorder: cannot open '" + path_ +
+                 "' for writing");
+            return false;
+        }
+        std::fputs("{\"traceEvents\":[", f);
+    } else {
+        // Re-open and overwrite from the splice point: the bytes
+        // there are the closing "]}", which the appended chunk
+        // re-establishes, so the document is complete again the
+        // moment this write lands.
+        f = std::fopen(path_.c_str(), "r+b");
+        if (!f) {
+            warn("trace recorder: cannot re-open '" + path_ +
+                 "' for appending");
+            return false;
+        }
+        if (std::fseek(f, tailOffset_, SEEK_SET) != 0) {
+            warn("trace recorder: cannot seek in '" + path_ + "'");
+            std::fclose(f);
+            return false;
+        }
+    }
+    size_t written = std::fwrite(chunk.data(), 1, chunk.size(), f);
+    std::fputs("]}", f);
+    long tail = std::ftell(f);
+    std::fclose(f);
+    if (written != chunk.size() || tail < 2) {
+        warn("trace recorder: short write to '" + path_ + "'");
+        return false;
+    }
+    tailOffset_ = tail - 2;
+    fileStarted_ = true;
+    flushedCount_ += events_.size();
+    events_.clear();
+    return true;
 }
 
 bool
 TraceRecorder::flush()
 {
-    if (path_.empty())
-        return false;
-    std::string doc = toJson();
-    std::FILE *f = std::fopen(path_.c_str(), "w");
-    if (!f) {
-        warn("trace recorder: cannot open '" + path_ + "' for writing");
-        return false;
-    }
-    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
-    if (written != doc.size()) {
-        warn("trace recorder: short write to '" + path_ + "'");
-        return false;
-    }
-    return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flushLocked();
 }
 
 } // namespace gcassert

@@ -15,6 +15,15 @@
  * the mutex is effectively uncontended; the collector's hot loops
  * never touch the recorder at all — phase boundaries capture two
  * timestamps and append one event.
+ *
+ * The buffer is bounded: once it holds maxBuffered() events they
+ * are flushed to the configured file and the memory is reused, so
+ * a long run's trace no longer accumulates in the heap (and a
+ * crash loses at most one buffer of events, not the whole trace).
+ * Flushing is incremental — the first flush writes a complete
+ * {"traceEvents":[...]} document and later flushes splice new
+ * events in before the closing brackets — so the file on disk is
+ * valid Chrome-trace JSON after every flush, mid-run included.
  */
 
 #ifndef GCASSERT_OBSERVE_TRACE_RECORDER_H
@@ -42,14 +51,18 @@ struct TraceEvent {
 };
 
 /**
- * Accumulates trace events in memory; flush() serializes them as a
- * Chrome trace JSON document ({"traceEvents": [...]}).
+ * Accumulates trace events in a bounded buffer and spills them
+ * incrementally to a Chrome trace JSON document
+ * ({"traceEvents": [...]}).
  *
  * Timestamps are stored relative to the recorder's construction so
  * traces start near t=0 regardless of process uptime.
  */
 class TraceRecorder {
   public:
+    /** Default buffer bound (events) before an automatic flush. */
+    static constexpr size_t kDefaultMaxBuffered = 4096;
+
     explicit TraceRecorder(std::string path);
 
     /** Record a complete span covering [beginNanos, endNanos]. */
@@ -61,22 +74,49 @@ class TraceRecorder {
     void instant(const char *name, const char *cat, uint64_t tsNanos,
                  std::string argsJson = "");
 
-    /** Serialize all events to the configured path. Returns false
-     *  (and warns) if the file cannot be written. Idempotent —
-     *  re-flushing after new events rewrites the whole file. */
+    /** Append the buffered events to the configured path, leaving a
+     *  valid JSON document. Returns false (and warns) if the file
+     *  cannot be written. Idempotent — an empty buffer still ensures
+     *  the document exists. */
     bool flush();
 
-    /** Serialize to a string (testing / in-memory consumers). */
+    /** Serialize the FULL event history — flushed and buffered — to
+     *  a string (testing / in-memory consumers). */
     std::string toJson() const;
 
     const std::string &path() const { return path_; }
+
+    /** Events recorded over the recorder's lifetime (flushed +
+     *  still buffered). */
     size_t eventCount() const;
 
+    /** Events flushed to the file so far. */
+    size_t flushedCount() const;
+
+    size_t maxBuffered() const { return maxBuffered_; }
+
+    /** Reconfigure the buffer bound; values < 1 clamp to 1. */
+    void setMaxBuffered(size_t maxBuffered);
+
   private:
+    /** One event as a JSON object (no surrounding punctuation). */
+    static std::string serializeEvent(const TraceEvent &ev);
+
+    /** flush() body; requires mutex_ held. */
+    bool flushLocked();
+
     std::string path_;
     uint64_t epochNanos_;
+    size_t maxBuffered_ = kDefaultMaxBuffered;
     mutable std::mutex mutex_;
     std::vector<TraceEvent> events_;
+    /** Events already written to the file. */
+    size_t flushedCount_ = 0;
+    /** True once the file holds a complete document. */
+    bool fileStarted_ = false;
+    /** File offset of the closing "]}" — where the next flush
+     *  splices in. */
+    long tailOffset_ = 0;
 };
 
 } // namespace gcassert

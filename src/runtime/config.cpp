@@ -1,19 +1,13 @@
 #include "runtime/config.h"
 
-#include <cstdlib>
+#include "support/env.h"
 
 namespace gcassert {
 
-namespace {
-
-uint64_t
-envUint(const char *name, uint64_t fallback)
-{
-    const char *value = std::getenv(name);
-    return value ? std::strtoull(value, nullptr, 10) : fallback;
-}
-
-} // namespace
+// Every default below caches the environment on first read (first
+// use wins) and parses through the shared validating envUint(): a
+// malformed value warns once and falls back to the documented
+// default instead of silently becoming 0.
 
 uint32_t
 defaultMarkThreads()

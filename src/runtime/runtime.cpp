@@ -86,6 +86,41 @@ Runtime::wireTelemetry()
         return hits.load(std::memory_order_relaxed);
     });
 
+    // Pause SLO: streaming percentiles per pause flavour plus the
+    // budget and over-budget count.
+    const PauseSloTracker &slo = telemetry_->pauseSlo();
+    m.gauge("gc.pause.budget_nanos", [&slo] { return slo.budgetNanos(); });
+    m.gauge("gc.pause.slo_violations",
+            [&slo] { return slo.violationCount(); });
+    m.gauge("gc.pause.full.count", [&slo] { return slo.full().count(); });
+    m.gauge("gc.pause.full.p50_nanos",
+            [&slo] { return slo.full().percentile(50.0); });
+    m.gauge("gc.pause.full.p99_nanos",
+            [&slo] { return slo.full().percentile(99.0); });
+    m.gauge("gc.pause.full.max_nanos",
+            [&slo] { return slo.full().max(); });
+    m.gauge("gc.pause.minor.count",
+            [&slo] { return slo.minor().count(); });
+    m.gauge("gc.pause.minor.p50_nanos",
+            [&slo] { return slo.minor().percentile(50.0); });
+    m.gauge("gc.pause.minor.p99_nanos",
+            [&slo] { return slo.minor().percentile(99.0); });
+    m.gauge("gc.pause.minor.max_nanos",
+            [&slo] { return slo.minor().max(); });
+
+    // Per-assertion-kind cost attribution: one gauge per (phase,
+    // kind) bucket; each phase's buckets sum to (within scope
+    // overhead) that phase's cumulative span time.
+    const AssertCostAttribution &ac = telemetry_->assertCost();
+    for (size_t i = 0; i < kNumAssertCostKinds; ++i) {
+        auto kind = static_cast<AssertCostKind>(i);
+        std::string name = assertCostKindName(kind);
+        m.gauge("assert.cost.mark." + name + "_nanos",
+                [&ac, kind] { return ac.markNanos(kind); });
+        m.gauge("assert.cost.finish." + name + "_nanos",
+                [&ac, kind] { return ac.finishNanos(kind); });
+    }
+
     // Violation provenance: enrich every report with the heap state
     // and latest census at the moment it fired, and drop an instant
     // event into the trace. Context only — the observer never writes

@@ -1,0 +1,77 @@
+#include "support/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_set>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+namespace {
+
+std::mutex warnedMutex;
+
+std::unordered_set<std::string> &
+warnedVars()
+{
+    static std::unordered_set<std::string> warned;
+    return warned;
+}
+
+/** warn() about a malformed value, once per variable name. */
+void
+warnMalformed(const char *name, const char *raw, uint64_t fallback)
+{
+    std::lock_guard<std::mutex> lock(warnedMutex);
+    if (!warnedVars().insert(name).second)
+        return;
+    warn(format("ignoring malformed %s='%s' (expected an unsigned "
+                "decimal integer); using default %llu",
+                name, raw,
+                static_cast<unsigned long long>(fallback)));
+}
+
+} // namespace
+
+uint64_t
+envUint(const char *name, uint64_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    // Insist the value *starts* with a digit: strtoull would happily
+    // skip leading whitespace and accept a sign ("-1" wraps to
+    // 2^64-1), neither of which any knob means.
+    if (!std::isdigit(static_cast<unsigned char>(raw[0]))) {
+        warnMalformed(name, raw, fallback);
+        return fallback;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0' || errno == ERANGE) {
+        warnMalformed(name, raw, fallback);
+        return fallback;
+    }
+    return static_cast<uint64_t>(v);
+}
+
+std::string
+envString(const char *name)
+{
+    const char *raw = std::getenv(name);
+    return raw ? std::string(raw) : std::string();
+}
+
+void
+envResetMalformedWarnings()
+{
+    std::lock_guard<std::mutex> lock(warnedMutex);
+    warnedVars().clear();
+}
+
+} // namespace gcassert

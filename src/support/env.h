@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Validated environment-variable parsing, shared by every GCASSERT_*
+ * knob site (runtime/config.cpp defaults, observe/telemetry.cpp
+ * defaults, and any future knob).
+ *
+ * The contract every knob follows:
+ *  - unset or empty           -> the fallback, silently;
+ *  - a plain decimal integer  -> its value;
+ *  - anything else (garbage, trailing junk, a sign, leading
+ *    whitespace, overflow)    -> the fallback, with one warn() per
+ *                                variable name per process, so a
+ *                                typo like GCASSERT_MARK_THREADS=abc
+ *                                is loud instead of silently 0.
+ */
+
+#ifndef GCASSERT_SUPPORT_ENV_H
+#define GCASSERT_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace gcassert {
+
+/**
+ * Read @p name from the environment as an unsigned decimal integer.
+ *
+ * @return the parsed value; @p fallback when the variable is unset,
+ *         empty, or malformed (malformed values additionally warn()
+ *         once per variable name).
+ */
+uint64_t envUint(const char *name, uint64_t fallback);
+
+/** Read @p name as a string; "" when unset. */
+std::string envString(const char *name);
+
+/**
+ * Forget which variables have already warned about malformed values
+ * (testing hook: lets a test exercise the warn-once behaviour more
+ * than once in one process).
+ */
+void envResetMalformedWarnings();
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_ENV_H

@@ -20,10 +20,13 @@ uint64_t nowNanos();
  */
 class Stopwatch {
   public:
-    /** Begin (or resume) timing. Idempotent while running. */
+    /** Begin (or resume) timing. Idempotent while running: a second
+     *  start() neither restarts the span nor loses time. */
     void start();
 
-    /** Stop timing and fold the elapsed span into the total. */
+    /** Stop timing and fold the elapsed span into the total.
+     *  No-op when not running (stop() without start(), or called
+     *  twice), so pairing mistakes never corrupt the total. */
     void stop();
 
     /** Discard all accumulated time (also stops). */

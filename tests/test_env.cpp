@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Matrix tests for the shared validating environment parser.
+ *
+ * Every GCASSERT_* knob parses through support/env.h's envUint(),
+ * whose contract is: unset/empty → fallback, silently; a plain
+ * decimal → its value; anything else (garbage, trailing junk, a
+ * sign, leading whitespace, overflow) → fallback plus exactly one
+ * warn() per variable per process. The default*() config accessors
+ * cache their first read, so these tests drive envUint() directly
+ * against each real knob name — the exact call those accessors make.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/env.h"
+#include "support/logging.h"
+
+namespace gcassert {
+namespace {
+
+/** Every unsigned-integer environment knob the runtime reads. */
+const std::vector<const char *> kUintKnobs = {
+    "GCASSERT_MARK_THREADS",    "GCASSERT_SWEEP_THREADS",
+    "GCASSERT_LAZY_SWEEP",      "GCASSERT_TLAB",
+    "GCASSERT_GENERATIONAL",    "GCASSERT_NURSERY_KB",
+    "GCASSERT_CENSUS_EVERY",    "GCASSERT_PAUSE_BUDGET_US",
+};
+
+class EnvParse : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        for (const char *name : kUintKnobs)
+            ::unsetenv(name);
+        envResetMalformedWarnings();
+    }
+
+    void
+    TearDown() override
+    {
+        for (const char *name : kUintKnobs)
+            ::unsetenv(name);
+        envResetMalformedWarnings();
+    }
+};
+
+TEST_F(EnvParse, UnsetFallsBackSilently)
+{
+    CaptureLogSink capture;
+    for (const char *name : kUintKnobs)
+        EXPECT_EQ(envUint(name, 7), 7u) << name;
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 0u);
+}
+
+TEST_F(EnvParse, EmptyFallsBackSilently)
+{
+    CaptureLogSink capture;
+    for (const char *name : kUintKnobs) {
+        ::setenv(name, "", 1);
+        EXPECT_EQ(envUint(name, 9), 9u) << name;
+    }
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 0u);
+}
+
+TEST_F(EnvParse, PlainDecimalParses)
+{
+    CaptureLogSink capture;
+    for (const char *name : kUintKnobs) {
+        ::setenv(name, "42", 1);
+        EXPECT_EQ(envUint(name, 7), 42u) << name;
+        ::setenv(name, "0", 1);
+        EXPECT_EQ(envUint(name, 7), 0u) << name;
+    }
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 0u);
+}
+
+TEST_F(EnvParse, MaxUint64Parses)
+{
+    CaptureLogSink capture;
+    ::setenv("GCASSERT_NURSERY_KB", "18446744073709551615", 1);
+    EXPECT_EQ(envUint("GCASSERT_NURSERY_KB", 7),
+              18446744073709551615ull);
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 0u);
+}
+
+TEST_F(EnvParse, GarbageFallsBackWithWarning)
+{
+    for (const char *name : kUintKnobs) {
+        CaptureLogSink capture;
+        envResetMalformedWarnings();
+        ::setenv(name, "abc", 1);
+        EXPECT_EQ(envUint(name, 3), 3u) << name;
+        EXPECT_EQ(capture.countAt(LogLevel::Warn), 1u) << name;
+        EXPECT_TRUE(capture.contains(name)) << name;
+    }
+}
+
+TEST_F(EnvParse, TrailingJunkFallsBackWithWarning)
+{
+    for (const char *name : kUintKnobs) {
+        CaptureLogSink capture;
+        envResetMalformedWarnings();
+        ::setenv(name, "12abc", 1);
+        EXPECT_EQ(envUint(name, 5), 5u) << name;
+        EXPECT_EQ(capture.countAt(LogLevel::Warn), 1u) << name;
+    }
+}
+
+TEST_F(EnvParse, OverflowFallsBackWithWarning)
+{
+    for (const char *name : kUintKnobs) {
+        CaptureLogSink capture;
+        envResetMalformedWarnings();
+        // One digit past max uint64.
+        ::setenv(name, "18446744073709551616", 1);
+        EXPECT_EQ(envUint(name, 11), 11u) << name;
+        EXPECT_EQ(capture.countAt(LogLevel::Warn), 1u) << name;
+    }
+}
+
+TEST_F(EnvParse, NegativeFallsBackWithWarning)
+{
+    // strtoull would happily accept "-1" and wrap it to 2^64-1 —
+    // the exact silent-zero-cousin bug the validator exists to stop.
+    CaptureLogSink capture;
+    ::setenv("GCASSERT_MARK_THREADS", "-1", 1);
+    EXPECT_EQ(envUint("GCASSERT_MARK_THREADS", 2), 2u);
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 1u);
+}
+
+TEST_F(EnvParse, PlusSignFallsBackWithWarning)
+{
+    CaptureLogSink capture;
+    ::setenv("GCASSERT_TLAB", "+5", 1);
+    EXPECT_EQ(envUint("GCASSERT_TLAB", 0), 0u);
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 1u);
+}
+
+TEST_F(EnvParse, LeadingWhitespaceFallsBackWithWarning)
+{
+    CaptureLogSink capture;
+    ::setenv("GCASSERT_CENSUS_EVERY", " 5", 1);
+    EXPECT_EQ(envUint("GCASSERT_CENSUS_EVERY", 1), 1u);
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 1u);
+}
+
+TEST_F(EnvParse, WarnsOncePerVariable)
+{
+    CaptureLogSink capture;
+    ::setenv("GCASSERT_MARK_THREADS", "bogus", 1);
+    ::setenv("GCASSERT_SWEEP_THREADS", "worse", 1);
+    envUint("GCASSERT_MARK_THREADS", 1);
+    envUint("GCASSERT_MARK_THREADS", 1);
+    envUint("GCASSERT_MARK_THREADS", 1);
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 1u);
+    // A different malformed variable still gets its own warning.
+    envUint("GCASSERT_SWEEP_THREADS", 1);
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 2u);
+}
+
+TEST_F(EnvParse, ResetRearmsTheWarning)
+{
+    CaptureLogSink capture;
+    ::setenv("GCASSERT_LAZY_SWEEP", "nope", 1);
+    envUint("GCASSERT_LAZY_SWEEP", 0);
+    envResetMalformedWarnings();
+    envUint("GCASSERT_LAZY_SWEEP", 0);
+    EXPECT_EQ(capture.countAt(LogLevel::Warn), 2u);
+}
+
+TEST_F(EnvParse, EnvStringReadsVerbatimOrEmpty)
+{
+    ::unsetenv("GCASSERT_TRACE_FILE");
+    EXPECT_EQ(envString("GCASSERT_TRACE_FILE"), "");
+    ::setenv("GCASSERT_TRACE_FILE", "/tmp/t.json", 1);
+    EXPECT_EQ(envString("GCASSERT_TRACE_FILE"), "/tmp/t.json");
+    ::unsetenv("GCASSERT_TRACE_FILE");
+}
+
+} // namespace
+} // namespace gcassert

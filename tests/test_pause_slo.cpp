@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Pause-time SLO tracking: histogram correctness against a
+ * sorted-vector oracle, deterministic budget-violation firing,
+ * silence under a generous budget, and a 100-seed SLO-on/off
+ * differential proving the tracker is observationally inert.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "observe/pause_slo.h"
+#include "runtime/runtime.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace gcassert {
+namespace {
+
+// ---------------------------------------------------------------------
+// Histogram vs oracle
+// ---------------------------------------------------------------------
+
+/** Exact percentile: value of the ceil(p/100*n)-th smallest sample. */
+uint64_t
+oraclePercentile(std::vector<uint64_t> sorted, double p)
+{
+    auto rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    if (rank < 1)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+TEST(PauseHistogram, BucketsArePreciseBelow16)
+{
+    for (uint64_t v = 0; v < 16; ++v) {
+        EXPECT_EQ(PauseHistogram::bucketIndex(v), v);
+        EXPECT_EQ(PauseHistogram::bucketHi(v), v);
+    }
+}
+
+TEST(PauseHistogram, BucketBoundsAreContiguous)
+{
+    // Every bucket's hi + 1 must be the next bucket's lo; spot-check
+    // by mapping each bucket's hi and hi+1 back to indices.
+    for (size_t i = 0; i + 1 < PauseHistogram::kNumBuckets; ++i) {
+        uint64_t hi = PauseHistogram::bucketHi(i);
+        ASSERT_EQ(PauseHistogram::bucketIndex(hi), i) << "bucket " << i;
+        ASSERT_EQ(PauseHistogram::bucketIndex(hi + 1), i + 1)
+            << "bucket " << i;
+    }
+}
+
+TEST(PauseHistogram, PercentilesTrackOracleWithinOneSixteenth)
+{
+    Rng rng(7);
+    PauseHistogram hist;
+    std::vector<uint64_t> samples;
+    // Log-uniform spread covering ns..minutes, the realistic span of
+    // pause durations.
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t magnitude = rng.range(4, 36);
+        uint64_t v = (uint64_t(1) << magnitude) +
+                     rng.below(uint64_t(1) << magnitude);
+        samples.push_back(v);
+        hist.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+        uint64_t exact = oraclePercentile(samples, p);
+        uint64_t approx = hist.percentile(p);
+        // The histogram reports its bucket's inclusive upper bound,
+        // so it can only over-report, by at most one sub-bucket
+        // width = 1/16 of the value.
+        EXPECT_GE(approx, exact) << "p" << p;
+        EXPECT_LE(static_cast<double>(approx),
+                  static_cast<double>(exact) * (1.0 + 1.0 / 16.0))
+            << "p" << p;
+    }
+    EXPECT_EQ(hist.max(), samples.back());
+    EXPECT_EQ(hist.count(), samples.size());
+}
+
+TEST(PauseHistogram, PercentileClampsToObservedMax)
+{
+    PauseHistogram hist;
+    hist.record(1000);
+    // One sample: every percentile is that sample, not its bucket
+    // upper bound.
+    EXPECT_EQ(hist.percentile(50.0), 1000u);
+    EXPECT_EQ(hist.percentile(99.0), 1000u);
+    EXPECT_EQ(hist.percentile(100.0), 1000u);
+}
+
+TEST(PauseHistogram, EmptyHistogramReportsZero)
+{
+    PauseHistogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.percentile(50.0), 0u);
+    EXPECT_EQ(hist.max(), 0u);
+}
+
+TEST(PauseSloTracker, BudgetZeroTracksWithoutViolations)
+{
+    PauseSloTracker slo(0);
+    EXPECT_FALSE(slo.recordFull(1'000'000'000));
+    EXPECT_FALSE(slo.recordMinor(1'000'000'000));
+    EXPECT_EQ(slo.violationCount(), 0u);
+    EXPECT_EQ(slo.full().count(), 1u);
+    EXPECT_EQ(slo.minor().count(), 1u);
+}
+
+TEST(PauseSloTracker, OverBudgetPausesAreFlagged)
+{
+    PauseSloTracker slo(1000);
+    EXPECT_FALSE(slo.recordFull(1000)); // at budget: fine
+    EXPECT_TRUE(slo.recordFull(1001));
+    EXPECT_TRUE(slo.recordMinor(5000));
+    EXPECT_EQ(slo.violationCount(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: violations through the runtime
+// ---------------------------------------------------------------------
+
+RuntimeConfig
+sloConfig(uint64_t budgetNanos, bool generational = false)
+{
+    RuntimeConfig config;
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.tlab = false;
+    config.generational = generational;
+    config.nurseryKb = 32;
+    config.observe = ObserveConfig{};
+    config.observe.traceFile.clear();
+    config.observe.metricsSink.clear();
+    config.observe.censusEvery = 0;
+    config.observe.pauseBudgetNanos = budgetNanos;
+    return config;
+}
+
+size_t
+pauseSloViolations(const Runtime &rt)
+{
+    size_t n = 0;
+    for (const Violation &v : rt.violations())
+        if (v.kind == AssertionKind::PauseSlo)
+            ++n;
+    return n;
+}
+
+TEST(PauseSloRuntime, TinyBudgetFiresOnEveryFullGc)
+{
+    CaptureLogSink capture;
+    // 1 ns: every real pause exceeds it.
+    Runtime rt(sloConfig(1));
+    ASSERT_NE(rt.telemetry(), nullptr);
+    TypeId node = rt.types().define("Node").refs({"n"}).build();
+    Handle root(rt, rt.allocRaw(node), "root");
+    rt.collect();
+    rt.collect();
+    EXPECT_EQ(pauseSloViolations(rt), 2u);
+    EXPECT_EQ(rt.telemetry()->pauseSlo().violationCount(), 2u);
+    EXPECT_EQ(rt.telemetry()->pauseSlo().full().count(), 2u);
+    EXPECT_TRUE(capture.contains("exceeded"));
+    EXPECT_TRUE(capture.contains("SLO budget"));
+}
+
+TEST(PauseSloRuntime, ViolationCarriesProvenanceAndKind)
+{
+    CaptureLogSink capture;
+    Runtime rt(sloConfig(1));
+    TypeId node = rt.types().define("Node").refs({"n"}).build();
+    Handle root(rt, rt.allocRaw(node), "root");
+    rt.collect();
+    ASSERT_GE(rt.violations().size(), 1u);
+    const Violation &v = rt.violations().back();
+    EXPECT_EQ(v.kind, AssertionKind::PauseSlo);
+    EXPECT_EQ(std::string(assertionKindName(v.kind)), "pause-slo");
+    // The regular observer enriched it with heap provenance.
+    EXPECT_NE(v.provenanceJson.find("heapUsedBytes"), std::string::npos);
+    EXPECT_EQ(v.gcNumber, 1u);
+}
+
+TEST(PauseSloRuntime, SloReportsDoNotPerturbPerGcViolationCounts)
+{
+    CaptureLogSink capture;
+    Runtime rt(sloConfig(1));
+    TypeId node = rt.types().define("Node").refs({"n"}).build();
+    Handle root(rt, rt.allocRaw(node), "root");
+    // The CollectionResult and GcStats violation counters cover
+    // assertion verdicts only; the over-budget report lands after
+    // they settle.
+    CollectionResult r1 = rt.collect();
+    EXPECT_EQ(r1.violations, 0u);
+    EXPECT_EQ(rt.gcStats().violations, 0u);
+    CollectionResult r2 = rt.collect();
+    EXPECT_EQ(r2.violations, 0u);
+    EXPECT_EQ(rt.gcStats().violations, 0u);
+    EXPECT_EQ(pauseSloViolations(rt), 2u);
+}
+
+TEST(PauseSloRuntime, TinyBudgetFiresOnMinorCollections)
+{
+    CaptureLogSink capture;
+    Runtime rt(sloConfig(1, /*generational=*/true));
+    TypeId node = rt.types().define("Node").refs({"n"}).build();
+    Handle root(rt, rt.allocRaw(node), "root");
+    size_t before = pauseSloViolations(rt);
+    rt.collectMinor();
+    EXPECT_EQ(pauseSloViolations(rt), before + 1);
+    EXPECT_EQ(rt.telemetry()->pauseSlo().minor().count(), 1u);
+}
+
+TEST(PauseSloRuntime, GenerousBudgetStaysSilent)
+{
+    CaptureLogSink capture;
+    // One hour: nothing in a test run blows it, so the tracker
+    // observes every pause and reports nothing.
+    Runtime rt(sloConfig(3'600'000'000'000ull));
+    TypeId node = rt.types().define("Node").refs({"n"}).build();
+    Handle root(rt, rt.allocRaw(node), "root");
+    for (int i = 0; i < 5; ++i)
+        rt.collect();
+    EXPECT_EQ(pauseSloViolations(rt), 0u);
+    EXPECT_EQ(rt.telemetry()->pauseSlo().violationCount(), 0u);
+    EXPECT_EQ(rt.telemetry()->pauseSlo().full().count(), 5u);
+    EXPECT_GT(rt.telemetry()->pauseSlo().full().percentile(50.0), 0u);
+}
+
+// ---------------------------------------------------------------------
+// SLO-on/off differential (the test_telemetry idiom)
+// ---------------------------------------------------------------------
+
+/** Address-free summary of one scenario run. */
+struct Outcome {
+    uint64_t marked = 0;
+    uint64_t swept = 0;
+    uint64_t sweptBytes = 0;
+    uint64_t liveObjects = 0;
+    uint64_t fullCollections = 0;
+    std::vector<std::multiset<std::string>> freedPerWindow;
+    std::vector<uint64_t> finalized;
+    /** "kind|type|gc#" per violation, PauseSlo excluded. */
+    std::multiset<std::string> violations;
+
+    bool
+    equivalentTo(const Outcome &other) const
+    {
+        return freedPerWindow == other.freedPerWindow &&
+               marked == other.marked && swept == other.swept &&
+               sweptBytes == other.sweptBytes &&
+               liveObjects == other.liveObjects &&
+               fullCollections == other.fullCollections &&
+               finalized == other.finalized &&
+               violations == other.violations;
+    }
+};
+
+/**
+ * Seed-determined heap program with the SLO armed at 1 ns (every
+ * pause violates) or fully off. Identical rng streams; assertion
+ * verdicts, freed multisets, and finalizer order must be
+ * bit-identical — the SLO only ever *adds* context-only PauseSlo
+ * reports, which the comparison excludes.
+ */
+Outcome
+runScenario(bool slo, uint64_t seed)
+{
+    RuntimeConfig config = sloConfig(slo ? 1 : 0);
+    if (!slo)
+        config.observe.pauseBudgetNanos = 0;
+    Runtime rt(config);
+
+    Outcome out;
+    TypeId node_type =
+        rt.types().define("Node").refs({"left", "right"}).scalars(8).build();
+    TypeId record_type =
+        rt.types().define("Record").refs({"a", "b"}).scalars(72).build();
+
+    uint64_t next_id = 1;
+    auto keyOf = [&](Object *obj) {
+        return rt.types().get(obj->typeId()).name() + ":" +
+               std::to_string(obj->scalar<uint64_t>(0));
+    };
+    out.freedPerWindow.emplace_back();
+    rt.addFreeHook([&](Object *obj) {
+        out.freedPerWindow.back().insert(keyOf(obj));
+    });
+
+    Rng rng(seed);
+    std::vector<Handle> handles;
+    std::vector<Object *> objs;
+    std::vector<char> rooted;
+    auto stamp = [&](Object *obj) {
+        obj->setScalar<uint64_t>(0, next_id++);
+        handles.emplace_back(rt, obj, "obj");
+        objs.push_back(obj);
+        rooted.push_back(1);
+    };
+
+    for (size_t i = 0, n = rng.range(80, 200); i < n; ++i)
+        stamp(rt.allocRaw(node_type));
+    for (size_t i = 0, n = rng.range(10, 30); i < n; ++i)
+        stamp(rt.allocRaw(record_type));
+
+    auto rooted_index = [&]() -> size_t {
+        for (;;) {
+            size_t i = rng.below(objs.size());
+            if (rooted[i])
+                return i;
+        }
+    };
+    for (size_t i = 0; i < objs.size(); ++i)
+        for (uint32_t s = 0; s < objs[i]->numRefs(); ++s)
+            if (rng.chance(0.5))
+                rt.writeRef(objs[i], s, objs[rng.below(objs.size())]);
+
+    for (size_t i = 0; i < objs.size(); ++i)
+        if (rng.chance(0.1))
+            rt.setFinalizer(objs[i], [&](Object *obj) {
+                out.finalized.push_back(obj->scalar<uint64_t>(0));
+            });
+
+    rt.assertInstances(record_type, 5);
+    for (size_t i = 0, n = objs.size() / 25; i < n; ++i)
+        rt.assertUnshared(objs[rooted_index()]);
+
+    for (size_t w = 0; w < 3; ++w) {
+        for (size_t i = 0, n = rng.range(20, 60); i < n; ++i)
+            stamp(rt.allocRaw(node_type));
+        for (size_t i = 0, n = rng.range(3, 8); i < n; ++i) {
+            size_t victim = rooted_index();
+            if (rng.chance(0.5))
+                rt.assertDead(objs[victim]);
+            rooted[victim] = 0;
+            handles[victim].reset();
+        }
+        rt.collect();
+        out.freedPerWindow.emplace_back();
+    }
+    rt.collect();
+
+    const GcStats &stats = rt.gcStats();
+    out.marked = stats.objectsMarked;
+    out.swept = stats.objectsSwept;
+    out.sweptBytes = stats.bytesSwept;
+    out.liveObjects = rt.heap().liveObjects();
+    out.fullCollections = stats.collections;
+    for (const Violation &v : rt.violations()) {
+        if (v.kind == AssertionKind::PauseSlo)
+            continue;
+        out.violations.insert(std::string(assertionKindName(v.kind)) +
+                              "|" + v.offendingType + "|" +
+                              std::to_string(v.gcNumber));
+    }
+    return out;
+}
+
+TEST(PauseSloDifferential, MatchesUnarmedAcross100Seeds)
+{
+    CaptureLogSink capture;
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        Outcome off = runScenario(false, seed);
+        Outcome on = runScenario(true, seed);
+        ASSERT_TRUE(on.equivalentTo(off))
+            << "pause-SLO divergence at seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace gcassert

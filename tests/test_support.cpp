@@ -236,6 +236,40 @@ TEST(Stopwatch, ResetClears)
     EXPECT_FALSE(w.running());
 }
 
+TEST(Stopwatch, StartWhileRunningIsIdempotent)
+{
+    // The header promises a second start() neither restarts the
+    // span nor loses time: the running span keeps its original
+    // origin, so elapsed time never decreases across the call.
+    Stopwatch w;
+    w.start();
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 100000; ++i)
+        x = x + i;
+    uint64_t before = w.elapsedNanos();
+    EXPECT_GT(before, 0u);
+    w.start(); // must not reset the running span's origin
+    EXPECT_TRUE(w.running());
+    EXPECT_GE(w.elapsedNanos(), before);
+    w.stop();
+    EXPECT_GE(w.elapsedNanos(), before);
+}
+
+TEST(Stopwatch, StopWithoutStartIsNoOp)
+{
+    Stopwatch w;
+    w.stop();
+    EXPECT_EQ(w.elapsedNanos(), 0u);
+    EXPECT_FALSE(w.running());
+    // A double stop() after a real span is equally harmless.
+    w.start();
+    w.stop();
+    uint64_t total = w.elapsedNanos();
+    w.stop();
+    EXPECT_EQ(w.elapsedNanos(), total);
+    EXPECT_FALSE(w.running());
+}
+
 TEST(Stopwatch, ScopedTimerAddsSpan)
 {
     Stopwatch w;

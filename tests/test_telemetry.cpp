@@ -518,5 +518,125 @@ TEST(TelemetrySchema, TraceFileFlushedOnDestruction)
     ASSERT_NE(root.find("traceEvents"), nullptr);
 }
 
+// ---------------------------------------------------------------------
+// TraceRecorder incremental flushing
+// ---------------------------------------------------------------------
+
+std::string
+slurp(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    std::string doc;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        doc.append(buf, n);
+    std::fclose(f);
+    return doc;
+}
+
+/** Parse @p doc and return traceEvents array size, or -1 on error. */
+int
+traceEventCount(const std::string &doc)
+{
+    JsonValue root;
+    std::string error;
+    if (!jsonParse(doc, root, &error))
+        return -1;
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || !events->isArray())
+        return -1;
+    return static_cast<int>(events->array.size());
+}
+
+TEST(TraceRecorderFlush, BufferBoundTriggersAutoFlush)
+{
+    std::string path =
+        ::testing::TempDir() + "gcassert_incr_trace.json";
+    std::remove(path.c_str());
+    TraceRecorder rec(path);
+    rec.setMaxBuffered(4);
+    for (int i = 0; i < 10; ++i)
+        rec.complete("span", "t", 1000u * i, 1000u * i + 500, 0);
+    // 10 events, bound 4: two automatic flushes (at 4 and 8) leave
+    // 8 on disk and 2 buffered.
+    EXPECT_EQ(rec.flushedCount(), 8u);
+    EXPECT_EQ(rec.eventCount(), 10u);
+    // The file is a complete, valid document between flushes.
+    EXPECT_EQ(traceEventCount(slurp(path)), 8);
+    std::remove(path.c_str());
+}
+
+TEST(TraceRecorderFlush, FileIsValidJsonAfterEveryFlush)
+{
+    std::string path =
+        ::testing::TempDir() + "gcassert_incr_trace2.json";
+    std::remove(path.c_str());
+    TraceRecorder rec(path);
+    rec.setMaxBuffered(3);
+    for (int i = 0; i < 20; ++i) {
+        rec.instant("tick", "t", 100u * i);
+        std::string doc = slurp(path);
+        if (!doc.empty()) {
+            // Whatever has been spilled so far must parse on its own.
+            ASSERT_GE(traceEventCount(doc), 0) << "after event " << i;
+        }
+    }
+    rec.flush();
+    EXPECT_EQ(traceEventCount(slurp(path)), 20);
+    EXPECT_EQ(rec.flushedCount(), 20u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceRecorderFlush, ToJsonCarriesFullHistoryAcrossFlushes)
+{
+    std::string path =
+        ::testing::TempDir() + "gcassert_incr_trace3.json";
+    std::remove(path.c_str());
+    TraceRecorder rec(path);
+    rec.setMaxBuffered(4);
+    for (int i = 0; i < 11; ++i)
+        rec.complete("span", "t", 1000u * i, 1000u * i + 10, 0);
+    // 8 flushed + 3 buffered: toJson() must stitch both together.
+    EXPECT_EQ(traceEventCount(rec.toJson()), 11);
+    // And repeated flushes stay idempotent.
+    rec.flush();
+    rec.flush();
+    EXPECT_EQ(traceEventCount(slurp(path)), 11);
+    EXPECT_EQ(rec.eventCount(), 11u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceRecorderFlush, ExplicitFlushOnEmptyBufferWritesDocument)
+{
+    std::string path =
+        ::testing::TempDir() + "gcassert_incr_trace4.json";
+    std::remove(path.c_str());
+    TraceRecorder rec(path);
+    EXPECT_TRUE(rec.flush());
+    EXPECT_EQ(traceEventCount(slurp(path)), 0);
+    // Events recorded after an empty first flush still splice in
+    // correctly (no leading-comma corruption).
+    rec.instant("tick", "t", 5);
+    EXPECT_TRUE(rec.flush());
+    EXPECT_EQ(traceEventCount(slurp(path)), 1);
+    std::remove(path.c_str());
+}
+
+TEST(TraceRecorderFlush, PathlessRecorderBuffersWithoutBound)
+{
+    TraceRecorder rec("");
+    rec.setMaxBuffered(2);
+    for (int i = 0; i < 8; ++i)
+        rec.instant("tick", "t", 10u * i);
+    // No file: nothing to spill to, everything stays readable.
+    EXPECT_EQ(rec.eventCount(), 8u);
+    EXPECT_EQ(rec.flushedCount(), 0u);
+    EXPECT_EQ(traceEventCount(rec.toJson()), 8);
+    EXPECT_FALSE(rec.flush());
+}
+
 } // namespace
 } // namespace gcassert
