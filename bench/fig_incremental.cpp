@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Incremental-recheck cost characterization: armed-assertion full-GC
+ * cost with the per-region property cache on vs off on the leak-heavy
+ * workloads (jbbemu, swapleak).
+ *
+ * Not a figure from the paper; this bench characterizes the
+ * RuntimeConfig::incrementalAssert extension. Each workload runs
+ * twice with identical assertion sets. The mutating phase (workload
+ * iterations between collections) shows the cache under churn; the
+ * low-mutation phase (repeated collections with the mutator idle)
+ * is where caching pays: the uncached collector re-tallies every
+ * live object per GC, the cached one merges clean-region summaries
+ * and re-verifies only dirtied regions.
+ *
+ * Reported per configuration: the instances/volume attribution
+ * bucket (assert.cost mark+finish, the work the cache moves and
+ * shrinks), average full-GC pause, and the cache hit/invalidation
+ * counters.
+ *
+ * Knobs: GCASSERT_BENCH_REPEATS (iterations per phase, default 8),
+ * GCASSERT_BENCH_JSON (path for the JSON record, default
+ * BENCH_incremental.json; empty string disables).
+ *
+ * A third, synthetic "lowmut" point allocates one large tracked
+ * population (a rooted 40k-node list under assert-instances /
+ * assert-volume) and then only collects: per uncached GC the mark
+ * phase re-tallies every one of those objects, while the cached
+ * merge touches 1024 region slots regardless of population — the
+ * regime the cache is built for, and the point the cost tripwire
+ * anchors to (the workload points track too few objects for the
+ * instances bucket to dominate; they are informational).
+ *
+ * Exit status 1 when a tripwire fires on the low-mutation phase:
+ *  - with caching on, clean-region merges must dominate (hits > 0
+ *    and invalidations <= hits) — a cache that keeps invalidating on
+ *    an idle heap is doing more per-region work than no cache;
+ *  - on the lowmut point, the cached instances-bucket cost
+ *    (assert.cost mark+finish) must be below the uncached cost —
+ *    caching exists to shrink exactly that bucket.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/runtime.h"
+#include "support/json.h"
+#include "support/logging.h"
+#include "support/stopwatch.h"
+#include "workloads/registry.h"
+#include "workloads/workload.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+/** One workload x {cached, uncached} measurement. */
+struct IncrPoint {
+    std::string workload;
+    bool incremental = false;
+    /** Mutating phase: workload iterations between collections. */
+    double churnPauseMsAvg = 0.0;
+    double churnInstancesMs = 0.0;
+    /** Low-mutation phase: repeated collections, mutator idle. */
+    double idlePauseMsAvg = 0.0;
+    double idleInstancesMs = 0.0;
+    uint64_t idleCacheHits = 0;
+    uint64_t idleCacheInvalidations = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheInvalidations = 0;
+};
+
+/** Instances-bucket nanos across both phases (mark + finish). */
+uint64_t
+instancesNanos(const Runtime &rt)
+{
+    const Telemetry *t = const_cast<Runtime &>(rt).telemetry();
+    if (!t)
+        return 0;
+    const AssertCostAttribution &ac = t->assertCost();
+    return ac.markNanos(AssertCostKind::Instances) +
+           ac.finishNanos(AssertCostKind::Instances);
+}
+
+IncrPoint
+measure(const std::string &name, bool incremental, uint64_t repeats)
+{
+    auto workload = WorkloadRegistry::instance().create(name);
+    RuntimeConfig config =
+        RuntimeConfig::infra(2 * workload->minHeapBytes());
+    config.recordPaths = false;
+    config.incrementalAssert = incremental;
+    // Arm cost attribution (telemetry) without census or trace
+    // overhead: any() needs one knob, the cadence never triggers.
+    config.observe.traceFile.clear();
+    config.observe.metricsSink.clear();
+    config.observe.pauseBudgetNanos = 0;
+    config.observe.censusEvery = 1u << 30;
+    Runtime rt(config);
+
+    workload->setup(rt);
+    workload->enableAssertions(rt);
+    workload->iterate(rt); // warmup: faults pages, settles block lists
+    rt.collect();
+
+    IncrPoint point;
+    point.workload = name;
+    point.incremental = incremental;
+
+    // --- Mutating phase -------------------------------------------
+    uint64_t cost_begin = instancesNanos(rt);
+    double pause_total = 0.0;
+    for (uint64_t round = 0; round < repeats; ++round) {
+        workload->iterate(rt);
+        uint64_t begin = nowNanos();
+        rt.collect();
+        pause_total += static_cast<double>(nowNanos() - begin) / 1e6;
+    }
+    point.churnPauseMsAvg = pause_total / static_cast<double>(repeats);
+    point.churnInstancesMs =
+        static_cast<double>(instancesNanos(rt) - cost_begin) / 1e6;
+
+    // --- Low-mutation phase ---------------------------------------
+    // One settling collection first: the last iteration's garbage
+    // frees here, churning its regions; the measured collections
+    // then see a genuinely idle heap.
+    rt.collect();
+    cost_begin = instancesNanos(rt);
+    uint64_t hits_begin = rt.assertionStats().cacheHits;
+    uint64_t inval_begin = rt.assertionStats().cacheInvalidations;
+    pause_total = 0.0;
+    for (uint64_t round = 0; round < repeats; ++round) {
+        uint64_t begin = nowNanos();
+        rt.collect();
+        pause_total += static_cast<double>(nowNanos() - begin) / 1e6;
+    }
+    point.idlePauseMsAvg = pause_total / static_cast<double>(repeats);
+    point.idleInstancesMs =
+        static_cast<double>(instancesNanos(rt) - cost_begin) / 1e6;
+    point.idleCacheHits = rt.assertionStats().cacheHits - hits_begin;
+    point.idleCacheInvalidations =
+        rt.assertionStats().cacheInvalidations - inval_begin;
+
+    workload->teardown(rt);
+    point.cacheHits = rt.assertionStats().cacheHits;
+    point.cacheInvalidations = rt.assertionStats().cacheInvalidations;
+    return point;
+}
+
+/**
+ * The synthetic low-mutation point: a stable rooted 40k-node list
+ * under assert-instances and assert-volume, then idle collections
+ * only. The churn phase is the build; the idle phase is where the
+ * uncached collector pays a per-object tally per GC and the cached
+ * one a population-independent region merge.
+ */
+IncrPoint
+measureLowMutation(bool incremental, uint64_t repeats)
+{
+    constexpr uint64_t kNodes = 40000;
+    RuntimeConfig config = RuntimeConfig::infra(256ull * 1024 * 1024);
+    config.recordPaths = false;
+    config.incrementalAssert = incremental;
+    config.observe.traceFile.clear();
+    config.observe.metricsSink.clear();
+    config.observe.pauseBudgetNanos = 0;
+    config.observe.censusEvery = 1u << 30;
+    Runtime rt(config);
+
+    TypeId node =
+        rt.types().define("Node").refs({"next"}).scalars(48).build();
+    rt.assertInstances(node, kNodes + 1);
+    rt.assertVolume(node, 1ull << 40);
+
+    IncrPoint point;
+    point.workload = "lowmut";
+    point.incremental = incremental;
+
+    Handle head(rt, rt.allocRaw(node), "head");
+    Object *tail = head.get();
+    uint64_t cost_begin = instancesNanos(rt);
+    uint64_t begin = nowNanos();
+    for (uint64_t i = 1; i < kNodes; ++i) {
+        Object *next = rt.allocRaw(node);
+        rt.writeRef(tail, 0, next);
+        tail = next;
+    }
+    rt.collect();
+    point.churnPauseMsAvg =
+        static_cast<double>(nowNanos() - begin) / 1e6;
+    point.churnInstancesMs =
+        static_cast<double>(instancesNanos(rt) - cost_begin) / 1e6;
+
+    cost_begin = instancesNanos(rt);
+    uint64_t hits_begin = rt.assertionStats().cacheHits;
+    uint64_t inval_begin = rt.assertionStats().cacheInvalidations;
+    double pause_total = 0.0;
+    for (uint64_t round = 0; round < repeats; ++round) {
+        begin = nowNanos();
+        rt.collect();
+        pause_total += static_cast<double>(nowNanos() - begin) / 1e6;
+    }
+    point.idlePauseMsAvg = pause_total / static_cast<double>(repeats);
+    point.idleInstancesMs =
+        static_cast<double>(instancesNanos(rt) - cost_begin) / 1e6;
+    point.idleCacheHits = rt.assertionStats().cacheHits - hits_begin;
+    point.idleCacheInvalidations =
+        rt.assertionStats().cacheInvalidations - inval_begin;
+    point.cacheHits = rt.assertionStats().cacheHits;
+    point.cacheInvalidations = rt.assertionStats().cacheInvalidations;
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    printHeader("Incremental assertion recheck",
+                "armed-assertion full-GC cost, per-region property "
+                "cache on vs off",
+                "n/a (extension beyond the paper's per-GC re-checks)");
+
+    const uint64_t repeats = envOr("GCASSERT_BENCH_REPEATS", 8);
+    std::fprintf(stderr, "  repeats: %llu\n",
+                 static_cast<unsigned long long>(repeats));
+
+    std::vector<IncrPoint> points;
+    for (const char *name : {"jbbemu", "swapleak"}) {
+        points.push_back(measure(name, false, repeats));
+        points.push_back(measure(name, true, repeats));
+    }
+    points.push_back(measureLowMutation(false, repeats));
+    points.push_back(measureLowMutation(true, repeats));
+
+    std::printf("\n  workload   cache   churn pause/inst ms   "
+                "idle pause/inst ms   idle hits/inval\n");
+    std::printf("  --------   -----   -------------------   "
+                "------------------   ---------------\n");
+    for (const IncrPoint &p : points)
+        std::printf("  %-8s   %-5s   %8.3f / %8.3f   %8.3f / %8.3f"
+                    "   %6llu / %6llu\n",
+                    p.workload.c_str(), p.incremental ? "on" : "off",
+                    p.churnPauseMsAvg, p.churnInstancesMs,
+                    p.idlePauseMsAvg, p.idleInstancesMs,
+                    static_cast<unsigned long long>(p.idleCacheHits),
+                    static_cast<unsigned long long>(
+                        p.idleCacheInvalidations));
+
+    // JSON record for the repo's BENCH_ ledger.
+    JsonWriter w;
+    w.beginObject()
+        .field("bench", "incremental")
+        .field("repeats", repeats)
+        .key("points")
+        .beginArray();
+    for (const IncrPoint &p : points) {
+        w.beginObject()
+            .field("workload", p.workload)
+            .field("incremental", p.incremental)
+            .field("churnPauseMsAvg", p.churnPauseMsAvg)
+            .field("churnInstancesMs", p.churnInstancesMs)
+            .field("idlePauseMsAvg", p.idlePauseMsAvg)
+            .field("idleInstancesMs", p.idleInstancesMs)
+            .field("idleCacheHits", p.idleCacheHits)
+            .field("idleCacheInvalidations", p.idleCacheInvalidations)
+            .field("cacheHits", p.cacheHits)
+            .field("cacheInvalidations", p.cacheInvalidations)
+            .endObject();
+    }
+    w.endArray().endObject();
+    emitBenchJson(w.str(), "BENCH_incremental.json");
+
+    // Tripwires (low-mutation phase only; the churn phase is
+    // workload-dependent and informational).
+    int status = 0;
+    for (size_t i = 0; i + 1 < points.size(); i += 2) {
+        const IncrPoint &off = points[i];
+        const IncrPoint &on = points[i + 1];
+        // Cached runs must do no more per-region recheck work than
+        // uncached ones (which re-tally everything, every GC): on an
+        // idle heap, clean-region merges dominate re-snapshots.
+        if (on.idleCacheHits == 0 ||
+            on.idleCacheInvalidations > on.idleCacheHits) {
+            std::fprintf(stderr,
+                         "  ERROR: %s idle phase: cache not dominated "
+                         "by clean merges (hits=%llu inval=%llu)\n",
+                         on.workload.c_str(),
+                         static_cast<unsigned long long>(
+                             on.idleCacheHits),
+                         static_cast<unsigned long long>(
+                             on.idleCacheInvalidations));
+            status = 1;
+        }
+        // The cost win is only claimed where the tracked population
+        // dominates the region count (the synthetic point); the
+        // workload points track a handful of objects, so their
+        // instances bucket is measurement noise either way.
+        if (on.workload == "lowmut" &&
+            on.idleInstancesMs >= off.idleInstancesMs) {
+            std::fprintf(stderr,
+                         "  ERROR: lowmut idle phase: cached instances "
+                         "cost (%.3f ms) not below uncached (%.3f ms)\n",
+                         on.idleInstancesMs, off.idleInstancesMs);
+            status = 1;
+        }
+    }
+    return status;
+}

@@ -27,6 +27,10 @@ AssertionStats::toString() const
         line("dirty owners consumed:", dirtyOwnersAtGc);
         line("dirty unshared consumed:", dirtyUnsharedAtGc);
     }
+    if (cacheHits > 0 || cacheInvalidations > 0) {
+        line("region cache hits:", cacheHits);
+        line("region cache invalidations:", cacheInvalidations);
+    }
     return out;
 }
 

@@ -50,6 +50,17 @@ struct AssertionStats {
 
     /** @} */
 
+    /** @name Property-cached incremental rechecks
+     *  @{ */
+
+    /** Clean regions whose cached summary was merged as-is. */
+    uint64_t cacheHits = 0;
+
+    /** Dirty regions re-snapshotted at full GCs. */
+    uint64_t cacheInvalidations = 0;
+
+    /** @} */
+
     /** Multi-line human-readable dump. */
     std::string toString() const;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "assertions/incremental.h"
 #include "observe/assert_cost.h"
 #include "support/logging.h"
 #include "support/strutil.h"
@@ -79,6 +80,8 @@ void
 AssertionEngine::assertInstances(TypeId type, uint64_t limit)
 {
     types_.trackInstances(type, limit);
+    if (incremental_)
+        incremental_->onTypeTracked(type);
     ++stats_.assertInstancesCalls;
 }
 
@@ -86,6 +89,8 @@ void
 AssertionEngine::assertVolume(TypeId type, uint64_t bytes)
 {
     types_.trackVolume(type, bytes);
+    if (incremental_)
+        incremental_->onTypeTracked(type);
     ++stats_.assertVolumeCalls;
 }
 
@@ -94,14 +99,24 @@ AssertionEngine::assertUnshared(Object *obj)
 {
     if (!obj)
         fatal("assert-unshared called on null");
+    // Region bookkeeping counts objects whose kUnsharedBit is set, so
+    // only a first-time assertion bumps the tally.
+    bool newly_tracked = !obj->testFlag(kUnsharedBit);
     obj->setFlag(kUnsharedBit);
+    if (incremental_ && newly_tracked)
+        incremental_->noteUnsharedAsserted(obj);
     ++stats_.assertUnsharedCalls;
 }
 
 void
 AssertionEngine::assertOwnedBy(Object *owner, Object *ownee)
 {
+    // Same first-time gate as assert-unshared: duplicate pairs are
+    // ignored by the table, and the region tally mirrors kOwneeBit.
+    bool newly_tracked = ownee && !ownee->testFlag(kOwneeBit);
     ownership_.addPair(owner, ownee);
+    if (incremental_ && newly_tracked)
+        incremental_->noteOwneePair(owner, ownee);
     ++stats_.assertOwnedByCalls;
 }
 
@@ -121,45 +136,55 @@ AssertionEngine::onGcStart(uint64_t gc_number)
 }
 
 void
+AssertionEngine::checkTrackedTypeLimits()
+{
+    for (TypeId id : types_.trackedTypes()) {
+        const TypeDescriptor &desc = types_.get(id);
+        if (desc.instanceCount() > desc.instanceLimit()) {
+            Violation v;
+            v.kind = AssertionKind::Instances;
+            v.offendingType = desc.name();
+            v.gcNumber = gcNumber_;
+            v.message = format(
+                "%llu instances of %s are live; the limit is "
+                "%llu.",
+                static_cast<unsigned long long>(
+                    desc.instanceCount()),
+                desc.name().c_str(),
+                static_cast<unsigned long long>(
+                    desc.instanceLimit()));
+            report(std::move(v));
+        }
+        if (desc.volumeBytes() > desc.volumeLimit()) {
+            Violation v;
+            v.kind = AssertionKind::Volume;
+            v.offendingType = desc.name();
+            v.gcNumber = gcNumber_;
+            v.message = format(
+                "live %s instances total %llu bytes; the budget "
+                "is %llu bytes.",
+                desc.name().c_str(),
+                static_cast<unsigned long long>(
+                    desc.volumeBytes()),
+                static_cast<unsigned long long>(
+                    desc.volumeLimit()));
+            report(std::move(v));
+        }
+    }
+}
+
+void
 AssertionEngine::onTraceDone(AssertCostTallies *cost)
 {
     // Instance- and volume-limit checks (paper: "at the end of GC,
-    // we iterate through our list of tracked types").
-    {
+    // we iterate through our list of tracked types"). In incremental
+    // mode the tallies are not ready until the sweep has run the free
+    // hooks, so the identical loop runs from onPostSweep instead —
+    // nothing reports violations in between, so the per-GC violation
+    // stream is unchanged.
+    if (!incremental_) {
         CostScope scope(cost, AssertCostKind::Instances);
-        for (TypeId id : types_.trackedTypes()) {
-            const TypeDescriptor &desc = types_.get(id);
-            if (desc.instanceCount() > desc.instanceLimit()) {
-                Violation v;
-                v.kind = AssertionKind::Instances;
-                v.offendingType = desc.name();
-                v.gcNumber = gcNumber_;
-                v.message = format(
-                    "%llu instances of %s are live; the limit is "
-                    "%llu.",
-                    static_cast<unsigned long long>(
-                        desc.instanceCount()),
-                    desc.name().c_str(),
-                    static_cast<unsigned long long>(
-                        desc.instanceLimit()));
-                report(std::move(v));
-            }
-            if (desc.volumeBytes() > desc.volumeLimit()) {
-                Violation v;
-                v.kind = AssertionKind::Volume;
-                v.offendingType = desc.name();
-                v.gcNumber = gcNumber_;
-                v.message = format(
-                    "live %s instances total %llu bytes; the budget "
-                    "is %llu bytes.",
-                    desc.name().c_str(),
-                    static_cast<unsigned long long>(
-                        desc.volumeBytes()),
-                    static_cast<unsigned long long>(
-                        desc.volumeLimit()));
-                report(std::move(v));
-            }
-        }
+        checkTrackedTypeLimits();
     }
 
     // Region queues: drop entries that died in this collection so
@@ -210,20 +235,39 @@ AssertionEngine::onTraceDone(AssertCostTallies *cost)
 }
 
 void
+AssertionEngine::onPostSweep(AssertCostTallies *cost)
+{
+    if (!incremental_)
+        return;
+    CostScope scope(cost, AssertCostKind::Instances);
+    IncrementalAssertCache::RecheckStats merged =
+        incremental_->mergeAndSync();
+    stats_.cacheHits += merged.hits;
+    stats_.cacheInvalidations += merged.invalidations;
+    checkTrackedTypeLimits();
+}
+
+void
 AssertionEngine::noteOwnerMutated(Object *owner)
 {
     dirtyOwners_.push_back(owner);
+    if (incremental_)
+        incremental_->noteMutated(owner);
 }
 
 void
 AssertionEngine::noteUnsharedTargetMutated(Object *obj)
 {
     dirtyUnshared_.push_back(obj);
+    if (incremental_)
+        incremental_->noteMutated(obj);
 }
 
 void
 AssertionEngine::onObjectFreed(Object *obj)
 {
+    if (incremental_)
+        incremental_->noteFreed(obj);
     if (obj->testFlag(kOrphanBit))
         ++stats_.owneeAssertsSatisfied;
     else if (obj->testFlag(kDeadBit))

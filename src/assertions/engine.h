@@ -27,6 +27,7 @@
 namespace gcassert {
 
 struct AssertCostTallies;
+class IncrementalAssertCache;
 
 /** Behavioural switches for the engine. */
 struct EngineOptions {
@@ -119,6 +120,19 @@ class AssertionEngine {
      * kind.
      */
     void onTraceDone(AssertCostTallies *cost = nullptr);
+
+    /**
+     * Post-sweep finish work, incremental mode only: merge the
+     * region-summary cache (re-snapshotting just the dirty regions),
+     * sync the per-type tallies the skipped mark-phase checks left at
+     * zero, and run exactly the instance/volume verdict loop that
+     * onTraceDone runs non-incrementally. Runs after the sweep so the
+     * alloc/free-maintained tallies equal the marked set — the same
+     * quantity the mark loop would have counted — and before the
+     * collector's per-GC violation accounting, so per-collection
+     * violation counts are unchanged. No-op without a cache.
+     */
+    void onPostSweep(AssertCostTallies *cost = nullptr);
 
     /** Sweep hook: account for satisfied lifetime assertions. */
     void onObjectFreed(Object *obj);
@@ -223,6 +237,20 @@ class AssertionEngine {
     AssertionStats &stats() { return stats_; }
     const AssertionStats &stats() const { return stats_; }
 
+    /**
+     * Attach (or detach, with nullptr) the incremental recheck cache.
+     * While attached, the assertion entry points and free hooks keep
+     * its region summaries current, onTraceDone's instance/volume
+     * checks are deferred to onPostSweep, and the collector skips its
+     * mark-phase tallies.
+     */
+    void setIncremental(IncrementalAssertCache *cache)
+    {
+        incremental_ = cache;
+    }
+
+    IncrementalAssertCache *incremental() const { return incremental_; }
+
     const EngineOptions &options() const { return options_; }
 
     /** Type name helper for reports. */
@@ -232,6 +260,14 @@ class AssertionEngine {
     uint64_t gcNumber() const { return gcNumber_; }
 
   private:
+    /**
+     * The instance/volume verdict loop, shared verbatim by
+     * onTraceDone (classic mode) and onPostSweep (incremental mode)
+     * so the two paths cannot drift apart in message text or report
+     * order.
+     */
+    void checkTrackedTypeLimits();
+
     TypeRegistry &types_;
     MutatorRegistry &mutators_;
     EngineOptions options_;
@@ -251,6 +287,9 @@ class AssertionEngine {
     std::vector<Object *> dirtyOwners_;
     std::vector<Object *> dirtyUnshared_;
     /** @} */
+
+    /** Incremental recheck cache (null = classic whole-heap checks). */
+    IncrementalAssertCache *incremental_ = nullptr;
 };
 
 } // namespace gcassert

@@ -1,0 +1,97 @@
+#include "assertions/incremental.h"
+
+#include "gc/remset.h"
+#include "heap/heap.h"
+
+namespace gcassert {
+
+IncrementalAssertCache::IncrementalAssertCache(Heap &heap,
+                                               TypeRegistry &types)
+    : heap_(heap), types_(types)
+{
+}
+
+void
+IncrementalAssertCache::onTypeTracked(TypeId id)
+{
+    if (table_.columnOf(id) >= 0)
+        return; // already tallied; re-tracking reuses the column
+    int column = table_.ensureColumn(id);
+    if (column < 0) {
+        overflow_ = true;
+        return;
+    }
+    // Instances allocated before tracking began: tally them once.
+    // The walk runs under the runtime's exclusive lock, so no
+    // allocation races it.
+    heap_.forEachObject([&](Object *obj) {
+        if (obj->typeId() == id)
+            table_.noteBaseline(obj, column);
+    });
+}
+
+void
+IncrementalAssertCache::noteUnsharedAsserted(const Object *obj)
+{
+    table_.noteUnsharedTracked(obj, +1);
+}
+
+void
+IncrementalAssertCache::noteOwneePair(const Object *owner,
+                                      const Object *ownee)
+{
+    // The owner's region gains an ownership-subgraph edge; the
+    // ownee's region gains a tracked ownee.
+    table_.noteMutation(owner);
+    table_.noteOwneeTracked(ownee, +1);
+}
+
+void
+IncrementalAssertCache::noteFreed(const Object *obj)
+{
+    table_.noteFree(obj);
+    if (obj->testFlag(kUnsharedBit))
+        table_.noteUnsharedTracked(obj, -1);
+    if (obj->testFlag(kOwneeBit))
+        table_.noteOwneeTracked(obj, -1);
+}
+
+void
+IncrementalAssertCache::consumeCards(const RememberedSet &remset)
+{
+    remset.forEachCard([&](uintptr_t card) {
+        table_.noteMutation(
+            reinterpret_cast<const void *>(card << kCardShift));
+    });
+}
+
+IncrementalAssertCache::RecheckStats
+IncrementalAssertCache::mergeAndSync()
+{
+    RegionSummaryTable::MergeOutcome merged = table_.merge();
+
+    for (TypeId id : types_.trackedTypes()) {
+        int column = table_.columnOf(id);
+        if (column < 0)
+            continue; // overflowed: handled by the walk below
+        types_.bumpInstanceCountBy(id, table_.totalCount(column),
+                                   table_.totalBytes(column));
+    }
+
+    if (overflow_) {
+        const std::vector<uint8_t> &tracked = types_.trackedFlags();
+        heap_.forEachObject([&](Object *obj) {
+            TypeId id = obj->typeId();
+            if (id < tracked.size() && tracked[id] &&
+                table_.columnOf(id) < 0)
+                types_.bumpInstanceCount(id, obj->sizeBytes());
+        });
+    }
+
+    RecheckStats stats;
+    stats.hits = merged.hits;
+    stats.invalidations = merged.invalidations;
+    return stats;
+}
+
+} // namespace gcassert

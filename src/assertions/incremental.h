@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Property-cached incremental assertion rechecks (the Stulova-style
+ * "cache verdicts, invalidate on mutation" optimisation applied to
+ * the paper's GC assertions).
+ *
+ * The cache sits between three layers:
+ *
+ *  - the heap, which notes every allocation and nursery promotion
+ *    into the RegionSummaryTable it is handed (heap/region_summary.h
+ *    holds the per-region tallies and dirty flags);
+ *  - the write barrier / remembered set, whose dirty-card stream the
+ *    collector feeds to consumeCards() in each GC prologue (the
+ *    second consumer of the card stream, beside the nursery);
+ *  - the assertion engine, which routes frees, assert registrations
+ *    and barrier dirtying here, and asks mergeAndSync() at the end
+ *    of each full collection for exact live tallies of every tracked
+ *    type, recomputed only for dirty regions.
+ *
+ * Verdict identity: the merged totals are maintained as exact
+ * alloc/free counters, and an object is freed exactly when the trace
+ * failed to mark it — so "post-sweep live instances" equals "marked
+ * instances", the quantity the non-incremental mark loop tallies.
+ * Dirtiness decides how much re-snapshot work the merge performs,
+ * never what the totals are. assert-unshared in-degree bits and
+ * assert-ownedby ownee counts are maintained as per-region summaries
+ * for invalidation accounting and introspection; their verdicts stay
+ * trace-authoritative (the ownership phase scans every owner, and
+ * the trace re-checks every unshared object it re-encounters), so
+ * arming the cache cannot change them either.
+ */
+
+#ifndef GCASSERT_ASSERTIONS_INCREMENTAL_H
+#define GCASSERT_ASSERTIONS_INCREMENTAL_H
+
+#include <cstdint>
+
+#include "heap/region_summary.h"
+#include "types/type_registry.h"
+
+namespace gcassert {
+
+class Heap;
+class RememberedSet;
+
+class IncrementalAssertCache {
+  public:
+    IncrementalAssertCache(Heap &heap, TypeRegistry &types);
+
+    IncrementalAssertCache(const IncrementalAssertCache &) = delete;
+    IncrementalAssertCache &
+    operator=(const IncrementalAssertCache &) = delete;
+
+    /** The region table the heap's allocation paths feed. */
+    RegionSummaryTable &table() { return table_; }
+    const RegionSummaryTable &table() const { return table_; }
+
+    /** @name Engine-side hooks (runtime exclusive lock)
+     *  @{ */
+
+    /**
+     * A type gained an assert-instances / assert-volume limit: assign
+     * it a column and, if the column is new, tally the instances that
+     * were allocated before tracking began with one heap walk. Types
+     * beyond the column budget are remembered as overflowed; their
+     * verdict tallies come from a full walk at merge time.
+     */
+    void onTypeTracked(TypeId id);
+
+    /** assert-unshared registered on @p obj. */
+    void noteUnsharedAsserted(const Object *obj);
+
+    /** assert-ownedby pair registered. */
+    void noteOwneePair(const Object *owner, const Object *ownee);
+
+    /** Barrier dirtying (owner or unshared target written). */
+    void noteMutated(const Object *obj) { table_.noteMutation(obj); }
+
+    /** Sweep / minor-collection free (routed via the engine). */
+    void noteFreed(const Object *obj);
+
+    /** @} */
+
+    /** @name Collector-side hooks (stopped world)
+     *  @{ */
+
+    /**
+     * Consume the remembered set's dirty-card stream: every marked
+     * card dirties its 64 KiB region and sets the region's in-degree
+     * bit for the card's 1 KiB sub-window. Must run before the
+     * collector clears the set.
+     */
+    void consumeCards(const RememberedSet &remset);
+
+    struct RecheckStats {
+        uint64_t hits = 0;
+        uint64_t invalidations = 0;
+    };
+
+    /**
+     * End-of-full-GC merge: re-snapshot dirty regions, then push the
+     * merged per-type totals into the TypeRegistry's per-GC tallies
+     * (the ones onGcStart reset and the skipped mark-phase tallies
+     * left at zero), walking the heap once only if some tracked type
+     * overflowed the column budget.
+     */
+    RecheckStats mergeAndSync();
+
+    /** @} */
+
+    /** True once any tracked type failed to win a column. */
+    bool sawOverflow() const { return overflow_; }
+
+  private:
+    Heap &heap_;
+    TypeRegistry &types_;
+    RegionSummaryTable table_;
+    bool overflow_ = false;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_ASSERTIONS_INCREMENTAL_H

@@ -24,6 +24,8 @@ struct BarrierContext {
     AssertionEngine *engine;
     /** Telemetry: slow-path entries for this runtime (may be null). */
     std::atomic<uint64_t> *slowHits;
+    /** Record all writes for the incremental assertion recheck. */
+    bool trackAllWrites;
 };
 
 std::mutex &
@@ -55,6 +57,7 @@ contextOwning(const Object *obj)
 namespace detail {
 
 std::atomic<uint32_t> g_writeBarriersArmed{0};
+std::atomic<uint32_t> g_trackAllWrites{0};
 
 void
 writeBarrierSlow(Object *src, Object **slot, Object *target)
@@ -74,6 +77,21 @@ writeBarrierSlow(Object *src, Object **slot, Object *target)
 
     uint32_t sf = src->rawFlagsAtomic();
     uint32_t tf = target ? target->rawFlagsAtomic() : 0;
+
+    if ((sf & (kNurseryBit | kRememberedBit)) == 0) {
+        // All-writes tracking (incremental assertion recheck): latch
+        // the source and remember its cards whatever the target, so
+        // the full GC can invalidate the source's region summary.
+        // Safe in generational mode: the minor GC rescans the extra
+        // sources, whose trace truncates at the mature boundary, so
+        // nursery liveness is unchanged — this only ever records a
+        // source the nursery-edge filter might have recorded later
+        // anyway. Nursery sources never reach here (inline filter);
+        // their regions are churn-dirty from their own allocation.
+        BarrierContext *ctx = contextOwning(src);
+        if (ctx && ctx->trackAllWrites)
+            ctx->remset->record(src, slot);
+    }
 
     if ((tf & kNurseryBit) != 0 &&
         (sf & (kNurseryBit | kRememberedBit)) == 0) {
@@ -111,26 +129,35 @@ writeBarrierSlow(Object *src, Object **slot, Object *target)
 
 BarrierScope::BarrierScope(Heap &heap, RememberedSet &remset,
                            AssertionEngine &engine,
-                           std::atomic<uint64_t> *slow_hits)
+                           std::atomic<uint64_t> *slow_hits,
+                           bool track_all_writes)
     : heap_(heap)
 {
     std::lock_guard<std::mutex> guard(registryMutex());
-    registry().push_back(
-        BarrierContext{&heap, &remset, &engine, slow_hits});
+    registry().push_back(BarrierContext{&heap, &remset, &engine,
+                                        slow_hits, track_all_writes});
     detail::g_writeBarriersArmed.fetch_add(1, std::memory_order_relaxed);
+    if (track_all_writes)
+        detail::g_trackAllWrites.fetch_add(1, std::memory_order_relaxed);
 }
 
 BarrierScope::~BarrierScope()
 {
-    std::lock_guard<std::mutex> guard(registryMutex());
-    auto &contexts = registry();
-    for (auto it = contexts.begin(); it != contexts.end(); ++it) {
-        if (it->heap == &heap_) {
-            contexts.erase(it);
-            break;
+    bool tracked_all = false;
+    {
+        std::lock_guard<std::mutex> guard(registryMutex());
+        auto &contexts = registry();
+        for (auto it = contexts.begin(); it != contexts.end(); ++it) {
+            if (it->heap == &heap_) {
+                tracked_all = it->trackAllWrites;
+                contexts.erase(it);
+                break;
+            }
         }
     }
     detail::g_writeBarriersArmed.fetch_sub(1, std::memory_order_relaxed);
+    if (tracked_all)
+        detail::g_trackAllWrites.fetch_sub(1, std::memory_order_relaxed);
 }
 
 } // namespace gcassert

@@ -52,10 +52,18 @@ class BarrierScope {
      * @param slow_hits Optional telemetry counter bumped once per
      *        slow-path entry attributed to this runtime's heap (the
      *        metrics registry reads it as a gauge). May be nullptr.
+     * @param track_all_writes Record every written (non-nursery,
+     *        unlatched) source in the remembered set, not just
+     *        mature-to-nursery edges, so the incremental assertion
+     *        recheck can consume the dirty-card stream at the next
+     *        full collection. Rides the same kRememberedBit latch:
+     *        still at most one slow-path trip per written source per
+     *        GC cycle.
      */
     BarrierScope(Heap &heap, RememberedSet &remset,
                  AssertionEngine &engine,
-                 std::atomic<uint64_t> *slow_hits = nullptr);
+                 std::atomic<uint64_t> *slow_hits = nullptr,
+                 bool track_all_writes = false);
     ~BarrierScope();
 
     BarrierScope(const BarrierScope &) = delete;

@@ -1,5 +1,7 @@
 #include "gc/collector.h"
 
+#include "assertions/incremental.h"
+
 #include <algorithm>
 #include <thread>
 
@@ -254,6 +256,12 @@ Collector::minorCollect()
         for (const auto &hook : freeHooks_)
             hook(obj);
     });
+    // The incremental recheck is the card stream's second consumer:
+    // drain it into region dirt before the set is dropped, or the
+    // mutations recorded since the last collection would be lost to
+    // the next full GC's merge.
+    if (config_.infrastructure && incremental_ != nullptr)
+        incremental_->consumeCards(remset_);
     remset_.clear();
 
     result.promoted = swept.promotedObjects;
@@ -328,6 +336,16 @@ Collector::collectImpl()
     // to the non-generational path, which is how full GCs stay the
     // sole authority for assertion verdicts. (The kWriteDirtyBit
     // latches survive: the dirty sets are consumed in onTraceDone.)
+    // Incremental-recheck prologue: drain the dirty-card stream into
+    // region dirt before anything clears the remembered set. In
+    // non-generational mode the set exists purely as this card feed,
+    // so it is cleared (latches and all) right here.
+    if (kInfra && incremental_ != nullptr) {
+        incremental_->consumeCards(remset_);
+        if (!heap_.generational())
+            remset_.clear();
+    }
+
     if (heap_.generational()) {
         stats_.nurseryPromotedAtFullGc += heap_.promoteAllNursery();
         remset_.clear();
@@ -516,6 +534,42 @@ Collector::collectImpl()
         }
     }
 
+    // Incremental mode: the deferred instance/volume verdict, now
+    // that the sweep's free hooks have settled the region tallies
+    // (post-sweep live set == marked set, so the totals equal what
+    // the mark loop would have counted). Before the per-GC violation
+    // accounting below, so result.violations includes these reports
+    // exactly like the non-incremental finish phase would have.
+    if (kInfra && incremental_ != nullptr) {
+        uint64_t t0 = (tr || costActive_) ? nowNanos() : 0;
+        uint64_t hits_before = engine_.stats().cacheHits;
+        uint64_t inval_before = engine_.stats().cacheInvalidations;
+        AssertCostTallies recheck_cost;
+        {
+            ScopedTimer t(stats_.finishPhase);
+            engine_.onPostSweep(costActive_ ? &recheck_cost : nullptr);
+        }
+        uint64_t t1 = (tr || costActive_) ? nowNanos() : 0;
+        if (costActive_) {
+            recheck_cost.setOtherFromSpan(t1 - t0);
+            telemetry_->assertCost().addFinish(recheck_cost);
+        }
+        if (tr) {
+            JsonWriter a;
+            a.beginObject()
+                .field("cacheHits",
+                       engine_.stats().cacheHits - hits_before)
+                .field("cacheInvalidations",
+                       engine_.stats().cacheInvalidations -
+                           inval_before);
+            if (costActive_)
+                a.key("assertCost").valueRaw(recheck_cost.toJson());
+            a.endObject();
+            tr->complete("incremental_recheck", "gc", t0, t1, 0,
+                         a.str());
+        }
+    }
+
     result.marked = markedThisGc_;
     result.violations =
         engine_.stats().violationsReported - violations_before;
@@ -589,8 +643,12 @@ Collector::markObject(Object *obj)
         // cheap in the trace loop. Attribution times only the
         // tracked-type tally; the flag test itself is baseline visit
         // cost and lands in the Other bucket.
+        // With the incremental cache attached the tallies are
+        // alloc/free-maintained per region instead, and the deferred
+        // post-sweep merge supplies the totals — this is where the
+        // cached mode's mark-phase saving comes from.
         TypeId type = obj->typeId();
-        if (types_.trackedFlags()[type]) {
+        if (types_.trackedFlags()[type] && incremental_ == nullptr) {
             CostScope cost(cost_, AssertCostKind::Instances);
             types_.bumpInstanceCount(type, obj->sizeBytes());
         }
@@ -1099,11 +1157,15 @@ Collector::parallelMarkPhase()
         }
     }
     if (kInfra) {
-        for (TypeId id : types_.trackedTypes()) {
-            for (MarkWorker &w : workers) {
-                if (w.instanceCounts[id] != 0 || w.instanceBytes[id] != 0)
-                    types_.bumpInstanceCountBy(id, w.instanceCounts[id],
-                                               w.instanceBytes[id]);
+        if (incremental_ == nullptr) {
+            for (TypeId id : types_.trackedTypes()) {
+                for (MarkWorker &w : workers) {
+                    if (w.instanceCounts[id] != 0 ||
+                        w.instanceBytes[id] != 0)
+                        types_.bumpInstanceCountBy(
+                            id, w.instanceCounts[id],
+                            w.instanceBytes[id]);
+                }
             }
         }
         engine_.reportPending(std::move(pending));
@@ -1194,8 +1256,10 @@ Collector::parVisit(Object **slot, Object *obj, MarkWorker &w)
     if (obj->tryMark()) {
         ++w.marked;
         if (kInfra) {
+            // Incremental mode keeps the tallies per region instead;
+            // see the sequential markObject for the rationale.
             TypeId type = obj->typeId();
-            if (types_.trackedFlags()[type]) {
+            if (types_.trackedFlags()[type] && incremental_ == nullptr) {
                 CostScope cost(costActive_ ? &w.cost : nullptr,
                                AssertCostKind::Instances);
                 ++w.instanceCounts[type];

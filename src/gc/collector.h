@@ -50,6 +50,7 @@
 
 namespace gcassert {
 
+class IncrementalAssertCache;
 class Telemetry;
 class TraceRecorder;
 
@@ -183,6 +184,19 @@ class Collector {
      * test. Set between collections only.
      */
     void setTelemetry(Telemetry *telemetry);
+
+    /**
+     * Attach (or detach, with nullptr) the incremental assertion
+     * recheck cache. While attached, full GCs consume the remembered
+     * set's dirty-card stream in their prologue (before clearing the
+     * set), skip the per-object mark-phase instance tallies, and run
+     * the deferred instance/volume verdict after the sweep via
+     * AssertionEngine::onPostSweep. Set between collections only.
+     */
+    void setIncrementalCache(IncrementalAssertCache *cache)
+    {
+        incremental_ = cache;
+    }
 
     /**
      * Take a heap census at the next full collection regardless of
@@ -366,6 +380,8 @@ class Collector {
 
     /** The runtime's telemetry bundle; null = all knobs off. */
     Telemetry *telemetry_ = nullptr;
+    /** Incremental recheck cache; null = classic whole-heap checks. */
+    IncrementalAssertCache *incremental_ = nullptr;
     /** True while the current GC records trace spans. */
     bool traceActive_ = false;
     /** True while the current full GC tallies a heap census. */

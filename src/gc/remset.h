@@ -91,6 +91,21 @@ class RememberedSet {
     void forEachSource(const std::function<void(Object *)> &visit) const;
 
     /**
+     * Visit every dirty card index (slot address >> kCardShift).
+     * Iteration order is a hash-set's — callers must be
+     * order-insensitive (the incremental recheck only ORs region
+     * dirty bits). Stopped-world use: the collector consumes the
+     * stream in its prologue, before clear().
+     */
+    void
+    forEachCard(const std::function<void(uintptr_t)> &visit) const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        for (uintptr_t card : cards_)
+            visit(card);
+    }
+
+    /**
      * Drop every entry and clear the kRememberedBit latches. Called
      * after each minor collection (the surviving nursery is promoted
      * wholesale, so no mature->nursery edge can remain) and in the

@@ -103,6 +103,23 @@ writeBarriersArmed()
 }
 
 /**
+ * Global count of runtimes tracking *all* reference writes (the
+ * incremental assertion recheck's dirty-card feed), not just
+ * mature-to-nursery edges. A subset of the armed runtimes: when
+ * non-zero, the inline filter also fires for any unlatched,
+ * non-nursery source so the slow path can record the source's cards
+ * once per GC cycle. Nursery sources are excluded — their regions
+ * are already churn-dirty from their own allocation this cycle.
+ */
+extern std::atomic<uint32_t> g_trackAllWrites;
+
+inline bool
+trackingAllWrites()
+{
+    return g_trackAllWrites.load(std::memory_order_relaxed) != 0;
+}
+
+/**
  * Out-of-line barrier slow path (src/gc/barrier.cpp): records
  * mature-to-nursery edges in the owning runtime's remembered set and
  * feeds mutated owner / unshared-target objects to its assertion
@@ -286,7 +303,10 @@ class Object {
                 (sf & kWriteDirtyBit) == 0;
             bool dirty_unshared = (tf & kUnsharedBit) != 0 &&
                 (tf & kWriteDirtyBit) == 0;
-            if (nursery_edge || dirty_owner || dirty_unshared)
+            bool all_writes = detail::trackingAllWrites() &&
+                (sf & (kNurseryBit | kRememberedBit)) == 0;
+            if (nursery_edge || dirty_owner || dirty_unshared ||
+                all_writes)
                 detail::writeBarrierSlow(this, slot, target);
         }
         *slot = target;

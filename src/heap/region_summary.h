@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Per-region summary storage for incremental assertion rechecks.
+ *
+ * The heap is viewed as a direct-mapped table of 64 KiB address
+ * windows ("regions"). Each region slot carries, per tracked-type
+ * column, an exact tally of live instances and bytes, maintained at
+ * allocation, free and promotion time, plus two dirty flavours:
+ *
+ *  - "mutated": a reference field inside the region was written (the
+ *    card-marking write barrier feeds this via the remembered set's
+ *    dirty-card stream), or an assertion flag on an object in the
+ *    region changed;
+ *  - "churned": the region gained or lost objects (allocation, sweep
+ *    frees, nursery promotion).
+ *
+ * At each full GC the merge pass walks the 1024 slots once: dirty
+ * regions have their column tallies re-snapshotted into the global
+ * totals (an "invalidation"); clean regions contribute their cached
+ * snapshot unchanged (a "hit"). Because the tallies are exact and
+ * the totals are maintained as total += current - snapshot, the
+ * merged totals always equal the sum of live instances regardless of
+ * which regions were dirty — dirtiness only decides how much
+ * re-snapshot work the pass performs, never the verdict.
+ *
+ * Slots are direct-mapped by (addr >> 16) & 1023; distinct 64 KiB
+ * windows that collide simply share a slot, which merges their
+ * tallies and dirty bits. That is harmless for correctness (tallies
+ * stay exact) and only coarsens invalidation.
+ *
+ * The table also owns the TypeId -> column map (columns are assigned
+ * monotonically, first assertInstances/assertVolume on a type wins a
+ * column, and are never reused even if the type is later untracked,
+ * so the tallies stay exact across re-track cycles). Types beyond
+ * kMaxColumns get no column; their verdicts fall back to one full
+ * heap walk at merge time — correct, just uncached. The table stays
+ * assertion-agnostic otherwise: which kinds consume the summaries,
+ * and how, lives in assertions/incremental.h.
+ */
+
+#ifndef GCASSERT_HEAP_REGION_SUMMARY_H
+#define GCASSERT_HEAP_REGION_SUMMARY_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "heap/object.h"
+
+namespace gcassert {
+
+class RegionSummaryTable {
+  public:
+    /** 64 KiB address windows. */
+    static constexpr uintptr_t kRegionShift = 16;
+    static constexpr uintptr_t kRegionBytes = uintptr_t{1} << kRegionShift;
+
+    /** Direct-mapped slot count (power of two). */
+    static constexpr size_t kRegionSlots = 1024;
+
+    /** Tracked-type columns per region (monotonic, never reused). */
+    static constexpr size_t kMaxColumns = 32;
+
+    /** Dense TypeId space covered by the column map. */
+    static constexpr size_t kMaxTypeIds = 4096;
+
+    RegionSummaryTable()
+        : regions_(new Region[kRegionSlots]),
+          columnOfType_(new std::atomic<int32_t>[kMaxTypeIds])
+    {
+        for (size_t c = 0; c < kMaxColumns; ++c) {
+            totalCount_[c] = 0;
+            totalBytes_[c] = 0;
+            typeOfColumn_[c] = 0;
+        }
+        for (size_t t = 0; t < kMaxTypeIds; ++t)
+            columnOfType_[t].store(-1, std::memory_order_relaxed);
+    }
+
+    /** Direct-mapped slot index for an address. */
+    static size_t
+    slotOf(const void *addr)
+    {
+        return (reinterpret_cast<uintptr_t>(addr) >> kRegionShift) &
+               (kRegionSlots - 1);
+    }
+
+    // ----- type -> column map -----
+
+    /** Column for @p id, or -1 (untracked / overflowed). */
+    int
+    columnOf(TypeId id) const
+    {
+        if (id >= kMaxTypeIds)
+            return -1;
+        return columnOfType_[id].load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Assign a column to @p id (idempotent). Runs under the runtime's
+     * exclusive lock — the assertion entry points — so assignment
+     * never races another assignment, only the relaxed loads on the
+     * allocation fast path.
+     *
+     * @return the column, or -1 when out of columns (the type's
+     *         verdict falls back to a heap walk at merge time).
+     */
+    int
+    ensureColumn(TypeId id)
+    {
+        if (id >= kMaxTypeIds)
+            return -1;
+        int existing = columnOfType_[id].load(std::memory_order_relaxed);
+        if (existing >= 0)
+            return existing;
+        if (numColumns_ >= kMaxColumns)
+            return -1;
+        int column = static_cast<int>(numColumns_++);
+        typeOfColumn_[column] = id;
+        columnOfType_[id].store(column, std::memory_order_relaxed);
+        return column;
+    }
+
+    /** Columns assigned so far. */
+    size_t activeColumns() const { return numColumns_; }
+
+    /** TypeId behind @p column (valid for column < activeColumns). */
+    TypeId typeOfColumn(size_t column) const { return typeOfColumn_[column]; }
+
+    // ----- mutator-side notes (run under the runtime's shared
+    // ----- allocation lock, hence the relaxed atomics) -----
+
+    /** A new object was allocated (any type; column resolved here). */
+    void
+    noteAlloc(const Object *obj)
+    {
+        Region &r = regions_[slotOf(obj)];
+        r.churned.store(1, std::memory_order_relaxed);
+        r.touched.store(1, std::memory_order_relaxed);
+        int column = columnOf(obj->typeId());
+        if (column >= 0) {
+            r.count[column].fetch_add(1, std::memory_order_relaxed);
+            r.bytes[column].fetch_add(obj->sizeBytes(),
+                                      std::memory_order_relaxed);
+        }
+    }
+
+    /** An object died (sweep or minor-collection free). */
+    void
+    noteFree(const Object *obj)
+    {
+        Region &r = regions_[slotOf(obj)];
+        r.churned.store(1, std::memory_order_relaxed);
+        int column = columnOf(obj->typeId());
+        if (column >= 0) {
+            r.count[column].fetch_sub(1, std::memory_order_relaxed);
+            r.bytes[column].fetch_sub(obj->sizeBytes(),
+                                      std::memory_order_relaxed);
+        }
+    }
+
+    /**
+     * Baseline tally for an object that existed before its type won a
+     * column (the assertion entry point walks the heap once at column
+     * assignment). Dirties the region so the first merge after the
+     * walk re-snapshots it.
+     */
+    void
+    noteBaseline(const Object *obj, int column)
+    {
+        Region &r = regions_[slotOf(obj)];
+        r.churned.store(1, std::memory_order_relaxed);
+        r.touched.store(1, std::memory_order_relaxed);
+        r.count[column].fetch_add(1, std::memory_order_relaxed);
+        r.bytes[column].fetch_add(obj->sizeBytes(),
+                                  std::memory_order_relaxed);
+    }
+
+    /** An object at @p addr left the nursery (tallies unchanged). */
+    void
+    notePromotion(const void *addr)
+    {
+        regions_[slotOf(addr)].churned.store(1, std::memory_order_relaxed);
+    }
+
+    /** A reference field at @p addr was written (dirty-card stream). */
+    void
+    noteMutation(const void *addr)
+    {
+        Region &r = regions_[slotOf(addr)];
+        r.mutated.store(1, std::memory_order_relaxed);
+        // In-degree bit for the 1 KiB sub-window: records *where*
+        // inbound-edge sources were rewritten, the assert-unshared
+        // summary the merge pass resets per cycle.
+        uint64_t bit = (reinterpret_cast<uintptr_t>(addr) >> 10) & 63;
+        r.inDegreeBits.fetch_or(uint64_t{1} << bit,
+                                std::memory_order_relaxed);
+    }
+
+    /** An assert-unshared target in the region gained/lost tracking. */
+    void
+    noteUnsharedTracked(const void *addr, int64_t delta)
+    {
+        Region &r = regions_[slotOf(addr)];
+        r.mutated.store(1, std::memory_order_relaxed);
+        r.unsharedTargets.fetch_add(static_cast<uint64_t>(delta),
+                                    std::memory_order_relaxed);
+    }
+
+    /** An assert-ownedby ownee in the region was added/removed. */
+    void
+    noteOwneeTracked(const void *addr, int64_t delta)
+    {
+        Region &r = regions_[slotOf(addr)];
+        r.mutated.store(1, std::memory_order_relaxed);
+        r.ownees.fetch_add(static_cast<uint64_t>(delta),
+                           std::memory_order_relaxed);
+    }
+
+    // ----- GC-time merge (stopped world, single-threaded) -----
+
+    struct MergeOutcome {
+        uint64_t hits = 0;          ///< clean regions merged from cache
+        uint64_t invalidations = 0; ///< dirty regions re-snapshotted
+    };
+
+    /**
+     * Fold every dirty region's column tallies into the global
+     * totals, clear the dirty flags and per-cycle in-degree bits, and
+     * report how many regions were served from cache vs recomputed.
+     * Totals are exact whatever the dirty set (see file comment).
+     */
+    MergeOutcome
+    merge()
+    {
+        size_t active_columns = numColumns_;
+        MergeOutcome out;
+        for (size_t i = 0; i < kRegionSlots; ++i) {
+            Region &r = regions_[i];
+            if (!r.touched.load(std::memory_order_relaxed))
+                continue;
+            bool dirty =
+                r.mutated.load(std::memory_order_relaxed) != 0 ||
+                r.churned.load(std::memory_order_relaxed) != 0;
+            if (!dirty) {
+                ++out.hits;
+                continue;
+            }
+            ++out.invalidations;
+            for (size_t c = 0; c < active_columns; ++c) {
+                uint64_t cur =
+                    r.count[c].load(std::memory_order_relaxed);
+                totalCount_[c] += cur - r.snapCount[c];
+                r.snapCount[c] = cur;
+                cur = r.bytes[c].load(std::memory_order_relaxed);
+                totalBytes_[c] += cur - r.snapBytes[c];
+                r.snapBytes[c] = cur;
+            }
+            r.mutated.store(0, std::memory_order_relaxed);
+            r.churned.store(0, std::memory_order_relaxed);
+            r.inDegreeBits.store(0, std::memory_order_relaxed);
+        }
+        return out;
+    }
+
+    /** Merged live-instance total for @p column (valid after merge). */
+    uint64_t totalCount(size_t column) const { return totalCount_[column]; }
+
+    /** Merged live-byte total for @p column (valid after merge). */
+    uint64_t totalBytes(size_t column) const { return totalBytes_[column]; }
+
+    // ----- introspection (tests, telemetry) -----
+
+    /** Current (unsnapshotted) instance tally for addr's region. */
+    uint64_t
+    regionCount(const void *addr, size_t column) const
+    {
+        return regions_[slotOf(addr)].count[column].load(
+            std::memory_order_relaxed);
+    }
+
+    /** Current (unsnapshotted) byte tally for addr's region. */
+    uint64_t
+    regionBytes(const void *addr, size_t column) const
+    {
+        return regions_[slotOf(addr)].bytes[column].load(
+            std::memory_order_relaxed);
+    }
+
+    /** Is addr's region due a re-snapshot at the next merge? */
+    bool
+    regionDirty(const void *addr) const
+    {
+        const Region &r = regions_[slotOf(addr)];
+        return r.mutated.load(std::memory_order_relaxed) != 0 ||
+               r.churned.load(std::memory_order_relaxed) != 0;
+    }
+
+    /** Per-cycle in-degree bitmap (one bit per 1 KiB sub-window). */
+    uint64_t
+    inDegreeBits(const void *addr) const
+    {
+        return regions_[slotOf(addr)].inDegreeBits.load(
+            std::memory_order_relaxed);
+    }
+
+    /** Live assert-unshared targets tracked in addr's region. */
+    uint64_t
+    unsharedTargets(const void *addr) const
+    {
+        return regions_[slotOf(addr)].unsharedTargets.load(
+            std::memory_order_relaxed);
+    }
+
+    /** Live assert-ownedby ownees tracked in addr's region. */
+    uint64_t
+    ownees(const void *addr) const
+    {
+        return regions_[slotOf(addr)].ownees.load(
+            std::memory_order_relaxed);
+    }
+
+  private:
+    struct Region {
+        std::atomic<uint64_t> touched{0};
+        std::atomic<uint64_t> mutated{0};
+        std::atomic<uint64_t> churned{0};
+        std::atomic<uint64_t> inDegreeBits{0};
+        std::atomic<uint64_t> unsharedTargets{0};
+        std::atomic<uint64_t> ownees{0};
+        std::atomic<uint64_t> count[kMaxColumns] = {};
+        std::atomic<uint64_t> bytes[kMaxColumns] = {};
+        uint64_t snapCount[kMaxColumns] = {};
+        uint64_t snapBytes[kMaxColumns] = {};
+    };
+
+    std::unique_ptr<Region[]> regions_;
+    std::unique_ptr<std::atomic<int32_t>[]> columnOfType_;
+    TypeId typeOfColumn_[kMaxColumns];
+    size_t numColumns_ = 0;
+    uint64_t totalCount_[kMaxColumns];
+    uint64_t totalBytes_[kMaxColumns];
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_REGION_SUMMARY_H

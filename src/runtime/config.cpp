@@ -55,6 +55,14 @@ defaultNurseryKb()
     return kb ? kb : 4096;
 }
 
+bool
+defaultIncrementalAssert()
+{
+    static const bool incremental =
+        envUint("GCASSERT_INCREMENTAL_ASSERT", 0) != 0;
+    return incremental;
+}
+
 RuntimeConfig
 RuntimeConfig::base(uint64_t heap_bytes)
 {

@@ -30,9 +30,21 @@ Runtime::Runtime(RuntimeConfig config)
                                  config_.sweepThreads,
                                  config_.lazySweep})
 {
-    if (config_.generational)
-        barrier_ = std::make_unique<BarrierScope>(heap_, remset_, engine_,
-                                                  &barrierSlowHits_);
+    // Incremental recheck: wire the cache into every layer before any
+    // allocation, so the region tallies see the whole object stream.
+    if (config_.infrastructure && config_.incrementalAssert) {
+        incremental_ =
+            std::make_unique<IncrementalAssertCache>(heap_, types_);
+        heap_.setRegionSummaries(&incremental_->table());
+        engine_.setIncremental(incremental_.get());
+        collector_.setIncrementalCache(incremental_.get());
+    }
+    // The barrier arms for generational collection, for the
+    // incremental recheck's all-writes card stream, or both.
+    if (config_.generational || incremental_)
+        barrier_ = std::make_unique<BarrierScope>(
+            heap_, remset_, engine_, &barrierSlowHits_,
+            /*track_all_writes=*/incremental_ != nullptr);
     if (config_.observe.any()) {
         telemetry_ = std::make_unique<Telemetry>(config_.observe);
         collector_.setTelemetry(telemetry_.get());
@@ -85,6 +97,12 @@ Runtime::wireTelemetry()
     m.gauge("barrier.slow_path_hits", [&hits] {
         return hits.load(std::memory_order_relaxed);
     });
+    if (incremental_) {
+        const AssertionStats &as = engine_.stats();
+        m.gauge("assert.cache.hits", [&as] { return as.cacheHits; });
+        m.gauge("assert.cache.invalidations",
+                [&as] { return as.cacheInvalidations; });
+    }
 
     // Pause SLO: streaming percentiles per pause flavour plus the
     // budget and over-budget count.

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "assertions/engine.h"
+#include "assertions/incremental.h"
 #include "gc/barrier.h"
 #include "gc/collector.h"
 #include "gc/mutator.h"
@@ -64,6 +65,13 @@ class Runtime {
 
     /** Telemetry bundle; nullptr when every observe knob is off. */
     Telemetry *telemetry() { return telemetry_.get(); }
+
+    /** Incremental recheck cache; nullptr unless incrementalAssert
+     *  (and the infrastructure) are enabled. */
+    IncrementalAssertCache *incrementalCache()
+    {
+        return incremental_.get();
+    }
     /** @} */
 
     /** @name Observability
@@ -294,6 +302,13 @@ class Runtime {
     AssertionEngine engine_;
     /** Mature-to-nursery edges recorded by the write barrier. */
     RememberedSet remset_;
+    /** Property-cached incremental recheck state; non-null iff
+     *  config_.infrastructure && config_.incrementalAssert. Wired
+     *  into the heap (region summaries), the engine (assertion
+     *  hooks) and the collector (card stream + deferred verdict)
+     *  before any allocation. Declared before collector_ so the
+     *  collector's raw pointer never dangles. */
+    std::unique_ptr<IncrementalAssertCache> incremental_;
     Collector collector_;
     /** Write-barrier slow-path entries attributed to this runtime
      *  (fed to the barrier scope; surfaced as a metrics counter). */

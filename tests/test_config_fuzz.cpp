@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Configuration fuzzer: random combinations of every observational-
+ * equivalence knob at once, differentially against the sequential
+ * baseline.
+ *
+ * Each optional feature ships with its own on/off differential
+ * (parallel mark, generational, telemetry, pause SLO, incremental
+ * recheck); this suite covers their *interactions*. For each seed it
+ * runs the shared rooted-contract scenario once on the plain
+ * sequential configuration and then under 8 fuzzer-drawn combos of
+ * {markThreads, sweepThreads, lazySweep, tlab, generational,
+ * incrementalAssert, observe knobs}; verdicts, freed multisets,
+ * finalizer order and GC tallies must be bit-identical to the
+ * baseline every time.
+ *
+ * The heap budget is large enough that no implicit collection fires,
+ * so the full-GC cadence (and hence gcNumber keys) is identical
+ * across allocator configurations; usedBytes is excluded from the
+ * comparison because TLAB leases legally change block-level
+ * placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "differential.h"
+#include "runtime/runtime.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace gcassert {
+namespace {
+
+using difftest::DiffOutcome;
+
+std::string
+fuzzTracePath(uint64_t seed, uint64_t combo)
+{
+    return ::testing::TempDir() + "gcassert_fuzz_trace_" +
+           std::to_string(seed) + "_" + std::to_string(combo) + ".json";
+}
+
+/** The plain sequential reference configuration. */
+RuntimeConfig
+baselineConfig()
+{
+    RuntimeConfig config;
+    config.heap = HeapConfig{};
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.markThreads = 1;
+    config.sweepThreads = 1;
+    config.lazySweep = false;
+    config.tlab = false;
+    config.generational = false;
+    config.incrementalAssert = false;
+    config.observe = ObserveConfig{};
+    config.observe.traceFile.clear();
+    config.observe.metricsSink.clear();
+    config.observe.censusEvery = 0;
+    config.observe.pauseBudgetNanos = 0;
+    return config;
+}
+
+/** Draw one random knob combination from @p rng. */
+RuntimeConfig
+fuzzConfig(Rng &rng, uint64_t seed, uint64_t combo)
+{
+    RuntimeConfig config = baselineConfig();
+    const uint32_t mark_choices[] = {1, 2, 4, 8};
+    const uint32_t sweep_choices[] = {1, 2, 4};
+    config.markThreads = mark_choices[rng.below(4)];
+    config.sweepThreads = sweep_choices[rng.below(3)];
+    config.lazySweep = rng.chance(0.5);
+    config.tlab = rng.chance(0.5);
+    config.generational = rng.chance(0.5);
+    config.nurseryKb = config.generational
+                           ? static_cast<uint32_t>(rng.range(16, 64))
+                           : config.nurseryKb;
+    config.incrementalAssert = rng.chance(0.5);
+    if (rng.chance(0.3))
+        config.observe.traceFile = fuzzTracePath(seed, combo);
+    if (rng.chance(0.3))
+        config.observe.censusEvery = 1;
+    if (rng.chance(0.3))
+        config.observe.pauseBudgetNanos = 1; // fires on every pause
+    return config;
+}
+
+std::string
+describeConfig(const RuntimeConfig &c)
+{
+    return "mark=" + std::to_string(c.markThreads) +
+           " sweep=" + std::to_string(c.sweepThreads) +
+           " lazy=" + std::to_string(c.lazySweep) +
+           " tlab=" + std::to_string(c.tlab) +
+           " gen=" + std::to_string(c.generational) +
+           " nurseryKb=" + std::to_string(c.nurseryKb) +
+           " incr=" + std::to_string(c.incrementalAssert) +
+           " trace=" + std::to_string(!c.observe.traceFile.empty()) +
+           " census=" + std::to_string(c.observe.censusEvery) +
+           " slo=" + std::to_string(c.observe.pauseBudgetNanos);
+}
+
+DiffOutcome
+runScenario(const RuntimeConfig &config, uint64_t seed)
+{
+    difftest::ScenarioOptions opt;
+    opt.includeMessages = true;
+    // An armed pause budget adds context-only reports; every other
+    // verdict must still match byte for byte.
+    opt.ignoreKinds = {AssertionKind::PauseSlo};
+    return difftest::runRootedScenario(config, seed, opt);
+}
+
+TEST(ConfigFuzz, RandomKnobCombosMatchSequentialBaseline)
+{
+    CaptureLogSink capture;
+    difftest::CompareOptions cmp;
+    cmp.compareUsedBytes = false; // TLAB changes placement, not liveness
+    const uint64_t kSeeds = 8;
+    const uint64_t kCombos = 8;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        DiffOutcome baseline = runScenario(baselineConfig(), seed);
+        // One knob-drawing stream per seed keeps the sampled combo
+        // space different across seeds but reproducible.
+        Rng knobs(0x5eedc0de + seed);
+        for (uint64_t combo = 0; combo < kCombos; ++combo) {
+            RuntimeConfig config = fuzzConfig(knobs, seed, combo);
+            DiffOutcome out = runScenario(config, seed);
+            ASSERT_TRUE(difftest::equivalent(out, baseline, cmp))
+                << "config-fuzz divergence at seed " << seed
+                << " combo " << combo << " ["
+                << describeConfig(config) << "]\n--- baseline ---\n"
+                << difftest::describe(baseline) << "--- fuzzed ---\n"
+                << difftest::describe(out);
+            if (!config.observe.traceFile.empty())
+                std::remove(config.observe.traceFile.c_str());
+        }
+    }
+}
+
+} // namespace
+} // namespace gcassert

@@ -11,103 +11,34 @@
  *
  * Two comparisons enforce the claim:
  *
- *  - A randomized rooted-contract heap program over 100+ seeds: per
- *    full-GC-window freed multisets, exact finalizer order, the
- *    violation multiset keyed by (kind, offending type, GC number),
- *    and the end-of-run heap census must all match. The freed
- *    *order* within a window legally differs (a minor frees young
- *    garbage in roster order before the window's full sweep would
- *    have reached it), which is why windows compare as multisets —
- *    finalizer order stays exact because minors pin finalizables.
+ *  - The shared rooted-contract heap program (tests/differential.h)
+ *    over 100 seeds: per full-GC-window freed multisets, exact
+ *    finalizer order, the violation multiset keyed by (kind,
+ *    offending type, GC number), and the end-of-run heap census must
+ *    all match.
  *  - Every registered workload runs generational on vs off with
  *    assertions enabled; the violation verdicts (kind and offending
  *    type) must be identical.
- *
- * The scenario writes every reference through Runtime::writeRef and
- * keeps every live object rooted across allocations (the managed-
- * runtime contract), since generational mode may collect at any
- * allocation entry.
  */
 
 #include <gtest/gtest.h>
 
-#include <map>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "differential.h"
 #include "runtime/runtime.h"
 #include "support/logging.h"
-#include "support/rng.h"
 #include "workloads/registry.h"
 #include "workloads/workload.h"
 
 namespace gcassert {
 namespace {
 
-/** Address-free summary of one scenario run. */
-struct Outcome {
-    uint64_t marked = 0;
-    uint64_t swept = 0;
-    uint64_t sweptBytes = 0;
-    uint64_t liveObjects = 0;
-    uint64_t usedBytes = 0;
-    uint64_t fullCollections = 0;
-    uint64_t minorCollections = 0;
-    /** Freed "type:id" keys per full-GC window, as multisets: a
-     *  window spans everything from after the previous collect() up
-     *  to and including collect() number i. */
-    std::vector<std::multiset<std::string>> freedPerWindow;
-    /** Finalized ids, in invocation order (must match exactly). */
-    std::vector<uint64_t> finalized;
-    /** "kind|type|gc#" per violation, order-insensitive. */
-    std::multiset<std::string> violations;
+using difftest::DiffOutcome;
 
-    bool
-    equivalentTo(const Outcome &other) const
-    {
-        return freedPerWindow == other.freedPerWindow &&
-               marked == other.marked && swept == other.swept &&
-               sweptBytes == other.sweptBytes &&
-               liveObjects == other.liveObjects &&
-               usedBytes == other.usedBytes &&
-               fullCollections == other.fullCollections &&
-               finalized == other.finalized &&
-               violations == other.violations;
-    }
-};
-
-std::string
-describe(const Outcome &o)
-{
-    std::string out;
-    out += "marked=" + std::to_string(o.marked) +
-           " swept=" + std::to_string(o.swept) +
-           " sweptBytes=" + std::to_string(o.sweptBytes) +
-           " live=" + std::to_string(o.liveObjects) +
-           " usedBytes=" + std::to_string(o.usedBytes) +
-           " fullGcs=" + std::to_string(o.fullCollections) +
-           " minorGcs=" + std::to_string(o.minorCollections) + "\n";
-    for (size_t w = 0; w < o.freedPerWindow.size(); ++w)
-        out += "  window" + std::to_string(w) + ": freed " +
-               std::to_string(o.freedPerWindow[w].size()) + "\n";
-    out += "  finalized:";
-    for (uint64_t id : o.finalized)
-        out += " " + std::to_string(id);
-    out += "\n";
-    for (const std::string &v : o.violations)
-        out += "  " + v + "\n";
-    return out;
-}
-
-/**
- * Run the seed-determined heap program on a fresh runtime with
- * generational mode on or off and summarize every GC-observable
- * effect. The rng stream is drawn identically in both modes; only
- * root-ness (mode-independent) gates actions, never liveness.
- */
-Outcome
+DiffOutcome
 runScenario(bool generational, uint64_t seed)
 {
     RuntimeConfig config;
@@ -116,161 +47,7 @@ runScenario(bool generational, uint64_t seed)
     config.tlab = false;
     config.generational = generational;
     config.nurseryKb = 32; // small: minors fire during churn
-    Runtime rt(config);
-
-    Outcome out;
-
-    TypeId node_type = rt.types()
-                           .define("Node")
-                           .refs({"left", "right"})
-                           .scalars(8)
-                           .build();
-    TypeId record_type = rt.types()
-                             .define("Record")
-                             .refs({"a", "b", "c"})
-                             .scalars(136)
-                             .build();
-    TypeId blob_type = rt.types().define("Blob").array().build();
-    TypeId weak_type = rt.types()
-                           .define("WeakRef")
-                           .refs({"referent", "strong"})
-                           .scalars(8)
-                           .weak()
-                           .build();
-
-    uint64_t next_id = 1;
-    auto keyOf = [&](Object *obj) {
-        return rt.types().get(obj->typeId()).name() + ":" +
-               std::to_string(obj->scalar<uint64_t>(0));
-    };
-    out.freedPerWindow.emplace_back();
-    rt.addFreeHook([&](Object *obj) {
-        out.freedPerWindow.back().insert(keyOf(obj));
-    });
-
-    Rng rng(seed);
-
-    // Every object is rooted at birth; `rooted` mirrors which
-    // handles are still set. Rooted-ness is identical in both modes,
-    // so it is the only predicate allowed to gate writes.
-    std::vector<Handle> handles;
-    std::vector<Object *> objs;
-    std::vector<char> rooted;
-    auto stamp = [&](Object *obj) {
-        obj->setScalar<uint64_t>(0, next_id++);
-        handles.emplace_back(rt, obj, "obj");
-        objs.push_back(obj);
-        rooted.push_back(1);
-        return obj;
-    };
-
-    const size_t num_nodes = rng.range(150, 400);
-    const size_t num_records = rng.range(20, 60);
-    const size_t num_blobs = rng.range(4, 12);
-    const size_t num_weaks = rng.range(4, 12);
-    for (size_t i = 0; i < num_nodes; ++i)
-        stamp(rt.allocRaw(node_type));
-    for (size_t i = 0; i < num_records; ++i)
-        stamp(rt.allocRaw(record_type));
-    for (size_t i = 0; i < num_blobs; ++i)
-        stamp(rt.allocScalarRaw(
-            blob_type,
-            static_cast<uint32_t>(rng.range(64, 12000))));
-    for (size_t i = 0; i < num_weaks; ++i)
-        stamp(rt.allocRaw(weak_type));
-
-    auto slots_of = [&](size_t i) -> uint32_t {
-        return objs[i]->numRefs();
-    };
-    auto rooted_index = [&]() -> size_t {
-        // Draw until a rooted object comes up; the stream stays in
-        // lockstep because rooted-ness is mode-independent.
-        for (;;) {
-            size_t i = rng.below(objs.size());
-            if (rooted[i])
-                return i;
-        }
-    };
-    auto wire = [&](size_t src, uint32_t slot, size_t dst) {
-        rt.writeRef(objs[src], slot, objs[dst]);
-    };
-
-    // Initial wiring: everything is still rooted.
-    for (size_t i = 0; i < objs.size(); ++i)
-        for (uint32_t s = 0; s < slots_of(i); ++s)
-            if (rng.chance(0.6))
-                wire(i, s, rng.below(objs.size()));
-
-    // Finalizers on a sample; invocation order must match exactly.
-    for (size_t i = 0; i < objs.size(); ++i)
-        if (objs[i]->scalarBytes() >= 8 && rng.chance(0.08))
-            rt.setFinalizer(objs[i], [&](Object *obj) {
-                out.finalized.push_back(obj->scalar<uint64_t>(0));
-            });
-
-    // Assertions: shape limits plus per-object claims on rooted
-    // objects (some will hold, some will be violated — identically
-    // in both modes).
-    rt.assertInstances(record_type, num_records / 2);
-    rt.assertVolume(blob_type, 16 * 1024);
-    for (size_t i = 0, n = objs.size() / 30; i < n; ++i)
-        rt.assertUnshared(objs[rooted_index()]);
-    for (size_t i = 0, n = objs.size() / 30; i < n; ++i) {
-        size_t owner = rooted_index();
-        size_t ownee = rooted_index();
-        if (owner != ownee && slots_of(owner) > 0)
-            rt.assertOwnedBy(objs[owner], objs[ownee]);
-    }
-
-    const size_t windows = 3;
-    for (size_t w = 0; w < windows; ++w) {
-        // Churn: fresh rooted allocations (young generation), wired
-        // from rooted elders — the remset-feeding writes — plus
-        // unreferenced scratch that dies young.
-        size_t churn_begin = objs.size();
-        for (size_t i = 0, n = rng.range(60, 160); i < n; ++i)
-            stamp(rt.allocRaw(node_type));
-        for (size_t i = 0, n = rng.range(1, 4); i < n; ++i)
-            stamp(rt.allocScalarRaw(
-                blob_type,
-                static_cast<uint32_t>(rng.range(64, 12000))));
-        for (size_t i = churn_begin; i < objs.size(); ++i) {
-            size_t elder = rooted_index();
-            if (slots_of(elder) > 0 && rng.chance(0.5))
-                wire(elder,
-                     static_cast<uint32_t>(rng.below(slots_of(elder))),
-                     i);
-        }
-
-        // assert-dead on objects about to be unrooted: whether the
-        // claim holds depends only on the (mode-independent) edge
-        // structure.
-        for (size_t i = 0, n = rng.range(3, 10); i < n; ++i) {
-            size_t victim = rooted_index();
-            if (rng.chance(0.5))
-                rt.assertDead(objs[victim]);
-            rooted[victim] = 0;
-            handles[victim].reset();
-        }
-
-        rt.collect();
-        out.freedPerWindow.emplace_back();
-    }
-    rt.collect();
-
-    const GcStats &stats = rt.gcStats();
-    out.marked = stats.objectsMarked;
-    out.swept = stats.objectsSwept;
-    out.sweptBytes = stats.bytesSwept;
-    out.liveObjects = rt.heap().liveObjects();
-    out.usedBytes = rt.heap().usedBytes();
-    out.fullCollections = stats.collections;
-    out.minorCollections = stats.minorCollections;
-    for (const Violation &v : rt.violations())
-        out.violations.insert(std::string(assertionKindName(v.kind)) +
-                              "|" + v.offendingType + "|" +
-                              std::to_string(v.gcNumber));
-    return out;
+    return difftest::runRootedScenario(config, seed);
 }
 
 TEST(GenerationalDifferential, MatchesNonGenerationalAcross100Seeds)
@@ -278,12 +55,12 @@ TEST(GenerationalDifferential, MatchesNonGenerationalAcross100Seeds)
     CaptureLogSink capture;
     uint64_t total_minors = 0;
     for (uint64_t seed = 1; seed <= 100; ++seed) {
-        Outcome off = runScenario(false, seed);
-        Outcome on = runScenario(true, seed);
-        ASSERT_TRUE(on.equivalentTo(off))
+        DiffOutcome off = runScenario(false, seed);
+        DiffOutcome on = runScenario(true, seed);
+        ASSERT_TRUE(difftest::equivalent(on, off))
             << "generational divergence at seed " << seed
-            << "\n--- off ---\n" << describe(off)
-            << "--- on ---\n" << describe(on);
+            << "\n--- off ---\n" << difftest::describe(off)
+            << "--- on ---\n" << difftest::describe(on);
         EXPECT_EQ(off.minorCollections, 0u);
         total_minors += on.minorCollections;
     }

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Incremental-recheck on/off differential plus unit coverage for the
+ * property cache itself.
+ *
+ * RuntimeConfig::incrementalAssert claims *bit-identical verdicts*:
+ * caching per-region summaries and re-verifying only dirtied regions
+ * must never change what an assertion reports — only where the work
+ * happens (mark-phase tallies move to a post-sweep merge). The
+ * shared rooted-contract scenario (tests/differential.h) enforces
+ * the claim over 100 seeds in plain mode and 30 in generational
+ * mode, with violation *messages* included in the keys so even the
+ * reported counts must match byte for byte.
+ *
+ * The unit tests pin the cache's observable mechanics: clean regions
+ * count as hits, mutations and churn invalidate, verdicts after
+ * pointer rewiring match a from-scratch runtime, and every workload's
+ * verdicts survive the knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "differential.h"
+#include "runtime/runtime.h"
+#include "support/logging.h"
+#include "workloads/registry.h"
+#include "workloads/workload.h"
+
+namespace gcassert {
+namespace {
+
+using difftest::DiffOutcome;
+
+DiffOutcome
+runScenario(bool incremental, uint64_t seed, bool generational)
+{
+    RuntimeConfig config;
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.tlab = false;
+    config.generational = generational;
+    config.nurseryKb = 32;
+    config.incrementalAssert = incremental;
+    difftest::ScenarioOptions opt;
+    opt.includeMessages = true; // verdict text must match byte-for-byte
+    return difftest::runRootedScenario(config, seed, opt);
+}
+
+TEST(IncrementalAssertDifferential, MatchesUncachedAcross100Seeds)
+{
+    CaptureLogSink capture;
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        DiffOutcome off = runScenario(false, seed, false);
+        DiffOutcome on = runScenario(true, seed, false);
+        ASSERT_TRUE(difftest::equivalent(on, off))
+            << "incremental-recheck divergence at seed " << seed
+            << "\n--- off ---\n" << difftest::describe(off)
+            << "--- on ---\n" << difftest::describe(on);
+    }
+}
+
+TEST(IncrementalAssertDifferential, MatchesUncachedUnderGenerational)
+{
+    CaptureLogSink capture;
+    for (uint64_t seed = 1; seed <= 30; ++seed) {
+        DiffOutcome off = runScenario(false, seed, true);
+        DiffOutcome on = runScenario(true, seed, true);
+        ASSERT_TRUE(difftest::equivalent(on, off))
+            << "incremental-recheck divergence (generational) at seed "
+            << seed << "\n--- off ---\n" << difftest::describe(off)
+            << "--- on ---\n" << difftest::describe(on);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache mechanics
+// ---------------------------------------------------------------------
+
+RuntimeConfig
+incrementalConfig(bool generational = false)
+{
+    RuntimeConfig config;
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.tlab = false;
+    config.generational = generational;
+    config.nurseryKb = 32;
+    config.incrementalAssert = true;
+    return config;
+}
+
+TEST(IncrementalAssertCacheTest, CacheIsWiredAndCountsHits)
+{
+    CaptureLogSink capture;
+    Runtime rt(incrementalConfig());
+    ASSERT_NE(rt.incrementalCache(), nullptr);
+    TypeId t = rt.types().define("T").refs({"next"}).scalars(8).build();
+    std::vector<Handle> keep;
+    for (int i = 0; i < 200; ++i)
+        keep.emplace_back(rt, rt.allocRaw(t), "keep");
+    rt.assertInstances(t, 1000);
+
+    // First GC: the allocations churned their regions — everything
+    // considered is an invalidation, nothing a hit.
+    rt.collect();
+    uint64_t inval1 = rt.assertionStats().cacheInvalidations;
+    EXPECT_GT(inval1, 0u);
+
+    // Second GC with zero mutation in between: the same regions now
+    // merge from cache.
+    uint64_t hits_before = rt.assertionStats().cacheHits;
+    rt.collect();
+    EXPECT_GT(rt.assertionStats().cacheHits, hits_before);
+    EXPECT_EQ(rt.assertionStats().cacheInvalidations, inval1);
+    EXPECT_TRUE(rt.violations().empty());
+}
+
+TEST(IncrementalAssertCacheTest, MutationInvalidatesAndRecounts)
+{
+    CaptureLogSink capture;
+    Runtime rt(incrementalConfig());
+    TypeId t = rt.types().define("T").refs({"next"}).scalars(8).build();
+    std::vector<Handle> keep;
+    for (int i = 0; i < 50; ++i)
+        keep.emplace_back(rt, rt.allocRaw(t), "keep");
+    rt.assertInstances(t, 40); // violated: 50 live
+    rt.collect();
+    ASSERT_EQ(rt.violations().size(), 1u);
+    EXPECT_EQ(rt.violations()[0].kind, AssertionKind::Instances);
+
+    // Free 20 of them; the verdict must flip to clean even though
+    // the counting is region-cached.
+    for (int i = 0; i < 20; ++i)
+        keep[i].reset();
+    rt.collect();
+    EXPECT_EQ(rt.violations().size(), 1u) << "stale cached count";
+
+    // And re-violate by allocating past the limit again.
+    for (int i = 0; i < 30; ++i)
+        keep.emplace_back(rt, rt.allocRaw(t), "keep");
+    rt.collect();
+    ASSERT_EQ(rt.violations().size(), 2u);
+    EXPECT_EQ(rt.violations()[1].kind, AssertionKind::Instances);
+}
+
+TEST(IncrementalAssertCacheTest, VolumeTracksBytesAcrossCachedGcs)
+{
+    CaptureLogSink capture;
+    Runtime rt(incrementalConfig());
+    TypeId blob = rt.types().define("Blob").array().build();
+    std::vector<Handle> keep;
+    rt.assertVolume(blob, 8 * 1024);
+    keep.emplace_back(rt, rt.allocScalarRaw(blob, 4 * 1024), "b");
+    rt.collect();
+    EXPECT_TRUE(rt.violations().empty());
+    rt.collect(); // cached merge must not drift the byte tally
+    EXPECT_TRUE(rt.violations().empty());
+    keep.emplace_back(rt, rt.allocScalarRaw(blob, 6 * 1024), "b");
+    rt.collect();
+    ASSERT_FALSE(rt.violations().empty());
+    EXPECT_EQ(rt.violations()[0].kind, AssertionKind::Volume);
+}
+
+TEST(IncrementalAssertCacheTest, MetricsExposeCacheCounters)
+{
+    CaptureLogSink capture;
+    RuntimeConfig config = incrementalConfig();
+    config.observe.censusEvery = 1;
+    Runtime rt(config);
+    ASSERT_NE(rt.telemetry(), nullptr);
+    TypeId t = rt.types().define("T").refs({}).scalars(16).build();
+    Handle keep(rt, rt.allocRaw(t), "keep");
+    rt.assertInstances(t, 10);
+    rt.collect();
+    rt.collect();
+    MetricsRegistry &m = rt.telemetry()->metrics();
+    std::string doc = m.toJson();
+    EXPECT_NE(doc.find("assert.cache.hits"), std::string::npos);
+    EXPECT_NE(doc.find("assert.cache.invalidations"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Per-workload verdict comparison (the test_generational idiom)
+// ---------------------------------------------------------------------
+
+std::multiset<std::string>
+runWorkload(const std::string &name, bool incremental)
+{
+    auto workload = WorkloadRegistry::instance().create(name);
+    RuntimeConfig config =
+        RuntimeConfig::infra(2 * workload->minHeapBytes());
+    config.incrementalAssert = incremental;
+    Runtime rt(config);
+
+    workload->setup(rt);
+    workload->enableAssertions(rt);
+    for (uint32_t i = 0; i < 2; ++i)
+        workload->iterate(rt);
+    workload->teardown(rt);
+    rt.collect();
+
+    std::multiset<std::string> verdicts;
+    for (const Violation &v : rt.violations())
+        verdicts.insert(std::string(assertionKindName(v.kind)) + "|" +
+                        v.offendingType);
+    return verdicts;
+}
+
+class IncrementalWorkloadTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IncrementalWorkloadTest, VerdictsMatchUncached)
+{
+    CaptureLogSink capture;
+    std::multiset<std::string> off = runWorkload(GetParam(), false);
+    std::multiset<std::string> on = runWorkload(GetParam(), true);
+    auto join = [](const std::multiset<std::string> &set) {
+        std::string out;
+        for (const std::string &v : set)
+            out += "  " + v + "\n";
+        return out.empty() ? std::string("  (none)\n") : out;
+    };
+    EXPECT_EQ(on, off) << "verdicts diverged for " << GetParam()
+                       << "\n--- off ---\n" << join(off)
+                       << "--- on ---\n" << join(on);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, IncrementalWorkloadTest,
+    ::testing::ValuesIn(WorkloadRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace gcassert

@@ -22,11 +22,10 @@
 
 #include <gtest/gtest.h>
 
-#include <map>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "differential.h"
 #include "runtime/runtime.h"
 #include "support/logging.h"
 #include "support/rng.h"
@@ -34,45 +33,7 @@
 namespace gcassert {
 namespace {
 
-/** Address-free summary of one scenario run. */
-struct Outcome {
-    uint64_t marked = 0;
-    uint64_t swept = 0;
-    uint64_t liveObjects = 0;
-    uint64_t owneeChecks = 0;
-    uint64_t violationCount = 0;
-    /** "kind|type|gc#|message" per violation, order-insensitive. */
-    std::multiset<std::string> violations;
-    /** Final tallies of tracked types: name -> (count, bytes). */
-    std::map<std::string, std::pair<uint64_t, uint64_t>> tallies;
-
-    bool
-    operator==(const Outcome &other) const
-    {
-        return marked == other.marked && swept == other.swept &&
-               liveObjects == other.liveObjects &&
-               owneeChecks == other.owneeChecks &&
-               violationCount == other.violationCount &&
-               violations == other.violations && tallies == other.tallies;
-    }
-};
-
-std::string
-describe(const Outcome &o)
-{
-    std::string out;
-    out += "marked=" + std::to_string(o.marked) +
-           " swept=" + std::to_string(o.swept) +
-           " live=" + std::to_string(o.liveObjects) +
-           " owneeChecks=" + std::to_string(o.owneeChecks) +
-           " violations=" + std::to_string(o.violationCount) + "\n";
-    for (const std::string &v : o.violations)
-        out += "  " + v + "\n";
-    for (const auto &[name, tally] : o.tallies)
-        out += "  tally " + name + ": " + std::to_string(tally.first) +
-               " objs, " + std::to_string(tally.second) + " bytes\n";
-    return out;
-}
+using difftest::DiffOutcome;
 
 /**
  * Run the seed-determined heap program on a fresh runtime with the
@@ -82,7 +43,7 @@ describe(const Outcome &o)
  * runs with the same seed build isomorphic heaps and issue identical
  * assertion sequences regardless of where objects land.
  */
-Outcome
+DiffOutcome
 runScenario(uint32_t mark_threads, uint64_t seed)
 {
     RuntimeConfig config;
@@ -188,22 +149,10 @@ runScenario(uint32_t mark_threads, uint64_t seed)
     rt.collect();
 
     // --- Summarize -------------------------------------------------
-    Outcome out;
-    const GcStats &stats = rt.gcStats();
-    out.marked = stats.objectsMarked;
-    out.swept = stats.objectsSwept;
-    out.liveObjects = stats.lastLiveObjects;
-    out.owneeChecks = stats.owneeChecks;
-    out.violationCount = stats.violations;
-    for (const Violation &v : rt.violations())
-        out.violations.insert(std::string(assertionKindName(v.kind)) + "|" +
-                              v.offendingType + "|" +
-                              std::to_string(v.gcNumber) + "|" + v.message);
-    for (TypeId id : rt.types().trackedTypes()) {
-        const TypeDescriptor &desc = rt.types().get(id);
-        out.tallies[desc.name()] = {desc.instanceCount(),
-                                    desc.volumeBytes()};
-    }
+    DiffOutcome out;
+    difftest::ScenarioOptions opt;
+    opt.includeMessages = true; // recordPaths off: byte-comparable
+    difftest::summarize(rt, opt, out);
     return out;
 }
 
@@ -212,14 +161,15 @@ TEST(ParallelMarkDifferential, MatchesSequentialAcrossSeedsAndThreads)
     CaptureLogSink capture; // violation warnings stay off stderr
     const uint32_t thread_counts[] = {2, 4, 8};
     for (uint64_t seed = 1; seed <= 104; ++seed) {
-        Outcome sequential = runScenario(1, seed);
+        DiffOutcome sequential = runScenario(1, seed);
         for (uint32_t threads : thread_counts) {
-            Outcome parallel = runScenario(threads, seed);
-            ASSERT_TRUE(parallel == sequential)
+            DiffOutcome parallel = runScenario(threads, seed);
+            ASSERT_TRUE(difftest::equivalent(parallel, sequential))
                 << "divergence at seed " << seed << " with " << threads
                 << " marker threads\n--- sequential ---\n"
-                << describe(sequential) << "--- parallel ---\n"
-                << describe(parallel);
+                << difftest::describe(sequential)
+                << "--- parallel ---\n"
+                << difftest::describe(parallel);
         }
     }
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "differential.h"
 #include "observe/pause_slo.h"
 #include "runtime/runtime.h"
 #include "support/logging.h"
@@ -236,142 +237,37 @@ TEST(PauseSloRuntime, GenerousBudgetStaysSilent)
 }
 
 // ---------------------------------------------------------------------
-// SLO-on/off differential (the test_telemetry idiom)
+// SLO-on/off differential (the shared tests/differential.h harness)
 // ---------------------------------------------------------------------
 
-/** Address-free summary of one scenario run. */
-struct Outcome {
-    uint64_t marked = 0;
-    uint64_t swept = 0;
-    uint64_t sweptBytes = 0;
-    uint64_t liveObjects = 0;
-    uint64_t fullCollections = 0;
-    std::vector<std::multiset<std::string>> freedPerWindow;
-    std::vector<uint64_t> finalized;
-    /** "kind|type|gc#" per violation, PauseSlo excluded. */
-    std::multiset<std::string> violations;
-
-    bool
-    equivalentTo(const Outcome &other) const
-    {
-        return freedPerWindow == other.freedPerWindow &&
-               marked == other.marked && swept == other.swept &&
-               sweptBytes == other.sweptBytes &&
-               liveObjects == other.liveObjects &&
-               fullCollections == other.fullCollections &&
-               finalized == other.finalized &&
-               violations == other.violations;
-    }
-};
-
 /**
- * Seed-determined heap program with the SLO armed at 1 ns (every
- * pause violates) or fully off. Identical rng streams; assertion
- * verdicts, freed multisets, and finalizer order must be
- * bit-identical — the SLO only ever *adds* context-only PauseSlo
- * reports, which the comparison excludes.
+ * The shared rooted scenario with the SLO armed at 1 ns (every pause
+ * violates) or fully off. Identical rng streams; assertion verdicts,
+ * freed multisets, and finalizer order must be bit-identical -- the
+ * SLO only ever *adds* context-only PauseSlo reports, which the
+ * comparison excludes via ScenarioOptions::ignoreKinds.
  */
-Outcome
+difftest::DiffOutcome
 runScenario(bool slo, uint64_t seed)
 {
     RuntimeConfig config = sloConfig(slo ? 1 : 0);
     if (!slo)
         config.observe.pauseBudgetNanos = 0;
-    Runtime rt(config);
-
-    Outcome out;
-    TypeId node_type =
-        rt.types().define("Node").refs({"left", "right"}).scalars(8).build();
-    TypeId record_type =
-        rt.types().define("Record").refs({"a", "b"}).scalars(72).build();
-
-    uint64_t next_id = 1;
-    auto keyOf = [&](Object *obj) {
-        return rt.types().get(obj->typeId()).name() + ":" +
-               std::to_string(obj->scalar<uint64_t>(0));
-    };
-    out.freedPerWindow.emplace_back();
-    rt.addFreeHook([&](Object *obj) {
-        out.freedPerWindow.back().insert(keyOf(obj));
-    });
-
-    Rng rng(seed);
-    std::vector<Handle> handles;
-    std::vector<Object *> objs;
-    std::vector<char> rooted;
-    auto stamp = [&](Object *obj) {
-        obj->setScalar<uint64_t>(0, next_id++);
-        handles.emplace_back(rt, obj, "obj");
-        objs.push_back(obj);
-        rooted.push_back(1);
-    };
-
-    for (size_t i = 0, n = rng.range(80, 200); i < n; ++i)
-        stamp(rt.allocRaw(node_type));
-    for (size_t i = 0, n = rng.range(10, 30); i < n; ++i)
-        stamp(rt.allocRaw(record_type));
-
-    auto rooted_index = [&]() -> size_t {
-        for (;;) {
-            size_t i = rng.below(objs.size());
-            if (rooted[i])
-                return i;
-        }
-    };
-    for (size_t i = 0; i < objs.size(); ++i)
-        for (uint32_t s = 0; s < objs[i]->numRefs(); ++s)
-            if (rng.chance(0.5))
-                rt.writeRef(objs[i], s, objs[rng.below(objs.size())]);
-
-    for (size_t i = 0; i < objs.size(); ++i)
-        if (rng.chance(0.1))
-            rt.setFinalizer(objs[i], [&](Object *obj) {
-                out.finalized.push_back(obj->scalar<uint64_t>(0));
-            });
-
-    rt.assertInstances(record_type, 5);
-    for (size_t i = 0, n = objs.size() / 25; i < n; ++i)
-        rt.assertUnshared(objs[rooted_index()]);
-
-    for (size_t w = 0; w < 3; ++w) {
-        for (size_t i = 0, n = rng.range(20, 60); i < n; ++i)
-            stamp(rt.allocRaw(node_type));
-        for (size_t i = 0, n = rng.range(3, 8); i < n; ++i) {
-            size_t victim = rooted_index();
-            if (rng.chance(0.5))
-                rt.assertDead(objs[victim]);
-            rooted[victim] = 0;
-            handles[victim].reset();
-        }
-        rt.collect();
-        out.freedPerWindow.emplace_back();
-    }
-    rt.collect();
-
-    const GcStats &stats = rt.gcStats();
-    out.marked = stats.objectsMarked;
-    out.swept = stats.objectsSwept;
-    out.sweptBytes = stats.bytesSwept;
-    out.liveObjects = rt.heap().liveObjects();
-    out.fullCollections = stats.collections;
-    for (const Violation &v : rt.violations()) {
-        if (v.kind == AssertionKind::PauseSlo)
-            continue;
-        out.violations.insert(std::string(assertionKindName(v.kind)) +
-                              "|" + v.offendingType + "|" +
-                              std::to_string(v.gcNumber));
-    }
-    return out;
+    difftest::ScenarioOptions opt;
+    opt.ignoreKinds = {AssertionKind::PauseSlo};
+    return difftest::runRootedScenario(config, seed, opt);
 }
 
 TEST(PauseSloDifferential, MatchesUnarmedAcross100Seeds)
 {
     CaptureLogSink capture;
     for (uint64_t seed = 1; seed <= 100; ++seed) {
-        Outcome off = runScenario(false, seed);
-        Outcome on = runScenario(true, seed);
-        ASSERT_TRUE(on.equivalentTo(off))
-            << "pause-SLO divergence at seed " << seed;
+        difftest::DiffOutcome off = runScenario(false, seed);
+        difftest::DiffOutcome on = runScenario(true, seed);
+        ASSERT_TRUE(difftest::equivalent(on, off))
+            << "pause-SLO divergence at seed " << seed
+            << "\n--- off ---\n" << difftest::describe(off)
+            << "--- on ---\n" << difftest::describe(on);
     }
 }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "gc/remset.h"
+#include "heap/region_summary.h"
 #include "heap/verifier.h"
 #include "runtime/runtime.h"
 #include "support/logging.h"
@@ -273,6 +274,134 @@ TEST_F(RemsetTest, UnsharedTargetMutationEntersDirtySet)
     rt_.collect();
     EXPECT_TRUE(rt_.engine().dirtyUnsharedTargets().empty());
     EXPECT_EQ(rt_.assertionStats().dirtyUnsharedAtGc, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Card-boundary and region-summary edge cases
+// ---------------------------------------------------------------------
+
+TEST_F(RemsetTest, SlotArrayStraddlingCardBoundaryMarksEveryCard)
+{
+    // A wide object's reference slots span more than one 512-byte
+    // card; record() must mark every card the slot array touches, or
+    // the latch (one slow-path trip per source) would leave later
+    // slots' cards clean and the incremental recheck would miss
+    // their mutations.
+    TypeId wide = rt_.types().define("Wide").array().build();
+    roots_.emplace_back(rt_, rt_.allocArrayRaw(wide, 256), "wide");
+    rt_.collect(); // mature it
+    Object *src = roots_.back().get();
+    ASSERT_GE(static_cast<size_t>(src->numRefs()) * sizeof(void *),
+              2 * kCardBytes);
+
+    RememberedSet set;
+    set.record(src, src->refSlotAddr(0));
+    uint32_t last = src->numRefs() - 1;
+    EXPECT_TRUE(set.cardMarkedFor(src->refSlotAddr(0)));
+    EXPECT_TRUE(set.cardMarkedFor(src->refSlotAddr(last)));
+    // First and last slot live on different cards.
+    EXPECT_GE(set.cardCount(), 2u);
+    // forEachCard visits every marked card exactly once.
+    size_t visited = 0;
+    set.forEachCard([&](uintptr_t) { ++visited; });
+    EXPECT_EQ(visited, set.cardCount());
+    set.clear();
+}
+
+RuntimeConfig
+incrementalGenerationalConfig(uint32_t nursery_kb = 1u << 20)
+{
+    RuntimeConfig config;
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.generational = true;
+    config.nurseryKb = nursery_kb;
+    config.incrementalAssert = true;
+    return config;
+}
+
+TEST(RegionSummaryTest, RegionEmptiedBySweepSettlesToZero)
+{
+    CaptureLogSink capture;
+    RuntimeConfig config;
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.incrementalAssert = true;
+    Runtime rt(config);
+    TypeId t = rt.types().define("T").refs({"next"}).scalars(8).build();
+    rt.assertInstances(t, 1u << 20); // track: assigns a column
+
+    ASSERT_NE(rt.incrementalCache(), nullptr);
+    RegionSummaryTable &table = rt.incrementalCache()->table();
+    int column = table.columnOf(t);
+    ASSERT_GE(column, 0);
+
+    {
+        std::vector<Handle> keep;
+        for (int i = 0; i < 64; ++i)
+            keep.emplace_back(rt, rt.allocRaw(t), "keep");
+        rt.collect();
+        EXPECT_EQ(table.totalCount(static_cast<size_t>(column)), 64u);
+        EXPECT_GT(table.totalBytes(static_cast<size_t>(column)), 0u);
+    }
+    // All dropped: the sweep empties the regions; the next merge must
+    // settle the cached totals back to zero, not leave stale counts.
+    rt.collect();
+    EXPECT_EQ(table.totalCount(static_cast<size_t>(column)), 0u);
+    EXPECT_EQ(table.totalBytes(static_cast<size_t>(column)), 0u);
+    EXPECT_TRUE(rt.violations().empty());
+}
+
+TEST(RegionSummaryTest, PromotionOutOfNurseryInvalidatesItsRegion)
+{
+    CaptureLogSink capture;
+    Runtime rt(incrementalGenerationalConfig());
+    TypeId t = rt.types().define("T").refs({"next"}).scalars(8).build();
+    rt.assertInstances(t, 1u << 20);
+
+    // Settle: everything allocated so far merges once.
+    rt.collect();
+    uint64_t inval_settled = rt.assertionStats().cacheInvalidations;
+
+    // A nursery resident that survives a *minor* collection is
+    // promoted in place; the promotion must churn-dirty its region
+    // even though no reference was written, so the next full merge
+    // re-snapshots it instead of trusting the cached tally.
+    Handle keep(rt, rt.allocRaw(t), "keep");
+    ASSERT_TRUE(keep->testFlag(kNurseryBit));
+    rt.collectMinor();
+    ASSERT_FALSE(keep->testFlag(kNurseryBit)); // promoted
+
+    rt.collect();
+    EXPECT_GT(rt.assertionStats().cacheInvalidations, inval_settled);
+    // And the tally still counts the promoted object exactly once.
+    RegionSummaryTable &table = rt.incrementalCache()->table();
+    int column = table.columnOf(t);
+    ASSERT_GE(column, 0);
+    EXPECT_EQ(table.totalCount(static_cast<size_t>(column)), 1u);
+    EXPECT_TRUE(rt.violations().empty());
+}
+
+TEST(RegionSummaryTest, CleanRegionsMergeFromCacheAcrossIdleGcs)
+{
+    CaptureLogSink capture;
+    RuntimeConfig config;
+    config.infrastructure = true;
+    config.recordPaths = false;
+    config.incrementalAssert = true;
+    Runtime rt(config);
+    TypeId t = rt.types().define("T").refs({"next"}).scalars(8).build();
+    std::vector<Handle> keep;
+    for (int i = 0; i < 64; ++i)
+        keep.emplace_back(rt, rt.allocRaw(t), "keep");
+    rt.assertInstances(t, 1u << 20);
+    rt.collect(); // churned regions re-snapshot here
+
+    uint64_t hits_before = rt.assertionStats().cacheHits;
+    uint64_t inval_before = rt.assertionStats().cacheInvalidations;
+    rt.collect(); // idle: no writes, no allocation, no frees
+    EXPECT_GT(rt.assertionStats().cacheHits, hits_before);
+    EXPECT_EQ(rt.assertionStats().cacheInvalidations, inval_before);
 }
 
 // ---------------------------------------------------------------------

@@ -6,11 +6,10 @@
  * The telemetry layer claims full observational equivalence: phase
  * tracing, the metrics registry, the heap census, and violation
  * provenance only *read* algorithm state, so runs with every knob on
- * must be bit-identical — per-window freed multisets, finalizer
- * order, and violation verdicts — to runs with everything off. A
- * randomized rooted-contract heap program over 100 seeds (the
- * test_generational.cpp idiom) enforces the claim in both plain and
- * generational mode.
+ * must be bit-identical -- per-window freed multisets, finalizer
+ * order, and violation verdicts -- to runs with everything off. The
+ * shared rooted-contract heap program (tests/differential.h) over
+ * 100 seeds enforces the claim in both plain and generational mode.
  *
  * The schema tests validate the emitted documents with the in-tree
  * parser: the Chrome trace (traceEvents array, "X" spans with
@@ -26,62 +25,15 @@
 #include <string>
 #include <vector>
 
+#include "differential.h"
 #include "runtime/runtime.h"
 #include "support/json.h"
 #include "support/logging.h"
-#include "support/rng.h"
 
 namespace gcassert {
 namespace {
 
-/** Address-free summary of one scenario run. */
-struct Outcome {
-    uint64_t marked = 0;
-    uint64_t swept = 0;
-    uint64_t sweptBytes = 0;
-    uint64_t liveObjects = 0;
-    uint64_t usedBytes = 0;
-    uint64_t fullCollections = 0;
-    /** Freed "type:id" keys per full-GC window, as multisets. */
-    std::vector<std::multiset<std::string>> freedPerWindow;
-    /** Finalized ids, in invocation order (must match exactly). */
-    std::vector<uint64_t> finalized;
-    /** "kind|type|gc#" per violation, order-insensitive. */
-    std::multiset<std::string> violations;
-
-    bool
-    equivalentTo(const Outcome &other) const
-    {
-        return freedPerWindow == other.freedPerWindow &&
-               marked == other.marked && swept == other.swept &&
-               sweptBytes == other.sweptBytes &&
-               liveObjects == other.liveObjects &&
-               usedBytes == other.usedBytes &&
-               fullCollections == other.fullCollections &&
-               finalized == other.finalized &&
-               violations == other.violations;
-    }
-};
-
-std::string
-describe(const Outcome &o)
-{
-    std::string out;
-    out += "marked=" + std::to_string(o.marked) +
-           " swept=" + std::to_string(o.swept) +
-           " live=" + std::to_string(o.liveObjects) +
-           " fullGcs=" + std::to_string(o.fullCollections) + "\n";
-    for (size_t w = 0; w < o.freedPerWindow.size(); ++w)
-        out += "  window" + std::to_string(w) + ": freed " +
-               std::to_string(o.freedPerWindow[w].size()) + "\n";
-    out += "  finalized:";
-    for (uint64_t id : o.finalized)
-        out += " " + std::to_string(id);
-    out += "\n";
-    for (const std::string &v : o.violations)
-        out += "  " + v + "\n";
-    return out;
-}
+using difftest::DiffOutcome;
 
 std::string
 tracePath(uint64_t seed)
@@ -91,12 +43,11 @@ tracePath(uint64_t seed)
 }
 
 /**
- * Run the seed-determined heap program with telemetry fully on
- * (tracing, metrics to a file, census every GC) or fully off and
- * summarize every GC-observable effect. The rng stream is identical
- * either way; telemetry must not perturb any of it.
+ * Run the shared rooted scenario with telemetry fully on (tracing,
+ * metrics to a file, census every GC) or fully off. The rng stream
+ * is identical either way; telemetry must not perturb any of it.
  */
-Outcome
+DiffOutcome
 runScenario(bool telemetry, uint64_t seed, bool generational = false)
 {
     RuntimeConfig config;
@@ -116,142 +67,19 @@ runScenario(bool telemetry, uint64_t seed, bool generational = false)
         config.observe.metricsSink.clear();
         config.observe.censusEvery = 0;
     }
-    Runtime rt(config);
-
-    Outcome out;
-
-    TypeId node_type = rt.types()
-                           .define("Node")
-                           .refs({"left", "right"})
-                           .scalars(8)
-                           .build();
-    TypeId record_type = rt.types()
-                             .define("Record")
-                             .refs({"a", "b", "c"})
-                             .scalars(136)
-                             .build();
-    TypeId blob_type = rt.types().define("Blob").array().build();
-
-    uint64_t next_id = 1;
-    auto keyOf = [&](Object *obj) {
-        return rt.types().get(obj->typeId()).name() + ":" +
-               std::to_string(obj->scalar<uint64_t>(0));
-    };
-    out.freedPerWindow.emplace_back();
-    rt.addFreeHook([&](Object *obj) {
-        out.freedPerWindow.back().insert(keyOf(obj));
-    });
-
-    Rng rng(seed);
-
-    std::vector<Handle> handles;
-    std::vector<Object *> objs;
-    std::vector<char> rooted;
-    auto stamp = [&](Object *obj) {
-        obj->setScalar<uint64_t>(0, next_id++);
-        handles.emplace_back(rt, obj, "obj");
-        objs.push_back(obj);
-        rooted.push_back(1);
-        return obj;
-    };
-
-    const size_t num_nodes = rng.range(120, 300);
-    const size_t num_records = rng.range(15, 50);
-    const size_t num_blobs = rng.range(3, 10);
-    for (size_t i = 0; i < num_nodes; ++i)
-        stamp(rt.allocRaw(node_type));
-    for (size_t i = 0; i < num_records; ++i)
-        stamp(rt.allocRaw(record_type));
-    for (size_t i = 0; i < num_blobs; ++i)
-        stamp(rt.allocScalarRaw(
-            blob_type, static_cast<uint32_t>(rng.range(64, 8000))));
-
-    auto slots_of = [&](size_t i) -> uint32_t {
-        return objs[i]->numRefs();
-    };
-    auto rooted_index = [&]() -> size_t {
-        for (;;) {
-            size_t i = rng.below(objs.size());
-            if (rooted[i])
-                return i;
-        }
-    };
-    auto wire = [&](size_t src, uint32_t slot, size_t dst) {
-        rt.writeRef(objs[src], slot, objs[dst]);
-    };
-
-    for (size_t i = 0; i < objs.size(); ++i)
-        for (uint32_t s = 0; s < slots_of(i); ++s)
-            if (rng.chance(0.6))
-                wire(i, s, rng.below(objs.size()));
-
-    for (size_t i = 0; i < objs.size(); ++i)
-        if (objs[i]->scalarBytes() >= 8 && rng.chance(0.08))
-            rt.setFinalizer(objs[i], [&](Object *obj) {
-                out.finalized.push_back(obj->scalar<uint64_t>(0));
-            });
-
-    // Assertions that will sometimes hold and sometimes fire —
-    // identically with telemetry on or off.
-    rt.assertInstances(record_type, num_records / 2);
-    rt.assertVolume(blob_type, 16 * 1024);
-    for (size_t i = 0, n = objs.size() / 30; i < n; ++i)
-        rt.assertUnshared(objs[rooted_index()]);
-    for (size_t i = 0, n = objs.size() / 30; i < n; ++i) {
-        size_t owner = rooted_index();
-        size_t ownee = rooted_index();
-        if (owner != ownee && slots_of(owner) > 0)
-            rt.assertOwnedBy(objs[owner], objs[ownee]);
-    }
-
-    const size_t windows = 3;
-    for (size_t w = 0; w < windows; ++w) {
-        size_t churn_begin = objs.size();
-        for (size_t i = 0, n = rng.range(40, 120); i < n; ++i)
-            stamp(rt.allocRaw(node_type));
-        for (size_t i = churn_begin; i < objs.size(); ++i) {
-            size_t elder = rooted_index();
-            if (slots_of(elder) > 0 && rng.chance(0.5))
-                wire(elder,
-                     static_cast<uint32_t>(rng.below(slots_of(elder))),
-                     i);
-        }
-        for (size_t i = 0, n = rng.range(3, 10); i < n; ++i) {
-            size_t victim = rooted_index();
-            if (rng.chance(0.5))
-                rt.assertDead(objs[victim]);
-            rooted[victim] = 0;
-            handles[victim].reset();
-        }
-        rt.collect();
-        out.freedPerWindow.emplace_back();
-    }
-    rt.collect();
-
-    const GcStats &stats = rt.gcStats();
-    out.marked = stats.objectsMarked;
-    out.swept = stats.objectsSwept;
-    out.sweptBytes = stats.bytesSwept;
-    out.liveObjects = rt.heap().liveObjects();
-    out.usedBytes = rt.heap().usedBytes();
-    out.fullCollections = stats.collections;
-    for (const Violation &v : rt.violations())
-        out.violations.insert(std::string(assertionKindName(v.kind)) +
-                              "|" + v.offendingType + "|" +
-                              std::to_string(v.gcNumber));
-    return out;
+    return difftest::runRootedScenario(config, seed);
 }
 
 TEST(TelemetryDifferential, MatchesUntracedAcross100Seeds)
 {
     CaptureLogSink capture;
     for (uint64_t seed = 1; seed <= 100; ++seed) {
-        Outcome off = runScenario(false, seed);
-        Outcome on = runScenario(true, seed);
-        ASSERT_TRUE(on.equivalentTo(off))
+        DiffOutcome off = runScenario(false, seed);
+        DiffOutcome on = runScenario(true, seed);
+        ASSERT_TRUE(difftest::equivalent(on, off))
             << "telemetry divergence at seed " << seed
-            << "\n--- off ---\n" << describe(off)
-            << "--- on ---\n" << describe(on);
+            << "\n--- off ---\n" << difftest::describe(off)
+            << "--- on ---\n" << difftest::describe(on);
         std::remove(tracePath(seed).c_str());
     }
 }
@@ -260,12 +88,12 @@ TEST(TelemetryDifferential, MatchesUntracedUnderGenerationalMode)
 {
     CaptureLogSink capture;
     for (uint64_t seed = 1; seed <= 20; ++seed) {
-        Outcome off = runScenario(false, seed, /*generational=*/true);
-        Outcome on = runScenario(true, seed, /*generational=*/true);
-        ASSERT_TRUE(on.equivalentTo(off))
+        DiffOutcome off = runScenario(false, seed, /*generational=*/true);
+        DiffOutcome on = runScenario(true, seed, /*generational=*/true);
+        ASSERT_TRUE(difftest::equivalent(on, off))
             << "telemetry divergence (generational) at seed " << seed
-            << "\n--- off ---\n" << describe(off)
-            << "--- on ---\n" << describe(on);
+            << "\n--- off ---\n" << difftest::describe(off)
+            << "--- on ---\n" << difftest::describe(on);
         std::remove(tracePath(seed).c_str());
     }
 }
