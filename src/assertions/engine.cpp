@@ -49,12 +49,13 @@ AssertionEngine::assertDead(Object *obj)
 }
 
 void
-AssertionEngine::startRegion(MutatorContext &mutator)
+AssertionEngine::startRegion(MutatorContext &mutator, std::string label)
 {
     if (mutator.inRegion())
         fatal(format("start-region: mutator '%s' is already in a region",
                      mutator.name().c_str()));
     mutator.setInRegion(true);
+    mutator.regionLabel_ = std::move(label);
     ++stats_.startRegionCalls;
 }
 
@@ -72,6 +73,14 @@ AssertionEngine::assertAllDead(MutatorContext &mutator)
     // assert-alldead rather than assert-dead.
     for (Object *obj : queue)
         obj->setFlag(kDeadBit);
+    // Labeled regions additionally remember which region each
+    // flushed object came from, so a violation can name it. The map
+    // only grows until the next full trace consumes every verdict.
+    if (!mutator.regionLabel_.empty()) {
+        for (Object *obj : queue)
+            regionLabels_[obj] = mutator.regionLabel_;
+        mutator.regionLabel_.clear();
+    }
     stats_.regionObjectsFlushed += queue.size();
     ++stats_.assertAllDeadCalls;
 }
@@ -188,11 +197,15 @@ AssertionEngine::onTraceDone(AssertCostTallies *cost)
     }
 
     // Region queues: drop entries that died in this collection so
-    // the queues never hold dangling pointers.
+    // the queues never hold dangling pointers. Region labels are all
+    // consumed by now — every flushed object was either reported
+    // during this trace or is about to be swept — so the map resets
+    // before lazy sweeping can recycle any of its addresses.
     {
         CostScope scope(cost, AssertCostKind::AllDead);
         mutators_.forEach(
             [](MutatorContext &mutator) { mutator.pruneRegionQueue(); });
+        regionLabels_.clear();
     }
 
     // Ownership table: drop satisfied pairs; convert ownees that

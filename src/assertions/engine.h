@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -83,8 +84,13 @@ class AssertionEngine {
     /** assert-dead(p): @p obj must be unreachable at the next GC. */
     void assertDead(Object *obj);
 
-    /** start-region(): begin tracking allocations on @p mutator. */
-    void startRegion(MutatorContext &mutator);
+    /**
+     * start-region(): begin tracking allocations on @p mutator. A
+     * non-empty @p label names the region in any later alldead
+     * violation (e.g. a server request id); "" keeps the classic
+     * unlabeled message.
+     */
+    void startRegion(MutatorContext &mutator, std::string label = {});
 
     /**
      * assert-alldead(): every object allocated in @p mutator's
@@ -256,6 +262,20 @@ class AssertionEngine {
     /** Type name helper for reports. */
     std::string typeNameOf(const Object *obj) const;
 
+    /**
+     * Label of the labeled region @p obj was flushed from, or
+     * nullptr for unlabeled regions. Written only by assertAllDead
+     * (under the runtime's exclusive lock) and cleared at the end of
+     * every full trace, so reads during a collection — including by
+     * parallel markers — see a frozen map.
+     */
+    const std::string *
+    regionLabelOf(const Object *obj) const
+    {
+        auto it = regionLabels_.find(obj);
+        return it == regionLabels_.end() ? nullptr : &it->second;
+    }
+
     /** Current collection number (0 before the first GC). */
     uint64_t gcNumber() const { return gcNumber_; }
 
@@ -278,6 +298,11 @@ class AssertionEngine {
 
     std::vector<Violation> violations_;
     std::unordered_set<const Object *> reportedThisGc_;
+    /** Flushed-object -> region label for labeled regions. Every
+     *  entry is settled (reported or swept) by the end of the next
+     *  full trace, so onTraceDone clears the map wholesale — no
+     *  stale label can outlive an address reuse. */
+    std::unordered_map<const Object *, std::string> regionLabels_;
     uint64_t gcNumber_ = 0;
     /** Telemetry enrichment hook (see setViolationObserver). */
     std::function<void(Violation &)> violationObserver_;

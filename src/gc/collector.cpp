@@ -711,8 +711,12 @@ Collector::deadCheck(Object **slot, Object *obj)
     } else if (obj->testFlag(kRegionBit)) {
         kind = AssertionKind::AllDead;
         cost.reclassify(AssertCostKind::AllDead);
-        what =
-            "an object allocated in an assert-alldead region is reachable.";
+        const std::string *label = engine_.regionLabelOf(obj);
+        what = label
+            ? format("an object allocated in assert-alldead region "
+                     "'%s' is reachable.", label->c_str())
+            : "an object allocated in an assert-alldead region is "
+              "reachable.";
     }
     bool force = engine_.reactions().forKind(kind) == Reaction::ForceTrue;
 
@@ -1323,8 +1327,14 @@ Collector::parDeadCheck(Object **slot, Object *obj, uint32_t flags,
     } else if (flags & kRegionBit) {
         kind = AssertionKind::AllDead;
         cost.reclassify(AssertCostKind::AllDead);
-        what =
-            "an object allocated in an assert-alldead region is reachable.";
+        // Read-only during the trace: labels are written only under
+        // the runtime's exclusive lock, never while markers run.
+        const std::string *label = engine_.regionLabelOf(obj);
+        what = label
+            ? format("an object allocated in assert-alldead region "
+                     "'%s' is reachable.", label->c_str())
+            : "an object allocated in an assert-alldead region is "
+              "reachable.";
     }
     bool force = engine_.reactions().forKind(kind) == Reaction::ForceTrue;
     if (force)

@@ -37,6 +37,13 @@ class MutatorContext {
     bool inRegion() const { return inRegion_; }
 
     /**
+     * Label of the active region ("" for an unlabeled region). Set
+     * by start-region so a later assert-alldead violation can name
+     * the region it came from (e.g. a server request id).
+     */
+    const std::string &regionLabel() const { return regionLabel_; }
+
+    /**
      * Allocation hook: record @p obj on the region queue when a
      * region is active. Called by the Runtime on every allocation
      * made by this mutator — this check is the per-allocation time
@@ -109,6 +116,7 @@ class MutatorContext {
 
     std::string name_;
     bool inRegion_ = false;
+    std::string regionLabel_;
     std::vector<Object *> regionQueue_;
     Heap::TlabCache tlab_;
     std::vector<Object *> localRoots_;

@@ -42,6 +42,17 @@ PauseHistogram::record(uint64_t nanos)
         max_ = nanos;
 }
 
+void
+PauseHistogram::merge(const PauseHistogram &other)
+{
+    for (size_t i = 0; i < kNumBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    total_ += other.total_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
 uint64_t
 PauseHistogram::percentile(double p) const
 {

@@ -43,6 +43,15 @@ class PauseHistogram {
 
     void record(uint64_t nanos);
 
+    /**
+     * Fold @p other's samples into this histogram (bucket counts,
+     * count, total and max all add). Lets per-thread recorders — the
+     * server workload's request-latency histograms — combine into
+     * one percentile view without sharing a histogram on the
+     * recording path.
+     */
+    void merge(const PauseHistogram &other);
+
     uint64_t count() const { return count_; }
     uint64_t max() const { return max_; }
     uint64_t totalNanos() const { return total_; }

@@ -590,12 +590,13 @@ Runtime::assertDead(Object *obj)
 }
 
 void
-Runtime::startRegion(MutatorContext *mutator)
+Runtime::startRegion(MutatorContext *mutator, std::string label)
 {
     std::lock_guard<std::shared_mutex> guard(lock_);
     if (!checkInfraEnabled("start-region"))
         return;
-    engine_.startRegion(mutator ? *mutator : mutators_.main());
+    engine_.startRegion(mutator ? *mutator : mutators_.main(),
+                        std::move(label));
 }
 
 void

@@ -199,8 +199,13 @@ class Runtime {
     /** assert-dead(p): @p obj must be unreachable at the next GC. */
     void assertDead(Object *obj);
 
-    /** start-region() on @p mutator (nullptr = main). */
-    void startRegion(MutatorContext *mutator = nullptr);
+    /**
+     * start-region() on @p mutator (nullptr = main). A non-empty
+     * @p label names the region in any alldead violation it later
+     * produces (e.g. a server request id).
+     */
+    void startRegion(MutatorContext *mutator = nullptr,
+                     std::string label = {});
 
     /** assert-alldead() on @p mutator (nullptr = main). */
     void assertAllDead(MutatorContext *mutator = nullptr);

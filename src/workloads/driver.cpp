@@ -64,24 +64,34 @@ runWorkload(const std::string &workload_name, BenchConfig config,
         for (uint32_t i = 0; i < options.warmupIterations; ++i)
             workload->iterate(runtime);
 
-        // Measured window.
+        // Measured window. The stopwatch brackets exactly the
+        // measured iterations, so every derived rate (units/s,
+        // GC share) excludes setup, warmup and teardown time.
         uint64_t gc_nanos_before =
             runtime.gcStats().totalGc.elapsedNanos();
         uint64_t collections_before = runtime.collections();
-        uint64_t wall_before = nowNanos();
+        uint64_t units_before = workload->workUnitsCompleted();
+        Stopwatch measured;
+        measured.start();
         for (uint32_t i = 0; i < options.measuredIterations; ++i)
             workload->iterate(runtime);
-        uint64_t wall_after = nowNanos();
+        measured.stop();
         uint64_t gc_nanos_after =
             runtime.gcStats().totalGc.elapsedNanos();
 
-        double total = static_cast<double>(wall_after - wall_before) / 1e9;
+        double total = measured.elapsedSeconds();
         double gc =
             static_cast<double>(gc_nanos_after - gc_nanos_before) / 1e9;
         summary.totalSeconds.add(total);
         summary.gcSeconds.add(gc);
         summary.mutatorSeconds.add(total - gc);
         summary.collections = runtime.collections() - collections_before;
+
+        uint64_t units = workload->workUnitsCompleted() - units_before;
+        summary.workUnits = units;
+        if (units > 0 && total > 0.0)
+            summary.workUnitsPerSec.add(
+                static_cast<double>(units) / total);
 
         if (repeat == options.repeats - 1) {
             summary.violations =

@@ -57,6 +57,19 @@ struct RunSummary {
     /** Mutator seconds (total - gc). */
     SampleSet mutatorSeconds;
 
+    /**
+     * Work units (Workload::workUnitsCompleted) finished inside the
+     * last repeat's measured window. 0 for workloads without a unit.
+     */
+    uint64_t workUnits = 0;
+    /**
+     * Work units per wall-clock second of the measured window only —
+     * setup, warmup and teardown are excluded (the window is timed
+     * with a Stopwatch bracketing just the measured iterations).
+     * Empty when the workload defines no unit.
+     */
+    SampleSet workUnitsPerSec;
+
     /** Collections during the last repeat's measured window. */
     uint64_t collections = 0;
     /** Violations reported during the last repeat (whole run). */

@@ -25,6 +25,7 @@ WorkloadRegistry::WorkloadRegistry()
     add("treewalk", makeTreeWalk);
     add("mapstress", makeMapStress);
     add("arraybloat", makeArrayBloat);
+    add("server", makeServer);
 }
 
 void

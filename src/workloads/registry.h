@@ -59,6 +59,7 @@ std::unique_ptr<Workload> makeStringStorm();
 std::unique_ptr<Workload> makeTreeWalk();
 std::unique_ptr<Workload> makeMapStress();
 std::unique_ptr<Workload> makeArrayBloat();
+std::unique_ptr<Workload> makeServer();
 /** @} */
 
 } // namespace gcassert

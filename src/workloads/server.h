@@ -1,0 +1,235 @@
+/**
+ * @file
+ * server — a request/response server simulation with per-request
+ * assert-alldead regions.
+ *
+ * The paper's start-region / assert-alldead idiom (section 2.3.2)
+ * maps exactly onto request lifetimes: everything a handler
+ * allocates while serving a request should be garbage once the reply
+ * is sent. This workload drives that idiom at scale — N real mutator
+ * threads (the TLAB/shared-lock allocation path, not the coarse
+ * one-big-mutex idiom of lusearch) serve request cycles with the
+ * lifetime mix of a production server:
+ *
+ *  - per-request scratch graphs that must die at the reply,
+ *  - session objects surviving many requests (with occasional
+ *    profile replacement, i.e. mature garbage),
+ *  - a shared LRU cache with eviction,
+ *  - a connection pool of reusable buffers with slow replacement.
+ *
+ * With assertions enabled, every request is bracketed in a region
+ * labeled with the request id; an injectable leak mode wires one
+ * scratch node per N requests into a rooted leak list, so the next
+ * full collection reports exactly one alldead violation *naming the
+ * leaking request* — proving detection under concurrent traffic.
+ *
+ * Unlike the single-class workloads, the full class is declared here
+ * so tests and benches can configure thread counts, inject leaks,
+ * read request counters/latency percentiles, and drain the server
+ * mid-flight.
+ */
+
+#ifndef GCASSERT_WORKLOADS_SERVER_H
+#define GCASSERT_WORKLOADS_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "observe/pause_slo.h"
+#include "runtime/handle.h"
+#include "support/rng.h"
+#include "workloads/workload.h"
+
+namespace gcassert {
+
+/** @name Environment-driven defaults
+ * GCASSERT_SERVER_THREADS seeds the mutator-thread count (default 4,
+ * clamped to [1, 64]); GCASSERT_SERVER_LEAK_EVERY seeds the leak
+ * injection cadence (default 0 = no leaks). Explicit ServerOptions
+ * fields override the environment, as with every other knob.
+ *  @{ */
+uint32_t defaultServerThreads();
+uint32_t defaultServerLeakEvery();
+/** @} */
+
+/** Tuning knobs for the server simulation. */
+struct ServerOptions {
+    /** Mutator threads serving requests. */
+    uint32_t threads = defaultServerThreads();
+
+    /** Requests each thread serves per iterate() call. */
+    uint32_t requestsPerThread = 2000;
+
+    /** Long-lived sessions requests are routed across. */
+    uint32_t sessions = 256;
+
+    /** LRU cache capacity (entries); eviction beyond this. */
+    uint32_t cacheCapacity = 128;
+
+    /** Pooled connection buffers. */
+    uint32_t poolBuffers = 16;
+
+    /** Payload bytes per pooled buffer. */
+    uint32_t bufferBytes = 1024;
+
+    /**
+     * Inject a leak every N requests per thread (a scratch node from
+     * the request's region escapes into a rooted leak list). 0 = no
+     * leaks. With assertions enabled each injected leak produces
+     * exactly one alldead violation naming the leaking request.
+     */
+    uint32_t leakEveryN = defaultServerLeakEvery();
+};
+
+/**
+ * The server workload. See the file comment for the design; the
+ * public surface beyond Workload exists for tests and benches.
+ *
+ * Thread model: iterate() launches options().threads OS threads,
+ * each bound to its own registered MutatorContext. Thread-private
+ * scratch goes through the genuinely concurrent allocLocal/writeRef
+ * shared-lock path; the shared structures (sessions, cache, pool,
+ * leak list) are serialized by one workload mutex, which nests
+ * *outside* the runtime lock everywhere so the lock order is
+ * consistent.
+ *
+ * When the runtime has telemetry, setup() registers
+ * server.requests.{completed,per_sec} and
+ * server.request.latency.{p50,p99,max}_nanos gauges; the workload
+ * must then outlive the runtime (true for the driver, which tears
+ * down the runtime first).
+ */
+class ServerWorkload : public Workload {
+  public:
+    explicit ServerWorkload(ServerOptions options = {});
+
+    const char *name() const override { return "server"; }
+
+    const char *
+    description() const override
+    {
+        return "multithreaded request/response server with "
+               "per-request assert-alldead regions, sessions, an LRU "
+               "cache and a connection pool";
+    }
+
+    uint64_t minHeapBytes() const override;
+
+    void setup(Runtime &runtime) override;
+    void iterate(Runtime &runtime) override;
+    void teardown(Runtime &runtime) override;
+
+    uint64_t workUnitsCompleted() const override
+    {
+        return requestsCompleted();
+    }
+
+    const ServerOptions &options() const { return options_; }
+
+    /** Requests fully served so far (all threads, all iterates). */
+    uint64_t
+    requestsCompleted() const
+    {
+        return requestsCompleted_.load(std::memory_order_relaxed);
+    }
+
+    /** Leaks injected so far (equals the expected alldead violation
+     *  count when assertions are enabled throughout). */
+    uint64_t
+    leaksInjected() const
+    {
+        return leaksInjected_.load(std::memory_order_relaxed);
+    }
+
+    /** Region labels of every request a leak was injected into
+     *  (assertion-enabled runs only; copied under the stats lock). */
+    std::vector<std::string> leakedLabels() const;
+
+    /** Merged per-request latency histogram (copy). */
+    PauseHistogram latencySnapshot() const;
+
+    /** Wall seconds spent inside iterate() so far (the denominator
+     *  of the requests-per-second gauge). */
+    double busySeconds() const;
+
+    /**
+     * Ask in-flight iterate() threads to drain: each finishes its
+     * current request (closing its region) and exits its loop.
+     * Clear with clearStop() before the next iterate().
+     */
+    void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+    void clearStop() { stop_.store(false, std::memory_order_relaxed); }
+
+  private:
+    void serveRequest(Runtime &runtime, MutatorContext &mutator,
+                      uint32_t worker, uint64_t worker_seq, Rng &rng,
+                      PauseHistogram &latency);
+
+    void cacheLookupOrInsert(Runtime &runtime, MutatorContext &mutator,
+                             uint64_t key);
+    void cacheUnlink(Runtime &runtime, Object *entry);
+    void cachePushFront(Runtime &runtime, Object *entry);
+
+    ServerOptions options_;
+
+    TypeId sessionType_ = kInvalidTypeId;
+    TypeId userType_ = kInvalidTypeId;
+    TypeId tableType_ = kInvalidTypeId;
+    TypeId cacheType_ = kInvalidTypeId;
+    TypeId entryType_ = kInvalidTypeId;
+    TypeId valueType_ = kInvalidTypeId;
+    TypeId bufferType_ = kInvalidTypeId;
+    TypeId requestType_ = kInvalidTypeId;
+    TypeId nodeType_ = kInvalidTypeId;
+    TypeId leakListType_ = kInvalidTypeId;
+
+    uint32_t sessionUserSlot_ = 0;
+    uint32_t cacheHeadSlot_ = 0;
+    uint32_t cacheTailSlot_ = 0;
+    uint32_t entryValueSlot_ = 0;
+    uint32_t entryPrevSlot_ = 0;
+    uint32_t entryNextSlot_ = 0;
+    uint32_t requestFirstSlot_ = 0;
+    uint32_t nodeNextSlot_ = 0;
+    uint32_t leakHeadSlot_ = 0;
+
+    Handle sessionTable_;
+    Handle cache_;
+    Handle pool_;
+    Handle leakList_;
+
+    std::vector<MutatorContext *> workers_;
+
+    /** Serializes the shared structures (sessions/cache/pool/leak
+     *  list). Always acquired before any runtime lock. */
+    std::mutex shared_;
+    std::unordered_map<uint64_t, Object *> cacheIndex_;
+    uint64_t cacheSize_ = 0;
+    std::vector<uint32_t> poolFree_;
+    uint64_t poolCheckouts_ = 0;
+
+    /** Guards latency_ / leakedLabels_ / busyNanos_. */
+    mutable std::mutex stats_;
+    PauseHistogram latency_;
+    std::vector<std::string> leakedLabels_;
+    uint64_t busyNanos_ = 0;
+
+    std::atomic<uint64_t> requestsCompleted_{0};
+    std::atomic<uint64_t> leaksInjected_{0};
+    std::atomic<bool> stop_{false};
+    uint64_t iterations_ = 0;
+};
+
+/** Factory returning a concretely-typed server workload, so tests
+ *  and benches can set options and read the test surface. */
+std::unique_ptr<ServerWorkload>
+makeServerWithOptions(const ServerOptions &options);
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_SERVER_H

@@ -17,4 +17,10 @@ Workload::teardown(Runtime &runtime)
     (void)runtime;
 }
 
+uint64_t
+Workload::workUnitsCompleted() const
+{
+    return 0;
+}
+
 } // namespace gcassert

@@ -56,6 +56,14 @@ class Workload {
     /** Release handles so the runtime can be destroyed. */
     virtual void teardown(Runtime &runtime);
 
+    /**
+     * Monotonic count of workload-defined work units (requests,
+     * transactions, queries) completed so far across all iterate()
+     * calls. The driver differences it around the measured window to
+     * report units/s. 0 means the workload defines no natural unit.
+     */
+    virtual uint64_t workUnitsCompleted() const;
+
     /** True once enableAssertions() has been called. */
     bool assertionsEnabled() const { return assertionsEnabled_; }
 

@@ -33,8 +33,10 @@
 #define GCASSERT_TESTS_DIFFERENTIAL_H
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/runtime.h"
@@ -322,6 +324,191 @@ runRootedScenario(const RuntimeConfig &config, uint64_t seed,
     rt.collect();
 
     summarize(rt, opt, out);
+    return out;
+}
+
+/** Derive a decorrelated per-thread sub-seed (SplitMix64 step), so
+ *  each worker in the threaded scenario draws an independent but
+ *  reproducible stream from one top-level seed. */
+inline uint64_t
+subSeed(uint64_t seed, uint64_t lane)
+{
+    uint64_t z = seed + (lane + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Address-free summary of one *threaded* scenario run.
+ *
+ * With real mutator threads the interleaving — and therefore the GC
+ * cadence, per-window freed sets, mark/sweep totals and violation
+ * gc numbers — is scheduler-dependent, so the threaded equivalence
+ * compares only whole-run aggregates that the program determines:
+ * the total freed multiset (every non-escaped allocation dies by the
+ * final collections), the violation multiset keyed "kind|type"
+ * (each assert-dead on an escaped object reports exactly once: the
+ * dead bit clears on first report), and the final live-object count.
+ */
+struct ThreadedOutcome {
+    /** "type:id" keys of every object freed across the whole run. */
+    std::multiset<std::string> freedTotal;
+    /** Violation keys "kind|type", order-insensitive. */
+    std::multiset<std::string> violations;
+    uint64_t liveObjects = 0;
+    /** Informational only (scheduler-dependent). */
+    uint64_t fullCollections = 0;
+    uint64_t minorCollections = 0;
+};
+
+inline bool
+equivalentThreaded(const ThreadedOutcome &a, const ThreadedOutcome &b)
+{
+    return a.freedTotal == b.freedTotal &&
+           a.violations == b.violations &&
+           a.liveObjects == b.liveObjects;
+}
+
+inline std::string
+describeThreaded(const ThreadedOutcome &o)
+{
+    std::string out;
+    out += "freedTotal=" + std::to_string(o.freedTotal.size()) +
+           " live=" + std::to_string(o.liveObjects) +
+           " fullGcs=" + std::to_string(o.fullCollections) +
+           " minorGcs=" + std::to_string(o.minorCollections) + "\n";
+    std::map<std::string, uint64_t> counts;
+    for (const std::string &v : o.violations)
+        ++counts[v];
+    for (const auto &[key, n] : counts)
+        out += "  " + key + " x" + std::to_string(n) + "\n";
+    return out;
+}
+
+/**
+ * Run a seed-determined multi-threaded heap program on a fresh
+ * runtime built from @p config and summarize its whole-run effects.
+ *
+ * Each of @p threads workers is a registered mutator running a
+ * deterministic program from subSeed(seed, t): rounds of thread-
+ * private linked chains through the allocLocal/writeRef path, with
+ *
+ *  - some chain heads *escaping* into a shared rooted list (the
+ *    head's next pointer is rewired there, so the rest of its chain
+ *    still dies) and then being assert-dead'ed — each escape yields
+ *    exactly one Dead violation at the next full GC;
+ *  - some rounds bracketed in a start-region / assert-alldead pair
+ *    whose scratch all dies — contributing zero violations;
+ *  - occasional explicit collections from worker threads.
+ *
+ * What is allocated, what escapes, and what is asserted are all
+ *-fixed by (seed, threads); only scheduling varies. The returned
+ * aggregates are therefore comparable across any two runtime
+ * configurations (the usual caveat: usedBytes and per-window data
+ * are not aggregated at all here).
+ */
+inline ThreadedOutcome
+runThreadedScenario(const RuntimeConfig &config, uint64_t seed,
+                    uint32_t threads)
+{
+    Runtime rt(config);
+    ThreadedOutcome out;
+
+    TypeId node_type = rt.types()
+                           .define("TNode")
+                           .refs({"next"})
+                           .scalars(16)
+                           .build();
+    TypeId list_type =
+        rt.types().define("TList").refs({"head"}).scalars(8).build();
+    const uint32_t next_slot = rt.types().get(node_type).slotIndex("next");
+    const uint32_t head_slot = rt.types().get(list_type).slotIndex("head");
+
+    // Leaf mutex: only ever taken by the free hook (which runs
+    // serialized inside the GC) and never while acquiring another
+    // lock, so it cannot participate in a cycle.
+    std::mutex freed_mutex;
+    rt.addFreeHook([&](Object *obj) {
+        std::string key = rt.types().get(obj->typeId()).name() + ":" +
+                          std::to_string(obj->scalar<uint64_t>(0));
+        std::lock_guard<std::mutex> guard(freed_mutex);
+        out.freedTotal.insert(std::move(key));
+    });
+
+    Handle shared(rt, rt.allocRaw(list_type), "diff.shared");
+
+    // Serializes escapes into the shared list. Acquired before any
+    // runtime lock, never the other way around.
+    std::mutex shared_mutex;
+
+    std::vector<MutatorContext *> workers;
+    for (uint32_t t = 0; t < threads; ++t)
+        workers.push_back(
+            &rt.registerMutator("diff-" + std::to_string(t)));
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            MutatorContext &mutator = *workers[t];
+            Rng rng(subSeed(seed, t));
+            uint64_t counter = 0;
+            const uint64_t tag = (uint64_t{t} + 1) << 32;
+            for (uint32_t round = 0; round < 40; ++round) {
+                bool in_region = rng.chance(0.3);
+                bool escape = !in_region && rng.chance(0.25);
+                if (in_region)
+                    rt.startRegion(&mutator);
+
+                uint64_t len = rng.range(3, 9);
+                Object *head = nullptr;
+                for (uint64_t i = 0; i < len; ++i) {
+                    Object *node = rt.allocLocal(node_type, &mutator);
+                    node->setScalar<uint64_t>(0, tag | counter++);
+                    rt.writeRef(node, next_slot, head);
+                    head = node;
+                }
+
+                if (escape) {
+                    // Rewire the head into the rooted shared list
+                    // (dropping its chain), then claim it dead: one
+                    // guaranteed Dead violation per escape.
+                    std::lock_guard<std::mutex> guard(shared_mutex);
+                    rt.writeRef(head, next_slot,
+                                shared->ref(head_slot));
+                    rt.writeRef(shared.get(), head_slot, head);
+                    rt.assertDead(head);
+                }
+
+                // Unpin before any alldead flush so a collection in
+                // between can only see the scratch unreachable.
+                rt.dropLocalRoots(&mutator);
+                if (in_region)
+                    rt.assertAllDead(&mutator);
+
+                if (rng.chance(0.05))
+                    rt.collect();
+            }
+        });
+    }
+    for (std::thread &worker : pool)
+        worker.join();
+
+    // Two final collections: the first reports any still-pending
+    // verdicts, the second covers lazily-swept stragglers.
+    rt.collect();
+    rt.collect();
+
+    for (const Violation &v : rt.violations()) {
+        if (v.kind == AssertionKind::PauseSlo)
+            continue;
+        out.violations.insert(std::string(assertionKindName(v.kind)) +
+                              "|" + v.offendingType);
+    }
+    out.liveObjects = rt.heap().liveObjects();
+    out.fullCollections = rt.gcStats().collections;
+    out.minorCollections = rt.gcStats().minorCollections;
     return out;
 }
 

@@ -31,6 +31,7 @@
 #include "runtime/runtime.h"
 #include "support/logging.h"
 #include "support/rng.h"
+#include "workloads/server.h"
 
 namespace gcassert {
 namespace {
@@ -115,6 +116,92 @@ runScenario(const RuntimeConfig &config, uint64_t seed)
     // verdict must still match byte for byte.
     opt.ignoreKinds = {AssertionKind::PauseSlo};
     return difftest::runRootedScenario(config, seed, opt);
+}
+
+TEST(ConfigFuzz, ThreadedScenarioMatchesAcrossKnobCombos)
+{
+    // The multi-threaded differential layer: real mutator threads
+    // make per-window data scheduler-dependent, so the comparison is
+    // over whole-run aggregates (total freed multiset, violation
+    // multiset, final live count) — which must still be identical
+    // under every fuzzed knob combination.
+    CaptureLogSink capture;
+    const uint64_t kSeeds = 2;
+    const uint64_t kCombos = 4;
+    for (uint32_t threads : {2u, 4u}) {
+        for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+            difftest::ThreadedOutcome baseline =
+                difftest::runThreadedScenario(baselineConfig(), seed,
+                                              threads);
+            EXPECT_GT(baseline.freedTotal.size(), 0u);
+            EXPECT_GT(baseline.violations.size(), 0u)
+                << "scenario should escape-and-assert-dead";
+            Rng knobs(0x7eaded + seed * 31 + threads);
+            for (uint64_t combo = 0; combo < kCombos; ++combo) {
+                RuntimeConfig config =
+                    fuzzConfig(knobs, seed, 100 + combo);
+                difftest::ThreadedOutcome out =
+                    difftest::runThreadedScenario(config, seed,
+                                                  threads);
+                ASSERT_TRUE(difftest::equivalentThreaded(out, baseline))
+                    << "threaded divergence at seed " << seed
+                    << " threads " << threads << " combo " << combo
+                    << " [" << describeConfig(config)
+                    << "]\n--- baseline ---\n"
+                    << difftest::describeThreaded(baseline)
+                    << "--- fuzzed ---\n"
+                    << difftest::describeThreaded(out);
+                if (!config.observe.traceFile.empty())
+                    std::remove(config.observe.traceFile.c_str());
+            }
+        }
+    }
+}
+
+TEST(ConfigFuzz, ServerWorkloadIsExactUnderFuzzedKnobs)
+{
+    // The server workload in the fuzz matrix: for random knob
+    // combinations and mutator-thread counts, a clean armed run must
+    // report zero violations and a leaky run exactly one alldead
+    // violation per injected leak.
+    CaptureLogSink capture;
+    Rng knobs(0x5e47e4);
+    const uint32_t thread_choices[] = {2, 4, 8};
+    for (uint64_t round = 0; round < 4; ++round) {
+        ServerOptions options;
+        options.threads = thread_choices[knobs.below(3)];
+        options.requestsPerThread = 300;
+        options.leakEveryN =
+            (round % 2 == 1) ? static_cast<uint32_t>(knobs.range(60, 150))
+                             : 0;
+        auto server = makeServerWithOptions(options);
+        RuntimeConfig config = fuzzConfig(knobs, 90, round);
+        config.heap.budgetBytes = 2 * server->minHeapBytes();
+        Runtime rt(config);
+        server->setup(rt);
+        server->enableAssertions(rt);
+        server->iterate(rt);
+        rt.collect();
+        // An armed pause budget may add PauseSlo context reports;
+        // only the assertion verdicts are exactness-checked.
+        uint64_t alldead = 0, other = 0;
+        for (const Violation &v : rt.violations()) {
+            if (v.kind == AssertionKind::AllDead)
+                ++alldead;
+            else if (v.kind != AssertionKind::PauseSlo)
+                ++other;
+        }
+        EXPECT_EQ(server->requestsCompleted(),
+                  uint64_t{options.threads} * options.requestsPerThread)
+            << describeConfig(config);
+        EXPECT_EQ(alldead, server->leaksInjected())
+            << "round " << round << " [" << describeConfig(config)
+            << "]";
+        EXPECT_EQ(other, 0u) << describeConfig(config);
+        server->teardown(rt);
+        if (!config.observe.traceFile.empty())
+            std::remove(config.observe.traceFile.c_str());
+    }
 }
 
 TEST(ConfigFuzz, RandomKnobCombosMatchSequentialBaseline)

@@ -6,10 +6,70 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "workloads/driver.h"
 
 namespace gcassert {
 namespace {
+
+/**
+ * A workload with deliberately slow setup and teardown and a
+ * near-instant iterate that completes a fixed number of work units:
+ * pins that the driver's measured window (and the units/s it
+ * derives) brackets only the measured iterations.
+ */
+class SleepyWorkload : public Workload {
+  public:
+    static constexpr auto kSleep = std::chrono::milliseconds(80);
+    static constexpr uint64_t kUnitsPerIterate = 10;
+
+    const char *name() const override { return "test.sleepy"; }
+    const char *description() const override
+    {
+        return "slow setup/teardown, instant iterate (driver test)";
+    }
+    uint64_t minHeapBytes() const override { return 1 << 20; }
+
+    void
+    setup(Runtime &runtime) override
+    {
+        (void)runtime;
+        std::this_thread::sleep_for(kSleep);
+    }
+
+    void
+    iterate(Runtime &runtime) override
+    {
+        (void)runtime;
+        units_ += kUnitsPerIterate;
+    }
+
+    void
+    teardown(Runtime &runtime) override
+    {
+        (void)runtime;
+        std::this_thread::sleep_for(kSleep);
+    }
+
+    uint64_t workUnitsCompleted() const override { return units_; }
+
+  private:
+    uint64_t units_ = 0;
+};
+
+void
+registerSleepy()
+{
+    static bool once = [] {
+        WorkloadRegistry::instance().add("test.sleepy", [] {
+            return std::unique_ptr<Workload>(new SleepyWorkload);
+        });
+        return true;
+    }();
+    (void)once;
+}
 
 DriverOptions
 quickOptions()
@@ -81,6 +141,42 @@ TEST(Driver, MinidbWithAssertionsMatchesPaperShape)
     EXPECT_GT(summary.assertStats.assertDeadCalls, 50u);
     EXPECT_LT(summary.assertStats.assertDeadCalls, 5000u);
     EXPECT_GT(summary.owneeChecksPerGc, 5000.0);
+    EXPECT_EQ(summary.violations, 0u);
+}
+
+TEST(Driver, MeasuredWindowExcludesSetupAndTeardown)
+{
+    registerSleepy();
+    DriverOptions options;
+    options.warmupIterations = 1;
+    options.measuredIterations = 2;
+    options.repeats = 1;
+    RunSummary summary =
+        runWorkload("test.sleepy", BenchConfig::Base, options);
+    // Setup + teardown sleep 160 ms; the two measured iterations do
+    // no work. A wall-clock that leaked any of the sleeps into the
+    // window would blow straight past this bound.
+    EXPECT_LT(summary.totalSeconds.mean(), 0.04)
+        << "measured window included setup/teardown time";
+    EXPECT_EQ(summary.workUnits,
+              2 * SleepyWorkload::kUnitsPerIterate);
+    ASSERT_EQ(summary.workUnitsPerSec.count(), 1u);
+    EXPECT_GT(summary.workUnitsPerSec.mean(), 0.0);
+}
+
+TEST(Driver, WorkUnitsPerSecReflectsServerRequests)
+{
+    DriverOptions options;
+    options.warmupIterations = 0;
+    options.measuredIterations = 1;
+    options.repeats = 1;
+    RunSummary summary = runWorkload(
+        "server", BenchConfig::WithAssertions, options);
+    // One iterate = threads x requestsPerThread requests, all inside
+    // the measured window.
+    EXPECT_GT(summary.workUnits, 0u);
+    EXPECT_EQ(summary.workUnitsPerSec.count(), 1u);
+    EXPECT_GT(summary.workUnitsPerSec.mean(), 0.0);
     EXPECT_EQ(summary.violations, 0u);
 }
 

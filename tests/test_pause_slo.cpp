@@ -107,6 +107,41 @@ TEST(PauseHistogram, EmptyHistogramReportsZero)
     EXPECT_EQ(hist.max(), 0u);
 }
 
+TEST(PauseHistogram, MergeMatchesRecordingIntoOneHistogram)
+{
+    // Per-thread recorders merged afterwards (the server workload's
+    // latency pattern) must be indistinguishable from one shared
+    // histogram fed every sample.
+    Rng rng(11);
+    PauseHistogram combined;
+    PauseHistogram parts[3];
+    for (int i = 0; i < 9000; ++i) {
+        uint64_t v = rng.below(uint64_t(1) << rng.range(1, 30));
+        combined.record(v);
+        parts[i % 3].record(v);
+    }
+    PauseHistogram merged;
+    for (const PauseHistogram &part : parts)
+        merged.merge(part);
+    EXPECT_EQ(merged.count(), combined.count());
+    EXPECT_EQ(merged.max(), combined.max());
+    for (double p : {10.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_EQ(merged.percentile(p), combined.percentile(p)) << p;
+}
+
+TEST(PauseHistogram, MergeIntoEmptyAndWithEmpty)
+{
+    PauseHistogram a;
+    a.record(500);
+    PauseHistogram empty;
+    PauseHistogram dst;
+    dst.merge(a);
+    dst.merge(empty);
+    EXPECT_EQ(dst.count(), 1u);
+    EXPECT_EQ(dst.percentile(50.0), 500u);
+    EXPECT_EQ(dst.max(), 500u);
+}
+
 TEST(PauseSloTracker, BudgetZeroTracksWithoutViolations)
 {
     PauseSloTracker slo(0);

@@ -109,8 +109,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(WorkloadRegistry, ListsAllWorkloads)
 {
     auto names = WorkloadRegistry::instance().names();
-    EXPECT_EQ(names.size(), 10u);
+    EXPECT_EQ(names.size(), 11u);
     EXPECT_TRUE(WorkloadRegistry::instance().has("jbbemu"));
+    EXPECT_TRUE(WorkloadRegistry::instance().has("server"));
     EXPECT_FALSE(WorkloadRegistry::instance().has("nonexistent"));
     CaptureLogSink capture;
     EXPECT_THROW(WorkloadRegistry::instance().create("nonexistent"),
