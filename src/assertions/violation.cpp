@@ -20,8 +20,25 @@ assertionKindName(AssertionKind kind)
       case AssertionKind::OwnedBy: return "assert-ownedby";
       case AssertionKind::OwnershipMisuse: return "ownership-misuse";
       case AssertionKind::PauseSlo: return "pause-slo";
+      case AssertionKind::LeakGrowth: return "leak-growth";
+      case AssertionKind::Staleness: return "staleness";
+      case AssertionKind::TypeGrowth: return "type-growth";
     }
     return "?";
+}
+
+bool
+assertionKindContextOnly(AssertionKind kind)
+{
+    switch (kind) {
+      case AssertionKind::PauseSlo:
+      case AssertionKind::LeakGrowth:
+      case AssertionKind::Staleness:
+      case AssertionKind::TypeGrowth:
+        return true;
+      default:
+        return false;
+    }
 }
 
 std::string

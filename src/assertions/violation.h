@@ -44,10 +44,37 @@ enum class AssertionKind {
      * assertion verdict.
      */
     PauseSlo,
+    /**
+     * Backgraph growing-leak / find-leak report: an allocation
+     * site's root-path height or survivor count grew monotonically
+     * across the configured window of full collections. Context-only
+     * (detectors/backgraph), never part of any assertion verdict.
+     */
+    LeakGrowth,
+    /**
+     * Staleness-detector report: an object went unread for the
+     * configured number of collections (detectors/staleness),
+     * funneled through the engine for provenance. Context-only.
+     */
+    Staleness,
+    /**
+     * Cork-style type-growth report: a type's live volume grew
+     * across the sampling window (detectors/cork). Context-only.
+     */
+    TypeGrowth,
 };
 
 /** Short name for an assertion kind ("assert-dead" etc.). */
 const char *assertionKindName(AssertionKind kind);
+
+/**
+ * True for the context-only report kinds (PauseSlo, LeakGrowth,
+ * Staleness, TypeGrowth): findings routed through the violation
+ * funnel for provenance that are never part of any assertion
+ * verdict. Differential harnesses and exact verdict counts exclude
+ * them.
+ */
+bool assertionKindContextOnly(AssertionKind kind);
 
 /** One hop of a heap path in a report. */
 struct PathEntry {

@@ -1,0 +1,436 @@
+#include "detectors/backgraph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+
+#include "assertions/engine.h"
+#include "types/type_registry.h"
+
+namespace gcassert {
+
+namespace {
+
+/** Hashed (anonymous, return-address-derived) site ids live in the
+ *  top half of the id space so they can never collide with the dense
+ *  registered ids handed out from 1. */
+constexpr uint32_t kHashedSiteBit = 0x80000000u;
+
+} // namespace
+
+Backgraph::Backgraph(TypeRegistry &types, AssertionEngine &engine,
+                     Config config)
+    : types_(types), engine_(engine), config_(config)
+{
+    if (config_.inDegreeCap == 0) {
+        config_.inDegreeCap = 1;
+    }
+    if (config_.window == 0) {
+        config_.window = 1;
+    }
+}
+
+Backgraph::Node &Backgraph::nodeFor(Object *obj)
+{
+    // Lazy creation: objects allocated before the backgraph was
+    // armed (or written through a raw setRef) still get a node the
+    // first time they appear in the write stream.
+    return nodes_[obj];
+}
+
+bool Backgraph::eraseOne(std::vector<Object *> &vec, Object *value)
+{
+    // Latest-first: a slot overwrite retires the most recent record
+    // of the edge, matching how duplicate entries accumulated.
+    for (auto it = vec.rbegin(); it != vec.rend(); ++it) {
+        if (*it == value) {
+            vec.erase(std::next(it).base());
+            return true;
+        }
+    }
+    return false;
+}
+
+void Backgraph::removeEdgeLocked(Object *src, Object *target)
+{
+    auto node = nodes_.find(target);
+    if (node != nodes_.end() && eraseOne(node->second.preds, src)) {
+        prunedEdges_.fetch_add(1, std::memory_order_relaxed);
+        auto succ = succs_.find(src);
+        if (succ != succs_.end()) {
+            eraseOne(succ->second, target);
+            if (succ->second.empty()) {
+                succs_.erase(succ);
+            }
+        }
+    }
+}
+
+void Backgraph::noteWrite(Object *src, Object *old_target,
+                          Object *new_target)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (old_target != nullptr) {
+        removeEdgeLocked(src, old_target);
+    }
+    if (new_target == nullptr) {
+        return;
+    }
+    Node &node = nodeFor(new_target);
+    if (node.saturated) {
+        return;
+    }
+    if (node.preds.size() >= config_.inDegreeCap) {
+        // Saturation: drop the predecessor list and treat the node
+        // as a pseudo-root from now on. The dropped edges' forward
+        // mirrors must go too, or pruning would underflow later.
+        for (Object *pred : node.preds) {
+            auto succ = succs_.find(pred);
+            if (succ != succs_.end()) {
+                eraseOne(succ->second, new_target);
+                if (succ->second.empty()) {
+                    succs_.erase(succ);
+                }
+            }
+        }
+        node.preds.clear();
+        node.preds.shrink_to_fit();
+        node.saturated = true;
+        return;
+    }
+    node.preds.push_back(src);
+    succs_[src].push_back(new_target);
+    edgeRecords_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Backgraph::noteAlloc(Object *obj, uint32_t site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node &node = nodes_[obj];
+    node.site = site;
+}
+
+void Backgraph::noteFreed(Object *obj)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Outgoing edges: every target whose pred list records obj.
+    auto succ = succs_.find(obj);
+    if (succ != succs_.end()) {
+        for (Object *target : succ->second) {
+            auto node = nodes_.find(target);
+            if (node != nodes_.end() &&
+                eraseOne(node->second.preds, obj)) {
+                prunedEdges_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        succs_.erase(succ);
+    }
+
+    // Incoming edges: every pred whose forward mirror records obj.
+    auto node = nodes_.find(obj);
+    if (node != nodes_.end()) {
+        for (Object *pred : node->second.preds) {
+            auto psucc = succs_.find(pred);
+            if (psucc != succs_.end()) {
+                eraseOne(psucc->second, obj);
+                if (psucc->second.empty()) {
+                    succs_.erase(psucc);
+                }
+            }
+            prunedEdges_.fetch_add(1, std::memory_order_relaxed);
+        }
+        nodes_.erase(node);
+    }
+}
+
+uint32_t Backgraph::registerSite(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = siteIds_.find(name);
+    if (it != siteIds_.end()) {
+        return it->second;
+    }
+    uint32_t id = nextSiteId_++;
+    siteIds_.emplace(name, id);
+    siteNames_.emplace(id, name);
+    return id;
+}
+
+uint32_t Backgraph::siteFromAddress(const void *address)
+{
+    // Fibonacci hash of the code address; fold into the hashed-id
+    // half of the space and keep it nonzero.
+    auto bits = reinterpret_cast<uintptr_t>(address);
+    uint64_t h = static_cast<uint64_t>(bits) * 0x9e3779b97f4a7c15ull;
+    uint32_t folded = static_cast<uint32_t>(h >> 33) & 0x7fffffffu;
+    if (folded == 0) {
+        folded = 1;
+    }
+    return kHashedSiteBit | folded;
+}
+
+std::string Backgraph::siteName(uint32_t site) const
+{
+    if (site == 0 || (site & kHashedSiteBit) != 0) {
+        return siteNameLocked(site);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    return siteNameLocked(site);
+}
+
+std::string Backgraph::siteNameLocked(uint32_t site) const
+{
+    if (site == 0) {
+        return "?";
+    }
+    if ((site & kHashedSiteBit) != 0) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "site-0x%08x", site);
+        return buf;
+    }
+    auto it = siteNames_.find(site);
+    return it != siteNames_.end() ? it->second : "?";
+}
+
+WhyAliveReport Backgraph::whyAlive(const Object *obj) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    WhyAliveReport report;
+    auto start = nodes_.find(const_cast<Object *>(obj));
+    if (start == nodes_.end()) {
+        return report;
+    }
+    report.known = true;
+
+    // BFS rootward along predecessor lists; the parent links give
+    // the shortest rootward chain once a (pseudo-)root is found.
+    std::unordered_map<const Object *, const Object *> parent;
+    std::deque<const Object *> queue;
+    parent.emplace(obj, nullptr);
+    queue.push_back(obj);
+    const Object *root = nullptr;
+    while (!queue.empty()) {
+        const Object *cur = queue.front();
+        queue.pop_front();
+        auto it = nodes_.find(const_cast<Object *>(cur));
+        if (it == nodes_.end()) {
+            continue;
+        }
+        const Node &node = it->second;
+        if (node.saturated || node.preds.empty()) {
+            root = cur;
+            report.saturated = node.saturated;
+            break;
+        }
+        for (Object *pred : node.preds) {
+            if (parent.emplace(pred, cur).second) {
+                queue.push_back(pred);
+            }
+        }
+    }
+    if (root == nullptr) {
+        return report;
+    }
+    report.rootReached = true;
+    // The parent map points from each visited node back toward the
+    // query object, so chasing it from the root yields the rootmost-
+    // first path ending at obj.
+    for (const Object *hop = root; hop != nullptr;
+         hop = parent.at(hop)) {
+        PathEntry entry;
+        entry.typeName = types_.get(hop->typeId()).name();
+        entry.address = hop;
+        report.path.push_back(entry);
+    }
+    return report;
+}
+
+Backgraph::SampleStats Backgraph::onFullGcDone(uint64_t gc_number)
+{
+    std::vector<Violation> reports;
+    SampleStats stats;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+
+        // Multi-source BFS over the forward mirror from every
+        // rootlike node (no known predecessors, or saturated). The
+        // sweep pruned dead endpoints already, so the table holds
+        // live objects only. Cycles that lost their rootward entry
+        // to staleness simply stay height-unknown and are excluded
+        // from the trends.
+        std::deque<Object *> queue;
+        for (auto &entry : nodes_) {
+            Node &node = entry.second;
+            node.heightKnown = false;
+            node.height = 0;
+            if (node.saturated || node.preds.empty()) {
+                node.heightKnown = true;
+                queue.push_back(entry.first);
+            }
+        }
+        while (!queue.empty()) {
+            Object *cur = queue.front();
+            queue.pop_front();
+            uint32_t next_height = nodes_[cur].height + 1;
+            auto succ = succs_.find(cur);
+            if (succ == succs_.end()) {
+                continue;
+            }
+            for (Object *target : succ->second) {
+                auto it = nodes_.find(target);
+                if (it == nodes_.end() || it->second.heightKnown) {
+                    continue;
+                }
+                it->second.heightKnown = true;
+                it->second.height = next_height;
+                queue.push_back(target);
+            }
+        }
+
+        // Fold per-object heights into per-site aggregates.
+        struct SiteSample {
+            uint64_t maxHeight = 0;
+            uint64_t liveCount = 0;
+        };
+        std::unordered_map<uint32_t, SiteSample> samples;
+        for (const auto &entry : nodes_) {
+            const Node &node = entry.second;
+            SiteSample &s = samples[node.site];
+            s.liveCount += 1;
+            if (node.heightKnown && node.height > s.maxHeight) {
+                s.maxHeight = node.height;
+            }
+        }
+
+        // Update streaks: strictly-increasing runs across consecutive
+        // full-GC samples. A site is reported each time its streak
+        // crosses a multiple of the window (periodic re-report while
+        // the leak keeps growing), and a single flat sample resets
+        // it — healthy bounded structures plateau.
+        for (auto &sample : samples) {
+            uint32_t site = sample.first;
+            SiteTrend &trend = trends_[site];
+            if (trend.sampled &&
+                sample.second.maxHeight > trend.lastMaxHeight) {
+                trend.heightStreak += 1;
+            } else if (trend.sampled) {
+                trend.heightStreak = 0;
+            }
+            if (trend.sampled &&
+                sample.second.liveCount > trend.lastLiveCount) {
+                trend.liveStreak += 1;
+            } else if (trend.sampled) {
+                trend.liveStreak = 0;
+            }
+
+            if (trend.heightStreak >= config_.window &&
+                trend.heightStreak % config_.window == 0) {
+                Violation v;
+                v.kind = AssertionKind::LeakGrowth;
+                v.offendingType = siteNameLocked(site);
+                v.gcNumber = gc_number;
+                char buf[256];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "growing-leak: site '%s' root-path height rose "
+                    "%llu -> %llu over %u collections (%llu live "
+                    "objects)",
+                    v.offendingType.c_str(),
+                    static_cast<unsigned long long>(
+                        trend.lastMaxHeight),
+                    static_cast<unsigned long long>(
+                        sample.second.maxHeight),
+                    static_cast<unsigned>(trend.heightStreak),
+                    static_cast<unsigned long long>(
+                        sample.second.liveCount));
+                v.message = buf;
+                reports.push_back(std::move(v));
+                stats.growthReports += 1;
+            }
+            if (trend.liveStreak >= config_.window &&
+                trend.liveStreak % config_.window == 0) {
+                Violation v;
+                v.kind = AssertionKind::LeakGrowth;
+                v.offendingType = siteNameLocked(site);
+                v.gcNumber = gc_number;
+                char buf[256];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "find-leak: site '%s' survivors rose %llu -> "
+                    "%llu over %u collections without being freed",
+                    v.offendingType.c_str(),
+                    static_cast<unsigned long long>(
+                        trend.lastLiveCount),
+                    static_cast<unsigned long long>(
+                        sample.second.liveCount),
+                    static_cast<unsigned>(trend.liveStreak));
+                v.message = buf;
+                reports.push_back(std::move(v));
+                stats.findLeakReports += 1;
+            }
+
+            trend.lastMaxHeight = sample.second.maxHeight;
+            trend.lastLiveCount = sample.second.liveCount;
+            trend.sampled = true;
+        }
+
+        // A site with no live objects this sample is no longer
+        // trending — forget it so a later revival starts fresh.
+        for (auto it = trends_.begin(); it != trends_.end();) {
+            if (samples.find(it->first) == samples.end()) {
+                it = trends_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        stats.nodes = nodes_.size();
+        stats.sites = samples.size();
+    }
+
+    // Funnel the reports outside the mutex: the engine's violation
+    // observer enriches provenance and may call back into whyAlive.
+    for (Violation &v : reports) {
+        engine_.report(std::move(v));
+    }
+    growthReports_.fetch_add(stats.growthReports,
+                             std::memory_order_relaxed);
+    findLeakReports_.fetch_add(stats.findLeakReports,
+                               std::memory_order_relaxed);
+    return stats;
+}
+
+uint64_t Backgraph::nodeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nodes_.size();
+}
+
+uint64_t Backgraph::edgeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t edges = 0;
+    for (const auto &entry : nodes_) {
+        edges += entry.second.preds.size();
+    }
+    return edges;
+}
+
+uint64_t Backgraph::saturatedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t saturated = 0;
+    for (const auto &entry : nodes_) {
+        saturated += entry.second.saturated ? 1 : 0;
+    }
+    return saturated;
+}
+
+uint64_t Backgraph::siteCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return siteIds_.size();
+}
+
+} // namespace gcassert

@@ -60,4 +60,23 @@ CorkDetector::findGrowing() const
     return reports;
 }
 
+size_t
+CorkDetector::reportGrowing()
+{
+    std::vector<GrowthReport> growing = findGrowing();
+    for (const GrowthReport &report : growing) {
+        Violation v;
+        v.kind = AssertionKind::TypeGrowth;
+        v.offendingType = report.typeName;
+        v.gcNumber = runtime_.collections();
+        v.message = "type-growth: " + report.typeName + " grew " +
+            std::to_string(report.bytesFirst) + " -> " +
+            std::to_string(report.bytesLast) + " bytes over " +
+            std::to_string(report.growthSamples) + "/" +
+            std::to_string(report.windowSamples) + " samples";
+        runtime_.engine().report(std::move(v));
+    }
+    return growing.size();
+}
+
 } // namespace gcassert

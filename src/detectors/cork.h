@@ -61,6 +61,14 @@ class CorkDetector {
     /** Types flagged as growing across the current window. */
     std::vector<GrowthReport> findGrowing() const;
 
+    /**
+     * Run findGrowing() and route each report through the engine's
+     * violation funnel as a context-only TypeGrowth violation (same
+     * provenance enrichment as assertion violations). Returns the
+     * number of reports funneled.
+     */
+    size_t reportGrowing();
+
     size_t samplesTaken() const { return samplesTaken_; }
 
   private:

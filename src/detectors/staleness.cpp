@@ -37,4 +37,21 @@ StalenessDetector::findStale() const
     return reports;
 }
 
+size_t
+StalenessDetector::reportStale()
+{
+    std::vector<StaleReport> stale = findStale();
+    for (const StaleReport &report : stale) {
+        Violation v;
+        v.kind = AssertionKind::Staleness;
+        v.offendingType = report.typeName;
+        v.offendingAddress = report.object;
+        v.gcNumber = runtime_.collections();
+        v.message = "staleness: " + report.typeName + " untouched for " +
+            std::to_string(report.staleForGcs) + " collections";
+        runtime_.engine().report(std::move(v));
+    }
+    return stale.size();
+}
+
 } // namespace gcassert

@@ -66,6 +66,15 @@ class StalenessDetector {
      */
     std::vector<StaleReport> findStale() const;
 
+    /**
+     * Run findStale() and route each report through the engine's
+     * violation funnel as a context-only Staleness violation, so it
+     * gets the same provenance enrichment (heap state, census rows,
+     * why-alive path, trace instant) as assertion violations.
+     * Returns the number of reports funneled.
+     */
+    size_t reportStale();
+
     /** Objects currently tracked. */
     size_t trackedCount() const { return lastTouch_.size(); }
 

@@ -16,7 +16,14 @@
  *    targets on the engine's dirty set, so the next full trace's
  *    re-checks start from the mutated frontier instead of cold
  *    (mutated owner regions are scanned first; dirty/clean counts are
- *    surfaced in the stats).
+ *    surfaced in the stats), and
+ *  - feeds every reference mutation to the why-alive backgraph when
+ *    one is armed (detectors/backgraph).
+ *
+ * The slow path dispatches through a single per-runtime mode mask
+ * (remset / all-writes / backgraph), computed once at registration
+ * and consulted once per recorded source, instead of re-deriving
+ * each consumer's condition from scattered booleans.
  *
  * The registry indirection is what keeps raw Object::setRef callers
  * (tests, embedders that never adopted Runtime::writeRef) sound in
@@ -39,6 +46,7 @@ namespace gcassert {
 class Heap;
 class RememberedSet;
 class AssertionEngine;
+class Backgraph;
 
 /**
  * Arms the write barrier for one runtime's lifetime: registers the
@@ -59,11 +67,18 @@ class BarrierScope {
      *        full collection. Rides the same kRememberedBit latch:
      *        still at most one slow-path trip per written source per
      *        GC cycle.
+     * @param backgraph Optional third consumer: every reference
+     *        mutation from this runtime's heap (old target, new
+     *        target) is fed to the why-alive backgraph. Unlatched —
+     *        this is the one consumer that needs the full write
+     *        stream — so it arms the separate g_trackBackgraph
+     *        inline filter.
      */
     BarrierScope(Heap &heap, RememberedSet &remset,
                  AssertionEngine &engine,
                  std::atomic<uint64_t> *slow_hits = nullptr,
-                 bool track_all_writes = false);
+                 bool track_all_writes = false,
+                 Backgraph *backgraph = nullptr);
     ~BarrierScope();
 
     BarrierScope(const BarrierScope &) = delete;

@@ -1,6 +1,7 @@
 #include "gc/collector.h"
 
 #include "assertions/incremental.h"
+#include "detectors/backgraph.h"
 
 #include <algorithm>
 #include <thread>
@@ -253,6 +254,8 @@ Collector::minorCollect()
     NurserySweepStats swept = heap_.sweepNursery([this](Object *obj) {
         if (config_.infrastructure)
             engine_.onObjectFreed(obj);
+        if (backgraph_)
+            backgraph_->noteFreed(obj);
         for (const auto &hook : freeHooks_)
             hook(obj);
     });
@@ -488,11 +491,13 @@ Collector::collectImpl()
         sweep_options.lazy = config_.lazySweep;
         if (tr)
             sweep_options.workerSpans = &worker_spans;
-        if (kInfra || !freeHooks_.empty()) {
+        if (kInfra || !freeHooks_.empty() || backgraph_ != nullptr) {
             result.sweep = heap_.sweep(
                 [this](Object *obj) {
                     if (kInfra)
                         engine_.onObjectFreed(obj);
+                    if (backgraph_)
+                        backgraph_->noteFreed(obj);
                     for (const auto &hook : freeHooks_)
                         hook(obj);
                 },
@@ -601,6 +606,26 @@ Collector::collectImpl()
     }
     traceActive_ = false;
     costActive_ = false;
+    // Backgraph leak-trend sample: after the result (and every per-GC
+    // violation count) has settled, so its context-only LeakGrowth
+    // reports can never leak into assertion verdicts — the same
+    // placement contract as the SLO check below.
+    if (backgraph_) {
+        uint64_t t0 = tr ? nowNanos() : 0;
+        Backgraph::SampleStats sample =
+            backgraph_->onFullGcDone(stats_.collections);
+        if (tr) {
+            JsonWriter a;
+            a.beginObject()
+                .field("nodes", sample.nodes)
+                .field("sites", sample.sites)
+                .field("growthReports", sample.growthReports)
+                .field("findLeakReports", sample.findLeakReports)
+                .endObject();
+            tr->complete("backgraph_sample", "gc", t0, nowNanos(), 0,
+                         a.str());
+        }
+    }
     // SLO check dead last: the result (and every per-GC violation
     // count) is settled, so an over-budget report is pure context
     // and can never leak into assertion verdicts.

@@ -50,6 +50,7 @@
 
 namespace gcassert {
 
+class Backgraph;
 class IncrementalAssertCache;
 class Telemetry;
 class TraceRecorder;
@@ -196,6 +197,18 @@ class Collector {
     void setIncrementalCache(IncrementalAssertCache *cache)
     {
         incremental_ = cache;
+    }
+
+    /**
+     * Attach (or detach, with nullptr) the why-alive backgraph.
+     * While attached, both sweeps feed freed objects to it (exact
+     * dead-edge pruning) and each full collection's epilogue — after
+     * the result and every assertion verdict have settled — runs the
+     * backgraph's leak-trend sample. Set between collections only.
+     */
+    void setBackgraph(Backgraph *backgraph)
+    {
+        backgraph_ = backgraph;
     }
 
     /**
@@ -382,6 +395,8 @@ class Collector {
     Telemetry *telemetry_ = nullptr;
     /** Incremental recheck cache; null = classic whole-heap checks. */
     IncrementalAssertCache *incremental_ = nullptr;
+    /** Why-alive backgraph; null = no leak-trend sampling/pruning. */
+    Backgraph *backgraph_ = nullptr;
     /** True while the current GC records trace spans. */
     bool traceActive_ = false;
     /** True while the current full GC tallies a heap census. */

@@ -120,6 +120,23 @@ trackingAllWrites()
 }
 
 /**
+ * Global count of runtimes feeding the why-alive backgraph
+ * (detectors/backgraph). Unlike the two counters above this feed is
+ * *unlatched* — the backgraph needs every reference mutation, not
+ * once-per-source-per-cycle, so each non-no-op store from an armed
+ * runtime takes the slow path. The cost exists only while a
+ * backgraph runtime is alive; the common case stays one relaxed
+ * load.
+ */
+extern std::atomic<uint32_t> g_trackBackgraph;
+
+inline bool
+trackingBackgraph()
+{
+    return g_trackBackgraph.load(std::memory_order_relaxed) != 0;
+}
+
+/**
  * Out-of-line barrier slow path (src/gc/barrier.cpp): records
  * mature-to-nursery edges in the owning runtime's remembered set and
  * feeds mutated owner / unshared-target objects to its assertion
@@ -305,8 +322,10 @@ class Object {
                 (tf & kWriteDirtyBit) == 0;
             bool all_writes = detail::trackingAllWrites() &&
                 (sf & (kNurseryBit | kRememberedBit)) == 0;
+            bool backgraph =
+                detail::trackingBackgraph() && *slot != target;
             if (nursery_edge || dirty_owner || dirty_unshared ||
-                all_writes)
+                all_writes || backgraph)
                 detail::writeBarrierSlow(this, slot, target);
         }
         *slot = target;

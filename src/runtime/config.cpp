@@ -63,6 +63,30 @@ defaultIncrementalAssert()
     return incremental;
 }
 
+bool
+defaultBackgraph()
+{
+    static const bool backgraph =
+        envUint("GCASSERT_BACKGRAPH", 0) != 0;
+    return backgraph;
+}
+
+uint32_t
+defaultBackgraphInDegreeCap()
+{
+    static const uint32_t cap = static_cast<uint32_t>(
+        envUint("GCASSERT_BACKGRAPH_INDEGREE_CAP", 8));
+    return cap ? cap : 8;
+}
+
+uint32_t
+defaultBackgraphWindow()
+{
+    static const uint32_t window = static_cast<uint32_t>(
+        envUint("GCASSERT_BACKGRAPH_WINDOW", 3));
+    return window ? window : 3;
+}
+
 RuntimeConfig
 RuntimeConfig::base(uint64_t heap_bytes)
 {

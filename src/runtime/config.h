@@ -38,6 +38,9 @@ bool defaultTlabEnabled();
 bool defaultGenerational();
 uint32_t defaultNurseryKb();
 bool defaultIncrementalAssert();
+bool defaultBackgraph();
+uint32_t defaultBackgraphInDegreeCap();
+uint32_t defaultBackgraphWindow();
 /** @} */
 
 /**
@@ -123,6 +126,33 @@ struct RuntimeConfig {
      * Defaults to $GCASSERT_INCREMENTAL_ASSERT or false.
      */
     bool incrementalAssert = defaultIncrementalAssert();
+
+    /**
+     * Always-on why-alive backgraph + leak detectors
+     * (detectors/backgraph): maintain a bounded backwards points-to
+     * graph from the write-barrier stream, answer
+     * Runtime::whyAlive() at any time, and report allocation sites
+     * whose root-path height or survivor count grows monotonically
+     * across full collections. Verdict-neutral: GC cadence, freed
+     * sets and assertion verdicts are bit-identical on or off; leak
+     * findings arrive as context-only LeakGrowth violations.
+     * Defaults to $GCASSERT_BACKGRAPH or false.
+     */
+    bool backgraph = defaultBackgraph();
+
+    /**
+     * Backgraph per-node in-degree cap: predecessor entries kept
+     * before a node saturates into a pseudo-root (the access-graph
+     * bound). Defaults to $GCASSERT_BACKGRAPH_INDEGREE_CAP or 8.
+     */
+    uint32_t backgraphInDegreeCap = defaultBackgraphInDegreeCap();
+
+    /**
+     * Backgraph trend window: consecutive growing full-GC samples
+     * before an allocation site is reported as leaking. Defaults to
+     * $GCASSERT_BACKGRAPH_WINDOW or 3.
+     */
+    uint32_t backgraphWindow = defaultBackgraphWindow();
 
     /** Engine behaviour switches. */
     EngineOptions engine;

@@ -39,16 +39,40 @@ Runtime::Runtime(RuntimeConfig config)
         engine_.setIncremental(incremental_.get());
         collector_.setIncrementalCache(incremental_.get());
     }
+    // Why-alive backgraph: third write-barrier consumer; the
+    // collector prunes dead edges during sweep and samples the leak
+    // trends after each full collection's verdicts settle.
+    if (config_.backgraph) {
+        backgraph_ = std::make_unique<Backgraph>(
+            types_, engine_,
+            Backgraph::Config{config_.backgraphInDegreeCap,
+                              config_.backgraphWindow});
+        collector_.setBackgraph(backgraph_.get());
+    }
     // The barrier arms for generational collection, for the
-    // incremental recheck's all-writes card stream, or both.
-    if (config_.generational || incremental_)
+    // incremental recheck's all-writes card stream, for the
+    // backgraph's full write stream, or any combination.
+    if (config_.generational || incremental_ || backgraph_)
         barrier_ = std::make_unique<BarrierScope>(
             heap_, remset_, engine_, &barrierSlowHits_,
-            /*track_all_writes=*/incremental_ != nullptr);
+            /*track_all_writes=*/incremental_ != nullptr,
+            backgraph_.get());
     if (config_.observe.any()) {
         telemetry_ = std::make_unique<Telemetry>(config_.observe);
         collector_.setTelemetry(telemetry_.get());
         wireTelemetry();
+    } else if (backgraph_) {
+        // No telemetry, but the backgraph can still answer what
+        // keeps a violation's offender alive — attach the lighter
+        // observer variant with only the whyAlive enrichment.
+        engine_.setViolationObserver([this](Violation &v) {
+            JsonWriter w;
+            w.beginObject();
+            if (appendWhyAliveJson(w, v)) {
+                w.endObject();
+                v.provenanceJson = w.str();
+            }
+        });
     }
 }
 
@@ -102,6 +126,22 @@ Runtime::wireTelemetry()
         m.gauge("assert.cache.hits", [&as] { return as.cacheHits; });
         m.gauge("assert.cache.invalidations",
                 [&as] { return as.cacheInvalidations; });
+    }
+    if (backgraph_) {
+        const Backgraph *bg = backgraph_.get();
+        m.gauge("backgraph.nodes", [bg] { return bg->nodeCount(); });
+        m.gauge("backgraph.edges", [bg] { return bg->edgeCount(); });
+        m.gauge("backgraph.saturated_nodes",
+                [bg] { return bg->saturatedCount(); });
+        m.gauge("backgraph.sites", [bg] { return bg->siteCount(); });
+        m.gauge("backgraph.edge_records",
+                [bg] { return bg->edgeRecords(); });
+        m.gauge("backgraph.pruned_edges",
+                [bg] { return bg->prunedEdges(); });
+        m.gauge("backgraph.growth_reports",
+                [bg] { return bg->growthReports(); });
+        m.gauge("backgraph.find_leak_reports",
+                [bg] { return bg->findLeakReports(); });
     }
 
     // Pause SLO: streaming percentiles per pause flavour plus the
@@ -162,6 +202,7 @@ Runtime::wireTelemetry()
             w.field("censusGc", census.gcNumber);
             w.key("censusTop").valueRaw(census.topRowsJson(5));
         }
+        appendWhyAliveJson(w, v);
         w.endObject();
         v.provenanceJson = w.str();
         if (TraceRecorder *tr = t->recorder()) {
@@ -174,6 +215,27 @@ Runtime::wireTelemetry()
             tr->instant("violation", "assert", nowNanos(), a.str());
         }
     });
+}
+
+bool
+Runtime::appendWhyAliveJson(JsonWriter &w, const Violation &v)
+{
+    if (!backgraph_ || !v.offendingAddress)
+        return false;
+    WhyAliveReport why = backgraph_->whyAlive(
+        static_cast<const Object *>(v.offendingAddress));
+    if (!why.known)
+        return false;
+    JsonWriter inner;
+    inner.beginObject()
+        .field("rootReached", why.rootReached)
+        .field("saturated", why.saturated);
+    inner.key("path").beginArray();
+    for (const PathEntry &hop : why.path)
+        inner.value(hop.typeName);
+    inner.endArray().endObject();
+    w.key("whyAlive").valueRaw(inner.str());
+    return true;
 }
 
 void
@@ -200,7 +262,7 @@ Runtime::registerMutator(const std::string &name)
 
 Object *
 Runtime::tlabFastAlloc(TypeId type, MutatorContext *mutator,
-                       bool retain_local)
+                       bool retain_local, uint32_t site)
 {
     std::shared_lock<std::shared_mutex> guard(lock_);
     // Alloc hooks (leak-detector side tables) predate the shared
@@ -222,6 +284,10 @@ Runtime::tlabFastAlloc(TypeId type, MutatorContext *mutator,
             ctx.retainLocal(obj);
         if (config_.infrastructure)
             ctx.noteAllocation(obj);
+        // Site tagging under the shared lock is safe: the backgraph
+        // serializes on its own mutex.
+        if (backgraph_)
+            backgraph_->noteAlloc(obj, site);
     }
     return obj;
 }
@@ -241,12 +307,17 @@ Runtime::maybeMinorCollect()
 }
 
 Object *
-Runtime::allocRaw(TypeId type, MutatorContext *mutator)
+Runtime::allocRaw(TypeId type, MutatorContext *mutator, uint32_t site)
 {
+    // Untagged allocation with the backgraph on: hash the caller's
+    // return address into an anonymous allocation site, so find-leak
+    // trends still name a stable per-call-site bucket.
+    if (backgraph_ && site == 0)
+        site = Backgraph::siteFromAddress(__builtin_return_address(0));
     maybeMinorCollect();
     Object *obj = nullptr;
     if (config_.tlab)
-        obj = tlabFastAlloc(type, mutator, /*retain_local=*/false);
+        obj = tlabFastAlloc(type, mutator, /*retain_local=*/false, site);
     if (!obj) {
         std::lock_guard<std::shared_mutex> guard(lock_);
         const TypeDescriptor &desc = types_.get(type);
@@ -256,10 +327,10 @@ Runtime::allocRaw(TypeId type, MutatorContext *mutator)
         if (config_.tlab && allocHooks_.empty()) {
             MutatorContext &ctx = mutator ? *mutator : mutators_.main();
             obj = tlabRefillAllocLocked(type, desc.fixedRefs(),
-                                        desc.scalarBytes(), ctx);
+                                        desc.scalarBytes(), ctx, site);
         } else {
             obj = allocLocked(type, desc.fixedRefs(), desc.scalarBytes(),
-                              mutator);
+                              mutator, site);
         }
     }
     maybeRunFinalizers();
@@ -267,12 +338,14 @@ Runtime::allocRaw(TypeId type, MutatorContext *mutator)
 }
 
 Object *
-Runtime::allocLocal(TypeId type, MutatorContext *mutator)
+Runtime::allocLocal(TypeId type, MutatorContext *mutator, uint32_t site)
 {
+    if (backgraph_ && site == 0)
+        site = Backgraph::siteFromAddress(__builtin_return_address(0));
     maybeMinorCollect();
     Object *obj = nullptr;
     if (config_.tlab)
-        obj = tlabFastAlloc(type, mutator, /*retain_local=*/true);
+        obj = tlabFastAlloc(type, mutator, /*retain_local=*/true, site);
     if (!obj) {
         std::lock_guard<std::shared_mutex> guard(lock_);
         const TypeDescriptor &desc = types_.get(type);
@@ -282,9 +355,9 @@ Runtime::allocLocal(TypeId type, MutatorContext *mutator)
         MutatorContext &ctx = mutator ? *mutator : mutators_.main();
         obj = config_.tlab && allocHooks_.empty()
             ? tlabRefillAllocLocked(type, desc.fixedRefs(),
-                                    desc.scalarBytes(), ctx)
+                                    desc.scalarBytes(), ctx, site)
             : allocLocked(type, desc.fixedRefs(), desc.scalarBytes(),
-                          &ctx);
+                          &ctx, site);
         ctx.retainLocal(obj);
     }
     maybeRunFinalizers();
@@ -302,28 +375,32 @@ Runtime::dropLocalRoots(MutatorContext *mutator)
 
 Object *
 Runtime::allocArrayRaw(TypeId type, uint32_t length,
-                       MutatorContext *mutator)
+                       MutatorContext *mutator, uint32_t site)
 {
+    if (backgraph_ && site == 0)
+        site = Backgraph::siteFromAddress(__builtin_return_address(0));
     maybeMinorCollect();
     std::lock_guard<std::shared_mutex> guard(lock_);
     const TypeDescriptor &desc = types_.get(type);
     if (!desc.isArray())
         fatal(format("allocArrayRaw: type '%s' is not an array type",
                      desc.name().c_str()));
-    return allocLocked(type, length, desc.scalarBytes(), mutator);
+    return allocLocked(type, length, desc.scalarBytes(), mutator, site);
 }
 
 Object *
 Runtime::allocScalarRaw(TypeId type, uint32_t scalar_bytes,
-                        MutatorContext *mutator)
+                        MutatorContext *mutator, uint32_t site)
 {
+    if (backgraph_ && site == 0)
+        site = Backgraph::siteFromAddress(__builtin_return_address(0));
     maybeMinorCollect();
     std::lock_guard<std::shared_mutex> guard(lock_);
     const TypeDescriptor &desc = types_.get(type);
     if (!desc.isArray())
         fatal(format("allocScalarRaw: type '%s' is not an array type",
                      desc.name().c_str()));
-    return allocLocked(type, 0, scalar_bytes, mutator);
+    return allocLocked(type, 0, scalar_bytes, mutator, site);
 }
 
 Handle
@@ -341,7 +418,8 @@ Runtime::alloc(TypeId type, MutatorContext *mutator)
             fatal(format("alloc: type '%s' is an array type; use "
                          "allocArray", desc.name().c_str()));
         Object *obj = allocLocked(type, desc.fixedRefs(),
-                                  desc.scalarBytes(), mutator);
+                                  desc.scalarBytes(), mutator,
+                                  /*site=*/0);
         handle.runtime_ = this;
         roots_.add(handle.node_, obj, "local");
     }
@@ -360,7 +438,7 @@ Runtime::allocArray(TypeId type, uint32_t length, MutatorContext *mutator)
             fatal(format("allocArray: type '%s' is not an array type",
                          desc.name().c_str()));
         Object *obj = allocLocked(type, length, desc.scalarBytes(),
-                                  mutator);
+                                  mutator, /*site=*/0);
         handle.runtime_ = this;
         roots_.add(handle.node_, obj, "local");
     }
@@ -369,7 +447,8 @@ Runtime::allocArray(TypeId type, uint32_t length, MutatorContext *mutator)
 
 Object *
 Runtime::allocLocked(TypeId type, uint32_t num_refs,
-                     uint32_t scalar_bytes, MutatorContext *mutator)
+                     uint32_t scalar_bytes, MutatorContext *mutator,
+                     uint32_t site)
 {
     Object *obj = heap_.allocate(type, num_refs, scalar_bytes);
     if (!obj) {
@@ -396,6 +475,8 @@ Runtime::allocLocked(TypeId type, uint32_t num_refs,
         MutatorContext &ctx = mutator ? *mutator : mutators_.main();
         ctx.noteAllocation(obj);
     }
+    if (backgraph_)
+        backgraph_->noteAlloc(obj, site);
     for (const auto &hook : allocHooks_)
         hook(obj);
     return obj;
@@ -403,12 +484,13 @@ Runtime::allocLocked(TypeId type, uint32_t num_refs,
 
 Object *
 Runtime::tlabRefillAllocLocked(TypeId type, uint32_t num_refs,
-                               uint32_t scalar_bytes, MutatorContext &ctx)
+                               uint32_t scalar_bytes, MutatorContext &ctx,
+                               uint32_t site)
 {
     uint32_t size = Object::sizeFor(num_refs, scalar_bytes);
     size_t size_class = sizeClassFor(size);
     if (size_class >= kNumSizeClasses)
-        return allocLocked(type, num_refs, scalar_bytes, &ctx);
+        return allocLocked(type, num_refs, scalar_bytes, &ctx, site);
 
     // A fresh lease always has free cells, so a failure after the
     // refill can only be the budget: apply the same collect-then-
@@ -439,7 +521,26 @@ Runtime::tlabRefillAllocLocked(TypeId type, uint32_t num_refs,
     }
     if (config_.infrastructure)
         ctx.noteAllocation(obj);
+    if (backgraph_)
+        backgraph_->noteAlloc(obj, site);
     return obj;
+}
+
+uint32_t
+Runtime::allocSite(const std::string &name)
+{
+    return backgraph_ ? backgraph_->registerSite(name) : 0;
+}
+
+WhyAliveReport
+Runtime::whyAlive(const Object *obj)
+{
+    if (!backgraph_)
+        return {};
+    // Shared lock: excludes a concurrent collection (whose sweep
+    // mutates the graph) without serializing mutator allocation.
+    std::shared_lock<std::shared_mutex> guard(lock_);
+    return backgraph_->whyAlive(obj);
 }
 
 void

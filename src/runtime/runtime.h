@@ -29,6 +29,7 @@
 
 #include "assertions/engine.h"
 #include "assertions/incremental.h"
+#include "detectors/backgraph.h"
 #include "gc/barrier.h"
 #include "gc/collector.h"
 #include "gc/mutator.h"
@@ -40,6 +41,8 @@
 #include "types/type_registry.h"
 
 namespace gcassert {
+
+class JsonWriter;
 
 /**
  * A complete managed runtime instance.
@@ -72,6 +75,9 @@ class Runtime {
     {
         return incremental_.get();
     }
+
+    /** Why-alive backgraph; nullptr unless config.backgraph. */
+    Backgraph *backgraph() { return backgraph_.get(); }
     /** @} */
 
     /** @name Observability
@@ -111,16 +117,22 @@ class Runtime {
      * @param type A non-array type id.
      * @param mutator Allocating mutator (nullptr = main), consulted
      *                for region tracking.
+     * @param site Allocation-site tag for the backgraph's find-leak
+     *             mode (see allocSite). 0 = untagged: with the
+     *             backgraph on, the caller's return address is
+     *             hashed into an anonymous site instead.
      * @return The new object (never nullptr; fatal on OOM).
      */
-    Object *allocRaw(TypeId type, MutatorContext *mutator = nullptr);
+    Object *allocRaw(TypeId type, MutatorContext *mutator = nullptr,
+                     uint32_t site = 0);
 
     /**
      * Allocate an instance of array type @p type with @p length
      * reference slots.
      */
     Object *allocArrayRaw(TypeId type, uint32_t length,
-                          MutatorContext *mutator = nullptr);
+                          MutatorContext *mutator = nullptr,
+                          uint32_t site = 0);
 
     /**
      * Allocate an instance of scalar-array type @p type with
@@ -128,7 +140,8 @@ class Runtime {
      * of a Java char[]/byte[]).
      */
     Object *allocScalarRaw(TypeId type, uint32_t scalar_bytes,
-                           MutatorContext *mutator = nullptr);
+                           MutatorContext *mutator = nullptr,
+                           uint32_t site = 0);
 
     /**
      * Rooted allocation: allocate and register the handle's root
@@ -151,10 +164,31 @@ class Runtime {
      * the pins with dropLocalRoots(). This is the scalable analog of
      * alloc() for worker threads.
      */
-    Object *allocLocal(TypeId type, MutatorContext *mutator = nullptr);
+    Object *allocLocal(TypeId type, MutatorContext *mutator = nullptr,
+                       uint32_t site = 0);
 
     /** Release every object pinned by allocLocal on @p mutator. */
     void dropLocalRoots(MutatorContext *mutator = nullptr);
+
+    /** @} */
+
+    /** @name Why-alive backgraph (detectors/backgraph)
+     *  @{ */
+
+    /**
+     * Register a named allocation site for the backgraph's leak
+     * reports and return its tag, to be passed to allocRaw /
+     * allocLocal. Returns 0 (the untagged site) when the backgraph
+     * is off, so call sites need no gating.
+     */
+    uint32_t allocSite(const std::string &name);
+
+    /**
+     * What keeps @p obj alive right now: a rootward path from the
+     * bounded backwards points-to graph. known=false when the
+     * backgraph is off or the object predates it.
+     */
+    WhyAliveReport whyAlive(const Object *obj);
 
     /** @} */
 
@@ -255,7 +289,8 @@ class Runtime {
 
     /** Allocation core; assumes the exclusive lock is held. */
     Object *allocLocked(TypeId type, uint32_t num_refs,
-                        uint32_t scalar_bytes, MutatorContext *mutator);
+                        uint32_t scalar_bytes, MutatorContext *mutator,
+                        uint32_t site);
 
     /**
      * TLAB slow path; assumes the exclusive lock is held. Refills
@@ -265,7 +300,7 @@ class Runtime {
      */
     Object *tlabRefillAllocLocked(TypeId type, uint32_t num_refs,
                                   uint32_t scalar_bytes,
-                                  MutatorContext &ctx);
+                                  MutatorContext &ctx, uint32_t site);
 
     /**
      * TLAB fast path: bump-allocate under the shared lock. Returns
@@ -274,7 +309,7 @@ class Runtime {
      * assume serialization.
      */
     Object *tlabFastAlloc(TypeId type, MutatorContext *mutator,
-                          bool retain_local);
+                          bool retain_local, uint32_t site);
 
     /** Collection core; assumes the lock is held. */
     CollectionResult collectLocked();
@@ -299,6 +334,14 @@ class Runtime {
     /** Register the standard gauge set and the violation observer. */
     void wireTelemetry();
 
+    /**
+     * Append a "whyAlive" field (rootward path for the violation's
+     * offender) to an open provenance object. Returns false — and
+     * appends nothing — when the backgraph is off or the violation
+     * carries no offending address.
+     */
+    bool appendWhyAliveJson(JsonWriter &w, const Violation &v);
+
     RuntimeConfig config_;
     TypeRegistry types_;
     Heap heap_;
@@ -314,6 +357,10 @@ class Runtime {
      *  before any allocation. Declared before collector_ so the
      *  collector's raw pointer never dangles. */
     std::unique_ptr<IncrementalAssertCache> incremental_;
+    /** Why-alive backgraph; non-null iff config_.backgraph. Declared
+     *  before collector_ so the collector's raw pointer never
+     *  dangles (barrier_, its other feeder, tears down first). */
+    std::unique_ptr<Backgraph> backgraph_;
     Collector collector_;
     /** Write-barrier slow-path entries attributed to this runtime
      *  (fed to the barrier scope; surfaced as a metrics counter). */

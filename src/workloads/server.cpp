@@ -99,6 +99,18 @@ ServerWorkload::setup(Runtime &runtime)
     leakListType_ =
         types.define("SrvLeakList").refs({"head"}).scalars(8).build();
 
+    // Named allocation sites: the backgraph's growing-leak reports
+    // name these instead of hashed return addresses, so a leak in
+    // the request path attributes to "srv.request.node" rather than
+    // an anonymous code address. All 0 (untagged) with the backgraph
+    // off — allocSite is a no-op then.
+    siteUser_ = runtime.allocSite("srv.user.refresh");
+    siteCacheEntry_ = runtime.allocSite("srv.cache.entry");
+    siteCacheValue_ = runtime.allocSite("srv.cache.value");
+    siteBuffer_ = runtime.allocSite("srv.pool.buffer");
+    siteRequest_ = runtime.allocSite("srv.request");
+    siteRequestNode_ = runtime.allocSite("srv.request.node");
+
     sessionUserSlot_ = types.get(sessionType_).slotIndex("user");
     cacheHeadSlot_ = types.get(cacheType_).slotIndex("head");
     cacheTailSlot_ = types.get(cacheType_).slotIndex("tail");
@@ -117,7 +129,12 @@ ServerWorkload::setup(Runtime &runtime)
         Object *session = runtime.allocRaw(sessionType_);
         Handle guard(runtime, session, "srv.session");
         session->setScalar<uint64_t>(0, i);
-        Object *user = runtime.allocRaw(userType_);
+        // Same site tag as the refresh path: the site names "the
+        // session's user profile", so its live count stays pinned at
+        // the session count (a refresh replaces, never adds) and the
+        // find-leak trend cannot mistake first-refresh churn for
+        // monotone growth.
+        Object *user = runtime.allocRaw(userType_, nullptr, siteUser_);
         Handle uguard(runtime, user, "srv.user");
         user->setScalar<uint64_t>(0, i);
         runtime.writeRef(session, sessionUserSlot_, user);
@@ -214,9 +231,11 @@ ServerWorkload::cacheLookupOrInsert(Runtime &runtime,
 
     // Miss: a new entry + value join the cache (mature allocations,
     // outside any region); eviction turns the tail into garbage.
-    Object *entry = runtime.allocLocal(entryType_, &mutator);
+    Object *entry =
+        runtime.allocLocal(entryType_, &mutator, siteCacheEntry_);
     entry->setScalar<uint64_t>(0, key);
-    Object *value = runtime.allocLocal(valueType_, &mutator);
+    Object *value =
+        runtime.allocLocal(valueType_, &mutator, siteCacheValue_);
     value->setScalar<uint64_t>(0, key);
     runtime.writeRef(entry, entryValueSlot_, value);
     cachePushFront(runtime, entry);
@@ -254,7 +273,8 @@ ServerWorkload::serveRequest(Runtime &runtime, MutatorContext &mutator,
         if (rng.chance(0.02)) {
             // Profile refresh: the old user object becomes mature
             // garbage for a later full sweep.
-            Object *user = runtime.allocLocal(userType_, &mutator);
+            Object *user =
+                runtime.allocLocal(userType_, &mutator, siteUser_);
             user->setScalar<uint64_t>(0, worker_seq);
             runtime.writeRef(session, sessionUserSlot_, user);
         }
@@ -269,8 +289,8 @@ ServerWorkload::serveRequest(Runtime &runtime, MutatorContext &mutator,
             if (poolCheckouts_ % 512 == 0) {
                 // Slow pool replacement: retire the checked-out
                 // buffer for a fresh one.
-                Object *fresh =
-                    runtime.allocLocal(bufferType_, &mutator);
+                Object *fresh = runtime.allocLocal(
+                    bufferType_, &mutator, siteBuffer_);
                 runtime.writeRef(pool_.get(), pool_idx, fresh);
             }
             buffer = pool_->ref(pool_idx);
@@ -288,13 +308,15 @@ ServerWorkload::serveRequest(Runtime &runtime, MutatorContext &mutator,
         runtime.startRegion(&mutator, label);
     }
 
-    Object *req = runtime.allocLocal(requestType_, &mutator);
+    Object *req =
+        runtime.allocLocal(requestType_, &mutator, siteRequest_);
     req->setScalar<uint64_t>(0, worker_seq);
     uint32_t chain = 6 + static_cast<uint32_t>(rng.below(8));
     Object *head = nullptr;
     uint64_t digest = worker_seq;
     for (uint32_t i = 0; i < chain; ++i) {
-        Object *node = runtime.allocLocal(nodeType_, &mutator);
+        Object *node =
+            runtime.allocLocal(nodeType_, &mutator, siteRequestNode_);
         node->setScalar<uint64_t>(0, worker_seq ^ i);
         uint64_t payload = rng.next();
         node->setScalar<uint64_t>(8, payload);

@@ -188,6 +188,15 @@ class ServerWorkload : public Workload {
     TypeId nodeType_ = kInvalidTypeId;
     TypeId leakListType_ = kInvalidTypeId;
 
+    /** Named backgraph allocation-site tags for the per-request
+     *  alloc paths (0 — untagged — when the backgraph is off). */
+    uint32_t siteUser_ = 0;
+    uint32_t siteCacheEntry_ = 0;
+    uint32_t siteCacheValue_ = 0;
+    uint32_t siteBuffer_ = 0;
+    uint32_t siteRequest_ = 0;
+    uint32_t siteRequestNode_ = 0;
+
     uint32_t sessionUserSlot_ = 0;
     uint32_t cacheHeadSlot_ = 0;
     uint32_t cacheTailSlot_ = 0;

@@ -501,7 +501,7 @@ runThreadedScenario(const RuntimeConfig &config, uint64_t seed,
     rt.collect();
 
     for (const Violation &v : rt.violations()) {
-        if (v.kind == AssertionKind::PauseSlo)
+        if (assertionKindContextOnly(v.kind))
             continue;
         out.violations.insert(std::string(assertionKindName(v.kind)) +
                               "|" + v.offendingType);

@@ -59,6 +59,7 @@ baselineConfig()
     config.tlab = false;
     config.generational = false;
     config.incrementalAssert = false;
+    config.backgraph = false;
     config.observe = ObserveConfig{};
     config.observe.traceFile.clear();
     config.observe.metricsSink.clear();
@@ -83,6 +84,13 @@ fuzzConfig(Rng &rng, uint64_t seed, uint64_t combo)
                            ? static_cast<uint32_t>(rng.range(16, 64))
                            : config.nurseryKb;
     config.incrementalAssert = rng.chance(0.5);
+    config.backgraph = rng.chance(0.5);
+    if (config.backgraph) {
+        const uint32_t cap_choices[] = {2, 4, 8};
+        config.backgraphInDegreeCap = cap_choices[rng.below(3)];
+        config.backgraphWindow =
+            static_cast<uint32_t>(rng.range(2, 4));
+    }
     if (rng.chance(0.3))
         config.observe.traceFile = fuzzTracePath(seed, combo);
     if (rng.chance(0.3))
@@ -102,6 +110,9 @@ describeConfig(const RuntimeConfig &c)
            " gen=" + std::to_string(c.generational) +
            " nurseryKb=" + std::to_string(c.nurseryKb) +
            " incr=" + std::to_string(c.incrementalAssert) +
+           " backgraph=" + std::to_string(c.backgraph) +
+           " bgcap=" + std::to_string(c.backgraphInDegreeCap) +
+           " bgwin=" + std::to_string(c.backgraphWindow) +
            " trace=" + std::to_string(!c.observe.traceFile.empty()) +
            " census=" + std::to_string(c.observe.censusEvery) +
            " slo=" + std::to_string(c.observe.pauseBudgetNanos);
@@ -112,9 +123,12 @@ runScenario(const RuntimeConfig &config, uint64_t seed)
 {
     difftest::ScenarioOptions opt;
     opt.includeMessages = true;
-    // An armed pause budget adds context-only reports; every other
-    // verdict must still match byte for byte.
-    opt.ignoreKinds = {AssertionKind::PauseSlo};
+    // Context-only reports (pause SLO, backgraph leak trends) vary
+    // with the knobs; every other verdict must still match byte for
+    // byte.
+    opt.ignoreKinds = {AssertionKind::PauseSlo, AssertionKind::LeakGrowth,
+                       AssertionKind::Staleness,
+                       AssertionKind::TypeGrowth};
     return difftest::runRootedScenario(config, seed, opt);
 }
 
@@ -182,13 +196,14 @@ TEST(ConfigFuzz, ServerWorkloadIsExactUnderFuzzedKnobs)
         server->enableAssertions(rt);
         server->iterate(rt);
         rt.collect();
-        // An armed pause budget may add PauseSlo context reports;
-        // only the assertion verdicts are exactness-checked.
+        // Context-only reports (pause SLO, backgraph leak trends)
+        // may ride along; only assertion verdicts are
+        // exactness-checked.
         uint64_t alldead = 0, other = 0;
         for (const Violation &v : rt.violations()) {
             if (v.kind == AssertionKind::AllDead)
                 ++alldead;
-            else if (v.kind != AssertionKind::PauseSlo)
+            else if (!assertionKindContextOnly(v.kind))
                 ++other;
         }
         EXPECT_EQ(server->requestsCompleted(),

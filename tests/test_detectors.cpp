@@ -151,6 +151,123 @@ TEST_F(CorkTest, NeedsAtLeastTwoSamples)
     EXPECT_TRUE(detector.findGrowing().empty());
 }
 
+TEST_F(StalenessTest, ReportStaleFunnelsContextOnlyViolations)
+{
+    StalenessDetector detector(*runtime_, 2);
+    Handle root = rootedNode(1, "stale-root");
+    Object *idle = node(2);
+    root->setRef(0, idle);
+    for (int i = 0; i < 3; ++i)
+        runtime_->collect();
+
+    size_t funneled = detector.reportStale();
+    EXPECT_EQ(funneled, detector.findStale().size());
+    auto reports = violationsOf(AssertionKind::Staleness);
+    ASSERT_EQ(reports.size(), funneled);
+    bool found_idle = false;
+    for (const Violation &v : reports) {
+        EXPECT_TRUE(assertionKindContextOnly(v.kind));
+        EXPECT_EQ(v.offendingType, "Node");
+        EXPECT_EQ(v.message.rfind("staleness:", 0), 0u) << v.message;
+        EXPECT_EQ(v.gcNumber, runtime_->collections());
+        ASSERT_NE(v.offendingAddress, nullptr);
+        found_idle |= v.offendingAddress == idle;
+    }
+    EXPECT_TRUE(found_idle);
+}
+
+TEST_F(StalenessTest, TouchOnUntrackedObjectIsHarmless)
+{
+    StalenessDetector detector(*runtime_, 1);
+    // An address the detector never saw allocated (e.g. a pre-attach
+    // object, or one already purged) must not start being tracked.
+    alignas(Object) unsigned char fake[sizeof(Object)] = {};
+    size_t before = detector.trackedCount();
+    detector.touch(reinterpret_cast<const Object *>(fake));
+    EXPECT_EQ(detector.trackedCount(), before);
+}
+
+TEST_F(StalenessTest, ZeroThresholdFlagsEverythingAfterOneGc)
+{
+    StalenessDetector detector(*runtime_, 0);
+    Handle root = rootedNode(1);
+    runtime_->collect();
+    bool flagged = false;
+    for (const auto &report : detector.findStale())
+        flagged |= report.object == root.get();
+    EXPECT_TRUE(flagged);
+}
+
+TEST_F(CorkTest, ReportGrowingFunnelsContextOnlyViolations)
+{
+    CorkDetector detector(*runtime_, 4, 0.75);
+    Handle arr(*runtime_, runtime_->allocArrayRaw(arrayType_, 4096),
+               "growing");
+    uint32_t next = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 200; ++i)
+            arr->setRef(next++, node(next));
+        runtime_->collect();
+        detector.sample();
+    }
+
+    size_t funneled = detector.reportGrowing();
+    EXPECT_EQ(funneled, detector.findGrowing().size());
+    auto reports = violationsOf(AssertionKind::TypeGrowth);
+    ASSERT_EQ(reports.size(), funneled);
+    bool node_type = false;
+    for (const Violation &v : reports) {
+        EXPECT_TRUE(assertionKindContextOnly(v.kind));
+        EXPECT_EQ(v.message.rfind("type-growth:", 0), 0u) << v.message;
+        EXPECT_EQ(v.gcNumber, runtime_->collections());
+        // Type-level report: no single offending instance.
+        EXPECT_EQ(v.offendingAddress, nullptr);
+        node_type |= v.offendingType == "Node";
+    }
+    EXPECT_TRUE(node_type);
+}
+
+TEST_F(CorkTest, StableHeapFunnelsNothing)
+{
+    CorkDetector detector(*runtime_, 4, 0.75);
+    Handle root = rootedNode(1);
+    for (int i = 0; i < 5; ++i) {
+        runtime_->collect();
+        detector.sample();
+    }
+    EXPECT_EQ(detector.reportGrowing(), 0u);
+    EXPECT_TRUE(violationsOf(AssertionKind::TypeGrowth).empty());
+}
+
+TEST_F(CorkTest, ShrinkResetsTheGrowthWindow)
+{
+    // Growth, then a release, then growth again: the window straddles
+    // the shrink, so the growth fraction dips below the threshold and
+    // the type must not be reported until it grows persistently again.
+    CorkDetector detector(*runtime_, 4, 0.75);
+    Handle arr(*runtime_, runtime_->allocArrayRaw(arrayType_, 4096),
+               "sawtooth");
+    uint32_t next = 0;
+    for (int i = 0; i < 200; ++i)
+        arr->setRef(next++, node(next));
+    runtime_->collect();
+    detector.sample();
+    for (int i = 0; i < 100; ++i)
+        arr->setRef(next++, node(next));
+    runtime_->collect();
+    detector.sample();
+    // Release everything: live Node volume collapses.
+    for (uint32_t i = 0; i < next; ++i)
+        arr->setRef(i, nullptr);
+    runtime_->collect();
+    detector.sample();
+    runtime_->collect();
+    detector.sample();
+    for (const auto &report : detector.findGrowing())
+        EXPECT_NE(report.typeName, "Node")
+            << "sawtooth volume reported as persistent growth";
+}
+
 class ProbesTest : public RuntimeTest {};
 
 TEST_F(ProbesTest, ProbeDeadOnGarbage)

@@ -35,14 +35,15 @@ allDeadCount(const Runtime &rt)
     return n;
 }
 
-/** Violations excluding PauseSlo — a CI leg may arm a global pause
- *  budget, whose context-only reports are not assertion verdicts. */
+/** Violations excluding context-only reports — a CI leg may arm a
+ *  global pause budget or the backgraph, whose reports are not
+ *  assertion verdicts. */
 uint64_t
 verdictCount(const Runtime &rt)
 {
     uint64_t n = 0;
     for (const Violation &v : rt.violations())
-        if (v.kind != AssertionKind::PauseSlo)
+        if (!assertionKindContextOnly(v.kind))
             ++n;
     return n;
 }

@@ -334,6 +334,10 @@ TEST(StressParallelMark, ConcurrentMutatorsWithParallelMarking)
 
     uint64_t dead_violations = 0;
     for (const Violation &v : rt.violations()) {
+        // Context-only reports (leak trends from a CI env leg with
+        // the backgraph armed, pause SLOs, ...) are not verdicts.
+        if (assertionKindContextOnly(v.kind))
+            continue;
         EXPECT_TRUE(v.kind == AssertionKind::Dead)
             << "unexpected violation: " << v.toString();
         if (v.kind == AssertionKind::Dead)
