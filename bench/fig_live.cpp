@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Live-endpoint overhead bench: server-workload throughput with the
+ * telemetry endpoint off vs armed-and-polled, interleaved pairs.
+ *
+ * The endpoint's design claim is that observation is (nearly) free
+ * for the observed program: the serving thread never takes the
+ * runtime lock, publishers only copy already-maintained accumulators
+ * at phase boundaries, and a polling client touches published copies
+ * only. This bench prices the whole treatment honestly — endpoint
+ * armed on an ephemeral port, census every GC, *and* a live HTTP
+ * poller hammering /metrics, /series, /census, /violations and
+ * /why_alive throughout the run, every response validated with the
+ * in-tree JSON parser.
+ *
+ * Tripwires (exit 1):
+ *  - geomean armed/off throughput ratio above the overhead budget
+ *    (default 1.02, i.e. <= 2% slowdown; GCASSERT_BENCH_LIVE_MAX_
+ *    OVERHEAD overrides, in percent),
+ *  - any mid-run response that fails to parse, or a poller that
+ *    never got a response,
+ *  - a /why_alive answer for a named server site that never reaches
+ *    a root,
+ *  - a final /metrics sequence number that disagrees with the
+ *    seq-stamped teardown metrics document,
+ *  - lost requests or spurious verdicts on either side.
+ *
+ * Knobs: GCASSERT_BENCH_LIVE_REQUESTS (requests per thread per run,
+ * default 12000), GCASSERT_BENCH_LIVE_PAIRS (interleaved off/armed
+ * pairs, default 5), GCASSERT_BENCH_JSON (ledger path override).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/runtime.h"
+#include "support/json.h"
+#include "support/logging.h"
+#include "support/net.h"
+#include "support/stats.h"
+#include "workloads/server.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+/** Rotating poll targets; /why_alive uses a long-lived site the
+ *  server workload registers in setup() (pool buffers stay rooted
+ *  for the whole run, so a published path exists at every GC). */
+const char *const kPollTargets[] = {
+    "/metrics", "/series", "/census", "/violations",
+    "/why_alive?site=srv.pool.buffer",
+};
+
+struct PollStats {
+    uint64_t polls = 0;
+    uint64_t parseFailures = 0;
+    uint64_t transportFailures = 0;
+    bool whyAliveRootReached = false;
+};
+
+/** Poll the endpoint until @p stop, validating every response. */
+void
+pollLoop(uint16_t port, std::atomic<bool> &stop, PollStats &stats)
+{
+    size_t next = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+        const char *target = kPollTargets[next % 5];
+        ++next;
+        std::string body, error;
+        int status = 0;
+        if (!httpGet(port, target, body, &status, &error)) {
+            ++stats.transportFailures;
+        } else {
+            ++stats.polls;
+            JsonValue root;
+            if (!jsonParse(body, root, &error)) {
+                ++stats.parseFailures;
+                std::fprintf(stderr,
+                             "  ERROR: %s returned unparseable JSON: "
+                             "%s\n",
+                             target, error.c_str());
+            } else if (status == 200 && root.find("rootReached") &&
+                       root.find("rootReached")->boolean) {
+                stats.whyAliveRootReached = true;
+            }
+        }
+        // A dashboard-like cadence: fast enough that every run gets
+        // many validated responses, slow enough that the client's
+        // own CPU (connect + parse) stays a background load.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+}
+
+struct RunResult {
+    double requestsPerSec = 0.0;
+    uint64_t requests = 0;
+    uint64_t verdicts = 0;
+    PollStats poll;
+    bool seqMatched = true;
+};
+
+RunResult
+runOnce(bool live, uint32_t threads, uint32_t requests_per_thread,
+        const std::string &sink)
+{
+    ServerOptions options;
+    options.threads = threads;
+    options.requestsPerThread = requests_per_thread;
+    options.leakEveryN = 0;
+    auto server = makeServerWithOptions(options);
+
+    // Both sides carry identical observability work (census every
+    // GC, backgraph site tracking, a teardown metrics sink): the
+    // treatment isolates the *endpoint* — the serving thread, the
+    // publish copies, and a live polling client — not the cost of
+    // the features it exposes.
+    RuntimeConfig config =
+        RuntimeConfig::infra(2 * server->minHeapBytes());
+    config.observe = ObserveConfig{};
+    config.observe.traceFile.clear();
+    config.observe.metricsSink = sink;
+    config.observe.censusEvery = 1;
+    config.observe.pauseBudgetNanos = 0;
+    config.observe.livePort = live ? kAutoLivePort : 0;
+    config.backgraph = true; // /why_alive needs site tracking
+
+    RunResult r;
+    uint64_t final_seq = 0;
+    {
+        Runtime rt(config);
+        server->setup(rt);
+        server->enableAssertions(rt);
+
+        std::atomic<bool> stop{false};
+        std::thread poller;
+        if (live && rt.livePort() != 0)
+            poller = std::thread(
+                [&] { pollLoop(rt.livePort(), stop, r.poll); });
+
+        server->iterate(rt);
+        rt.collect();
+
+        if (poller.joinable()) {
+            stop.store(true, std::memory_order_relaxed);
+            poller.join();
+            // The teardown metrics document must name the same
+            // sequence number the endpoint would serve right now.
+            std::string body;
+            int status = 0;
+            if (httpGet(rt.livePort(), "/metrics", body, &status)) {
+                JsonValue root;
+                std::string error;
+                if (jsonParse(body, root, &error) && root.find("seq"))
+                    final_seq =
+                        static_cast<uint64_t>(root.find("seq")->number);
+            }
+        }
+
+        r.requests = server->requestsCompleted();
+        r.requestsPerSec =
+            server->busySeconds() > 0.0
+                ? static_cast<double>(r.requests) / server->busySeconds()
+                : 0.0;
+        for (const Violation &v : rt.violations())
+            if (!assertionKindContextOnly(v.kind))
+                ++r.verdicts;
+        server->teardown(rt);
+    }
+
+    if (live && final_seq != 0) {
+        FILE *f = std::fopen(sink.c_str(), "rb");
+        if (!f) {
+            r.seqMatched = false;
+        } else {
+            std::string doc;
+            char buf[4096];
+            size_t n;
+            while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+                doc.append(buf, n);
+            std::fclose(f);
+            JsonValue root;
+            std::string error;
+            r.seqMatched = jsonParse(doc, root, &error) &&
+                           root.find("seq") &&
+                           static_cast<uint64_t>(
+                               root.find("seq")->number) == final_seq;
+        }
+        std::remove(sink.c_str());
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    CaptureLogSink quiet;
+    printHeader("Live endpoint overhead",
+                "server throughput, telemetry endpoint off vs armed "
+                "with a polling HTTP client validating every response",
+                "n/a (observability extension; the endpoint must stay "
+                "within the overhead budget)");
+
+    const uint32_t requests_per_thread = static_cast<uint32_t>(
+        envOr("GCASSERT_BENCH_LIVE_REQUESTS", 12000));
+    const uint32_t pairs = static_cast<uint32_t>(
+        envOr("GCASSERT_BENCH_LIVE_PAIRS", 5));
+    const double max_overhead_pct = static_cast<double>(
+        envOr("GCASSERT_BENCH_LIVE_MAX_OVERHEAD", 2));
+    const uint32_t threads = 4;
+    const std::string sink = "BENCH_live_metrics_tmp.json";
+
+    std::fprintf(stderr,
+                 "  threads: %u, requests/thread: %u, pairs: %u, "
+                 "budget: %.1f%%\n",
+                 threads, requests_per_thread, pairs,
+                 max_overhead_pct);
+
+    bool failed = false;
+    std::vector<double> ratios;
+    SampleSet off_rps, on_rps;
+    uint64_t polls = 0, parse_failures = 0;
+    bool why_alive_ok = false, seq_ok = true;
+
+    std::printf("\n  pair  off req/s  armed req/s  armed/off  polls\n");
+    std::printf("  ----  ---------  -----------  ---------  -----\n");
+    for (uint32_t pair = 0; pair < pairs; ++pair) {
+        RunResult off =
+            runOnce(false, threads, requests_per_thread, sink);
+        RunResult on =
+            runOnce(true, threads, requests_per_thread, sink);
+        const uint64_t expected =
+            uint64_t{threads} * requests_per_thread;
+        for (const RunResult *r : {&off, &on}) {
+            if (r->requests != expected) {
+                std::fprintf(stderr, "  ERROR: lost requests\n");
+                failed = true;
+            }
+            if (r->verdicts != 0) {
+                std::fprintf(stderr,
+                             "  ERROR: clean run reported verdicts\n");
+                failed = true;
+            }
+        }
+        if (off.requestsPerSec <= 0.0 || on.requestsPerSec <= 0.0) {
+            std::fprintf(stderr, "  ERROR: unmeasurable pair\n");
+            failed = true;
+            continue;
+        }
+        double ratio = off.requestsPerSec / on.requestsPerSec;
+        ratios.push_back(ratio);
+        off_rps.add(off.requestsPerSec);
+        on_rps.add(on.requestsPerSec);
+        polls += on.poll.polls;
+        parse_failures +=
+            on.poll.parseFailures + on.poll.transportFailures;
+        why_alive_ok |= on.poll.whyAliveRootReached;
+        seq_ok &= on.seqMatched;
+        std::printf("  %4u  %9.0f  %11.0f  %9.4f  %5llu\n", pair,
+                    off.requestsPerSec, on.requestsPerSec, ratio,
+                    static_cast<unsigned long long>(on.poll.polls));
+    }
+
+    double overhead = ratios.empty() ? 0.0 : geomean(ratios);
+    std::printf("\n  geomean armed/off: %.4f (budget %.4f)\n", overhead,
+                1.0 + max_overhead_pct / 100.0);
+    std::printf("  polls: %llu, parse failures: %llu, why_alive "
+                "root-reached: %s, teardown seq agreed: %s\n",
+                static_cast<unsigned long long>(polls),
+                static_cast<unsigned long long>(parse_failures),
+                why_alive_ok ? "yes" : "no", seq_ok ? "yes" : "no");
+
+    if (overhead > 1.0 + max_overhead_pct / 100.0) {
+        std::fprintf(stderr,
+                     "  ERROR: endpoint overhead %.2f%% exceeds the "
+                     "%.1f%% budget\n",
+                     (overhead - 1.0) * 100.0, max_overhead_pct);
+        failed = true;
+    }
+    if (polls == 0 || parse_failures != 0) {
+        std::fprintf(stderr,
+                     "  ERROR: poller served %llu responses with %llu "
+                     "failures\n",
+                     static_cast<unsigned long long>(polls),
+                     static_cast<unsigned long long>(parse_failures));
+        failed = true;
+    }
+    if (!why_alive_ok) {
+        std::fprintf(stderr,
+                     "  ERROR: /why_alive never answered a rootward "
+                     "path for srv.request\n");
+        failed = true;
+    }
+    if (!seq_ok) {
+        std::fprintf(stderr,
+                     "  ERROR: teardown metrics seq disagreed with the "
+                     "endpoint's final /metrics\n");
+        failed = true;
+    }
+
+    JsonWriter w;
+    w.beginObject()
+        .field("bench", "live")
+        .field("threads", threads)
+        .field("requestsPerThread", uint64_t{requests_per_thread})
+        .field("pairs", uint64_t{pairs})
+        .field("offReqPerSecMean",
+               off_rps.count() ? off_rps.mean() : 0.0)
+        .field("armedReqPerSecMean",
+               on_rps.count() ? on_rps.mean() : 0.0)
+        .field("geomeanArmedOverOff", overhead)
+        .field("overheadBudgetPct", max_overhead_pct)
+        .field("withinBudget",
+               overhead <= 1.0 + max_overhead_pct / 100.0)
+        .field("polls", polls)
+        .field("pollFailures", parse_failures)
+        .field("whyAliveRootReached", why_alive_ok)
+        .field("teardownSeqAgreed", seq_ok)
+        .endObject();
+    emitBenchJson(w.str(), "BENCH_live.json");
+
+    return failed ? 1 : 0;
+}

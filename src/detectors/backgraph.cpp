@@ -196,6 +196,37 @@ std::string Backgraph::siteNameLocked(uint32_t site) const
 WhyAliveReport Backgraph::whyAlive(const Object *obj) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    return whyAliveLocked(obj);
+}
+
+std::vector<std::pair<std::string, WhyAliveReport>>
+Backgraph::namedSiteReports() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // One pass over the nodes picks each named site's deterministic
+    // representative (lowest address); the hashed-id space is
+    // deliberately excluded — it is unbounded and unnamed.
+    std::unordered_map<uint32_t, const Object *> representative;
+    for (const auto &[obj, node] : nodes_) {
+        if (node.site == 0 || (node.site & kHashedSiteBit) != 0) {
+            continue;
+        }
+        auto [it, inserted] = representative.emplace(node.site, obj);
+        if (!inserted && obj < it->second) {
+            it->second = obj;
+        }
+    }
+    std::vector<std::pair<std::string, WhyAliveReport>> reports;
+    reports.reserve(representative.size());
+    for (const auto &[site, obj] : representative) {
+        reports.emplace_back(siteNameLocked(site),
+                             whyAliveLocked(obj));
+    }
+    return reports;
+}
+
+WhyAliveReport Backgraph::whyAliveLocked(const Object *obj) const
+{
     WhyAliveReport report;
     auto start = nodes_.find(const_cast<Object *>(obj));
     if (start == nodes_.end()) {

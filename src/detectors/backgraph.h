@@ -154,6 +154,18 @@ class Backgraph {
     /** Rootward path for @p obj right now. */
     WhyAliveReport whyAlive(const Object *obj) const;
 
+    /**
+     * Rootward paths for every *registered* (named) allocation site
+     * with at least one live tracked object: one deterministic
+     * representative per site (the lowest-addressed node), answered
+     * with the same walk as whyAlive. Bounded work — sites are the
+     * handful a workload registers, never the hashed-id space.
+     * Called at the full-GC publish point under the runtime lock;
+     * the live endpoint serves the published copies.
+     */
+    std::vector<std::pair<std::string, WhyAliveReport>>
+    namedSiteReports() const;
+
     /** Aggregate outcome of one post-GC sample. */
     struct SampleStats {
         uint64_t nodes = 0;
@@ -228,6 +240,8 @@ class Backgraph {
     /** siteName body without taking the mutex (for callers already
      *  holding it, e.g. report building in onFullGcDone). */
     std::string siteNameLocked(uint32_t site) const;
+    /** whyAlive body; requires mutex_ held. */
+    WhyAliveReport whyAliveLocked(const Object *obj) const;
     void removeEdgeLocked(Object *src, Object *target);
     /** Erase one matching entry from @p vec (latest first). */
     static bool eraseOne(std::vector<Object *> &vec, Object *value);

@@ -631,7 +631,35 @@ Collector::collectImpl()
     // and can never leak into assertion verdicts.
     if (telemetry_)
         notePause(false, gc_end - gc_begin);
+    // Live-endpoint publish: after the pause accounting, so the
+    // snapshot's gc.pause.* gauges include this very collection.
+    // Reads only; verdicts and GC state are already settled.
+    publishTelemetry();
     return result;
+}
+
+void
+Collector::publishTelemetry()
+{
+    if (!telemetry_)
+        return;
+    if (backgraph_) {
+        std::vector<SitePathRecord> records;
+        for (auto &[site, why] : backgraph_->namedSiteReports()) {
+            SitePathRecord record;
+            record.site = site;
+            record.gcNumber = stats_.collections;
+            record.known = why.known;
+            record.rootReached = why.rootReached;
+            record.saturated = why.saturated;
+            record.path.reserve(why.path.size());
+            for (const PathEntry &hop : why.path)
+                record.path.push_back(hop.typeName);
+            records.push_back(std::move(record));
+        }
+        telemetry_->publishSitePaths(std::move(records));
+    }
+    telemetry_->publishSnapshot(stats_.collections);
 }
 
 void

@@ -218,6 +218,17 @@ class Collector {
     void requestCensus() { censusRequested_ = true; }
 
     /**
+     * Publish the live-endpoint copies: the per-named-site why-alive
+     * table (when a backgraph is attached) and a metrics snapshot
+     * into the history ring. No-op without telemetry. Called from
+     * each full collection's epilogue and from
+     * Runtime::publishTelemetry; the caller must hold the runtime
+     * lock — gauge readers touch the non-atomic accumulators this
+     * collector owns.
+     */
+    void publishTelemetry();
+
+    /**
      * Register a hook invoked on every object freed by sweep (used
      * by the leak-detector baselines to maintain side tables).
      */

@@ -1,0 +1,131 @@
+#include "observe/live_server.h"
+
+#include <unistd.h>
+
+#include "observe/telemetry.h"
+#include "support/json.h"
+
+namespace gcassert {
+
+namespace {
+
+/** Accept-poll granularity: the ceiling on stop() latency. */
+constexpr int kAcceptPollMillis = 100;
+
+} // namespace
+
+LiveTelemetryServer::LiveTelemetryServer(Telemetry &telemetry,
+                                         uint32_t configPort)
+    : telemetry_(telemetry), configPort_(configPort)
+{
+}
+
+LiveTelemetryServer::~LiveTelemetryServer()
+{
+    stop();
+}
+
+bool
+LiveTelemetryServer::start()
+{
+    uint16_t requested = configPort_ == kAutoLivePort
+        ? 0
+        : static_cast<uint16_t>(configPort_);
+    if (!listener_.listenLoopback(requested))
+        return false;
+    port_ = listener_.port();
+    // The counter is registered here, on the starting thread, so
+    // the serving thread only ever increments a stable pointer.
+    telemetry_.metrics().counter("observe.live_requests");
+    thread_ = std::thread([this] { run(); });
+    return true;
+}
+
+void
+LiveTelemetryServer::stop()
+{
+    stopRequested_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+    listener_.close();
+}
+
+void
+LiveTelemetryServer::run()
+{
+    Counter *served =
+        telemetry_.metrics().counter("observe.live_requests");
+    while (!stopRequested_.load(std::memory_order_relaxed)) {
+        int client = listener_.acceptClient(kAcceptPollMillis);
+        if (client < 0)
+            continue;
+        HttpRequest req;
+        if (readHttpRequest(client, req)) {
+            int status = 200;
+            std::string body = handle(req, status);
+            writeHttpResponse(client, status, "application/json",
+                              body);
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            served->increment();
+        }
+        ::close(client);
+    }
+}
+
+std::string
+LiveTelemetryServer::handle(const HttpRequest &req, int &status)
+{
+    if (req.method != "GET") {
+        status = 400;
+        JsonWriter w;
+        w.beginObject()
+            .field("error", "only GET is supported")
+            .endObject();
+        return w.str();
+    }
+    if (req.path == "/metrics")
+        return telemetry_.history().latest().toJson();
+    if (req.path == "/series")
+        return telemetry_.history().seriesJson();
+    if (req.path == "/census")
+        return telemetry_.latestCensus().toJson();
+    if (req.path == "/violations")
+        return telemetry_.violationRing().toJson();
+    if (req.path == "/why_alive") {
+        std::string site = req.queryParam("site");
+        if (site.empty()) {
+            status = 400;
+            JsonWriter w;
+            w.beginObject()
+                .field("error", "missing ?site=<name> parameter");
+            w.key("sites").beginArray();
+            for (const std::string &name :
+                 telemetry_.sitePathNames())
+                w.value(name);
+            w.endArray().endObject();
+            return w.str();
+        }
+        SitePathRecord record = telemetry_.sitePath(site);
+        if (!record.known)
+            status = 404;
+        return record.toJson();
+    }
+    if (req.path == "/") {
+        JsonWriter w;
+        w.beginObject().key("routes").beginArray();
+        w.value("/metrics")
+            .value("/series")
+            .value("/census")
+            .value("/violations")
+            .value("/why_alive?site=<name>");
+        w.endArray().endObject();
+        return w.str();
+    }
+    status = 404;
+    JsonWriter w;
+    w.beginObject().field("error", "unknown route: " + req.path);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace gcassert

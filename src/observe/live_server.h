@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Live telemetry endpoint: a background expvar-style HTTP/1.0
+ * server over a loopback-only TCP socket, serving the telemetry
+ * bundle's *published* state as JSON while the runtime runs.
+ *
+ * Routes (all GET, all application/json):
+ *  - /            index: the route list
+ *  - /metrics     newest published metrics snapshot (seq-stamped;
+ *                 includes the gc.pause.* percentile gauges)
+ *  - /series      the snapshot-history ring, oldest first
+ *  - /census      latest heap census (top rows included)
+ *  - /violations  the bounded recent-violations ring
+ *  - /why_alive?site=<name>
+ *                 published rootward path for a named allocation
+ *                 site (404 with known:false when unpublished)
+ *
+ * Threading contract (the whole point of the design): the serving
+ * thread NEVER takes the runtime lock and never samples gauges — it
+ * only reads immutable copies that publishers pushed at phase
+ * boundaries (full-GC epilogue, Runtime::publishTelemetry), each
+ * behind its own small mutex. A slow or stalled client therefore
+ * cannot extend a GC pause, and the endpoint adds no code to the
+ * collector's hot paths.
+ *
+ * Security: the listener binds 127.0.0.1 only; the endpoint is
+ * intentionally unreachable from off-host. Everything is off by
+ * default (ObserveConfig::livePort == 0).
+ */
+
+#ifndef GCASSERT_OBSERVE_LIVE_SERVER_H
+#define GCASSERT_OBSERVE_LIVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "support/net.h"
+
+namespace gcassert {
+
+class Telemetry;
+
+/**
+ * The endpoint server. Owned by Runtime (created when
+ * ObserveConfig::livePort != 0); start() spawns the serving thread,
+ * stop() (or destruction) joins it. Connections are served one at a
+ * time — the expected client is a dashboard poller or a curl, not a
+ * load balancer — with short socket timeouts so a stalled client
+ * cannot wedge the thread.
+ */
+class LiveTelemetryServer {
+  public:
+    /**
+     * @param telemetry  The bundle whose published state is served;
+     *                   must outlive the server.
+     * @param configPort ObserveConfig::livePort: 1..65535 for a
+     *                   fixed port, kAutoLivePort for ephemeral.
+     */
+    LiveTelemetryServer(Telemetry &telemetry, uint32_t configPort);
+    ~LiveTelemetryServer();
+
+    LiveTelemetryServer(const LiveTelemetryServer &) = delete;
+    LiveTelemetryServer &operator=(const LiveTelemetryServer &) = delete;
+
+    /** Bind and spawn the serving thread. False when the bind
+     *  fails (port taken); the runtime then runs without the
+     *  endpoint rather than failing. */
+    bool start();
+
+    /** Stop and join the serving thread; idempotent. */
+    void stop();
+
+    /** The bound port (the ephemeral answer for "auto"); 0 before
+     *  a successful start(). */
+    uint16_t port() const { return port_; }
+
+    /** Requests served so far (also the observe.live_requests
+     *  counter when metrics are being published). */
+    uint64_t requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void run();
+
+    /** Route @p req; fills @p status and returns the JSON body. */
+    std::string handle(const HttpRequest &req, int &status);
+
+    Telemetry &telemetry_;
+    uint32_t configPort_;
+    TcpListener listener_;
+    std::thread thread_;
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<uint64_t> requests_{0};
+    uint16_t port_ = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_OBSERVE_LIVE_SERVER_H

@@ -56,11 +56,13 @@ MetricsRegistry::snapshot() const
 }
 
 std::string
-MetricsRegistry::toJson() const
+MetricsRegistry::toJsonImpl(bool withSeq, uint64_t seq) const
 {
     std::vector<MetricSample> samples = snapshot();
     JsonWriter w;
     w.beginObject();
+    if (withSeq)
+        w.field("seq", seq);
     w.key("counters").beginObject();
     for (const MetricSample &s : samples)
         if (s.monotonic)
@@ -75,28 +77,64 @@ MetricsRegistry::toJson() const
     return w.str();
 }
 
+std::string
+MetricsRegistry::toJson() const
+{
+    return toJsonImpl(false, 0);
+}
+
+std::string
+MetricsRegistry::toJson(uint64_t seq) const
+{
+    return toJsonImpl(true, seq);
+}
+
 bool
-MetricsRegistry::publish(const std::string &sink) const
+MetricsRegistry::publishDoc(const std::string &sink,
+                            const std::string &doc)
 {
     if (sink.empty())
         return true;
-    std::string doc = toJson();
     if (sink == "stderr" || sink == "1") {
         std::fprintf(stderr, "%s\n", doc.c_str());
         return true;
     }
-    std::FILE *f = std::fopen(sink.c_str(), "w");
+    // Write-then-rename: the document lands at the configured path
+    // only once it is complete, so a crash (or write failure) in
+    // here never leaves a truncated JSON artifact where a consumer
+    // expects a valid one.
+    std::string tmp = sink + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f) {
-        warn("metrics: cannot open '" + sink + "' for writing");
+        warn("metrics: cannot open '" + tmp + "' for writing");
         return false;
     }
     size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool flushed = std::fflush(f) == 0;
     std::fclose(f);
-    if (written != doc.size()) {
-        warn("metrics: short write to '" + sink + "'");
+    if (written != doc.size() || !flushed) {
+        warn("metrics: short write to '" + tmp + "'");
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), sink.c_str()) != 0) {
+        warn("metrics: cannot rename '" + tmp + "' to '" + sink + "'");
+        std::remove(tmp.c_str());
         return false;
     }
     return true;
+}
+
+bool
+MetricsRegistry::publish(const std::string &sink) const
+{
+    return publishDoc(sink, toJson());
+}
+
+bool
+MetricsRegistry::publish(const std::string &sink, uint64_t seq) const
+{
+    return publishDoc(sink, toJson(seq));
 }
 
 } // namespace gcassert

@@ -77,11 +77,31 @@ class MetricsRegistry {
      *  {"counters": {...}, "gauges": {...}}. */
     std::string toJson() const;
 
-    /** Write toJson() per the sink spec ("stderr"/"1" or a path).
-     *  Returns false on write failure. */
+    /** As toJson(), with a leading "seq" field naming the last
+     *  published live-endpoint snapshot this teardown document
+     *  corresponds to (0 = none was ever published). */
+    std::string toJson(uint64_t seq) const;
+
+    /**
+     * Write toJson() per the sink spec ("stderr"/"1" or a path).
+     * File sinks are written to a temporary sibling and atomically
+     * renamed into place, so a crash mid-write never leaves a
+     * truncated document behind the configured path. Returns false
+     * on write failure.
+     */
     bool publish(const std::string &sink) const;
 
+    /** As publish(), emitting the seq-stamped document. */
+    bool publish(const std::string &sink, uint64_t seq) const;
+
   private:
+    /** toJson body; writes "seq" only when @p withSeq. */
+    std::string toJsonImpl(bool withSeq, uint64_t seq) const;
+
+    /** publish body for an already-rendered document. */
+    static bool publishDoc(const std::string &sink,
+                           const std::string &doc);
+
     struct NamedCounter {
         std::string name;
         std::unique_ptr<Counter> counter;

@@ -1,0 +1,173 @@
+#include "observe/snapshot_history.h"
+
+#include "support/json.h"
+
+namespace gcassert {
+
+namespace {
+
+/** Append the counters/gauges split of @p samples to an open
+ *  object frame (the same shape as MetricsRegistry::toJson). */
+void
+appendSampleFields(JsonWriter &w,
+                   const std::vector<MetricSample> &samples)
+{
+    w.key("counters").beginObject();
+    for (const MetricSample &s : samples)
+        if (s.monotonic)
+            w.field(s.name, s.value);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const MetricSample &s : samples)
+        if (!s.monotonic)
+            w.field(s.name, s.value);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+PublishedSnapshot::toJson() const
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("seq", seq)
+        .field("gc", gcNumber)
+        .field("wallNanos", wallNanos);
+    appendSampleFields(w, samples);
+    w.endObject();
+    return w.str();
+}
+
+SnapshotHistory::SnapshotHistory(size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+uint64_t
+SnapshotHistory::publish(uint64_t gcNumber, uint64_t wallNanos,
+                         std::vector<MetricSample> samples)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PublishedSnapshot snap;
+    snap.seq = nextSeq_++;
+    snap.gcNumber = gcNumber;
+    snap.wallNanos = wallNanos;
+    snap.samples = std::move(samples);
+    ring_.push_back(std::move(snap));
+    if (ring_.size() > capacity_) {
+        ring_.pop_front();
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ring_.back().seq;
+}
+
+PublishedSnapshot
+SnapshotHistory::latest() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.empty() ? PublishedSnapshot{} : ring_.back();
+}
+
+uint64_t
+SnapshotHistory::latestSeq() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.empty() ? 0 : ring_.back().seq;
+}
+
+std::vector<PublishedSnapshot>
+SnapshotHistory::series() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {ring_.begin(), ring_.end()};
+}
+
+std::string
+SnapshotHistory::seriesJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w;
+    w.beginObject()
+        .field("capacity", uint64_t{capacity_})
+        .field("dropped", dropped_.load(std::memory_order_relaxed));
+    w.key("snapshots").beginArray();
+    for (const PublishedSnapshot &snap : ring_) {
+        w.beginObject()
+            .field("seq", snap.seq)
+            .field("gc", snap.gcNumber)
+            .field("wallNanos", snap.wallNanos);
+        appendSampleFields(w, snap.samples);
+        w.endObject();
+    }
+    w.endArray().endObject();
+    return w.str();
+}
+
+size_t
+SnapshotHistory::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+ViolationRing::ViolationRing(size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+void
+ViolationRing::push(std::string kind, uint64_t gcNumber,
+                    std::string message)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ViolationRecord rec;
+    rec.seq = nextSeq_++;
+    rec.kind = std::move(kind);
+    rec.gcNumber = gcNumber;
+    rec.message = std::move(message);
+    ring_.push_back(std::move(rec));
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    if (ring_.size() > capacity_) {
+        ring_.pop_front();
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+std::vector<ViolationRecord>
+ViolationRing::recent() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {ring_.begin(), ring_.end()};
+}
+
+std::string
+ViolationRing::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w;
+    w.beginObject()
+        .field("capacity", uint64_t{capacity_})
+        .field("dropped", dropped_.load(std::memory_order_relaxed))
+        .field("total", pushed_.load(std::memory_order_relaxed));
+    w.key("violations").beginArray();
+    for (const ViolationRecord &rec : ring_) {
+        w.beginObject()
+            .field("seq", rec.seq)
+            .field("kind", rec.kind)
+            .field("gc", rec.gcNumber)
+            .field("message", rec.message)
+            .endObject();
+    }
+    w.endArray().endObject();
+    return w.str();
+}
+
+size_t
+ViolationRing::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+} // namespace gcassert

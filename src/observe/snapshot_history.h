@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Published-snapshot ring buffers backing the live telemetry
+ * endpoint (observe/live_server).
+ *
+ * The endpoint's serving thread must never take the runtime lock —
+ * and must never sample gauges, whose readers touch non-atomic
+ * accumulators (GcStats, remset tables). The publish/read split
+ * here enforces that: *publishers* (the collector's full-GC
+ * epilogue, Runtime::publishTelemetry) sample the registry while
+ * they already hold the runtime lock and push immutable copies into
+ * these rings; the server thread only ever reads the copies behind
+ * each ring's own mutex. Memory is bounded: both rings drop their
+ * oldest entry once full and count what they dropped.
+ *
+ * Sequence numbers are monotonic per ring and never reused, so a
+ * dashboard polling /series can detect both gaps (drops) and "no
+ * new data" (same tail seq), and the teardown metrics snapshot can
+ * name the last in-run publish it corresponds to.
+ */
+
+#ifndef GCASSERT_OBSERVE_SNAPSHOT_HISTORY_H
+#define GCASSERT_OBSERVE_SNAPSHOT_HISTORY_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "observe/metrics.h"
+
+namespace gcassert {
+
+/** One published metrics snapshot (an immutable copy). */
+struct PublishedSnapshot {
+    uint64_t seq = 0;       //!< monotonic publish sequence (1-based)
+    uint64_t gcNumber = 0;  //!< full GCs completed at publish time
+    uint64_t wallNanos = 0; //!< traceNowNanos() at publish time
+    std::vector<MetricSample> samples;
+
+    /** {"seq":N,"gc":N,"wallNanos":N,"counters":{},"gauges":{}} —
+     *  the endpoint's /metrics document. seq 0 = nothing published
+     *  yet (the sample lists are then empty). */
+    std::string toJson() const;
+};
+
+/**
+ * Bounded ring of per-full-GC metric snapshots (the /series data).
+ * Thread-safe; publishers and the endpoint thread synchronize only
+ * on the internal mutex.
+ */
+class SnapshotHistory {
+  public:
+    /** @p capacity is clamped to at least 1. */
+    explicit SnapshotHistory(size_t capacity);
+
+    /** Push a snapshot copy; drops the oldest entry when full.
+     *  Returns the assigned sequence number. */
+    uint64_t publish(uint64_t gcNumber, uint64_t wallNanos,
+                     std::vector<MetricSample> samples);
+
+    /** Copy of the newest snapshot; seq 0 when nothing published. */
+    PublishedSnapshot latest() const;
+
+    /** Sequence of the newest snapshot; 0 when nothing published. */
+    uint64_t latestSeq() const;
+
+    /** Oldest-first copy of the retained snapshots. */
+    std::vector<PublishedSnapshot> series() const;
+
+    /** {"capacity":N,"dropped":N,"snapshots":[...oldest first...]}
+     *  — the endpoint's /series document. */
+    std::string seriesJson() const;
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+    /** Snapshots evicted because the ring was full. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::deque<PublishedSnapshot> ring_;
+    uint64_t nextSeq_ = 1;
+    std::atomic<uint64_t> dropped_{0};
+};
+
+/** One violation as retained for the endpoint (a rendered copy —
+ *  the engine's own violation record stays authoritative and
+ *  unbounded, since tests and verdict comparisons read it). */
+struct ViolationRecord {
+    uint64_t seq = 0; //!< monotonic arrival number (1-based)
+    std::string kind; //!< assertionKindName() of the violation
+    uint64_t gcNumber = 0;
+    std::string message;
+};
+
+/**
+ * Bounded drop-oldest ring of recent violations (the /violations
+ * data). Pushed by the violation observer (under the runtime lock);
+ * read by the endpoint thread. The dropped count is surfaced as the
+ * observe.violations_dropped gauge so long-running servers can see
+ * that the window slid.
+ */
+class ViolationRing {
+  public:
+    /** @p capacity is clamped to at least 1. */
+    explicit ViolationRing(size_t capacity);
+
+    /** Append; seq is assigned internally. */
+    void push(std::string kind, uint64_t gcNumber, std::string message);
+
+    /** Oldest-first copy of the retained records. */
+    std::vector<ViolationRecord> recent() const;
+
+    /** {"capacity":N,"dropped":N,"total":N,"violations":[...]} —
+     *  the endpoint's /violations document. */
+    std::string toJson() const;
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+    /** Records evicted because the ring was full. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Records ever pushed (retained + dropped). */
+    uint64_t pushed() const
+    {
+        return pushed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::deque<ViolationRecord> ring_;
+    uint64_t nextSeq_ = 1;
+    std::atomic<uint64_t> dropped_{0};
+    std::atomic<uint64_t> pushed_{0};
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_OBSERVE_SNAPSHOT_HISTORY_H

@@ -1,6 +1,10 @@
 #include "observe/telemetry.h"
 
+#include <algorithm>
+
 #include "support/env.h"
+#include "support/json.h"
+#include "support/logging.h"
 
 namespace gcassert {
 
@@ -41,11 +45,87 @@ defaultPauseBudgetNanos()
     return value;
 }
 
-Telemetry::Telemetry(ObserveConfig config)
-    : config_(std::move(config)), pauseSlo_(config_.pauseBudgetNanos)
+uint32_t
+defaultLivePort()
 {
-    if (!config_.traceFile.empty())
+    // "auto" is the one non-numeric value: bind an ephemeral port
+    // and let Runtime::livePort() report where it landed. Anything
+    // out of port range falls back to off, loudly.
+    static const uint32_t value = [] {
+        std::string raw = envString("GCASSERT_LIVE_PORT");
+        if (raw.empty())
+            return 0u;
+        if (raw == "auto")
+            return kAutoLivePort;
+        uint64_t port = envUint("GCASSERT_LIVE_PORT", 0);
+        if (port > 65535) {
+            warn("GCASSERT_LIVE_PORT=" + raw +
+                 " is out of range (1-65535 or \"auto\"); endpoint "
+                 "disabled");
+            return 0u;
+        }
+        return static_cast<uint32_t>(port);
+    }();
+    return value;
+}
+
+uint32_t
+defaultLiveHistory()
+{
+    static const uint32_t value =
+        static_cast<uint32_t>(envUint("GCASSERT_LIVE_HISTORY", 64));
+    return value;
+}
+
+uint32_t
+defaultViolationRingCap()
+{
+    static const uint32_t value =
+        static_cast<uint32_t>(envUint("GCASSERT_VIOLATION_RING", 256));
+    return value;
+}
+
+uint32_t
+defaultTraceFlushMillis()
+{
+    static const uint32_t value =
+        static_cast<uint32_t>(envUint("GCASSERT_TRACE_FLUSH_MS", 0));
+    return value;
+}
+
+std::string
+SitePathRecord::toJson() const
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("site", site)
+        .field("known", known)
+        .field("gc", gcNumber)
+        .field("rootReached", rootReached)
+        .field("saturated", saturated);
+    w.key("path").beginArray();
+    for (const std::string &hop : path)
+        w.value(hop);
+    w.endArray().endObject();
+    return w.str();
+}
+
+Telemetry::Telemetry(ObserveConfig config)
+    : config_(std::move(config)), pauseSlo_(config_.pauseBudgetNanos),
+      history_(config_.liveHistory),
+      violations_(config_.violationRingCap)
+{
+    if (!config_.traceFile.empty()) {
         recorder_ = std::make_unique<TraceRecorder>(config_.traceFile);
+        // Time-based flushing keeps the on-disk trace current
+        // mid-run; an armed live endpoint implies "watchable", so
+        // it defaults the cadence on.
+        uint64_t millis = config_.traceFlushMillis;
+        if (millis == 0 && config_.livePort != 0)
+            millis = 1000;
+        if (millis != 0)
+            recorder_->setFlushIntervalNanos(millis * 1000000ull);
+    }
 }
 
 void
@@ -62,12 +142,54 @@ Telemetry::latestCensus() const
     return census_;
 }
 
+uint64_t
+Telemetry::publishSnapshot(uint64_t gcNumber)
+{
+    uint64_t seq =
+        history_.publish(gcNumber, traceNowNanos(), metrics_.snapshot());
+    if (recorder_)
+        recorder_->maybePeriodicFlush(traceNowNanos());
+    return seq;
+}
+
+void
+Telemetry::publishSitePaths(std::vector<SitePathRecord> paths)
+{
+    std::lock_guard<std::mutex> lock(sitePathMutex_);
+    for (SitePathRecord &record : paths)
+        sitePaths_[record.site] = std::move(record);
+}
+
+SitePathRecord
+Telemetry::sitePath(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(sitePathMutex_);
+    auto it = sitePaths_.find(site);
+    if (it != sitePaths_.end())
+        return it->second;
+    SitePathRecord stub;
+    stub.site = site;
+    return stub;
+}
+
+std::vector<std::string>
+Telemetry::sitePathNames() const
+{
+    std::lock_guard<std::mutex> lock(sitePathMutex_);
+    std::vector<std::string> names;
+    names.reserve(sitePaths_.size());
+    for (const auto &[name, record] : sitePaths_)
+        names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
 void
 Telemetry::flush()
 {
     if (recorder_)
         recorder_->flush();
-    metrics_.publish(config_.metricsSink);
+    metrics_.publish(config_.metricsSink, history_.latestSeq());
 }
 
 } // namespace gcassert

@@ -17,6 +17,18 @@
  *                                 pause over budget reports a
  *                                 context-only pause-slo violation
  *                                 (0 = track percentiles only)
+ *  - GCASSERT_LIVE_PORT=<p|auto>  serve live telemetry over HTTP on
+ *                                 127.0.0.1:<p> ("auto" = ephemeral
+ *                                 port; 0/unset = no endpoint)
+ *  - GCASSERT_LIVE_HISTORY=<n>    per-full-GC metric snapshots kept
+ *                                 for /series (default 64)
+ *  - GCASSERT_VIOLATION_RING=<n>  recent violations kept for
+ *                                 /violations (drop-oldest,
+ *                                 default 256)
+ *  - GCASSERT_TRACE_FLUSH_MS=<n>  time-based trace flush cadence
+ *                                 (0 = size-based only; defaults to
+ *                                 1000 when the live endpoint is
+ *                                 armed)
  */
 
 #ifndef GCASSERT_OBSERVE_TELEMETRY_H
@@ -25,14 +37,24 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "observe/assert_cost.h"
 #include "observe/census.h"
 #include "observe/metrics.h"
 #include "observe/pause_slo.h"
+#include "observe/snapshot_history.h"
 #include "observe/trace_recorder.h"
 
 namespace gcassert {
+
+/**
+ * livePort sentinel for "bind an ephemeral port" (the env value
+ * "auto"). One past the valid port range, so it can never collide
+ * with an explicit port choice.
+ */
+constexpr uint32_t kAutoLivePort = 65536;
 
 /** @name Environment-driven defaults (see RuntimeConfig's knobs)
  *  @{ */
@@ -40,6 +62,10 @@ std::string defaultTraceFile();
 std::string defaultMetricsSink();
 uint32_t defaultCensusEvery();
 uint64_t defaultPauseBudgetNanos();
+uint32_t defaultLivePort();
+uint32_t defaultLiveHistory();
+uint32_t defaultViolationRingCap();
+uint32_t defaultTraceFlushMillis();
 /** @} */
 
 /**
@@ -64,13 +90,56 @@ struct ObserveConfig {
      */
     uint64_t pauseBudgetNanos = defaultPauseBudgetNanos();
 
+    /**
+     * Live telemetry endpoint port (observe/live_server): 0 = no
+     * endpoint, kAutoLivePort = ephemeral, else the 127.0.0.1 port
+     * to bind. Env: GCASSERT_LIVE_PORT ("auto" for ephemeral).
+     */
+    uint32_t livePort = defaultLivePort();
+
+    /** Per-full-GC metric snapshots retained for /series (clamped
+     *  to at least 1). Env: GCASSERT_LIVE_HISTORY, default 64. */
+    uint32_t liveHistory = defaultLiveHistory();
+
+    /** Recent-violations ring capacity (drop-oldest; clamped to at
+     *  least 1). Env: GCASSERT_VIOLATION_RING, default 256. */
+    uint32_t violationRingCap = defaultViolationRingCap();
+
+    /**
+     * Time-based trace flush cadence in milliseconds; 0 = size-based
+     * flushing only, except that an armed live endpoint defaults the
+     * cadence to 1000 ms so the on-disk trace stays current mid-run.
+     * Env: GCASSERT_TRACE_FLUSH_MS.
+     */
+    uint32_t traceFlushMillis = defaultTraceFlushMillis();
+
     /** True when any telemetry feature is active. */
     bool
     any() const
     {
         return !traceFile.empty() || !metricsSink.empty() ||
-               censusEvery != 0 || pauseBudgetNanos != 0;
+               censusEvery != 0 || pauseBudgetNanos != 0 ||
+               livePort != 0;
     }
+};
+
+/**
+ * A published rootward path for one named allocation site, computed
+ * by the backgraph at each full-GC publish point (under the runtime
+ * lock) and served by /why_alive?site=... without the endpoint
+ * thread ever touching the backgraph or the runtime lock.
+ */
+struct SitePathRecord {
+    std::string site;      //!< registered site name
+    uint64_t gcNumber = 0; //!< full GC the path was sampled at
+    bool known = false;    //!< a live representative object existed
+    bool rootReached = false;
+    bool saturated = false;
+    /** Rootmost-first type names along the representative path. */
+    std::vector<std::string> path;
+
+    /** {"site":...,"known":...,"gc":N,...,"path":[...]} */
+    std::string toJson() const;
 };
 
 /**
@@ -107,10 +176,49 @@ class Telemetry {
         return assertCost_;
     }
 
+    /** @name Live-endpoint publish/read split
+     *
+     * Publishers (collector epilogue, Runtime::publishTelemetry)
+     * call publishSnapshot()/publishSitePaths() while holding the
+     * runtime lock; the endpoint thread only reads the resulting
+     * immutable copies through history()/violationRing()/
+     * sitePaths(), each behind its own mutex.
+     *  @{ */
+
+    /**
+     * Sample the metrics registry and push the copy into the
+     * snapshot history; also gives the trace recorder its periodic
+     * time-based flush opportunity. Caller must hold the runtime
+     * lock (gauge readers touch non-atomic accumulators). Returns
+     * the assigned sequence number.
+     */
+    uint64_t publishSnapshot(uint64_t gcNumber);
+
+    SnapshotHistory &history() { return history_; }
+    const SnapshotHistory &history() const { return history_; }
+
+    ViolationRing &violationRing() { return violations_; }
+    const ViolationRing &violationRing() const { return violations_; }
+
+    /** Replace the published per-site why-alive table. */
+    void publishSitePaths(std::vector<SitePathRecord> paths);
+
+    /** Published record for @p site; known=false stub when the site
+     *  has no published path. */
+    SitePathRecord sitePath(const std::string &site) const;
+
+    /** Names with a published record (sorted; for the index). */
+    std::vector<std::string> sitePathNames() const;
+
+    /** @} */
+
     /**
      * Flush everything that persists: write the trace file and
-     * publish the metrics snapshot. Called from the Runtime
-     * destructor and safe to call repeatedly.
+     * publish the metrics snapshot (stamped with the sequence
+     * number of the last published live snapshot, so the teardown
+     * document and the endpoint's final /metrics response agree).
+     * Called from the Runtime destructor and safe to call
+     * repeatedly.
      */
     void flush();
 
@@ -120,9 +228,14 @@ class Telemetry {
     MetricsRegistry metrics_;
     PauseSloTracker pauseSlo_;
     AssertCostAttribution assertCost_;
+    SnapshotHistory history_;
+    ViolationRing violations_;
 
     mutable std::mutex censusMutex_;
     CensusSnapshot census_;
+
+    mutable std::mutex sitePathMutex_;
+    std::unordered_map<std::string, SitePathRecord> sitePaths_;
 };
 
 } // namespace gcassert

@@ -18,7 +18,8 @@ traceNowNanos()
 }
 
 TraceRecorder::TraceRecorder(std::string path)
-    : path_(std::move(path)), epochNanos_(traceNowNanos())
+    : path_(std::move(path)), epochNanos_(traceNowNanos()),
+      lastFlushNanos_(epochNanos_)
 {
 }
 
@@ -27,6 +28,31 @@ TraceRecorder::setMaxBuffered(size_t maxBuffered)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     maxBuffered_ = maxBuffered ? maxBuffered : 1;
+}
+
+void
+TraceRecorder::setFlushIntervalNanos(uint64_t nanos)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    flushIntervalNanos_ = nanos;
+}
+
+uint64_t
+TraceRecorder::flushIntervalNanos() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flushIntervalNanos_;
+}
+
+bool
+TraceRecorder::maybePeriodicFlush(uint64_t nowNanos)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (flushIntervalNanos_ == 0 || path_.empty())
+        return false;
+    if (nowNanos < lastFlushNanos_ + flushIntervalNanos_)
+        return false;
+    return flushLocked();
 }
 
 void
@@ -179,6 +205,9 @@ TraceRecorder::flushLocked()
     fileStarted_ = true;
     flushedCount_ += events_.size();
     events_.clear();
+    // Any successful flush resets the periodic clock — a size-based
+    // flush just made the file current, so the timer starts over.
+    lastFlushNanos_ = traceNowNanos();
     return true;
 }
 

@@ -98,6 +98,25 @@ class TraceRecorder {
     /** Reconfigure the buffer bound; values < 1 clamp to 1. */
     void setMaxBuffered(size_t maxBuffered);
 
+    /**
+     * Arm time-based flushing: maybePeriodicFlush() writes the
+     * buffer out once at least @p nanos have passed since the last
+     * flush (of either kind), so the on-disk trace stays current
+     * mid-run even when the event rate is too low to fill the
+     * buffer. 0 (the default) keeps size-based flushing only.
+     */
+    void setFlushIntervalNanos(uint64_t nanos);
+
+    uint64_t flushIntervalNanos() const;
+
+    /**
+     * Flush if the configured interval has elapsed since the last
+     * flush. Called from publish points (full-GC epilogue, periodic
+     * workload publishes) — never from the endpoint thread. Returns
+     * true when a flush was performed.
+     */
+    bool maybePeriodicFlush(uint64_t nowNanos);
+
   private:
     /** One event as a JSON object (no surrounding punctuation). */
     static std::string serializeEvent(const TraceEvent &ev);
@@ -108,6 +127,10 @@ class TraceRecorder {
     std::string path_;
     uint64_t epochNanos_;
     size_t maxBuffered_ = kDefaultMaxBuffered;
+    /** Time-based flush cadence; 0 = size-based flushing only. */
+    uint64_t flushIntervalNanos_ = 0;
+    /** Absolute traceNowNanos() of the most recent flush. */
+    uint64_t lastFlushNanos_;
     mutable std::mutex mutex_;
     std::vector<TraceEvent> events_;
     /** Events already written to the file. */

@@ -1,5 +1,6 @@
 #include "runtime/runtime.h"
 
+#include "observe/live_server.h"
 #include "runtime/handle.h"
 #include "support/json.h"
 #include "support/logging.h"
@@ -61,6 +62,20 @@ Runtime::Runtime(RuntimeConfig config)
         telemetry_ = std::make_unique<Telemetry>(config_.observe);
         collector_.setTelemetry(telemetry_.get());
         wireTelemetry();
+        if (config_.observe.livePort != 0) {
+            // A failed bind (port taken) degrades to running
+            // without the endpoint — the warn() from the listener
+            // names the port — rather than failing the runtime.
+            auto server = std::make_unique<LiveTelemetryServer>(
+                *telemetry_, config_.observe.livePort);
+            if (server->start()) {
+                liveServer_ = std::move(server);
+                if (config_.verboseGc)
+                    inform(format(
+                        "live telemetry endpoint on 127.0.0.1:%u",
+                        unsigned{liveServer_->port()}));
+            }
+        }
     } else if (backgraph_) {
         // No telemetry, but the backgraph can still answer what
         // keeps a violation's offender alive — attach the lighter
@@ -78,8 +93,34 @@ Runtime::Runtime(RuntimeConfig config)
 
 Runtime::~Runtime()
 {
+    // Stop the endpoint thread before flushing: the flush's metrics
+    // publish and the serving thread both read the telemetry bundle,
+    // and nothing may read it once members start destructing. The
+    // teardown metrics snapshot is seq-stamped with the last
+    // *published* snapshot (no new publish happens here), so the
+    // endpoint's final /metrics response and the teardown document
+    // agree on the sequence number.
+    liveServer_.reset();
     if (telemetry_)
         telemetry_->flush();
+}
+
+void
+Runtime::publishTelemetry()
+{
+    if (!telemetry_)
+        return;
+    // Exclusive: gauge readers touch non-atomic accumulators
+    // (GcStats, remset tables) that mutators update under the
+    // shared lock, so a shared-mode publish would race them.
+    std::lock_guard<std::shared_mutex> guard(lock_);
+    collector_.publishTelemetry();
+}
+
+uint16_t
+Runtime::livePort() const
+{
+    return liveServer_ ? liveServer_->port() : 0;
 }
 
 void
@@ -144,6 +185,17 @@ Runtime::wireTelemetry()
                 [bg] { return bg->findLeakReports(); });
     }
 
+    // Live-endpoint bookkeeping: the bounded recent-violations ring
+    // is a copy for the endpoint only (the engine's own record stays
+    // unbounded — it is the verdict surface tests compare), so its
+    // drop count is worth a gauge in long server runs.
+    const ViolationRing &ring = telemetry_->violationRing();
+    m.gauge("observe.violations_dropped",
+            [&ring] { return ring.dropped(); });
+    m.gauge("observe.snapshot_history_dropped", [this] {
+        return telemetry_->history().dropped();
+    });
+
     // Pause SLO: streaming percentiles per pause flavour plus the
     // budget and over-budget count.
     const PauseSloTracker &slo = telemetry_->pauseSlo();
@@ -205,6 +257,8 @@ Runtime::wireTelemetry()
         appendWhyAliveJson(w, v);
         w.endObject();
         v.provenanceJson = w.str();
+        t->violationRing().push(assertionKindName(v.kind), v.gcNumber,
+                                v.message);
         if (TraceRecorder *tr = t->recorder()) {
             JsonWriter a;
             a.beginObject()

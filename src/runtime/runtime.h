@@ -43,6 +43,7 @@
 namespace gcassert {
 
 class JsonWriter;
+class LiveTelemetryServer;
 
 /**
  * A complete managed runtime instance.
@@ -94,6 +95,23 @@ class Runtime {
      * telemetry is off). Returns a copy; safe from any thread.
      */
     CensusSnapshot latestCensus() const;
+
+    /**
+     * Publish a live-endpoint snapshot now (metrics copy into the
+     * history ring + per-named-site why-alive table), in addition
+     * to the automatic per-full-GC publishes. Takes the exclusive
+     * lock briefly — gauge readers touch non-atomic accumulators —
+     * so workloads call it on a cadence, not per operation. No-op
+     * without telemetry.
+     */
+    void publishTelemetry();
+
+    /**
+     * The live telemetry endpoint's bound port: the ephemeral
+     * answer when livePort was kAutoLivePort ("auto"), 0 when the
+     * endpoint is off or its bind failed.
+     */
+    uint16_t livePort() const;
 
     /** @} */
 
@@ -372,6 +390,12 @@ class Runtime {
      *  Referenced (raw) by collector_ and the violation observer,
      *  both quiescent by the time the destructor flushes it. */
     std::unique_ptr<Telemetry> telemetry_;
+    /** Live telemetry endpoint; non-null iff telemetry_ is set,
+     *  observe.livePort != 0 and the bind succeeded. Declared after
+     *  telemetry_ (and stopped explicitly in the destructor before
+     *  the final flush) so the serving thread can never outlive the
+     *  state it reads. */
+    std::unique_ptr<LiveTelemetryServer> liveServer_;
 
     /** Run finalizers queued by the most recent collection. */
     void runPendingFinalizers();

@@ -1,0 +1,323 @@
+#include "support/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace gcassert {
+
+namespace {
+
+/** Short I/O timeout on accepted/connected sockets, so one stalled
+ *  peer can never wedge the serving thread. */
+constexpr int kIoTimeoutMillis = 2000;
+
+void
+setIoTimeouts(int fd)
+{
+    timeval tv{};
+    tv.tv_sec = kIoTimeoutMillis / 1000;
+    tv.tv_usec = (kIoTimeoutMillis % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool
+writeAll(int fd, const char *data, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        ssize_t n = send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+    }
+}
+
+} // namespace
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+bool
+TcpListener::listenLoopback(uint16_t port)
+{
+    close();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn(format("net: socket() failed: %s", std::strerror(errno)));
+        return false;
+    }
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // localhost only
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        warn(format("net: cannot bind 127.0.0.1:%u: %s", unsigned{port},
+                    std::strerror(errno)));
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 16) != 0) {
+        warn(format("net: listen() failed: %s", std::strerror(errno)));
+        ::close(fd);
+        return false;
+    }
+    // Recover the kernel-assigned port for the port=0 (ephemeral)
+    // case, so callers always learn where the endpoint landed.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len) !=
+        0) {
+        warn(format("net: getsockname() failed: %s",
+                    std::strerror(errno)));
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    port_ = ntohs(bound.sin_port);
+    return true;
+}
+
+int
+TcpListener::acceptClient(int timeoutMillis)
+{
+    if (fd_ < 0)
+        return -1;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, timeoutMillis);
+    if (ready <= 0)
+        return -1;
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0)
+        setIoTimeouts(client);
+    return client;
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    port_ = 0;
+}
+
+std::string
+HttpRequest::queryParam(const std::string &name) const
+{
+    for (const auto &[key, value] : query)
+        if (key == name)
+            return value;
+    return "";
+}
+
+std::string
+urlDecode(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (c == '+') {
+            out += ' ';
+        } else if (c == '%' && i + 2 < s.size()) {
+            auto hex = [](char h) -> int {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                if (h >= 'a' && h <= 'f')
+                    return h - 'a' + 10;
+                if (h >= 'A' && h <= 'F')
+                    return h - 'A' + 10;
+                return -1;
+            };
+            int hi = hex(s[i + 1]);
+            int lo = hex(s[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out += static_cast<char>(hi * 16 + lo);
+                i += 2;
+            } else {
+                out += c;
+            }
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+bool
+readHttpRequest(int fd, HttpRequest &out)
+{
+    // Read until the header-terminating blank line (bounded; the
+    // routes here take no bodies).
+    std::string raw;
+    char buf[1024];
+    while (raw.find("\r\n\r\n") == std::string::npos &&
+           raw.find("\n\n") == std::string::npos) {
+        if (raw.size() > 64 * 1024)
+            return false;
+        ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        raw.append(buf, static_cast<size_t>(n));
+    }
+
+    size_t eol = raw.find_first_of("\r\n");
+    std::string line = raw.substr(0, eol);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos)
+        return false;
+    out.method = line.substr(0, sp1);
+    out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (out.target.empty() || out.target[0] != '/')
+        return false;
+
+    size_t qmark = out.target.find('?');
+    out.path = urlDecode(out.target.substr(0, qmark));
+    out.query.clear();
+    if (qmark != std::string::npos) {
+        std::string qs = out.target.substr(qmark + 1);
+        size_t pos = 0;
+        while (pos <= qs.size()) {
+            size_t amp = qs.find('&', pos);
+            std::string pair = qs.substr(
+                pos, amp == std::string::npos ? std::string::npos
+                                              : amp - pos);
+            if (!pair.empty()) {
+                size_t eq = pair.find('=');
+                if (eq == std::string::npos)
+                    out.query.emplace_back(urlDecode(pair), "");
+                else
+                    out.query.emplace_back(
+                        urlDecode(pair.substr(0, eq)),
+                        urlDecode(pair.substr(eq + 1)));
+            }
+            if (amp == std::string::npos)
+                break;
+            pos = amp + 1;
+        }
+    }
+    return true;
+}
+
+bool
+writeHttpResponse(int fd, int status, const std::string &contentType,
+                  const std::string &body)
+{
+    std::string head = format(
+        "HTTP/1.0 %d %s\r\nContent-Type: %s\r\n"
+        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        status, statusText(status), contentType.c_str(), body.size());
+    return writeAll(fd, head.data(), head.size()) &&
+           writeAll(fd, body.data(), body.size());
+}
+
+bool
+httpGet(uint16_t port, const std::string &target, std::string &bodyOut,
+        int *statusOut, std::string *error)
+{
+    bodyOut.clear();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = format("socket(): %s", std::strerror(errno));
+        return false;
+    }
+    setIoTimeouts(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = format("connect(127.0.0.1:%u): %s", unsigned{port},
+                            std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    std::string req =
+        "GET " + target + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+    if (!writeAll(fd, req.data(), req.size())) {
+        if (error)
+            *error = format("send(): %s", std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    // HTTP/1.0 + Connection: close — the response runs to EOF.
+    std::string raw;
+    char buf[4096];
+    while (true) {
+        ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        raw.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+
+    if (raw.compare(0, 5, "HTTP/") != 0) {
+        if (error)
+            *error = "malformed response (no status line)";
+        return false;
+    }
+    size_t sp = raw.find(' ');
+    if (statusOut)
+        *statusOut =
+            sp == std::string::npos ? 0 : std::atoi(raw.c_str() + sp + 1);
+    size_t split = raw.find("\r\n\r\n");
+    size_t skip = 4;
+    if (split == std::string::npos) {
+        split = raw.find("\n\n");
+        skip = 2;
+    }
+    if (split == std::string::npos) {
+        if (error)
+            *error = "malformed response (no header terminator)";
+        return false;
+    }
+    bodyOut = raw.substr(split + skip);
+    return true;
+}
+
+} // namespace gcassert

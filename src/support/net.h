@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal localhost TCP + HTTP/1.0 helpers for the live telemetry
+ * endpoint (observe/live_server) and its tests. Deliberately tiny:
+ * a loopback-only listener with a poll-based, stoppable accept, a
+ * request-line parser for `GET /path?query` requests, a response
+ * writer, and a blocking GET client used by tests and the bench
+ * harness to validate the endpoint without external tools.
+ *
+ * Security posture: listenLoopback() binds 127.0.0.1 only — the
+ * endpoint is never reachable off-host — and the server speaks
+ * plain HTTP/1.0 with Connection: close, so there is no keep-alive
+ * state to manage.
+ */
+
+#ifndef GCASSERT_SUPPORT_NET_H
+#define GCASSERT_SUPPORT_NET_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gcassert {
+
+/**
+ * A loopback-only listening socket. accept is poll-based with a
+ * timeout so an owning thread can interleave stop-flag checks.
+ */
+class TcpListener {
+  public:
+    TcpListener() = default;
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /**
+     * Bind and listen on 127.0.0.1:@p port (0 = kernel-assigned
+     * ephemeral port, readable via port() afterwards). Returns false
+     * — with a warn() naming errno — when the bind fails, e.g. the
+     * port is taken.
+     */
+    bool listenLoopback(uint16_t port);
+
+    /** The bound port; 0 before a successful listenLoopback(). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Wait up to @p timeoutMillis for a connection. Returns the
+     * accepted fd (caller closes it) or -1 on timeout/error. The
+     * returned socket carries a short send/receive timeout so a
+     * stalled client can never wedge the serving thread.
+     */
+    int acceptClient(int timeoutMillis);
+
+    void close();
+    bool valid() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    uint16_t port_ = 0;
+};
+
+/** A parsed HTTP request line (headers are read and discarded). */
+struct HttpRequest {
+    std::string method; //!< e.g. "GET"
+    std::string target; //!< raw request target, e.g. "/why_alive?site=x"
+    std::string path;   //!< target up to '?', percent-decoded
+    /** Decoded query parameters in document order. */
+    std::vector<std::pair<std::string, std::string>> query;
+
+    /** First value of query parameter @p name; "" when absent. */
+    std::string queryParam(const std::string &name) const;
+};
+
+/**
+ * Read one request from @p fd (until the blank line ending the
+ * header block, bounded at 64 KiB) and parse the request line.
+ * Returns false on malformed input, timeout, or EOF.
+ */
+bool readHttpRequest(int fd, HttpRequest &out);
+
+/**
+ * Write a complete HTTP/1.0 response (status line, Content-Type,
+ * Content-Length, Connection: close, then @p body). Returns false
+ * on a short write.
+ */
+bool writeHttpResponse(int fd, int status, const std::string &contentType,
+                       const std::string &body);
+
+/** Percent-decode @p s ("%41" -> "A", "+" -> " "). */
+std::string urlDecode(const std::string &s);
+
+/**
+ * Blocking GET client for tests/CI: connect to 127.0.0.1:@p port,
+ * request @p target, and return the response body in @p bodyOut.
+ *
+ * @param[out] statusOut HTTP status code when non-null.
+ * @param[out] error     failure description when non-null.
+ * @return true when a well-formed response arrived (any status).
+ */
+bool httpGet(uint16_t port, const std::string &target,
+             std::string &bodyOut, int *statusOut = nullptr,
+             std::string *error = nullptr);
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_NET_H

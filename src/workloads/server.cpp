@@ -397,6 +397,12 @@ ServerWorkload::iterate(Runtime &runtime)
                     break;
                 serveRequest(runtime, mutator, t, base + k, rng,
                              local);
+                // Periodic live-endpoint publish: fresh snapshots
+                // between full GCs. Outside shared_ (lock order) and
+                // a cheap no-op when telemetry is off.
+                if (options_.publishEvery != 0 &&
+                    k % options_.publishEvery == 0)
+                    runtime.publishTelemetry();
             }
             std::lock_guard<std::mutex> guard(stats_);
             latency_.merge(local);

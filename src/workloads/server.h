@@ -84,6 +84,15 @@ struct ServerOptions {
      * exactly one alldead violation naming the leaking request.
      */
     uint32_t leakEveryN = defaultServerLeakEvery();
+
+    /**
+     * Publish a live-endpoint telemetry snapshot every N requests
+     * per thread (Runtime::publishTelemetry), so dashboards see
+     * fresh data between full GCs. 0 disables the cadence; the
+     * default keeps it cheap (a no-op without telemetry, a brief
+     * exclusive-lock snapshot with it).
+     */
+    uint32_t publishEvery = 1024;
 };
 
 /**

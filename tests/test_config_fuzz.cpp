@@ -65,6 +65,7 @@ baselineConfig()
     config.observe.metricsSink.clear();
     config.observe.censusEvery = 0;
     config.observe.pauseBudgetNanos = 0;
+    config.observe.livePort = 0; // endpoint off unless a combo arms it
     return config;
 }
 
@@ -97,6 +98,16 @@ fuzzConfig(Rng &rng, uint64_t seed, uint64_t combo)
         config.observe.censusEvery = 1;
     if (rng.chance(0.3))
         config.observe.pauseBudgetNanos = 1; // fires on every pause
+    // The live endpoint must stay off (port 0) unless the fuzzer
+    // arms it explicitly; an armed draw always uses the ephemeral
+    // port so combos never fight over a fixed one.
+    if (rng.chance(0.25)) {
+        config.observe.livePort = kAutoLivePort;
+        const uint32_t history_choices[] = {1, 2, 64};
+        config.observe.liveHistory = history_choices[rng.below(3)];
+        config.observe.violationRingCap =
+            static_cast<uint32_t>(rng.range(1, 8));
+    }
     return config;
 }
 
@@ -115,7 +126,10 @@ describeConfig(const RuntimeConfig &c)
            " bgwin=" + std::to_string(c.backgraphWindow) +
            " trace=" + std::to_string(!c.observe.traceFile.empty()) +
            " census=" + std::to_string(c.observe.censusEvery) +
-           " slo=" + std::to_string(c.observe.pauseBudgetNanos);
+           " slo=" + std::to_string(c.observe.pauseBudgetNanos) +
+           " live=" + std::to_string(c.observe.livePort != 0) +
+           " liveHist=" + std::to_string(c.observe.liveHistory) +
+           " vring=" + std::to_string(c.observe.violationRingCap);
 }
 
 DiffOutcome

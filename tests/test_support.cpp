@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -313,6 +314,87 @@ TEST(Strutil, PadRight)
 {
     EXPECT_EQ(padRight("ab", 4), "ab  ");
     EXPECT_EQ(padRight("abcdef", 4), "abcd");
+}
+
+TEST(Json, ControlCharactersEscapeAndRoundTrip)
+{
+    // Control bytes below 0x20 must be escaped on the wire and come
+    // back byte-identical through the parser.
+    std::string original("tab\t nl\n cr\r null\x01 unit\x1f", 24);
+    JsonWriter w;
+    w.beginObject().field("s", original).endObject();
+    const std::string &doc = w.str();
+    EXPECT_NE(doc.find("\\t"), std::string::npos);
+    EXPECT_NE(doc.find("\\n"), std::string::npos);
+    EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+    EXPECT_NE(doc.find("\\u001f"), std::string::npos);
+    // No raw control byte may survive in the document itself.
+    for (char c : doc)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(jsonParse(doc, root, &error)) << error;
+    EXPECT_EQ(root.find("s")->string, original);
+}
+
+TEST(Json, NonAsciiPassesThroughAndRoundTrips)
+{
+    // UTF-8 payload bytes are not escaped (JSON allows raw UTF-8);
+    // they round-trip verbatim, and an explicit \u escape decodes to
+    // the same UTF-8 bytes.
+    std::string original = "caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac";
+    JsonWriter w;
+    w.beginObject().field("s", original).endObject();
+    EXPECT_NE(w.str().find(original), std::string::npos);
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(jsonParse(w.str(), root, &error)) << error;
+    EXPECT_EQ(root.find("s")->string, original);
+
+    JsonValue escaped;
+    ASSERT_TRUE(
+        jsonParse("{\"s\": \"caf\\u00e9\"}", escaped, &error))
+        << error;
+    EXPECT_EQ(escaped.find("s")->string, "caf\xc3\xa9");
+}
+
+TEST(Json, DeepNestingParsesWithinCapAndFailsBeyond)
+{
+    auto nested = [](int depth) {
+        std::string doc(depth, '[');
+        doc += "1";
+        doc.append(depth, ']');
+        return doc;
+    };
+    JsonValue root;
+    std::string error;
+    EXPECT_TRUE(jsonParse(nested(64), root, &error)) << error;
+    EXPECT_FALSE(jsonParse(nested(300), root, &error));
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+
+    // Mixed object/array nesting hits the same recursion cap.
+    std::string mixed;
+    for (int i = 0; i < 200; ++i)
+        mixed += "{\"k\":[";
+    mixed += "0";
+    for (int i = 0; i < 200; ++i)
+        mixed += "]}";
+    EXPECT_FALSE(jsonParse(mixed, root, &error));
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(Json, TrailingGarbageIsRejected)
+{
+    JsonValue root;
+    std::string error;
+    EXPECT_FALSE(jsonParse("{\"a\": 1} x", root, &error));
+    EXPECT_NE(error.find("trailing garbage"), std::string::npos);
+    EXPECT_FALSE(jsonParse("[1, 2]]", root, &error));
+    EXPECT_FALSE(jsonParse("true false", root, &error));
+    // Trailing whitespace alone is fine.
+    EXPECT_TRUE(jsonParse("{\"a\": 1}  \n", root, &error)) << error;
 }
 
 } // namespace
